@@ -1,0 +1,222 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Section V) at reduced scale, plus micro-benchmarks of the hot paths. Each
+// BenchmarkTableN/BenchmarkFigN corresponds to one artefact of the paper;
+// run `go run ./cmd/safe-bench -experiment all -scale 1 -repeats 10` for
+// paper-scale reproduction (hours).
+package safe_test
+
+import (
+	"io"
+	"testing"
+
+	"repro"
+	"repro/internal/experiments"
+)
+
+// benchOptions returns a configuration small enough for `go test -bench=.`
+// while still exercising every code path of the corresponding experiment.
+func benchOptions() experiments.Options {
+	return experiments.Options{
+		Scale:         0.03,
+		BusinessScale: 0.002,
+		Repeats:       1,
+		Datasets:      []string{"banknote", "magic"},
+		Classifiers:   []string{"LR", "XGB"},
+		Seed:          1,
+	}
+}
+
+func BenchmarkTable3ClassificationPerformance(b *testing.B) {
+	opts := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable3(opts, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5ExecutionTime(b *testing.B) {
+	opts := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable5(opts, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable6FeatureStability(b *testing.B) {
+	opts := benchOptions()
+	opts.Methods = []experiments.Method{experiments.RAND, experiments.IMP, experiments.SAFE}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable6(opts, 3, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable8BusinessDatasets(b *testing.B) {
+	opts := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable8(opts, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3FeatureImportance(b *testing.B) {
+	opts := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig3(opts, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4Iterations(b *testing.B) {
+	opts := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig4(opts, 2, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchSpaceReduction(b *testing.B) {
+	opts := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunSearchSpace(opts, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAssumptionsPathProvenance(b *testing.B) {
+	opts := benchOptions()
+	opts.Datasets = []string{"magic"}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAssumptions(opts, 5, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------- micro-benchmarks of the core pipeline ----------
+
+func benchDataset(b *testing.B, rows, dim int) *safe.Dataset {
+	b.Helper()
+	ds, err := safe.GenerateDataset(safe.DatasetSpec{
+		Name: "bench", Train: rows, Test: rows / 4, Dim: dim,
+		Interactions: dim / 3, SignalScale: 2.5, Seed: 11,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds
+}
+
+func BenchmarkSAFEFit(b *testing.B) {
+	ds := benchDataset(b, 2000, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := safe.New(safe.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := eng.Fit(ds.Train); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSAFESelectionOnly(b *testing.B) {
+	ds := benchDataset(b, 2000, 20)
+	cols := make([][]float64, ds.Train.NumCols())
+	for j := range cols {
+		cols[j] = ds.Train.Columns[j].Values
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := safe.Select(cols, ds.Train.Label, safe.DefaultSelectionConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSelectionAblation quantifies the design choices of the selection
+// pipeline (DESIGN.md §5): full pipeline vs skipping the IV filter vs
+// skipping the Pearson dedup.
+func BenchmarkSelectionAblation(b *testing.B) {
+	ds := benchDataset(b, 2000, 20)
+	cols := make([][]float64, ds.Train.NumCols())
+	for j := range cols {
+		cols[j] = ds.Train.Columns[j].Values
+	}
+	cases := []struct {
+		name                string
+		skipIV, skipPearson bool
+	}{
+		{"full", false, false},
+		{"no-iv", true, false},
+		{"no-pearson", false, true},
+		{"rank-only", true, true},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			cfg := safe.DefaultSelectionConfig()
+			cfg.SkipIV = c.skipIV
+			cfg.SkipPearson = c.skipPearson
+			for i := 0; i < b.N; i++ {
+				if _, err := safe.Select(cols, ds.Train.Label, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPipelineTransformRow(b *testing.B) {
+	ds := benchDataset(b, 2000, 12)
+	eng, err := safe.New(safe.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pipeline, _, err := eng.Fit(ds.Train)
+	if err != nil {
+		b.Fatal(err)
+	}
+	row := ds.Test.Row(0, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipeline.TransformRow(row); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPipelineTransformBatch(b *testing.B) {
+	ds := benchDataset(b, 2000, 12)
+	eng, err := safe.New(safe.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pipeline, _, err := eng.Fit(ds.Train)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipeline.Transform(ds.Test); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClassifierXGB(b *testing.B) {
+	ds := benchDataset(b, 2000, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := safe.TrainClassifier("XGB", ds.Train, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

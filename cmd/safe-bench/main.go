@@ -1,0 +1,114 @@
+// Command safe-bench regenerates the tables and figures of the SAFE paper's
+// evaluation (Section V) on the synthetic data substrate.
+//
+// Usage:
+//
+//	safe-bench -experiment all                 # everything, reduced scale
+//	safe-bench -experiment table3 -scale 1     # Table III at paper scale
+//	safe-bench -experiment table5,table6
+//	safe-bench -experiment table8 -business-scale 0.01
+//	safe-bench -experiment fig3,fig4,searchspace,assumptions
+//	safe-bench -datasets banknote,magic -clfs LR,XGB -repeats 5
+//
+// Experiments: table3, table5, table6, table8, fig3, fig4, searchspace,
+// assumptions, ablation, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		expFlag       = flag.String("experiment", "all", "comma-separated experiment ids")
+		scale         = flag.Float64("scale", 0.1, "benchmark dataset row scale (0,1]; 1 = paper sizes")
+		businessScale = flag.Float64("business-scale", 0.005, "business dataset row scale; 1 = paper's 2.5M-8M rows")
+		repeats       = flag.Int("repeats", 3, "seeds averaged per cell (paper: 100/10)")
+		trials        = flag.Int("stability-trials", 20, "repeated runs for Table VI (paper: 100)")
+		rounds        = flag.Int("rounds", 5, "iteration rounds for Fig. 4")
+		datasets      = flag.String("datasets", "", "comma-separated dataset subset (default: all 12)")
+		clfs          = flag.String("clfs", "", "comma-separated classifier subset (default: all 9)")
+		seed          = flag.Int64("seed", 0, "base random seed")
+		jsonDir       = flag.String("json", "", "also write structured results as JSON into this directory")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{
+		Scale:         *scale,
+		BusinessScale: *businessScale,
+		Repeats:       *repeats,
+		Seed:          *seed,
+	}
+	if *datasets != "" {
+		opts.Datasets = strings.Split(*datasets, ",")
+	}
+	if *clfs != "" {
+		opts.Classifiers = strings.Split(*clfs, ",")
+	}
+
+	run := map[string]bool{}
+	for _, e := range strings.Split(*expFlag, ",") {
+		run[strings.TrimSpace(e)] = true
+	}
+	if run["all"] {
+		for _, e := range []string{"table3", "table5", "table6", "table8", "fig3", "fig4", "searchspace", "assumptions", "ablation"} {
+			run[e] = true
+		}
+	}
+
+	w := os.Stdout
+	export := func(name string, v interface{}, err error) {
+		check(err)
+		if *jsonDir != "" {
+			check(experiments.ExportJSON(*jsonDir, name, v))
+		}
+	}
+	if run["table3"] {
+		res, err := experiments.RunTable3(opts, w)
+		export("table3", res, err)
+	}
+	if run["table5"] {
+		res, err := experiments.RunTable5(opts, w)
+		export("table5", res, err)
+	}
+	if run["table6"] {
+		res, err := experiments.RunTable6(opts, *trials, w)
+		export("table6", res, err)
+	}
+	if run["table8"] {
+		res, err := experiments.RunTable8(opts, w)
+		export("table8", res, err)
+	}
+	if run["fig3"] {
+		res, err := experiments.RunFig3(opts, w)
+		export("fig3", res, err)
+	}
+	if run["fig4"] {
+		res, err := experiments.RunFig4(opts, *rounds, w)
+		export("fig4", res, err)
+	}
+	if run["searchspace"] {
+		res, err := experiments.RunSearchSpace(opts, w)
+		export("searchspace", res, err)
+	}
+	if run["assumptions"] {
+		res, err := experiments.RunAssumptions(opts, 20, w)
+		export("assumptions", res, err)
+	}
+	if run["ablation"] {
+		res, err := experiments.RunAblation(opts, w)
+		export("ablation", res, err)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "safe-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,58 @@
+// Command safe-serve runs the real-time inference HTTP service of
+// Section IV-E3: it loads a pipeline Ψ saved by `safe -save-pipeline` (and
+// optionally a GBDT model trained on Ψ's output) and scores raw feature
+// rows per request.
+//
+//	safe-serve -pipeline pipeline.json [-model model.json] [-addr :8080]
+//
+// Routes:
+//
+//	POST /score   {"row":[...]} or {"values":{"x0":1,...}}
+//	GET  /schema
+//	GET  /healthz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/gbdt"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		pipelinePath = flag.String("pipeline", "", "pipeline JSON (required)")
+		modelPath    = flag.String("model", "", "optional GBDT model JSON")
+		addr         = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+	if *pipelinePath == "" {
+		fmt.Fprintln(os.Stderr, "safe-serve: -pipeline is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	pipeline, err := core.LoadPipelineFile(*pipelinePath)
+	if err != nil {
+		log.Fatalf("safe-serve: %v", err)
+	}
+	var model *gbdt.Model
+	if *modelPath != "" {
+		model, err = gbdt.LoadFile(*modelPath)
+		if err != nil {
+			log.Fatalf("safe-serve: %v", err)
+		}
+	}
+	h, err := serve.NewHandler(pipeline, model)
+	if err != nil {
+		log.Fatalf("safe-serve: %v", err)
+	}
+	log.Printf("safe-serve: %d inputs -> %d features (model: %v), listening on %s",
+		len(pipeline.OriginalNames), pipeline.NumFeatures(), model != nil, *addr)
+	log.Fatal(http.ListenAndServe(*addr, h))
+}

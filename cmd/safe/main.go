@@ -1,0 +1,126 @@
+// Command safe runs the SAFE automatic feature engineering pipeline on a
+// labelled CSV file and writes the transformed dataset plus a report of the
+// generated features.
+//
+// Usage:
+//
+//	safe -train train.csv -label y [-test test.csv] [-out out.csv]
+//	     [-ops add,sub,mul,div] [-iters 1] [-max-features 0] [-gamma 0]
+//	     [-seed 0] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	var (
+		trainPath    = flag.String("train", "", "training CSV path (required)")
+		labelCol     = flag.String("label", "label", "label column name")
+		testPath     = flag.String("test", "", "optional CSV to transform with the learned pipeline")
+		outPath      = flag.String("out", "", "output CSV path for the transformed data (default: stdout summary only)")
+		opsFlag      = flag.String("ops", "add,sub,mul,div", "comma-separated operator names")
+		iters        = flag.Int("iters", 1, "number of SAFE iterations (nIter)")
+		maxFeatures  = flag.Int("max-features", 0, "output feature budget (0 = 2x original count)")
+		gamma        = flag.Int("gamma", 0, "top feature combinations per iteration (0 = 2x original count)")
+		seed         = flag.Int64("seed", 0, "random seed")
+		verbose      = flag.Bool("v", false, "print per-iteration details")
+		savePipeline = flag.String("save-pipeline", "", "write the learned pipeline Ψ as JSON")
+		loadPipeline = flag.String("load-pipeline", "", "skip fitting; load Ψ from a JSON file")
+	)
+	flag.Parse()
+	if *trainPath == "" && *loadPipeline == "" {
+		fmt.Fprintln(os.Stderr, "safe: -train (or -load-pipeline) is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var (
+		train    *safe.Frame
+		pipeline *safe.Pipeline
+		err      error
+	)
+	if *loadPipeline != "" {
+		pipeline, err = safe.LoadPipelineFile(*loadPipeline)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded pipeline: %d output features (%d derived)\n",
+			pipeline.NumFeatures(), pipeline.NumDerived())
+	} else {
+		train, err = safe.ReadCSVFile(*trainPath, *labelCol)
+		if err != nil {
+			fatal(err)
+		}
+
+		cfg := safe.DefaultConfig()
+		cfg.Operators = strings.Split(*opsFlag, ",")
+		cfg.Iterations = *iters
+		cfg.MaxFeatures = *maxFeatures
+		cfg.Gamma = *gamma
+		cfg.Seed = *seed
+
+		eng, err := safe.New(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		var report *safe.Report
+		pipeline, report, err = eng.Fit(train)
+		if err != nil {
+			fatal(err)
+		}
+
+		fmt.Printf("SAFE fit complete in %v: %d input features -> %d output features (%d generated)\n",
+			report.Total.Round(1e6), train.NumCols(), pipeline.NumFeatures(), pipeline.NumDerived())
+		if *verbose {
+			for _, ir := range report.Iterations {
+				fmt.Printf("  round %d: mined %d combos (vs %d exhaustive), kept %d, generated %d, "+
+					"IV-> %d, Pearson-> %d, selected %d (%v)\n",
+					ir.Round, ir.CombosMined, ir.SearchSpaceAll, ir.CombosKept, ir.Generated,
+					ir.AfterIV, ir.AfterPearson, ir.Selected, ir.Elapsed.Round(1e6))
+			}
+			fmt.Println("selected features:")
+			for _, f := range pipeline.Formulas() {
+				fmt.Printf("  %s\n", f)
+			}
+		}
+		if *savePipeline != "" {
+			if err := pipeline.SaveFile(*savePipeline); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("saved pipeline to %s\n", *savePipeline)
+		}
+	}
+
+	target := train
+	if *testPath != "" {
+		target, err = safe.ReadCSVFile(*testPath, *labelCol)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if target == nil {
+		return // -load-pipeline without -train/-test: nothing to transform
+	}
+	transformed, err := pipeline.Transform(target)
+	if err != nil {
+		fatal(err)
+	}
+	if *outPath != "" {
+		if err := transformed.WriteCSVFile(*outPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d rows x %d features to %s\n",
+			transformed.NumRows(), transformed.NumCols(), *outPath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "safe:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,109 @@
+// Custom operators: Section III requires that "new operators should be
+// easily added". This example registers a domain-specific operator (a
+// clipped percentage-change, common in risk features), runs SAFE with an
+// extended operator set including GroupByThen aggregates, and prints the
+// interpretable formulas of what survived selection.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro"
+)
+
+// pctChange is (a-b)/|b| clipped to [-10, 10] — a typical hand-crafted risk
+// feature ("how far is this amount from the reference").
+type pctChange struct{}
+
+func (pctChange) Name() string      { return "pct_change" }
+func (pctChange) Arity() safe.Arity { return safe.Binary }
+func (pctChange) Fit(cols [][]float64) (safe.Applier, error) {
+	if len(cols) != 2 {
+		return nil, fmt.Errorf("pct_change wants 2 inputs, got %d", len(cols))
+	}
+	return pctApplier{}, nil
+}
+
+type pctApplier struct{}
+
+func (pctApplier) TransformRow(v []float64) float64 {
+	a, b := v[0], v[1]
+	if b == 0 {
+		return 0
+	}
+	out := (a - b) / math.Abs(b)
+	return math.Max(-10, math.Min(10, out))
+}
+
+func (p pctApplier) Transform(cols [][]float64) []float64 {
+	out := make([]float64, len(cols[0]))
+	for i := range out {
+		out[i] = p.TransformRow([]float64{cols[0][i], cols[1][i]})
+	}
+	return out
+}
+
+func (pctApplier) Formula(names []string) string {
+	return fmt.Sprintf("pct_change(%s, %s)", names[0], names[1])
+}
+
+func main() {
+	ds, err := safe.GenerateDataset(safe.DatasetSpec{
+		Name: "customops", Train: 4000, Test: 1200, Dim: 12,
+		Informative: 2, Interactions: 4, SignalScale: 2.5, Seed: 21,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Register the custom operator alongside the built-in catalogue.
+	reg := safe.NewRegistry()
+	reg.Register("pct_change", func() safe.Operator { return pctChange{} })
+
+	cfg := safe.DefaultConfig()
+	cfg.Registry = reg
+	cfg.Operators = []string{
+		"add", "sub", "mul", "div", // the paper's basic set
+		"pct_change",  // our domain operator
+		"groupby_avg", // SQL-style aggregate from the paper's catalogue
+		"log", "sqrt", // unary transforms
+	}
+	cfg.Seed = 3
+
+	eng, err := safe.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pipeline, _, err := eng.Fit(ds.Train)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("selected %d features (%d generated):\n",
+		pipeline.NumFeatures(), pipeline.NumDerived())
+	for _, f := range pipeline.Formulas() {
+		fmt.Println("  ", f)
+	}
+
+	trNew, err := pipeline.Transform(ds.Train)
+	if err != nil {
+		log.Fatal(err)
+	}
+	teNew, err := pipeline.Transform(ds.Test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	orig, err := safe.TrainClassifier("XGB", ds.Train, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engd, err := safe.TrainClassifier("XGB", trNew, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nXGB AUC: original %.4f -> engineered %.4f\n",
+		safe.AUC(orig.Predict(ds.Test), ds.Test.Label),
+		safe.AUC(engd.Predict(teNew), teNew.Label))
+}

@@ -1,0 +1,82 @@
+// Fraud detection: the industrial scenario of the paper's Section V-B.
+// An imbalanced (≈2% positive) transaction dataset is engineered with SAFE
+// and evaluated with the three classifiers Ant Financial runs at scale
+// (LR, RF, XGB), reproducing the shape of Table VIII: SAFE consistently
+// improves AUC over the original features.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	spec := safe.FraudDatasetSpec()
+	ds, err := safe.GenerateDataset(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fraud dataset: %d train / %d test rows, %d features, %.2f%% fraud\n",
+		ds.Train.NumRows(), ds.Test.NumRows(), ds.Train.NumCols(), 100*ds.Train.PositiveRate())
+
+	// Feature engineering with a time budget, as an online system would run
+	// it (Algorithm 1 accepts nIter or tIter).
+	cfg := safe.DefaultConfig()
+	cfg.TimeBudget = 2 * time.Minute
+	cfg.Seed = 42
+	eng, err := safe.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	pipeline, _, err := eng.Fit(ds.Train)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SAFE fit in %v: %d -> %d features\n",
+		time.Since(start).Round(time.Millisecond), ds.Train.NumCols(), pipeline.NumFeatures())
+
+	trNew, err := pipeline.Transform(ds.Train)
+	if err != nil {
+		log.Fatal(err)
+	}
+	teNew, err := pipeline.Transform(ds.Test)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nCLF    ORIG     SAFE")
+	for _, clfName := range []string{"LR", "RF", "XGB"} {
+		orig, err := safe.TrainClassifier(clfName, ds.Train, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		engd, err := safe.TrainClassifier(clfName, trNew, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		aucOrig := safe.AUC(orig.Predict(ds.Test), ds.Test.Label)
+		aucSafe := safe.AUC(engd.Predict(teNew), teNew.Label)
+		fmt.Printf("%-5s  %.4f   %.4f\n", clfName, aucOrig, aucSafe)
+	}
+
+	// Real-time scoring path: raw transaction -> features -> fraud score.
+	model, err := safe.TrainClassifier("XGB", trNew, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw := ds.Test.Row(0, nil)
+	feats, err := pipeline.TransformRow(raw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	single := &safe.Frame{}
+	for i, name := range trNew.Names() {
+		single.AddColumn(name, []float64{feats[i]})
+	}
+	fmt.Printf("\nreal-time inference demo: transaction 0 fraud score = %.4f (label %v)\n",
+		model.Predict(single)[0], ds.Test.Label[0])
+}

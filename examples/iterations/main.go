@@ -1,0 +1,56 @@
+// Iterations: reproduce the shape of the paper's Fig. 4 — running SAFE for
+// more rounds can keep improving AUC before plateauing, because later rounds
+// compose features generated in earlier rounds (higher-order combinations).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	ds, err := safe.GenerateDataset(safe.DatasetSpec{
+		Name: "iterations", Train: 5000, Test: 1500, Dim: 14,
+		Informative: 2, Interactions: 5, SignalScale: 2.0, Seed: 31,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("rounds  features  XGB test AUC")
+	for rounds := 0; rounds <= 5; rounds++ {
+		var train, test = ds.Train, ds.Test
+		nFeatures := ds.Train.NumCols()
+		if rounds > 0 {
+			cfg := safe.DefaultConfig()
+			cfg.Iterations = rounds
+			cfg.Seed = 5
+			eng, err := safe.New(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			pipeline, _, err := eng.Fit(ds.Train)
+			if err != nil {
+				log.Fatal(err)
+			}
+			train, err = pipeline.Transform(ds.Train)
+			if err != nil {
+				log.Fatal(err)
+			}
+			test, err = pipeline.Transform(ds.Test)
+			if err != nil {
+				log.Fatal(err)
+			}
+			nFeatures = pipeline.NumFeatures()
+		}
+		model, err := safe.TrainClassifier("XGB", train, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		auc := safe.AUC(model.Predict(test), test.Label)
+		fmt.Printf("%6d  %8d  %.4f\n", rounds, nFeatures, auc)
+	}
+	fmt.Println("\n(round 0 = original features; the paper's Fig. 4 shows the same improve-then-plateau shape)")
+}

@@ -1,0 +1,212 @@
+package baselines
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/frame"
+)
+
+func testDataset(t *testing.T) *datagen.Dataset {
+	t.Helper()
+	ds, err := datagen.Generate(datagen.Spec{
+		Name: "bl-test", Train: 2500, Test: 800, Dim: 10,
+		Informative: 2, Interactions: 3, SignalScale: 2.5, Seed: 55,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func checkPipeline(t *testing.T, p *core.Pipeline, train, test *frame.Frame) {
+	t.Helper()
+	if p.NumFeatures() == 0 {
+		t.Fatal("pipeline emits no features")
+	}
+	out, err := p.Transform(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != test.NumRows() {
+		t.Fatalf("transform rows = %d, want %d", out.NumRows(), test.NumRows())
+	}
+	if out.NumCols() != p.NumFeatures() {
+		t.Fatalf("transform cols = %d, want %d", out.NumCols(), p.NumFeatures())
+	}
+	// Row-wise evaluation agrees with batch.
+	row := make([]float64, test.NumCols())
+	test.Row(0, row)
+	vals, err := p.TransformRow(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, v := range vals {
+		want := out.Columns[j].Values[0]
+		if v != want && !(v != v && want != want) {
+			t.Fatalf("feature %q: row %v != batch %v", out.Columns[j].Name, v, want)
+		}
+	}
+}
+
+func TestRand(t *testing.T) {
+	ds := testDataset(t)
+	p, err := Rand(ds.Train, RandConfig{Selection: core.DefaultSelectionConfig(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPipeline(t, p, ds.Train, ds.Test)
+	if p.NumFeatures() > 2*ds.Train.NumCols() {
+		t.Errorf("RAND emits %d features, budget %d", p.NumFeatures(), 2*ds.Train.NumCols())
+	}
+}
+
+func TestRandBudget(t *testing.T) {
+	ds := testDataset(t)
+	sel := core.DefaultSelectionConfig()
+	sel.MaxFeatures = 6
+	p, err := Rand(ds.Train, RandConfig{Selection: sel, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumFeatures() > 6 {
+		t.Errorf("RAND emits %d features, budget 6", p.NumFeatures())
+	}
+}
+
+func TestRandNeedsTwoFeatures(t *testing.T) {
+	one := frame.NewWithShape(10, 1)
+	if _, err := Rand(one, RandConfig{}); err == nil {
+		t.Error("accepted single-feature frame")
+	}
+}
+
+func TestImp(t *testing.T) {
+	ds := testDataset(t)
+	p, err := Imp(ds.Train, ImpConfig{Selection: core.DefaultSelectionConfig(), Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPipeline(t, p, ds.Train, ds.Test)
+}
+
+func TestImpDeterminism(t *testing.T) {
+	ds := testDataset(t)
+	run := func() []string {
+		p, err := Imp(ds.Train, ImpConfig{Selection: core.DefaultSelectionConfig(), Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.Output
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("widths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("output %d differs: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTFC(t *testing.T) {
+	ds := testDataset(t)
+	p, err := TFC(ds.Train, TFCConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPipeline(t, p, ds.Train, ds.Test)
+	if p.NumFeatures() > 2*ds.Train.NumCols() {
+		t.Errorf("TFC emits %d features, budget %d", p.NumFeatures(), 2*ds.Train.NumCols())
+	}
+	// TFC must actually construct features, not just pass originals.
+	constructed := 0
+	for _, name := range p.Output {
+		if strings.ContainsAny(name, "+-*/") {
+			constructed++
+		}
+	}
+	if constructed == 0 {
+		t.Error("TFC selected no constructed features")
+	}
+}
+
+func TestTFCMaxPairsGuard(t *testing.T) {
+	ds := testDataset(t)
+	p, err := TFC(ds.Train, TFCConfig{MaxPairs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPipeline(t, p, ds.Train, ds.Test)
+}
+
+func TestFCTree(t *testing.T) {
+	ds := testDataset(t)
+	p, err := FCTree(ds.Train, FCTreeConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPipeline(t, p, ds.Train, ds.Test)
+	if p.NumFeatures() > 2*ds.Train.NumCols() {
+		t.Errorf("FCTree emits %d features, budget %d", p.NumFeatures(), 2*ds.Train.NumCols())
+	}
+}
+
+func TestFCTreeConstructsFeatures(t *testing.T) {
+	ds := testDataset(t)
+	p, err := FCTree(ds.Train, FCTreeConfig{Ne: 20, MaxDepth: 8, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Nodes) == 0 {
+		t.Error("FCTree constructed no features")
+	}
+}
+
+func TestBaselinesShareSelectionSemantics(t *testing.T) {
+	// RAND and IMP with a MaxFeatures budget must respect it, because they
+	// delegate to core.Select.
+	ds := testDataset(t)
+	sel := core.DefaultSelectionConfig()
+	sel.MaxFeatures = 4
+	pr, err := Rand(ds.Train, RandConfig{Selection: sel, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := Imp(ds.Train, ImpConfig{Selection: sel, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.NumFeatures() > 4 || pi.NumFeatures() > 4 {
+		t.Errorf("budgets violated: rand=%d imp=%d", pr.NumFeatures(), pi.NumFeatures())
+	}
+}
+
+func TestRandomPairsDistinct(t *testing.T) {
+	ds := testDataset(t)
+	_ = ds
+	// Direct unit check of the pair sampler.
+	rngSeed := int64(11)
+	pairs := randomPairs(6, 10, newTestRng(rngSeed), func(int) bool { return true })
+	seen := map[combo]bool{}
+	for _, p := range pairs {
+		if p.a >= p.b {
+			t.Fatalf("pair %v not ordered", p)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate pair %v", p)
+		}
+		seen[p] = true
+	}
+	// 6 features -> at most 15 distinct pairs; asking for 100 returns <= 15.
+	many := randomPairs(6, 100, newTestRng(rngSeed), func(int) bool { return true })
+	if len(many) > 15 {
+		t.Errorf("returned %d pairs from a 15-pair pool", len(many))
+	}
+}
+
+func newTestRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,156 @@
+package baselines
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/operators"
+)
+
+func TestIGHeapKeepsBestK(t *testing.T) {
+	h := make(igHeap, 0, 4)
+	push := func(s scored) {
+		if len(h) < 3 {
+			heap.Push(&h, s)
+			return
+		}
+		if s.ig > h[0].ig {
+			h[0] = s
+			heap.Fix(&h, 0)
+		}
+	}
+	for _, ig := range []float64{0.5, 0.1, 0.9, 0.3, 0.7, 0.2} {
+		push(scored{ig: ig})
+	}
+	if len(h) != 3 {
+		t.Fatalf("heap size %d, want 3", len(h))
+	}
+	got := map[float64]bool{}
+	for _, s := range h {
+		got[s.ig] = true
+	}
+	for _, want := range []float64{0.9, 0.7, 0.5} {
+		if !got[want] {
+			t.Errorf("top-3 missing %v: %v", want, got)
+		}
+	}
+}
+
+func TestEvalPairSanitises(t *testing.T) {
+	div, err := operators.NewRegistry().Get("div")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := []float64{1, 2, 3}
+	b := []float64{0, 1, 0} // divisions by zero
+	buf := make([]float64, 3)
+	evalPair(div, a, b, buf)
+	for i, v := range buf {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("buf[%d] = %v, want finite", i, v)
+		}
+	}
+	if buf[1] != 2 {
+		t.Errorf("2/1 = %v, want 2", buf[1])
+	}
+}
+
+func TestBestSplitIG(t *testing.T) {
+	// Labels flip at value 5.
+	col := []float64{1, 2, 3, 4, 6, 7, 8, 9}
+	labels := []float64{0, 0, 0, 0, 1, 1, 1, 1}
+	rows := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	gain, thr, ok := bestSplitIG(col, labels, rows)
+	if !ok {
+		t.Fatal("no split found")
+	}
+	if thr != 4 {
+		t.Errorf("threshold = %v, want 4", thr)
+	}
+	if math.Abs(gain-math.Ln2) > 1e-9 {
+		t.Errorf("gain = %v, want ln 2", gain)
+	}
+}
+
+func TestBestSplitIGDegenerate(t *testing.T) {
+	// Pure labels: no split.
+	if _, _, ok := bestSplitIG([]float64{1, 2, 3}, []float64{1, 1, 1}, []int{0, 1, 2}); ok {
+		t.Error("found a split on pure labels")
+	}
+	// Constant feature: no split.
+	if _, _, ok := bestSplitIG([]float64{5, 5, 5, 5}, []float64{0, 1, 0, 1}, []int{0, 1, 2, 3}); ok {
+		t.Error("found a split on a constant feature")
+	}
+	// All NaN: no split.
+	nan := math.NaN()
+	if _, _, ok := bestSplitIG([]float64{nan, nan}, []float64{0, 1}, []int{0, 1}); ok {
+		t.Error("found a split on all-NaN feature")
+	}
+}
+
+func TestPure(t *testing.T) {
+	if !pure([]float64{1, 1, 1}, []int{0, 1, 2}) {
+		t.Error("pure labels reported impure")
+	}
+	if pure([]float64{1, 0, 1}, []int{0, 1, 2}) {
+		t.Error("mixed labels reported pure")
+	}
+	if !pure(nil, nil) {
+		t.Error("empty rows should be pure")
+	}
+}
+
+func TestRandomPairsEligibilityFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	// Only even-indexed features eligible.
+	pairs := randomPairs(10, 8, rng, func(j int) bool { return j%2 == 0 })
+	for _, p := range pairs {
+		if p.a%2 != 0 || p.b%2 != 0 {
+			t.Fatalf("ineligible feature in pair %v", p)
+		}
+	}
+	// Fewer than 2 eligible features: no pairs.
+	if got := randomPairs(10, 5, rng, func(j int) bool { return j == 3 }); got != nil {
+		t.Errorf("pairs from a single-feature pool: %v", got)
+	}
+}
+
+func TestSanitizeCol(t *testing.T) {
+	col := []float64{1, math.NaN(), math.Inf(1), -math.Inf(1), 1e301, 2}
+	sanitizeCol(col)
+	for i, v := range col {
+		if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e300 {
+			t.Errorf("col[%d] = %v after sanitise", i, v)
+		}
+	}
+	if col[0] != 1 || col[5] != 2 {
+		t.Error("sanitise damaged finite values")
+	}
+}
+
+func TestPrunePipelineKeepsDependencies(t *testing.T) {
+	ds := testDataset(t)
+	p, err := Rand(ds.Train, RandConfig{Selection: coreSelection(), Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After pruning (already applied), every node output must be reachable
+	// from Output or feed another kept node.
+	needed := map[string]bool{}
+	for _, o := range p.Output {
+		needed[o] = true
+	}
+	for i := len(p.Nodes) - 1; i >= 0; i-- {
+		if !needed[p.Nodes[i].Name] {
+			t.Errorf("node %q survives pruning but is unused", p.Nodes[i].Name)
+		}
+		for _, dep := range p.Nodes[i].Inputs {
+			needed[dep] = true
+		}
+	}
+}
+
+func coreSelection() core.SelectionConfig { return core.DefaultSelectionConfig() }

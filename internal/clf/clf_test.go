@@ -1,0 +1,94 @@
+package clf
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func blobData(n int, seed int64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	cols := [][]float64{make([]float64, n), make([]float64, n)}
+	labels := make([]float64, n)
+	for i := 0; i < n; i++ {
+		labels[i] = float64(rng.Intn(2))
+		cols[0][i] = rng.NormFloat64() + labels[i]*2
+		cols[1][i] = rng.NormFloat64()
+	}
+	return cols, labels
+}
+
+func TestNamesMatchTableIII(t *testing.T) {
+	want := []string{"AB", "DT", "ET", "kNN", "LR", "MLP", "RF", "SVM", "XGB"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Names()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFastNamesSubset(t *testing.T) {
+	all := map[string]bool{}
+	for _, n := range Names() {
+		all[n] = true
+	}
+	for _, n := range FastNames() {
+		if !all[n] {
+			t.Errorf("FastNames includes unknown %q", n)
+		}
+	}
+}
+
+func TestEveryClassifierLearnsBlobs(t *testing.T) {
+	cols, labels := blobData(1200, 1)
+	testCols, testLabels := blobData(400, 2)
+	for _, name := range Names() {
+		model, err := Train(name, cols, labels, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		auc := metrics.AUC(model.Predict(testCols), testLabels)
+		// A single deep tree overfits the overlapping blobs and scores
+		// lower than the ensembles; everything else should clear 0.8.
+		floor := 0.8
+		if name == "DT" {
+			floor = 0.72
+		}
+		if auc < floor {
+			t.Errorf("%s: AUC = %v, want >= %v on separable blobs", name, auc, floor)
+		}
+	}
+}
+
+func TestTrainUnknownName(t *testing.T) {
+	cols, labels := blobData(50, 3)
+	if _, err := Train("nope", cols, labels, 1); err == nil {
+		t.Error("unknown classifier accepted")
+	}
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	cols, labels := blobData(500, 4)
+	for _, name := range []string{"RF", "XGB", "MLP", "AB"} {
+		m1, err := Train(name, cols, labels, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, err := Train(name, cols, labels, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p1 := m1.Predict(cols)
+		p2 := m2.Predict(cols)
+		for i := range p1 {
+			if p1[i] != p2[i] {
+				t.Fatalf("%s: same seed diverged at row %d", name, i)
+			}
+		}
+	}
+}

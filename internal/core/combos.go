@@ -1,0 +1,257 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/gbdt"
+	"repro/internal/stats"
+)
+
+// Combo is a candidate feature combination mined from tree paths: feature
+// indices into the current live feature set, with the split values observed
+// for each feature, and its information gain ratio (Algorithm 2).
+type Combo struct {
+	Features  []int       // sorted feature indices, len 1..3
+	Values    [][]float64 // per feature, sorted distinct split values
+	GainRatio float64
+}
+
+// comboKey uniquely identifies a combination by its sorted feature indices.
+type comboKey struct{ a, b, c int } // unused slots are -1
+
+func keyOf(feats []int) comboKey {
+	k := comboKey{-1, -1, -1}
+	switch len(feats) {
+	case 1:
+		k.a = feats[0]
+	case 2:
+		k.a, k.b = feats[0], feats[1]
+	case 3:
+		k.a, k.b, k.c = feats[0], feats[1], feats[2]
+	}
+	return k
+}
+
+// mineCombos enumerates feature combinations from the model's root-to-leaf
+// paths (Section IV-B1). arities lists the combination sizes wanted (1 for
+// unary operators, 2 for binary, 3 for ternary). Combinations recurring on
+// several paths are merged, accumulating the union of their split values.
+func mineCombos(model *gbdt.Model, arities []int) []Combo {
+	wantArity := make(map[int]bool, len(arities))
+	maxArity := 0
+	for _, a := range arities {
+		wantArity[a] = true
+		if a > maxArity {
+			maxArity = a
+		}
+	}
+	merged := make(map[comboKey]*Combo)
+
+	add := func(feats []int, values map[int][]float64) {
+		sorted := append([]int(nil), feats...)
+		sort.Ints(sorted)
+		k := keyOf(sorted)
+		c, ok := merged[k]
+		if !ok {
+			c = &Combo{Features: sorted, Values: make([][]float64, len(sorted))}
+			merged[k] = c
+		}
+		for i, f := range sorted {
+			c.Values[i] = mergeSorted(c.Values[i], values[f])
+		}
+	}
+
+	for _, p := range model.Paths() {
+		feats := p.Features
+		if wantArity[1] {
+			for _, f := range feats {
+				add([]int{f}, p.Values)
+			}
+		}
+		if wantArity[2] {
+			for i := 0; i < len(feats); i++ {
+				for j := i + 1; j < len(feats); j++ {
+					add([]int{feats[i], feats[j]}, p.Values)
+				}
+			}
+		}
+		if wantArity[3] {
+			for i := 0; i < len(feats); i++ {
+				for j := i + 1; j < len(feats); j++ {
+					for k := j + 1; k < len(feats); k++ {
+						add([]int{feats[i], feats[j], feats[k]}, p.Values)
+					}
+				}
+			}
+		}
+	}
+
+	out := make([]Combo, 0, len(merged))
+	for _, c := range merged {
+		out = append(out, *c)
+	}
+	// Deterministic order before scoring (map iteration is random).
+	sort.Slice(out, func(i, j int) bool {
+		return keyLess(keyOf(out[i].Features), keyOf(out[j].Features))
+	})
+	return out
+}
+
+func keyLess(a, b comboKey) bool {
+	if a.a != b.a {
+		return a.a < b.a
+	}
+	if a.b != b.b {
+		return a.b < b.b
+	}
+	return a.c < b.c
+}
+
+func mergeSorted(a, b []float64) []float64 {
+	out := make([]float64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		var v float64
+		switch {
+		case i == len(a):
+			v = b[j]
+			j++
+		case j == len(b):
+			v = a[i]
+			i++
+		case a[i] <= b[j]:
+			v = a[i]
+			if a[i] == b[j] {
+				j++
+			}
+			i++
+		default:
+			v = b[j]
+			j++
+		}
+		if len(out) == 0 || out[len(out)-1] != v {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// maxPartitionCells bounds the partition size when scoring a combination:
+// beyond this the split values are thinned to keep the gain-ratio
+// computation O(N) with a small constant.
+const maxPartitionCells = 1024
+
+// scoreCombos computes the information gain ratio of every combination over
+// the training data (Algorithm 2): the combo's split values partition the
+// rows into prod_i (|V_i|+1) cells. Scoring is feature-parallel.
+func scoreCombos(combos []Combo, cols [][]float64, labels []float64, parallel bool) {
+	score := func(c *Combo) {
+		values := thinValues(c.Values)
+		// Mixed-radix cell id per row.
+		radix := make([]int, len(values))
+		cells := 1
+		for i, vs := range values {
+			radix[i] = len(vs) + 1
+			cells *= radix[i]
+		}
+		if cells <= 1 {
+			c.GainRatio = 0
+			return
+		}
+		parts := make([]int, len(labels))
+		for r := range parts {
+			id := 0
+			for i, f := range c.Features {
+				v := cols[f][r]
+				bin := searchFloats(values[i], v)
+				id = id*radix[i] + bin
+			}
+			parts[r] = id
+		}
+		c.GainRatio = stats.GainRatio(labels, parts, cells)
+	}
+
+	if !parallel || len(combos) < 8 {
+		for i := range combos {
+			score(&combos[i])
+		}
+		return
+	}
+	workers := runtime.NumCPU()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(combos); i += workers {
+				score(&combos[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// thinValues reduces split-value sets so the partition stays under
+// maxPartitionCells, keeping evenly spaced representatives (always the
+// extremes).
+func thinValues(values [][]float64) [][]float64 {
+	out := make([][]float64, len(values))
+	copy(out, values)
+	cells := 1
+	for _, vs := range out {
+		cells *= len(vs) + 1
+	}
+	for cells > maxPartitionCells {
+		// Halve the largest value set.
+		argmax, maxLen := -1, 1
+		for i, vs := range out {
+			if len(vs) > maxLen {
+				maxLen = len(vs)
+				argmax = i
+			}
+		}
+		if argmax < 0 {
+			break
+		}
+		vs := out[argmax]
+		keep := (len(vs) + 1) / 2
+		thinned := make([]float64, 0, keep)
+		for k := 0; k < keep; k++ {
+			thinned = append(thinned, vs[k*len(vs)/keep])
+		}
+		cells = cells / (len(vs) + 1) * (len(thinned) + 1)
+		out[argmax] = thinned
+	}
+	return out
+}
+
+func searchFloats(vs []float64, v float64) int {
+	lo, hi := 0, len(vs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if vs[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// topCombos sorts combinations by gain ratio (descending, ties broken by
+// feature indices for determinism) and returns the best gamma per arity
+// bucket merged into one list (Algorithm 2's output P̃).
+func topCombos(combos []Combo, gamma int) []Combo {
+	sort.Slice(combos, func(i, j int) bool {
+		if combos[i].GainRatio != combos[j].GainRatio {
+			return combos[i].GainRatio > combos[j].GainRatio
+		}
+		return keyLess(keyOf(combos[i].Features), keyOf(combos[j].Features))
+	})
+	if gamma > 0 && len(combos) > gamma {
+		combos = combos[:gamma]
+	}
+	return combos
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+func validatedDataset(t *testing.T) *datagen.Dataset {
+	t.Helper()
+	ds, err := datagen.Generate(datagen.Spec{
+		Name: "es-test", Train: 3000, Valid: 800, Test: 800, Dim: 10,
+		Informative: 2, Interactions: 3, SignalScale: 2.5, Seed: 101,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestFitWithValidationReportsAUC(t *testing.T) {
+	ds := validatedDataset(t)
+	cfg := DefaultConfig()
+	cfg.Iterations = 2
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, report, err := eng.FitWithValidation(ds.Train, ds.Valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ir := range report.Iterations {
+		if ir.ValidAUC <= 0 || ir.ValidAUC > 1 {
+			t.Errorf("round %d ValidAUC = %v, want (0,1]", ir.Round, ir.ValidAUC)
+		}
+	}
+}
+
+func TestFitWithValidationRequiresValid(t *testing.T) {
+	ds := validatedDataset(t)
+	eng, _ := New(DefaultConfig())
+	if _, _, err := eng.FitWithValidation(ds.Train, nil); err == nil {
+		t.Error("accepted nil validation frame")
+	}
+	unlabelled := ds.Valid.Clone()
+	unlabelled.Label = nil
+	if _, _, err := eng.FitWithValidation(ds.Train, unlabelled); err == nil {
+		t.Error("accepted unlabelled validation frame")
+	}
+}
+
+func TestFitWithValidationSchemaMismatch(t *testing.T) {
+	ds := validatedDataset(t)
+	eng, _ := New(DefaultConfig())
+	badValid := ds.Valid.Clone()
+	badValid.Columns[0].Name = "renamed"
+	if _, _, err := eng.FitWithValidation(ds.Train, badValid); err == nil {
+		t.Error("accepted validation frame with mismatched columns")
+	}
+}
+
+func TestEarlyStoppingHaltsIterations(t *testing.T) {
+	ds := validatedDataset(t)
+	cfg := DefaultConfig()
+	cfg.Iterations = 8
+	cfg.Patience = 1
+	cfg.MinDelta = 0.5 // impossible improvement: must stop after round 2
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, report, err := eng.FitWithValidation(ds.Train, ds.Valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Iterations) > 2 {
+		t.Errorf("ran %d rounds despite patience 1 and unreachable MinDelta", len(report.Iterations))
+	}
+}
+
+func TestEarlyStoppingKeepsBestRound(t *testing.T) {
+	ds := validatedDataset(t)
+	cfg := DefaultConfig()
+	cfg.Iterations = 3
+	cfg.Patience = 3 // never stops early within 3 rounds
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, report, err := eng.FitWithValidation(ds.Train, ds.Valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pipeline must evaluate: transform test successfully with the best
+	// round's width equal to one of the reported selections.
+	out, err := p.Transform(ds.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	widths := map[int]bool{}
+	for _, ir := range report.Iterations {
+		widths[ir.Selected] = true
+	}
+	if !widths[out.NumCols()] {
+		t.Errorf("pipeline width %d matches no round's selection %v", out.NumCols(), widths)
+	}
+}
+
+func TestFitWithValidationPipelineConsistency(t *testing.T) {
+	// Valid-aware generation must produce the same pipeline semantics:
+	// batch transform of valid equals the internally tracked valid values
+	// (spot-checked through a transform round-trip).
+	ds := validatedDataset(t)
+	cfg := DefaultConfig()
+	cfg.Iterations = 2
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _, err := eng.FitWithValidation(ds.Train, ds.Valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.Transform(ds.Valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != ds.Valid.NumRows() {
+		t.Errorf("rows = %d, want %d", out.NumRows(), ds.Valid.NumRows())
+	}
+}

@@ -1,0 +1,501 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/frame"
+	"repro/internal/gbdt"
+	"repro/internal/metrics"
+	"repro/internal/operators"
+	"repro/internal/stats"
+)
+
+// Config configures the SAFE engineer. Zero values take the defaults the
+// paper uses in Section V; the only hyper-parameters are complexity knobs
+// (Section IV-E1).
+type Config struct {
+	// Operators names the generation operators (keys of the Registry).
+	// Default: the paper's experimental set {add, sub, mul, div}.
+	Operators []string
+	// Registry resolves operator names; defaults to the built-in catalogue.
+	Registry *operators.Registry
+
+	// Gamma is γ of Algorithm 2: how many top combinations are kept for
+	// generation. Default: 2 × number of original features.
+	Gamma int
+	// IVThreshold is α of Algorithm 3 (default 0.1, Table I).
+	IVThreshold float64
+	// IVBins is β of Algorithm 3 (default 10 equal-frequency bins).
+	IVBins int
+	// IVEqualWidth switches IV binning to equal-width (ablation; default
+	// equal-frequency as in the paper).
+	IVEqualWidth bool
+	// PearsonThreshold is θ of Algorithm 4 (default 0.8, Table II).
+	PearsonThreshold float64
+	// MaxFeatures caps the final selected feature count per iteration.
+	// Default: 2 × number of original features (the paper's experiment
+	// budget "2M").
+	MaxFeatures int
+
+	// Iterations is nIter of Algorithm 1 (default 1, matching Section V-A).
+	Iterations int
+	// TimeBudget is tIter: Fit stops starting new iterations once exceeded.
+	// Zero means no time limit.
+	TimeBudget time.Duration
+
+	// Miner configures the combination-mining XGBoost (Section IV-B1).
+	// NumTrees/MaxDepth directly control the search space (Eq. 13).
+	Miner gbdt.Config
+	// Ranker configures the importance-ranking XGBoost (Section IV-C3).
+	Ranker gbdt.Config
+
+	// MinKeepIV is the robustness floor for the IV filter: when fewer
+	// features pass α, the top-MinKeepIV by IV are kept instead.
+	MinKeepIV int
+	// Patience enables validation-based early stopping in
+	// FitWithValidation: after Patience consecutive rounds without at least
+	// MinDelta AUC improvement on the validation set, iteration stops and
+	// the best round's selection is kept. 0 disables early stopping.
+	Patience int
+	// MinDelta is the minimum validation-AUC improvement that resets the
+	// patience counter.
+	MinDelta float64
+	// Parallel enables worker-pool parallelism in mining, IV and Pearson
+	// computations.
+	Parallel bool
+	// Seed drives all stochastic components.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's experimental configuration.
+func DefaultConfig() Config {
+	miner := gbdt.DefaultConfig()
+	miner.NumTrees = 20
+	miner.MaxDepth = 4
+	ranker := gbdt.DefaultConfig()
+	ranker.NumTrees = 20
+	ranker.MaxDepth = 4
+	return Config{
+		Operators:        operators.DefaultExperimentOperators(),
+		Gamma:            0, // resolved to 2M at fit time
+		IVThreshold:      stats.DefaultIVCutoff,
+		IVBins:           10,
+		PearsonThreshold: stats.DefaultPearsonCutoff,
+		MaxFeatures:      0, // resolved to 2M at fit time
+		Iterations:       1,
+		Miner:            miner,
+		Ranker:           ranker,
+		MinKeepIV:        8,
+		Parallel:         true,
+	}
+}
+
+// IterationReport records the sizes at each stage of one SAFE iteration.
+type IterationReport struct {
+	Round          int
+	CombosMined    int // unique combinations from paths
+	CombosKept     int // after gain-ratio top-γ
+	Generated      int // new features generated (X̃)
+	Candidates     int // X̂ = base ∪ generated
+	AfterIV        int // X̂A
+	AfterPearson   int // X̂B
+	Selected       int // X̂C carried to the next round
+	Elapsed        time.Duration
+	BestGainRatio  float64
+	SearchSpaceAll int // exhaustive candidate count for this round (binary ops)
+	// ValidAUC is the validation AUC of the round's selection (only set by
+	// FitWithValidation).
+	ValidAUC float64
+}
+
+// Report summarises a Fit run.
+type Report struct {
+	Iterations []IterationReport
+	Total      time.Duration
+}
+
+// Engineer runs SAFE. Construct with New, then call Fit.
+type Engineer struct {
+	cfg Config
+}
+
+// New validates the configuration and returns an Engineer.
+func New(cfg Config) (*Engineer, error) {
+	if cfg.Registry == nil {
+		cfg.Registry = operators.NewRegistry()
+	}
+	if len(cfg.Operators) == 0 {
+		cfg.Operators = operators.DefaultExperimentOperators()
+	}
+	if cfg.IVBins <= 1 {
+		cfg.IVBins = 10
+	}
+	if cfg.IVThreshold < 0 {
+		return nil, errors.New("core: IVThreshold must be >= 0")
+	}
+	if cfg.PearsonThreshold <= 0 || cfg.PearsonThreshold > 1 {
+		return nil, fmt.Errorf("core: PearsonThreshold must be in (0,1], got %g", cfg.PearsonThreshold)
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 1
+	}
+	if cfg.MinKeepIV <= 0 {
+		cfg.MinKeepIV = 8
+	}
+	if cfg.Miner.NumTrees == 0 {
+		cfg.Miner = gbdt.DefaultConfig()
+		cfg.Miner.NumTrees = 20
+		cfg.Miner.MaxDepth = 4
+	}
+	if cfg.Ranker.NumTrees == 0 {
+		cfg.Ranker = gbdt.DefaultConfig()
+		cfg.Ranker.NumTrees = 20
+		cfg.Ranker.MaxDepth = 4
+	}
+	cfg.Miner.Parallel = cfg.Parallel
+	cfg.Ranker.Parallel = cfg.Parallel
+	cfg.Miner.Seed = cfg.Seed
+	cfg.Ranker.Seed = cfg.Seed + 1
+	// Validate that every operator resolves.
+	if _, err := cfg.Registry.GetAll(cfg.Operators); err != nil {
+		return nil, err
+	}
+	return &Engineer{cfg: cfg}, nil
+}
+
+// liveFeature is one feature of the current working set X_i: its training
+// (and optionally validation) values plus the pipeline node that derives it
+// (nil for originals).
+type liveFeature struct {
+	name  string
+	train []float64
+	valid []float64 // nil when fitting without a validation frame
+	node  *FeatureNode
+	iv    float64
+}
+
+// Fit learns the feature generation function Ψ from a labelled training
+// frame (Algorithm 1).
+func (e *Engineer) Fit(train *frame.Frame) (*Pipeline, *Report, error) {
+	return e.fit(train, nil)
+}
+
+// FitWithValidation learns Ψ using a validation frame for per-round AUC
+// tracking and (when Config.Patience > 0) early stopping: iteration halts
+// after Patience rounds without MinDelta improvement, keeping the best
+// round's selection — the "performance keeps unchanged after some rounds"
+// behaviour of Fig. 4 without paying for the extra rounds.
+func (e *Engineer) FitWithValidation(train, valid *frame.Frame) (*Pipeline, *Report, error) {
+	if valid == nil {
+		return nil, nil, errors.New("core: FitWithValidation requires a validation frame")
+	}
+	if err := valid.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if valid.Label == nil {
+		return nil, nil, errors.New("core: validation frame has no label")
+	}
+	return e.fit(train, valid)
+}
+
+func (e *Engineer) fit(train, valid *frame.Frame) (*Pipeline, *Report, error) {
+	if err := train.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if train.Label == nil {
+		return nil, nil, errors.New("core: training frame has no label")
+	}
+	if train.NumCols() == 0 {
+		return nil, nil, errors.New("core: training frame has no features")
+	}
+	cfg := e.cfg
+	m := train.NumCols()
+	budget := cfg.MaxFeatures
+	if budget <= 0 {
+		budget = 2 * m
+	}
+	gamma := cfg.Gamma
+	if gamma <= 0 {
+		gamma = 2 * m
+	}
+
+	ops, err := cfg.Registry.GetAll(cfg.Operators)
+	if err != nil {
+		return nil, nil, err
+	}
+	arities := distinctArities(ops)
+
+	labels := train.Label
+	// Working set: start from the original columns.
+	live := make([]*liveFeature, 0, m+budget)
+	for j := 0; j < m; j++ {
+		lf := &liveFeature{
+			name:  train.Columns[j].Name,
+			train: train.Columns[j].Values,
+		}
+		if valid != nil {
+			vcol, ok := valid.ColByName(lf.name)
+			if !ok {
+				return nil, nil, fmt.Errorf("core: validation frame lacks column %q", lf.name)
+			}
+			lf.valid = vcol
+		}
+		live = append(live, lf)
+	}
+
+	report := &Report{}
+	start := time.Now()
+	var allNodes []FeatureNode
+	bestAUC := 0.0
+	bestLive := live
+	patienceLeft := cfg.Patience
+
+	for round := 0; round < cfg.Iterations; round++ {
+		if cfg.TimeBudget > 0 && time.Since(start) > cfg.TimeBudget {
+			break
+		}
+		iterStart := time.Now()
+		ir := IterationReport{Round: round + 1}
+
+		cols := make([][]float64, len(live))
+		names := make([]string, len(live))
+		for i, lf := range live {
+			cols[i] = lf.train
+			names[i] = lf.name
+		}
+
+		// (1) Mine combination relations (Algorithm 1 lines 3-4).
+		minerCfg := cfg.Miner
+		minerCfg.Seed = cfg.Seed + int64(round)*131
+		model, err := gbdt.Train(cols, labels, names, minerCfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: miner: %w", err)
+		}
+		combos := mineCombos(model, arities)
+		ir.CombosMined = len(combos)
+		ir.SearchSpaceAll = exhaustiveBinaryCount(len(live), ops)
+
+		// (2) Sort and filter combinations by gain ratio (Algorithm 2).
+		scoreCombos(combos, cols, labels, cfg.Parallel)
+		combos = topCombos(combos, gamma)
+		ir.CombosKept = len(combos)
+		if len(combos) > 0 {
+			ir.BestGainRatio = combos[0].GainRatio
+		}
+
+		// (3) Generate features (Algorithm 1 line 6).
+		newFeats, err := e.generate(combos, live, ops, labels, valid != nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		ir.Generated = len(newFeats)
+
+		// (4) Candidate set X̂ = X ∪ X̃ (line 7).
+		candidates := append(append([]*liveFeature(nil), live...), newFeats...)
+		ir.Candidates = len(candidates)
+
+		candCols := make([][]float64, len(candidates))
+		for i, lf := range candidates {
+			candCols[i] = lf.train
+		}
+
+		// (5) Remove uninformative features (Algorithm 3).
+		ivs := computeIVs(candCols, labels, cfg.IVBins, cfg.IVEqualWidth, cfg.Parallel)
+		for i, lf := range candidates {
+			lf.iv = ivs[i]
+		}
+		keptA := ivFilter(ivs, cfg.IVThreshold, cfg.MinKeepIV)
+		ir.AfterIV = len(keptA)
+
+		// (6) Remove redundant features (Algorithm 4).
+		keptB := pearsonDedup(candCols, ivs, keptA, cfg.PearsonThreshold, cfg.Parallel)
+		ir.AfterPearson = len(keptB)
+
+		// (7) Rank by XGBoost gain, keep top budget (line 10).
+		rankerCfg := cfg.Ranker
+		rankerCfg.Seed = cfg.Seed + 7919 + int64(round)*131
+		ranked, err := rankByGain(candCols, labels, ivs, keptB, rankerCfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: ranker: %w", err)
+		}
+		if len(ranked) > budget {
+			ranked = ranked[:budget]
+		}
+		ir.Selected = len(ranked)
+
+		// Carry the selection to the next round and record new nodes.
+		next := make([]*liveFeature, 0, len(ranked))
+		for _, idx := range ranked {
+			next = append(next, candidates[idx])
+		}
+		for _, lf := range newFeats {
+			allNodes = append(allNodes, *lf.node)
+		}
+		live = next
+
+		// Validation tracking and early stopping.
+		if valid != nil {
+			auc, verr := e.validationAUC(live, labels, valid.Label, cfg, round)
+			if verr != nil {
+				return nil, nil, verr
+			}
+			ir.ValidAUC = auc
+			if auc > bestAUC+cfg.MinDelta {
+				bestAUC = auc
+				bestLive = live
+				patienceLeft = cfg.Patience
+			} else if cfg.Patience > 0 {
+				patienceLeft--
+			}
+		} else {
+			bestLive = live
+		}
+
+		ir.Elapsed = time.Since(iterStart)
+		report.Iterations = append(report.Iterations, ir)
+
+		if valid != nil && cfg.Patience > 0 && patienceLeft <= 0 {
+			break
+		}
+	}
+	if valid == nil {
+		bestLive = live
+	}
+
+	// Assemble Ψ from the final (or best-validated) selection
+	// (Algorithm 1 line 14).
+	p := &Pipeline{
+		OriginalNames: train.Names(),
+		Nodes:         allNodes,
+	}
+	for _, lf := range bestLive {
+		p.Output = append(p.Output, lf.name)
+	}
+	p.prune()
+	report.Total = time.Since(start)
+	return p, report, nil
+}
+
+// generate applies the operator set to the selected combinations
+// (Section IV-B3), returning new live features with fitted pipeline nodes.
+// Non-commutative binary operators are applied in both argument orders
+// (the paper counts such orders as distinct operators). When withValid is
+// set, validation values are computed alongside training values.
+func (e *Engineer) generate(combos []Combo, live []*liveFeature, ops []operators.Operator, labels []float64, withValid bool) ([]*liveFeature, error) {
+	existing := make(map[string]bool, len(live))
+	for _, lf := range live {
+		existing[lf.name] = true
+	}
+	var out []*liveFeature
+
+	apply := func(op operators.Operator, feats []int) error {
+		in := make([][]float64, len(feats))
+		names := make([]string, len(feats))
+		for i, f := range feats {
+			in[i] = live[f].train
+			names[i] = live[f].name
+		}
+		if d, ok := op.(*operators.DiscretizeOp); ok {
+			d.SetLabels(labels)
+		}
+		applier, err := op.Fit(in)
+		if err != nil {
+			return fmt.Errorf("core: generate %s: %w", op.Name(), err)
+		}
+		name := applier.Formula(names)
+		if existing[name] {
+			return nil
+		}
+		existing[name] = true
+		vals := applier.Transform(in)
+		sanitize(vals)
+		lf := &liveFeature{
+			name:  name,
+			train: vals,
+			node: &FeatureNode{
+				Name:    name,
+				Inputs:  names,
+				Applier: applier,
+			},
+		}
+		if withValid {
+			vin := make([][]float64, len(feats))
+			for i, f := range feats {
+				vin[i] = live[f].valid
+			}
+			vvals := applier.Transform(vin)
+			sanitize(vvals)
+			lf.valid = vvals
+		}
+		out = append(out, lf)
+		return nil
+	}
+
+	for _, c := range combos {
+		for _, op := range ops {
+			if int(op.Arity()) != len(c.Features) {
+				continue
+			}
+			if err := apply(op, c.Features); err != nil {
+				return nil, err
+			}
+			if op.Arity() == operators.Binary && !operators.Commutative(op.Name()) {
+				rev := []int{c.Features[1], c.Features[0]}
+				if err := apply(op, rev); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// validationAUC trains a small gradient-boosted evaluator on the selected
+// training columns and scores the selected validation columns.
+func (e *Engineer) validationAUC(live []*liveFeature, trainLabels, validLabels []float64, cfg Config, round int) (float64, error) {
+	cols := make([][]float64, len(live))
+	vcols := make([][]float64, len(live))
+	for i, lf := range live {
+		cols[i] = lf.train
+		vcols[i] = lf.valid
+	}
+	evalCfg := cfg.Ranker
+	evalCfg.Seed = cfg.Seed + 40009 + int64(round)
+	model, err := gbdt.Train(cols, trainLabels, nil, evalCfg)
+	if err != nil {
+		return 0, fmt.Errorf("core: validation evaluator: %w", err)
+	}
+	return metrics.AUC(model.Predict(vcols), validLabels), nil
+}
+
+func distinctArities(ops []operators.Operator) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, op := range ops {
+		a := int(op.Arity())
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// exhaustiveBinaryCount is |S| of Eq. 3 restricted to binary operators with
+// 4 operators (the experimental set): the size of the search space an
+// exhaustive generate-then-select method would face this round. Used by the
+// search-space experiment.
+func exhaustiveBinaryCount(m int, ops []operators.Operator) int {
+	nBinary := 0
+	for _, op := range ops {
+		if op.Arity() == operators.Binary {
+			nBinary++
+			if !operators.Commutative(op.Name()) {
+				nBinary++
+			}
+		}
+	}
+	return m * (m - 1) / 2 * nBinary
+}

@@ -1,0 +1,423 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/frame"
+	"repro/internal/gbdt"
+	"repro/internal/metrics"
+)
+
+// testDataset returns a mid-size dataset with planted interactions.
+func testDataset(t *testing.T) *datagen.Dataset {
+	t.Helper()
+	ds, err := datagen.Generate(datagen.Spec{
+		Name: "core-test", Train: 4000, Valid: 0, Test: 1200, Dim: 12,
+		Informative: 2, Interactions: 4, SignalScale: 2.5, Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func evalGBDT(t *testing.T, train, test *frame.Frame) float64 {
+	t.Helper()
+	cfg := gbdt.DefaultConfig()
+	cfg.NumTrees = 40
+	cols := make([][]float64, train.NumCols())
+	for j := range cols {
+		cols[j] = train.Columns[j].Values
+	}
+	model, err := gbdt.Train(cols, train.Label, train.Names(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testCols := make([][]float64, test.NumCols())
+	for j := range testCols {
+		testCols[j] = test.Columns[j].Values
+	}
+	return metrics.AUC(model.Predict(testCols), test.Label)
+}
+
+func TestNewValidatesConfig(t *testing.T) {
+	bad := DefaultConfig()
+	bad.PearsonThreshold = 2
+	if _, err := New(bad); err == nil {
+		t.Error("accepted PearsonThreshold > 1")
+	}
+	bad = DefaultConfig()
+	bad.IVThreshold = -1
+	if _, err := New(bad); err == nil {
+		t.Error("accepted negative IVThreshold")
+	}
+	bad = DefaultConfig()
+	bad.Operators = []string{"no-such-op"}
+	if _, err := New(bad); err == nil {
+		t.Error("accepted unknown operator")
+	}
+}
+
+func TestFitValidatesInput(t *testing.T) {
+	eng, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng.Fit(&frame.Frame{}); err == nil {
+		t.Error("accepted empty frame")
+	}
+	unlabelled := frame.NewWithShape(10, 2)
+	unlabelled.Label = nil
+	if _, _, err := eng.Fit(unlabelled); err == nil {
+		t.Error("accepted unlabelled frame")
+	}
+}
+
+func TestSAFEImprovesAUC(t *testing.T) {
+	ds := testDataset(t)
+	eng, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipeline, report, err := eng.Fit(ds.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Iterations) != 1 {
+		t.Fatalf("ran %d iterations, want 1", len(report.Iterations))
+	}
+
+	trainNew, err := pipeline.Transform(ds.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testNew, err := pipeline.Transform(ds.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aucOrig := evalGBDT(t, ds.Train, ds.Test)
+	aucSafe := evalGBDT(t, trainNew, testNew)
+	t.Logf("AUC orig=%.4f safe=%.4f", aucOrig, aucSafe)
+	if aucSafe < aucOrig-0.01 {
+		t.Errorf("SAFE features degraded AUC: %v -> %v", aucOrig, aucSafe)
+	}
+}
+
+func TestSAFERecoversPlantedInteraction(t *testing.T) {
+	// With planted products/ratios, at least one generated feature should
+	// combine the two constituents of some planted interaction.
+	ds := testDataset(t)
+	eng, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipeline, _, err := eng.Fit(ds.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := ds.Train.Names()
+	recovered := false
+	for _, out := range pipeline.Output {
+		for _, it := range ds.Interactions {
+			a, b := names[it.A], names[it.B]
+			if containsToken(out, a) && containsToken(out, b) {
+				recovered = true
+			}
+		}
+	}
+	if !recovered {
+		t.Errorf("no generated feature pairs any planted interaction; outputs: %v", pipeline.Output)
+	}
+}
+
+// containsToken reports whether formula references the column name as a
+// whole token (x1 should not match x12).
+func containsToken(formula, name string) bool {
+	idx := 0
+	for {
+		k := strings.Index(formula[idx:], name)
+		if k < 0 {
+			return false
+		}
+		k += idx
+		end := k + len(name)
+		beforeOK := k == 0 || !isWord(formula[k-1])
+		afterOK := end == len(formula) || !isWord(formula[end])
+		if beforeOK && afterOK {
+			return true
+		}
+		idx = k + 1
+	}
+}
+
+func isWord(b byte) bool {
+	return b == '_' || (b >= '0' && b <= '9') || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z')
+}
+
+func TestPipelineBudgetRespected(t *testing.T) {
+	ds := testDataset(t)
+	cfg := DefaultConfig()
+	cfg.MaxFeatures = 10
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipeline, _, err := eng.Fit(ds.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pipeline.NumFeatures(); got > 10 {
+		t.Errorf("pipeline emits %d features, budget 10", got)
+	}
+}
+
+func TestTransformRowMatchesBatch(t *testing.T) {
+	ds := testDataset(t)
+	eng, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipeline, _, err := eng.Fit(ds.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := pipeline.Transform(ds.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := make([]float64, ds.Test.NumCols())
+	for i := 0; i < 25; i++ {
+		ds.Test.Row(i, row)
+		got, err := pipeline.TransformRow(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range got {
+			want := batch.Columns[j].Values[i]
+			same := got[j] == want || (math.IsNaN(got[j]) && math.IsNaN(want))
+			if !same {
+				t.Fatalf("row %d feature %q: row-wise %v != batch %v",
+					i, batch.Columns[j].Name, got[j], want)
+			}
+		}
+	}
+}
+
+func TestTransformRowRejectsWrongWidth(t *testing.T) {
+	ds := testDataset(t)
+	eng, _ := New(DefaultConfig())
+	pipeline, _, err := eng.Fit(ds.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipeline.TransformRow([]float64{1, 2}); err == nil {
+		t.Error("accepted wrong-width row")
+	}
+}
+
+func TestMultipleIterations(t *testing.T) {
+	ds := testDataset(t)
+	cfg := DefaultConfig()
+	cfg.Iterations = 3
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipeline, report, err := eng.Fit(ds.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Iterations) != 3 {
+		t.Fatalf("ran %d iterations, want 3", len(report.Iterations))
+	}
+	// Later iterations can compose earlier features: the pipeline must
+	// still evaluate consistently.
+	out, err := pipeline.Transform(ds.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != ds.Test.NumRows() {
+		t.Errorf("transform rows = %d, want %d", out.NumRows(), ds.Test.NumRows())
+	}
+}
+
+func TestTimeBudgetStopsIterations(t *testing.T) {
+	ds := testDataset(t)
+	cfg := DefaultConfig()
+	cfg.Iterations = 100
+	cfg.TimeBudget = time.Millisecond // expires after the first round check
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, report, err := eng.Fit(ds.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Iterations) >= 100 {
+		t.Errorf("time budget ignored: ran %d iterations", len(report.Iterations))
+	}
+	if time.Since(start) > 2*time.Minute {
+		t.Error("fit ran far past its budget")
+	}
+}
+
+func TestReportStagesMonotone(t *testing.T) {
+	ds := testDataset(t)
+	eng, _ := New(DefaultConfig())
+	_, report, err := eng.Fit(ds.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir := report.Iterations[0]
+	if ir.CombosKept > ir.CombosMined {
+		t.Errorf("kept %d combos > mined %d", ir.CombosKept, ir.CombosMined)
+	}
+	if ir.AfterIV > ir.Candidates {
+		t.Errorf("IV stage grew the set: %d > %d", ir.AfterIV, ir.Candidates)
+	}
+	if ir.AfterPearson > ir.AfterIV {
+		t.Errorf("Pearson stage grew the set: %d > %d", ir.AfterPearson, ir.AfterIV)
+	}
+	if ir.Selected > ir.AfterPearson {
+		t.Errorf("ranking grew the set: %d > %d", ir.Selected, ir.AfterPearson)
+	}
+	if ir.CombosMined >= ir.SearchSpaceAll {
+		t.Errorf("path mining did not shrink the search space: %d >= %d (T* << T violated)",
+			ir.CombosMined, ir.SearchSpaceAll)
+	}
+}
+
+func TestDeterministicFit(t *testing.T) {
+	ds := testDataset(t)
+	run := func() []string {
+		eng, err := New(DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, _, err := eng.Fit(ds.Train)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.Output
+	}
+	a := run()
+	b := run()
+	if len(a) != len(b) {
+		t.Fatalf("output widths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("output %d differs: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFormulasInterpretable(t *testing.T) {
+	ds := testDataset(t)
+	eng, _ := New(DefaultConfig())
+	pipeline, _, err := eng.Fit(ds.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipeline.NumDerived() == 0 {
+		t.Skip("no derived features selected on this seed")
+	}
+	for _, f := range pipeline.Formulas() {
+		if f == "" {
+			t.Error("empty formula")
+		}
+	}
+}
+
+func TestSelectStandalone(t *testing.T) {
+	ds := testDataset(t)
+	cols := make([][]float64, ds.Train.NumCols())
+	for j := range cols {
+		cols[j] = ds.Train.Columns[j].Values
+	}
+	cfg := DefaultSelectionConfig()
+	cfg.MaxFeatures = 5
+	sel, err := Select(cols, ds.Train.Label, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) > 5 {
+		t.Errorf("selected %d > budget 5", len(sel))
+	}
+	seen := map[int]bool{}
+	for _, j := range sel {
+		if j < 0 || j >= len(cols) {
+			t.Fatalf("index %d out of range", j)
+		}
+		if seen[j] {
+			t.Fatalf("duplicate selection %d", j)
+		}
+		seen[j] = true
+	}
+}
+
+func TestSelectAblationFlags(t *testing.T) {
+	ds := testDataset(t)
+	cols := make([][]float64, ds.Train.NumCols())
+	for j := range cols {
+		cols[j] = ds.Train.Columns[j].Values
+	}
+	cfg := DefaultSelectionConfig()
+	cfg.SkipIV = true
+	cfg.SkipPearson = true
+	sel, err := Select(cols, ds.Train.Label, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != len(cols) {
+		t.Errorf("with both stages skipped, got %d of %d features", len(sel), len(cols))
+	}
+}
+
+func TestSelectErrors(t *testing.T) {
+	if _, err := Select(nil, []float64{1}, DefaultSelectionConfig()); err == nil {
+		t.Error("accepted no columns")
+	}
+	if _, err := Select([][]float64{{1}}, nil, DefaultSelectionConfig()); err == nil {
+		t.Error("accepted no labels")
+	}
+}
+
+func TestPearsonDedupKeepsHigherIV(t *testing.T) {
+	// Two perfectly correlated columns; the one with higher IV must survive.
+	n := 1000
+	a := make([]float64, n)
+	b := make([]float64, n)
+	labels := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = float64(i % 100)
+		b[i] = 2 * a[i] // corr 1 with a
+		if i%2 == 0 {
+			labels[i] = 1
+		}
+	}
+	cols := [][]float64{a, b}
+	ivs := []float64{0.5, 0.2}
+	kept := pearsonDedup(cols, ivs, []int{0, 1}, 0.8, false)
+	if len(kept) != 1 || kept[0] != 0 {
+		t.Errorf("kept %v, want [0]", kept)
+	}
+}
+
+func TestIVFilterFallback(t *testing.T) {
+	ivs := []float64{0.001, 0.002, 0.003, 0.004}
+	kept := ivFilter(ivs, 0.1, 2)
+	if len(kept) != 2 {
+		t.Fatalf("fallback kept %d, want 2", len(kept))
+	}
+	// Top-2 by IV are indices 2 and 3.
+	if kept[0] != 2 || kept[1] != 3 {
+		t.Errorf("fallback kept %v, want [2 3]", kept)
+	}
+}

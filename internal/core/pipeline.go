@@ -1,0 +1,178 @@
+// Package core implements SAFE itself (Algorithm 1 of the paper): iterative
+// feature generation guided by XGBoost path mining (Section IV-B) followed
+// by the three-stage selection pipeline (Section IV-C). The output of Fit is
+// a Pipeline — the feature generation function Ψ — which can transform whole
+// frames for batch scoring or single rows for real-time inference.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/frame"
+	"repro/internal/operators"
+)
+
+// FeatureNode is one computation step of a Pipeline: it derives a new column
+// from previously available columns (original or earlier-derived) by
+// applying a fitted operator.
+type FeatureNode struct {
+	// Name of the derived column (its interpretable formula).
+	Name string
+	// Inputs are names of the columns consumed, resolvable against the
+	// original columns plus earlier nodes.
+	Inputs []string
+	// Applier is the fitted operator application.
+	Applier operators.Applier
+}
+
+// Pipeline is the learned feature generation function Ψ : X -> Z. It
+// evaluates derived features in dependency order and emits the selected
+// output columns.
+type Pipeline struct {
+	// OriginalNames are the training frame's column names, in order; rows
+	// fed to TransformRow must follow this order.
+	OriginalNames []string
+	// Nodes are the derivation steps in evaluation order.
+	Nodes []FeatureNode
+	// Output lists the selected column names (original names pass through,
+	// derived names refer to Nodes).
+	Output []string
+}
+
+// NumFeatures returns the width of the transformed representation.
+func (p *Pipeline) NumFeatures() int { return len(p.Output) }
+
+// NumDerived returns how many output features are generated (non-original).
+func (p *Pipeline) NumDerived() int {
+	orig := make(map[string]bool, len(p.OriginalNames))
+	for _, n := range p.OriginalNames {
+		orig[n] = true
+	}
+	k := 0
+	for _, n := range p.Output {
+		if !orig[n] {
+			k++
+		}
+	}
+	return k
+}
+
+// Transform applies Ψ to a frame whose columns include every original
+// column (by name). The result carries the input frame's label slice.
+func (p *Pipeline) Transform(f *frame.Frame) (*frame.Frame, error) {
+	n := f.NumRows()
+	cols := make(map[string][]float64, len(p.OriginalNames)+len(p.Nodes))
+	for _, name := range p.OriginalNames {
+		c, ok := f.ColByName(name)
+		if !ok {
+			return nil, fmt.Errorf("core: transform: input frame lacks column %q", name)
+		}
+		cols[name] = c
+	}
+	for i := range p.Nodes {
+		node := &p.Nodes[i]
+		in := make([][]float64, len(node.Inputs))
+		for k, dep := range node.Inputs {
+			c, ok := cols[dep]
+			if !ok {
+				return nil, fmt.Errorf("core: transform: node %q needs unknown column %q", node.Name, dep)
+			}
+			in[k] = c
+		}
+		cols[node.Name] = node.Applier.Transform(in)
+	}
+	out := &frame.Frame{Label: f.Label}
+	for _, name := range p.Output {
+		c, ok := cols[name]
+		if !ok {
+			return nil, fmt.Errorf("core: transform: unknown output column %q", name)
+		}
+		if len(c) != n {
+			return nil, fmt.Errorf("core: transform: column %q has %d rows, want %d", name, len(c), n)
+		}
+		out.AddColumn(name, c)
+	}
+	return out, nil
+}
+
+// TransformRow applies Ψ to one raw row (ordered as OriginalNames),
+// returning the output feature vector. This is the real-time inference path
+// of Section IV-E3: no allocation beyond the result and a scratch map.
+func (p *Pipeline) TransformRow(row []float64) ([]float64, error) {
+	if len(row) != len(p.OriginalNames) {
+		return nil, fmt.Errorf("core: transform row: got %d values, want %d", len(row), len(p.OriginalNames))
+	}
+	vals := make(map[string]float64, len(p.OriginalNames)+len(p.Nodes))
+	for i, name := range p.OriginalNames {
+		vals[name] = row[i]
+	}
+	scratch := make([]float64, 3)
+	for i := range p.Nodes {
+		node := &p.Nodes[i]
+		in := scratch[:len(node.Inputs)]
+		for k, dep := range node.Inputs {
+			v, ok := vals[dep]
+			if !ok {
+				return nil, fmt.Errorf("core: transform row: node %q needs unknown column %q", node.Name, dep)
+			}
+			in[k] = v
+		}
+		vals[node.Name] = node.Applier.TransformRow(in)
+	}
+	out := make([]float64, len(p.Output))
+	for i, name := range p.Output {
+		v, ok := vals[name]
+		if !ok {
+			return nil, fmt.Errorf("core: transform row: unknown output column %q", name)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Formulas returns a human-readable formula per output feature, satisfying
+// the interpretability requirement of Section II: every generated feature is
+// an explicit expression over original columns.
+func (p *Pipeline) Formulas() []string {
+	out := make([]string, len(p.Output))
+	copy(out, p.Output) // derived names are already formulas
+	return out
+}
+
+// prune drops nodes whose outputs are unreachable from Output, keeping the
+// pipeline minimal for inference.
+func (p *Pipeline) prune() {
+	needed := make(map[string]bool, len(p.Output))
+	for _, name := range p.Output {
+		needed[name] = true
+	}
+	// Walk nodes backwards marking dependencies.
+	keep := make([]bool, len(p.Nodes))
+	for i := len(p.Nodes) - 1; i >= 0; i-- {
+		if needed[p.Nodes[i].Name] {
+			keep[i] = true
+			for _, dep := range p.Nodes[i].Inputs {
+				needed[dep] = true
+			}
+		}
+	}
+	pruned := p.Nodes[:0]
+	for i := range p.Nodes {
+		if keep[i] {
+			pruned = append(pruned, p.Nodes[i])
+		}
+	}
+	p.Nodes = pruned
+}
+
+// sanitize replaces NaN/Inf outputs with 0 in place; classifiers downstream
+// assume finite matrices. Division and reciprocal operators produce NaN on
+// zero denominators by design.
+func sanitize(col []float64) {
+	for i, v := range col {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			col[i] = 0
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/gbdt"
+	"repro/internal/stats"
+)
+
+// SelectionConfig configures the standalone three-stage selection pipeline
+// (Algorithms 3 and 4 plus gain ranking). The RAND and IMP baselines of
+// Section V-A1 "follow the same feature selection process as SAFE", which
+// they do by calling Select with this config.
+type SelectionConfig struct {
+	IVThreshold      float64
+	IVBins           int
+	IVEqualWidth     bool
+	PearsonThreshold float64
+	MaxFeatures      int
+	MinKeepIV        int
+	Ranker           gbdt.Config
+	Parallel         bool
+	// SkipIV and SkipPearson disable individual stages (selection ablation).
+	SkipIV      bool
+	SkipPearson bool
+}
+
+// DefaultSelectionConfig mirrors the paper's thresholds (α=0.1, β=10,
+// θ=0.8).
+func DefaultSelectionConfig() SelectionConfig {
+	ranker := gbdt.DefaultConfig()
+	ranker.NumTrees = 20
+	ranker.MaxDepth = 4
+	return SelectionConfig{
+		IVThreshold:      stats.DefaultIVCutoff,
+		IVBins:           10,
+		PearsonThreshold: stats.DefaultPearsonCutoff,
+		MinKeepIV:        8,
+		Ranker:           ranker,
+		Parallel:         true,
+	}
+}
+
+// Select runs the SAFE selection pipeline over candidate columns and returns
+// the indices of the selected columns in importance order (best first),
+// capped at cfg.MaxFeatures when positive.
+func Select(cols [][]float64, labels []float64, cfg SelectionConfig) ([]int, error) {
+	if len(cols) == 0 {
+		return nil, errors.New("core: select: no candidate columns")
+	}
+	if len(labels) == 0 {
+		return nil, errors.New("core: select: no labels")
+	}
+	if cfg.IVBins <= 1 {
+		cfg.IVBins = 10
+	}
+	if cfg.MinKeepIV <= 0 {
+		cfg.MinKeepIV = 8
+	}
+	if cfg.PearsonThreshold <= 0 {
+		cfg.PearsonThreshold = stats.DefaultPearsonCutoff
+	}
+	if cfg.Ranker.NumTrees == 0 {
+		cfg.Ranker = gbdt.DefaultConfig()
+		cfg.Ranker.NumTrees = 20
+		cfg.Ranker.MaxDepth = 4
+	}
+	cfg.Ranker.Parallel = cfg.Parallel
+
+	ivs := computeIVs(cols, labels, cfg.IVBins, cfg.IVEqualWidth, cfg.Parallel)
+
+	var keptA []int
+	if cfg.SkipIV {
+		keptA = make([]int, len(cols))
+		for j := range keptA {
+			keptA[j] = j
+		}
+	} else {
+		keptA = ivFilter(ivs, cfg.IVThreshold, cfg.MinKeepIV)
+	}
+
+	keptB := keptA
+	if !cfg.SkipPearson {
+		keptB = pearsonDedup(cols, ivs, keptA, cfg.PearsonThreshold, cfg.Parallel)
+	}
+
+	ranked, err := rankByGain(cols, labels, ivs, keptB, cfg.Ranker)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxFeatures > 0 && len(ranked) > cfg.MaxFeatures {
+		ranked = ranked[:cfg.MaxFeatures]
+	}
+	return ranked, nil
+}
+
+// IVs exposes the parallel Information Value computation for harness code.
+func IVs(cols [][]float64, labels []float64, bins int, parallel bool) []float64 {
+	return computeIVs(cols, labels, bins, false, parallel)
+}

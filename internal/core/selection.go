@@ -1,0 +1,248 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/gbdt"
+	"repro/internal/stats"
+)
+
+// computeIVs calculates the Information Value of every column against the
+// labels using equal-frequency binning (Algorithm 3), in parallel.
+func computeIVs(cols [][]float64, labels []float64, bins int, equalWidth, parallel bool) []float64 {
+	out := make([]float64, len(cols))
+	ivOf := func(j int) float64 {
+		if equalWidth {
+			return stats.InformationValueWidth(cols[j], labels, bins)
+		}
+		return stats.InformationValue(cols[j], labels, bins)
+	}
+	if !parallel || len(cols) < 8 {
+		for j := range cols {
+			out[j] = ivOf(j)
+		}
+		return out
+	}
+	workers := runtime.NumCPU()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := w; j < len(cols); j += workers {
+				out[j] = ivOf(j)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return out
+}
+
+// ivFilter implements Algorithm 3: drop features whose IV is at or below the
+// threshold alpha. To keep the pipeline robust on datasets where every
+// feature is weak (possible with synthetic noise-heavy data), it falls back
+// to the minKeep highest-IV features when fewer survive.
+func ivFilter(ivs []float64, alpha float64, minKeep int) []int {
+	kept := make([]int, 0, len(ivs))
+	for j, iv := range ivs {
+		if iv > alpha {
+			kept = append(kept, j)
+		}
+	}
+	if minKeep > len(ivs) {
+		minKeep = len(ivs)
+	}
+	if len(kept) >= minKeep {
+		return kept
+	}
+	// Fallback: top-minKeep by IV.
+	idx := make([]int, len(ivs))
+	for j := range idx {
+		idx[j] = j
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if ivs[idx[a]] != ivs[idx[b]] {
+			return ivs[idx[a]] > ivs[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	out := append([]int(nil), idx[:minKeep]...)
+	sort.Ints(out)
+	return out
+}
+
+// pearsonDedup implements the intent of Algorithm 4: among features whose
+// absolute Pearson correlation exceeds theta, keep the one with the higher
+// IV. (The paper's pseudo-code as printed only *adds* the winner of each
+// correlated pair and never admits uncorrelated features; the standard — and
+// clearly intended — semantics implemented here is a greedy scan in
+// descending-IV order that keeps a feature unless it correlates above theta
+// with an already-kept feature.)
+//
+// Candidate columns are standardised once up front so each pairwise
+// correlation is a single dot product (Pearson(x,y) = x̃·ỹ/n), and the scans
+// against the kept set run in parallel.
+func pearsonDedup(cols [][]float64, ivs []float64, candidates []int, theta float64, parallel bool) []int {
+	order := append([]int(nil), candidates...)
+	sort.Slice(order, func(a, b int) bool {
+		if ivs[order[a]] != ivs[order[b]] {
+			return ivs[order[a]] > ivs[order[b]]
+		}
+		return order[a] < order[b]
+	})
+
+	// Standardise candidates (NaN -> 0 == the mean after standardisation).
+	std := make(map[int][]float64, len(order))
+	for _, j := range order {
+		std[j] = standardizeCol(cols[j])
+	}
+
+	kept := make([]int, 0, len(order))
+	for _, j := range order {
+		if std[j] == nil {
+			// Constant column: correlates with nothing by convention
+			// (stats.Pearson returns 0); keep it — the ranker will bury it.
+			kept = append(kept, j)
+			continue
+		}
+		if corrAny(std, j, kept, theta, parallel) {
+			continue
+		}
+		kept = append(kept, j)
+	}
+	sort.Ints(kept)
+	return kept
+}
+
+// standardizeCol returns (x - mean)/std with NaNs mapped to 0, or nil for a
+// constant column.
+func standardizeCol(col []float64) []float64 {
+	var sum float64
+	n := 0
+	for _, v := range col {
+		if !math.IsNaN(v) {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	mean := sum / float64(n)
+	var ss float64
+	for _, v := range col {
+		if !math.IsNaN(v) {
+			d := v - mean
+			ss += d * d
+		}
+	}
+	stdv := math.Sqrt(ss / float64(n))
+	if stdv < 1e-12 {
+		return nil
+	}
+	out := make([]float64, len(col))
+	for i, v := range col {
+		if math.IsNaN(v) {
+			out[i] = 0
+			continue
+		}
+		out[i] = (v - mean) / stdv
+	}
+	return out
+}
+
+// corrAny reports whether standardised column j correlates above theta
+// (absolute) with any column in kept.
+func corrAny(std map[int][]float64, j int, kept []int, theta float64, parallel bool) bool {
+	if len(kept) == 0 {
+		return false
+	}
+	x := std[j]
+	limit := theta * float64(len(x))
+	check := func(k int) bool {
+		y := std[k]
+		if y == nil {
+			return false
+		}
+		var dot float64
+		for i, v := range x {
+			dot += v * y[i]
+		}
+		return math.Abs(dot) > limit
+	}
+	if !parallel || len(kept) < 8 {
+		for _, k := range kept {
+			if check(k) {
+				return true
+			}
+		}
+		return false
+	}
+	workers := runtime.NumCPU()
+	if workers > len(kept) {
+		workers = len(kept)
+	}
+	found := make([]bool, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(kept); i += workers {
+				if found[w] {
+					return
+				}
+				if check(kept[i]) {
+					found[w] = true
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, f := range found {
+		if f {
+			return true
+		}
+	}
+	return false
+}
+
+// rankByGain trains the ranking XGBoost on the candidate columns and orders
+// them by average split gain (Section IV-C3), returning candidate indices in
+// descending importance. Features the model never splits on rank last, tie
+// broken by IV then index for determinism.
+func rankByGain(cols [][]float64, labels []float64, ivs []float64, candidates []int, cfg gbdt.Config) ([]int, error) {
+	sub := make([][]float64, len(candidates))
+	for i, j := range candidates {
+		sub[i] = cols[j]
+	}
+	model, err := gbdt.Train(sub, labels, nil, cfg)
+	if err != nil {
+		return nil, err
+	}
+	gain := model.GainImportance()
+	order := make([]int, len(candidates))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ga, gb := gain[order[a]], gain[order[b]]
+		if ga != gb {
+			return ga > gb
+		}
+		iva, ivb := ivs[candidates[order[a]]], ivs[candidates[order[b]]]
+		if iva != ivb {
+			return iva > ivb
+		}
+		return candidates[order[a]] < candidates[order[b]]
+	})
+	out := make([]int, len(order))
+	for i, o := range order {
+		out[i] = candidates[o]
+	}
+	return out, nil
+}

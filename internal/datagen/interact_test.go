@@ -1,0 +1,139 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInteractKinds(t *testing.T) {
+	cases := []struct {
+		kind InteractionKind
+		a, b float64
+		want float64
+	}{
+		{Product, 3, 4, 12},
+		{Sum, 3, 4, 7},
+		{Diff, 3, 7, 4},
+		{Diff, 7, 3, 4},
+		{XorSign, 1, -1, 1},
+		{XorSign, 1, 1, -1},
+		{XorSign, -2, -3, -1},
+	}
+	for _, c := range cases {
+		if got := interact(c.kind, c.a, c.b); got != c.want {
+			t.Errorf("interact(%v, %v, %v) = %v, want %v", c.kind, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestInteractRatioBounded(t *testing.T) {
+	// Ratio is tanh-squashed, so it must stay in [-1, 1] even for tiny
+	// denominators (including exactly zero).
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		v := interact(Ratio, a, b)
+		return v >= -1 && v <= 1 && !math.IsNaN(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if v := interact(Ratio, 5, 0); math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Errorf("ratio with zero denominator = %v", v)
+	}
+}
+
+func TestStandardizeProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(100)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*5 + 3
+		}
+		standardize(xs)
+		mean := 0.0
+		for _, v := range xs {
+			mean += v
+		}
+		mean /= float64(n)
+		ss := 0.0
+		for _, v := range xs {
+			d := v - mean
+			ss += d * d
+		}
+		std := math.Sqrt(ss / float64(n))
+		return math.Abs(mean) < 1e-9 && math.Abs(std-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+	// Constant input survives (std guard).
+	konst := []float64{2, 2, 2}
+	standardize(konst)
+	for _, v := range konst {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("standardize(constant) produced %v", v)
+		}
+	}
+}
+
+func TestFindIntercept(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	logit := make([]float64, 5000)
+	for i := range logit {
+		logit[i] = rng.NormFloat64() * 2
+	}
+	for _, target := range []float64{0.02, 0.3, 0.5, 0.9} {
+		c := findIntercept(logit, target)
+		mean := 0.0
+		for _, z := range logit {
+			mean += 1 / (1 + math.Exp(-(z + c)))
+		}
+		mean /= float64(len(logit))
+		if math.Abs(mean-target) > 0.002 {
+			t.Errorf("target %v: achieved %v", target, mean)
+		}
+	}
+}
+
+func TestMarginalLeakMakesConstituentsDetectable(t *testing.T) {
+	// After the marginal-leak change, interaction constituents must carry
+	// nonzero marginal signal (so the IV filter keeps them, as with real
+	// data).
+	ds, err := Generate(Spec{
+		Name: "leak", Train: 8000, Test: 1000, Dim: 10,
+		Informative: 1, Interactions: 2, SignalScale: 3, Seed: 44,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At least one constituent of some interaction should have visible
+	// label correlation.
+	found := false
+	for _, it := range ds.Interactions {
+		for _, j := range []int{it.A, it.B} {
+			col := ds.Train.Columns[j].Values
+			// crude point-biserial check
+			var mPos, mNeg, nPos, nNeg float64
+			for i, v := range col {
+				if ds.Train.Label[i] > 0.5 {
+					mPos += v
+					nPos++
+				} else {
+					mNeg += v
+					nNeg++
+				}
+			}
+			if nPos > 0 && nNeg > 0 && math.Abs(mPos/nPos-mNeg/nNeg) > 0.05 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no interaction constituent carries marginal signal")
+	}
+}

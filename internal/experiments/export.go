@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ExportJSON writes an experiment's structured result as indented JSON under
+// dir/name.json, creating dir as needed. The cmd/safe-bench -json flag uses
+// this so downstream analysis (plotting Fig. 3/4, regression-tracking table
+// values) does not have to parse ASCII tables.
+func ExportJSON(dir, name string, v interface{}) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiments: export: %w", err)
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("experiments: export %s: %w", name, err)
+	}
+	path := filepath.Join(dir, name+".json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("experiments: export: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := newTable("Name", "Value")
+	tb.addRow("short", "1.00")
+	tb.addRow("a-much-longer-name", "2.50")
+	var buf bytes.Buffer
+	tb.render(&buf, "Title:")
+	out := buf.String()
+	if !strings.HasPrefix(out, "Title:\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns aligned: "1.00" and "2.50" start at the same offset.
+	i1 := strings.Index(lines[3], "1.00")
+	i2 := strings.Index(lines[4], "2.50")
+	if i1 != i2 {
+		t.Errorf("columns misaligned: %d vs %d\n%s", i1, i2, out)
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	got := intersect([]string{"a", "b", "c"}, []string{"b", "c", "d"})
+	if len(got) != 2 || got[0] != "b" || got[1] != "c" {
+		t.Errorf("intersect = %v", got)
+	}
+	if got := intersect(nil, []string{"a"}); got != nil {
+		t.Errorf("intersect(nil, ...) = %v", got)
+	}
+}
+
+func TestIdentityPipeline(t *testing.T) {
+	ds, err := datagen.Generate(datagen.Spec{Name: "id", Train: 100, Test: 50, Dim: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := identityPipeline(ds.Train)
+	out, err := p.Transform(ds.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumCols() != ds.Test.NumCols() {
+		t.Errorf("identity changed width: %d vs %d", out.NumCols(), ds.Test.NumCols())
+	}
+	for j := range out.Columns {
+		if out.Columns[j].Values[0] != ds.Test.Columns[j].Values[0] {
+			t.Errorf("identity changed values in column %d", j)
+		}
+	}
+}
+
+func TestStabilityJSDBounds(t *testing.T) {
+	// Perfectly stable: every feature appears in all trials -> JSD 0.
+	counts := map[string]int{"a": 5, "b": 5, "c": 5}
+	if got := stabilityJSD(counts, 3, 5); got > 1e-9 {
+		t.Errorf("stable JSD = %v, want ~0", got)
+	}
+	// Fully unstable: every feature appears once.
+	unstable := map[string]int{}
+	for i := 0; i < 15; i++ {
+		unstable[string(rune('a'+i))] = 1
+	}
+	ju := stabilityJSD(unstable, 3, 5)
+	if ju <= 0 {
+		t.Errorf("unstable JSD = %v, want > 0", ju)
+	}
+	// Degenerate inputs.
+	if got := stabilityJSD(nil, 3, 5); got != 0 {
+		t.Errorf("empty counts JSD = %v", got)
+	}
+	if got := stabilityJSD(counts, 0, 5); got != 0 {
+		t.Errorf("zero budget JSD = %v", got)
+	}
+}
+
+func TestOptionsNormalise(t *testing.T) {
+	o := Options{}.normalise()
+	if o.Scale <= 0 || o.Repeats <= 0 || len(o.Classifiers) != 9 || len(o.Methods) != 6 {
+		t.Errorf("normalise defaults wrong: %+v", o)
+	}
+	// Dataset filter.
+	o2 := Options{Datasets: []string{"magic", "nope"}}.normalise()
+	specs := o2.benchmarkSpecs()
+	if len(specs) != 1 || specs[0].Name != "magic" {
+		t.Errorf("dataset filter = %v", specs)
+	}
+}
+
+func TestSampleHelper(t *testing.T) {
+	pairs := [][2]int{{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}}
+	got := sample(pairs, 3, newRand(1))
+	if len(got) != 3 {
+		t.Fatalf("sampled %d, want 3", len(got))
+	}
+	// Asking for more than available returns all.
+	all := sample(pairs, 10, newRand(2))
+	if len(all) != 5 {
+		t.Errorf("oversample = %d, want 5", len(all))
+	}
+}
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/datagen"
+)
+
+// Table5Row is the execution time of every method's feature engineering step
+// on one dataset.
+type Table5Row struct {
+	Dataset string
+	Seconds map[Method]float64
+}
+
+// Table5Result holds the execution-time comparison.
+type Table5Result struct {
+	Rows []Table5Row
+	// SafeOverFCT and SafeOverTFC are the mean ratios of SAFE's time to the
+	// baselines' (the paper reports 0.13x and 0.08x).
+	SafeOverFCT float64
+	SafeOverTFC float64
+}
+
+// RunTable5 reproduces Table V: wall-clock execution time of the feature
+// engineering step (pipeline fit only; classifier training excluded) per
+// method per dataset.
+func RunTable5(opts Options, w io.Writer) (*Table5Result, error) {
+	opts = opts.normalise()
+	// ORIG is excluded in the paper's Table V (it has no FE step).
+	methods := make([]Method, 0, len(opts.Methods))
+	for _, m := range opts.Methods {
+		if m != ORIG {
+			methods = append(methods, m)
+		}
+	}
+
+	res := &Table5Result{}
+	var ratioFCT, ratioTFC float64
+	var nFCT, nTFC int
+
+	tb := newTable(append([]string{"Dataset"}, methodsAsStrings(methods)...)...)
+	for _, spec := range opts.benchmarkSpecs() {
+		spec.Seed += opts.Seed
+		ds, err := datagen.Generate(spec)
+		if err != nil {
+			return nil, err
+		}
+		row := Table5Row{Dataset: spec.Name, Seconds: make(map[Method]float64)}
+		for _, method := range methods {
+			var total time.Duration
+			for rep := 0; rep < opts.Repeats; rep++ {
+				_, elapsed, err := BuildPipeline(method, ds.Train, opts.Seed+int64(rep)*7907)
+				if err != nil {
+					return nil, err
+				}
+				total += elapsed
+			}
+			row.Seconds[method] = total.Seconds() / float64(opts.Repeats)
+		}
+		res.Rows = append(res.Rows, row)
+
+		cells := []string{spec.Name}
+		for _, m := range methods {
+			cells = append(cells, fmt.Sprintf("%.2f", row.Seconds[m]))
+		}
+		tb.addRow(cells...)
+
+		if s, ok := row.Seconds[SAFE]; ok {
+			if f, ok2 := row.Seconds[FCT]; ok2 && f > 0 {
+				ratioFCT += s / f
+				nFCT++
+			}
+			if tf, ok2 := row.Seconds[TFC]; ok2 && tf > 0 {
+				ratioTFC += s / tf
+				nTFC++
+			}
+		}
+	}
+	if nFCT > 0 {
+		res.SafeOverFCT = ratioFCT / float64(nFCT)
+	}
+	if nTFC > 0 {
+		res.SafeOverTFC = ratioTFC / float64(nTFC)
+	}
+	if w != nil {
+		tb.render(w, "Table V (execution time of the FE step, seconds):")
+		fmt.Fprintf(w, "SAFE time as a fraction of FCTree: %.2fx (paper: 0.13x); of TFC: %.2fx (paper: 0.08x)\n\n",
+			res.SafeOverFCT, res.SafeOverTFC)
+	}
+	return res, nil
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/datagen"
+	"repro/internal/stats"
+)
+
+// Table6Row is the feature-stability JSD of each method on one dataset.
+type Table6Row struct {
+	Dataset string
+	JSD     map[Method]float64
+}
+
+// Table6Result holds the stability comparison.
+type Table6Result struct {
+	Rows []Table6Row
+	// Trials is the number of repeated FE runs (the paper's T = 100).
+	Trials int
+}
+
+// RunTable6 reproduces Table VI: each method's feature engineering step is
+// repeated T times with different seeds; the distribution of generated
+// feature identities across runs is compared against the ideal distribution
+// (every run generating the same 2M features) by Jensen-Shannon divergence
+// (Eqs. 14-15). Lower is more stable. TFC is excluded, as in the paper
+// ("the execution time of TFC is too long").
+func RunTable6(opts Options, trials int, w io.Writer) (*Table6Result, error) {
+	opts = opts.normalise()
+	if trials <= 0 {
+		trials = 20
+	}
+	methods := make([]Method, 0, len(opts.Methods))
+	for _, m := range opts.Methods {
+		if m == ORIG || m == TFC {
+			continue
+		}
+		methods = append(methods, m)
+	}
+
+	res := &Table6Result{Trials: trials}
+	tb := newTable(append([]string{"Dataset"}, methodsAsStrings(methods)...)...)
+
+	for _, spec := range opts.benchmarkSpecs() {
+		spec.Seed += opts.Seed
+		ds, err := datagen.Generate(spec)
+		if err != nil {
+			return nil, err
+		}
+		row := Table6Row{Dataset: spec.Name, JSD: make(map[Method]float64)}
+		for _, method := range methods {
+			counts := make(map[string]int)
+			budget := 0
+			for t := 0; t < trials; t++ {
+				p, _, err := BuildPipeline(method, ds.Train, opts.Seed+int64(t)*7907+1)
+				if err != nil {
+					return nil, err
+				}
+				if len(p.Output) > budget {
+					budget = len(p.Output)
+				}
+				for _, name := range p.Output {
+					counts[name]++
+				}
+			}
+			row.JSD[method] = stabilityJSD(counts, budget, trials)
+		}
+		res.Rows = append(res.Rows, row)
+		cells := []string{spec.Name}
+		for _, m := range methods {
+			cells = append(cells, fmt.Sprintf("%.4f", row.JSD[m]))
+		}
+		tb.addRow(cells...)
+	}
+	if w != nil {
+		tb.render(w, fmt.Sprintf("Table VI (feature stability, JSD vs ideal; T=%d runs, lower is better):", trials))
+	}
+	return res, nil
+}
+
+// stabilityJSD computes the paper's stability statistic: the JSD between the
+// observed distribution of generated-feature occurrences and the ideal
+// distribution in which the same `budget` features appear in every one of
+// the T runs.
+func stabilityJSD(counts map[string]int, budget, trials int) float64 {
+	if budget == 0 || len(counts) == 0 {
+		return 0
+	}
+	actual := make([]float64, 0, len(counts))
+	for _, c := range counts {
+		actual = append(actual, float64(c))
+	}
+	// Ideal: budget features each occurring `trials` times. Pad the shorter
+	// distribution with zeros via JSD's internal padding, but keep the
+	// support comparable by listing ideal first.
+	ideal := make([]float64, budget)
+	for i := range ideal {
+		ideal[i] = float64(trials)
+	}
+	// Sort actual descending so the most frequent features align with the
+	// ideal support (the paper's Dis is sorted by occurrence count).
+	sortDesc(actual)
+	return stats.JSD(stats.Normalize(ideal), stats.Normalize(actual))
+}
+
+func sortDesc(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] > xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

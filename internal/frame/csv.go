@@ -1,0 +1,131 @@
+package frame
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+)
+
+// ReadCSV parses a CSV stream with a header row into a Frame. labelCol names
+// the label column; pass "" for an unlabelled frame. Non-numeric cells parse
+// to NaN (missing).
+func ReadCSV(r io.Reader, labelCol string) (*Frame, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("frame: read csv header: %w", err)
+	}
+	names := make([]string, len(header))
+	copy(names, header)
+
+	labelIdx := -1
+	if labelCol != "" {
+		for i, name := range names {
+			if name == labelCol {
+				labelIdx = i
+				break
+			}
+		}
+		if labelIdx < 0 {
+			return nil, fmt.Errorf("frame: label column %q not in header", labelCol)
+		}
+	}
+
+	f := &Frame{}
+	for i, name := range names {
+		if i == labelIdx {
+			continue
+		}
+		f.Columns = append(f.Columns, Column{Name: name})
+	}
+	if labelIdx >= 0 {
+		f.Label = []float64{}
+	}
+
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("frame: read csv line %d: %w", line, err)
+		}
+		line++
+		if len(rec) != len(names) {
+			return nil, fmt.Errorf("frame: csv line %d has %d fields, want %d", line, len(rec), len(names))
+		}
+		ci := 0
+		for i, cell := range rec {
+			v, perr := strconv.ParseFloat(cell, 64)
+			if perr != nil {
+				v = math.NaN()
+			}
+			if i == labelIdx {
+				f.Label = append(f.Label, v)
+				continue
+			}
+			f.Columns[ci].Values = append(f.Columns[ci].Values, v)
+			ci++
+		}
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// ReadCSVFile opens and parses a CSV file. See ReadCSV.
+func ReadCSVFile(path, labelCol string) (*Frame, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("frame: %w", err)
+	}
+	defer fh.Close()
+	return ReadCSV(fh, labelCol)
+}
+
+// WriteCSV writes the frame (and its label as a final "label" column when
+// present) as CSV with a header row.
+func (f *Frame) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := f.Names()
+	if f.Label != nil {
+		header = append(header, "label")
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("frame: write csv header: %w", err)
+	}
+	n := f.NumRows()
+	rec := make([]string, len(header))
+	for i := 0; i < n; i++ {
+		for j := range f.Columns {
+			rec[j] = strconv.FormatFloat(f.Columns[j].Values[i], 'g', -1, 64)
+		}
+		if f.Label != nil {
+			rec[len(rec)-1] = strconv.FormatFloat(f.Label[i], 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("frame: write csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes the frame to a file. See WriteCSV.
+func (f *Frame) WriteCSVFile(path string) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("frame: %w", err)
+	}
+	defer fh.Close()
+	if err := f.WriteCSV(fh); err != nil {
+		return err
+	}
+	return fh.Sync()
+}

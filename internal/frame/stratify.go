@@ -1,0 +1,90 @@
+package frame
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// StratifiedSplit partitions a labelled frame into train/valid/test with the
+// given fractions (testFrac = 1 - trainFrac - validFrac), preserving the
+// positive rate in each split — essential for heavily imbalanced data such
+// as the paper's 2%-fraud business datasets, where a plain random split of
+// a small validation set can end up with no positives at all. Rows are
+// shuffled with the given RNG; validFrac may be 0.
+func (f *Frame) StratifiedSplit(trainFrac, validFrac float64, rng *rand.Rand) (*Frame, *Frame, *Frame, error) {
+	if f.Label == nil {
+		return nil, nil, nil, fmt.Errorf("frame: stratified split needs labels")
+	}
+	if trainFrac <= 0 || validFrac < 0 || trainFrac+validFrac >= 1 {
+		return nil, nil, nil, fmt.Errorf("frame: invalid split fractions %g/%g", trainFrac, validFrac)
+	}
+	var pos, neg []int
+	for i, y := range f.Label {
+		if y > 0.5 {
+			pos = append(pos, i)
+		} else {
+			neg = append(neg, i)
+		}
+	}
+	shuffle := func(xs []int) {
+		for i := len(xs) - 1; i > 0; i-- {
+			k := rng.Intn(i + 1)
+			xs[i], xs[k] = xs[k], xs[i]
+		}
+	}
+	shuffle(pos)
+	shuffle(neg)
+
+	var trainIdx, validIdx, testIdx []int
+	carve := func(xs []int) {
+		nTrain := int(float64(len(xs)) * trainFrac)
+		nValid := int(float64(len(xs)) * validFrac)
+		trainIdx = append(trainIdx, xs[:nTrain]...)
+		validIdx = append(validIdx, xs[nTrain:nTrain+nValid]...)
+		testIdx = append(testIdx, xs[nTrain+nValid:]...)
+	}
+	carve(pos)
+	carve(neg)
+
+	// Shuffle within each split so class blocks do not survive.
+	shuffle(trainIdx)
+	shuffle(validIdx)
+	shuffle(testIdx)
+
+	return f.Subset(trainIdx), f.Subset(validIdx), f.Subset(testIdx), nil
+}
+
+// DownsampleNegatives returns a frame keeping all positive rows and a
+// negatives-per-positive ratio of the negatives (chosen at random) — a
+// standard cost-control device when training on extremely large imbalanced
+// business datasets. ratio <= 0 keeps all negatives.
+func (f *Frame) DownsampleNegatives(ratio float64, rng *rand.Rand) (*Frame, error) {
+	if f.Label == nil {
+		return nil, fmt.Errorf("frame: downsampling needs labels")
+	}
+	if ratio <= 0 {
+		return f.Clone(), nil
+	}
+	var pos, neg []int
+	for i, y := range f.Label {
+		if y > 0.5 {
+			pos = append(pos, i)
+		} else {
+			neg = append(neg, i)
+		}
+	}
+	want := int(float64(len(pos)) * ratio)
+	if want >= len(neg) {
+		return f.Clone(), nil
+	}
+	for i := len(neg) - 1; i > 0; i-- {
+		k := rng.Intn(i + 1)
+		neg[i], neg[k] = neg[k], neg[i]
+	}
+	keep := append(append([]int(nil), pos...), neg[:want]...)
+	for i := len(keep) - 1; i > 0; i-- {
+		k := rng.Intn(i + 1)
+		keep[i], keep[k] = keep[k], keep[i]
+	}
+	return f.Subset(keep), nil
+}

@@ -1,0 +1,143 @@
+package frame
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func imbalanced(n int, rate float64, seed int64) *Frame {
+	rng := rand.New(rand.NewSource(seed))
+	f := NewWithShape(n, 3)
+	for j := 0; j < 3; j++ {
+		for i := 0; i < n; i++ {
+			f.Columns[j].Values[i] = rng.NormFloat64()
+		}
+	}
+	for i := 0; i < n; i++ {
+		if rng.Float64() < rate {
+			f.Label[i] = 1
+		}
+	}
+	return f
+}
+
+func TestStratifiedSplitPreservesRate(t *testing.T) {
+	f := imbalanced(10000, 0.02, 1)
+	rng := rand.New(rand.NewSource(2))
+	tr, va, te, err := f.StratifiedSplit(0.6, 0.2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := f.PositiveRate()
+	for name, part := range map[string]*Frame{"train": tr, "valid": va, "test": te} {
+		got := part.PositiveRate()
+		if math.Abs(got-base) > 0.01 {
+			t.Errorf("%s positive rate %v deviates from %v", name, got, base)
+		}
+	}
+	if tr.NumRows()+va.NumRows()+te.NumRows() != f.NumRows() {
+		t.Errorf("split sizes do not sum: %d+%d+%d != %d",
+			tr.NumRows(), va.NumRows(), te.NumRows(), f.NumRows())
+	}
+}
+
+func TestStratifiedSplitNoValid(t *testing.T) {
+	f := imbalanced(1000, 0.1, 3)
+	rng := rand.New(rand.NewSource(4))
+	tr, va, te, err := f.StratifiedSplit(0.8, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if va.NumRows() != 0 {
+		t.Errorf("valid rows = %d, want 0", va.NumRows())
+	}
+	if tr.NumRows() == 0 || te.NumRows() == 0 {
+		t.Error("empty train or test")
+	}
+}
+
+func TestStratifiedSplitValidation(t *testing.T) {
+	f := imbalanced(100, 0.1, 5)
+	rng := rand.New(rand.NewSource(6))
+	if _, _, _, err := f.StratifiedSplit(0.9, 0.2, rng); err == nil {
+		t.Error("accepted fractions summing over 1")
+	}
+	if _, _, _, err := f.StratifiedSplit(0, 0.2, rng); err == nil {
+		t.Error("accepted zero train fraction")
+	}
+	unlabelled := &Frame{Columns: f.Columns}
+	if _, _, _, err := unlabelled.StratifiedSplit(0.6, 0.2, rng); err == nil {
+		t.Error("accepted unlabelled frame")
+	}
+}
+
+func TestStratifiedSplitTinyPositives(t *testing.T) {
+	// With only 5 positives, every split must still be constructible.
+	f := imbalanced(1000, 0.005, 7)
+	rng := rand.New(rand.NewSource(8))
+	tr, _, te, err := f.StratifiedSplit(0.7, 0.1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Positives should mostly land in train (floor effects allowed).
+	if tr.PositiveRate() == 0 && te.PositiveRate() == 0 {
+		t.Error("all positives lost in splitting")
+	}
+}
+
+func TestDownsampleNegatives(t *testing.T) {
+	f := imbalanced(10000, 0.02, 9)
+	rng := rand.New(rand.NewSource(10))
+	ds, err := f.DownsampleNegatives(5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pos, neg int
+	for _, y := range ds.Label {
+		if y > 0.5 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	var origPos int
+	for _, y := range f.Label {
+		if y > 0.5 {
+			origPos++
+		}
+	}
+	if pos != origPos {
+		t.Errorf("positives lost: %d -> %d", origPos, pos)
+	}
+	if neg != 5*pos {
+		t.Errorf("negatives = %d, want %d", neg, 5*pos)
+	}
+}
+
+func TestDownsampleNegativesKeepAll(t *testing.T) {
+	f := imbalanced(500, 0.4, 11)
+	rng := rand.New(rand.NewSource(12))
+	ds, err := f.DownsampleNegatives(0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumRows() != f.NumRows() {
+		t.Errorf("ratio<=0 should keep all rows: %d vs %d", ds.NumRows(), f.NumRows())
+	}
+	// Ratio larger than available negatives also keeps all.
+	ds2, err := f.DownsampleNegatives(100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds2.NumRows() != f.NumRows() {
+		t.Errorf("oversized ratio should keep all rows: %d vs %d", ds2.NumRows(), f.NumRows())
+	}
+}
+
+func TestDownsampleRequiresLabels(t *testing.T) {
+	f := &Frame{Columns: []Column{{Name: "a", Values: []float64{1}}}}
+	if _, err := f.DownsampleNegatives(2, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("accepted unlabelled frame")
+	}
+}

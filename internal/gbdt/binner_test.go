@@ -1,0 +1,120 @@
+package gbdt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinnerCodesConsistentWithThresholds(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	col := make([]float64, 1000)
+	for i := range col {
+		col[i] = rng.NormFloat64()
+	}
+	b := newBinner([][]float64{col}, 32)
+	// For every row, code c means: value <= threshold(c) and (c == 1 or
+	// value > threshold(c-1)).
+	for i, v := range col {
+		c := b.codes[0][i]
+		if c == 0 {
+			t.Fatalf("non-NaN value got missing code at row %d", i)
+		}
+		if v > b.threshold(0, c) && int(c) <= len(b.cuts[0]) {
+			t.Fatalf("row %d: value %v exceeds its bin's threshold %v (code %d)",
+				i, v, b.threshold(0, c), c)
+		}
+		if c > 1 {
+			if v <= b.threshold(0, c-1) {
+				t.Fatalf("row %d: value %v not above previous threshold %v (code %d)",
+					i, v, b.threshold(0, c-1), c)
+			}
+		}
+	}
+}
+
+func TestBinnerNaNGetsCodeZero(t *testing.T) {
+	col := []float64{1, math.NaN(), 3}
+	b := newBinner([][]float64{col}, 8)
+	if b.codes[0][1] != 0 {
+		t.Errorf("NaN code = %d, want 0", b.codes[0][1])
+	}
+	if b.codes[0][0] == 0 || b.codes[0][2] == 0 {
+		t.Error("real values mapped to the missing code")
+	}
+}
+
+func TestBinnerConstantColumn(t *testing.T) {
+	col := []float64{5, 5, 5, 5}
+	b := newBinner([][]float64{col}, 8)
+	if len(b.cuts[0]) != 0 {
+		t.Errorf("constant column produced cuts %v", b.cuts[0])
+	}
+	if b.numBins[0] != 1 {
+		t.Errorf("constant column bins = %d, want 1", b.numBins[0])
+	}
+}
+
+func TestBinnerCutsSortedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(500)
+		col := make([]float64, n)
+		for i := range col {
+			col[i] = math.Round(rng.NormFloat64() * 3) // ties likely
+		}
+		b := newBinner([][]float64{col}, 16)
+		cuts := b.cuts[0]
+		for i := 1; i < len(cuts); i++ {
+			if cuts[i] <= cuts[i-1] {
+				return false
+			}
+		}
+		// No empty top bin: last cut strictly below the max.
+		if len(cuts) > 0 {
+			maxv := math.Inf(-1)
+			for _, v := range col {
+				if v > maxv {
+					maxv = v
+				}
+			}
+			if cuts[len(cuts)-1] >= maxv {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPredictionsInUnitIntervalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(300)
+		cols := [][]float64{make([]float64, n), make([]float64, n)}
+		labels := make([]float64, n)
+		for i := 0; i < n; i++ {
+			cols[0][i] = rng.NormFloat64()
+			cols[1][i] = rng.NormFloat64()
+			labels[i] = float64(rng.Intn(2))
+		}
+		cfg := DefaultConfig()
+		cfg.NumTrees = 5
+		model, err := Train(cols, labels, nil, cfg)
+		if err != nil {
+			return false
+		}
+		for _, p := range model.Predict(cols) {
+			if p <= 0 || p >= 1 || math.IsNaN(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

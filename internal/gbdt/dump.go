@@ -1,0 +1,59 @@
+package gbdt
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Dump writes a human-readable rendering of the model's trees — feature
+// names (when available), thresholds, gains and leaf weights — matching the
+// interpretability requirement of Section II: the structures SAFE mines are
+// inspectable, not a black box. maxTrees <= 0 dumps every tree.
+func (m *Model) Dump(w io.Writer, maxTrees int) error {
+	n := len(m.Trees)
+	if maxTrees > 0 && maxTrees < n {
+		n = maxTrees
+	}
+	if _, err := fmt.Fprintf(w, "gbdt model: %d trees, base score %.6g, %d features\n",
+		len(m.Trees), m.BaseScore, m.NumFeat); err != nil {
+		return err
+	}
+	for t := 0; t < n; t++ {
+		if _, err := fmt.Fprintf(w, "tree %d:\n", t); err != nil {
+			return err
+		}
+		if err := m.dumpNode(w, m.Trees[t], 0, 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Model) dumpNode(w io.Writer, t *Tree, idx, depth int) error {
+	n := &t.Nodes[idx]
+	indent := strings.Repeat("  ", depth)
+	if n.IsLeaf() {
+		_, err := fmt.Fprintf(w, "%sleaf=%.6g (n=%d)\n", indent, n.Value, n.Count)
+		return err
+	}
+	miss := "left"
+	if n.DefaultRight {
+		miss = "right"
+	}
+	if _, err := fmt.Fprintf(w, "%s%s <= %.6g (gain=%.4g, n=%d, missing->%s)\n",
+		indent, m.featureName(n.Feature), n.Threshold, n.Gain, n.Count, miss); err != nil {
+		return err
+	}
+	if err := m.dumpNode(w, t, n.Left, depth+1); err != nil {
+		return err
+	}
+	return m.dumpNode(w, t, n.Right, depth+1)
+}
+
+func (m *Model) featureName(j int) string {
+	if j >= 0 && j < len(m.Names) && m.Names[j] != "" {
+		return m.Names[j]
+	}
+	return fmt.Sprintf("f%d", j)
+}

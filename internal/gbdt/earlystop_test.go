@@ -1,0 +1,108 @@
+package gbdt
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestTrainWithValidationStopsEarly(t *testing.T) {
+	// Tiny noisy data: a 200-tree budget must overfit quickly, so early
+	// stopping should truncate well before 200.
+	rng := rand.New(rand.NewSource(31))
+	n := 300
+	cols := [][]float64{make([]float64, n), make([]float64, n)}
+	labels := make([]float64, n)
+	for i := 0; i < n; i++ {
+		cols[0][i] = rng.NormFloat64()
+		cols[1][i] = rng.NormFloat64()
+		// Mostly noise with a weak signal.
+		if cols[0][i]+2*rng.NormFloat64() > 0 {
+			labels[i] = 1
+		}
+	}
+	vcols, vlabels := linearData(200, 0, 32)
+
+	cfg := DefaultConfig()
+	cfg.NumTrees = 200
+	model, err := TrainWithValidation(cols, labels, vcols, vlabels, nil, cfg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(model.Trees) >= 200 {
+		t.Errorf("early stopping kept all %d trees", len(model.Trees))
+	}
+	if len(model.Trees) == 0 {
+		t.Error("early stopping removed every tree")
+	}
+}
+
+func TestTrainWithValidationDisabled(t *testing.T) {
+	cols, labels := linearData(400, 1, 33)
+	vcols, vlabels := linearData(150, 1, 34)
+	cfg := DefaultConfig()
+	cfg.NumTrees = 25
+	model, err := TrainWithValidation(cols, labels, vcols, vlabels, nil, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(model.Trees) != 25 {
+		t.Errorf("patience 0 should train all trees, got %d", len(model.Trees))
+	}
+}
+
+func TestTrainWithValidationStillAccurate(t *testing.T) {
+	cols, labels := linearData(2000, 2, 35)
+	vcols, vlabels := linearData(500, 2, 36)
+	model, err := TrainWithValidation(cols, labels, vcols, vlabels, nil, DefaultConfig(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testCols, testLabels := linearData(500, 2, 37)
+	if auc := metrics.AUC(model.Predict(testCols), testLabels); auc < 0.92 {
+		t.Errorf("early-stopped model AUC = %v, want >= 0.92", auc)
+	}
+}
+
+func TestTrainWithValidationValidatesInput(t *testing.T) {
+	cols, labels := linearData(100, 0, 38)
+	if _, err := TrainWithValidation(cols, labels, cols[:1], labels, nil, DefaultConfig(), 5); err == nil {
+		t.Error("accepted column-count mismatch")
+	}
+	if _, err := TrainWithValidation(cols, labels, cols, nil, nil, DefaultConfig(), 5); err == nil {
+		t.Error("accepted empty validation labels")
+	}
+}
+
+func TestTrainWithValidationRegression(t *testing.T) {
+	rng := rand.New(rand.NewSource(39))
+	mk := func(n int) ([][]float64, []float64) {
+		c := [][]float64{make([]float64, n)}
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			c[0][i] = rng.Float64() * 5
+			y[i] = 2*c[0][i] + rng.NormFloat64()*0.1
+		}
+		return c, y
+	}
+	cols, y := mk(1000)
+	vcols, vy := mk(300)
+	cfg := DefaultConfig()
+	cfg.Objective = Squared
+	cfg.NumTrees = 150
+	model, err := TrainWithValidation(cols, y, vcols, vy, nil, cfg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := model.Predict(vcols)
+	mse := 0.0
+	for i := range preds {
+		d := preds[i] - vy[i]
+		mse += d * d
+	}
+	mse /= float64(len(preds))
+	if mse > 0.5 {
+		t.Errorf("validation MSE = %v, want <= 0.5", mse)
+	}
+}

@@ -1,0 +1,746 @@
+// Package gbdt implements the XGBoost substrate of the SAFE reproduction: a
+// second-order gradient-boosted tree learner with histogram-based exact
+// greedy split finding, shrinkage, L2 regularisation and row/column
+// subsampling. Beyond prediction it exposes the two artefacts SAFE consumes:
+//
+//   - Paths: the distinct split features (and their split values) on every
+//     root-to-leaf path of every tree (Section IV-B of the paper), and
+//   - GainImportance: the average gain across all splits per feature
+//     (Section IV-C3).
+//
+// The implementation is single-node but feature-parallel, mirroring the
+// paper's "distributed computing" requirement at laptop scale.
+package gbdt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Objective selects the training loss.
+type Objective int
+
+const (
+	// Logistic trains with binary cross-entropy; predictions are
+	// probabilities in (0,1).
+	Logistic Objective = iota
+	// Squared trains with squared error; predictions are raw values.
+	Squared
+)
+
+// Config holds the booster's hyper-parameters. The zero value is not usable;
+// call DefaultConfig and override fields as needed.
+type Config struct {
+	NumTrees       int       // K: number of boosting rounds
+	MaxDepth       int       // D: maximum tree depth (root = depth 0)
+	LearningRate   float64   // eta shrinkage
+	Lambda         float64   // L2 regularisation on leaf weights
+	Gamma          float64   // minimum gain to split
+	MinChildWeight float64   // minimum sum of hessians per child
+	MinChildCount  int       // minimum rows per child
+	Subsample      float64   // row subsampling per tree, (0,1]
+	ColSample      float64   // column subsampling per tree, (0,1]
+	MaxBins        int       // histogram bins per feature (<= 255)
+	Objective      Objective // training loss
+	Seed           int64     // RNG seed for subsampling
+	Parallel       bool      // parallelise split finding across features
+}
+
+// DefaultConfig returns settings close to XGBoost's defaults, scaled to the
+// benchmark sizes used in this repository.
+func DefaultConfig() Config {
+	return Config{
+		NumTrees:       50,
+		MaxDepth:       4,
+		LearningRate:   0.3,
+		Lambda:         1.0,
+		Gamma:          0.0,
+		MinChildWeight: 1.0,
+		MinChildCount:  1,
+		Subsample:      1.0,
+		ColSample:      1.0,
+		MaxBins:        64,
+		Objective:      Logistic,
+		Parallel:       true,
+	}
+}
+
+func (c *Config) validate() error {
+	if c.NumTrees <= 0 {
+		return errors.New("gbdt: NumTrees must be positive")
+	}
+	if c.MaxDepth <= 0 {
+		return errors.New("gbdt: MaxDepth must be positive")
+	}
+	if c.LearningRate <= 0 {
+		return errors.New("gbdt: LearningRate must be positive")
+	}
+	if c.MaxBins < 2 || c.MaxBins > 255 {
+		return fmt.Errorf("gbdt: MaxBins must be in [2,255], got %d", c.MaxBins)
+	}
+	if c.Subsample <= 0 || c.Subsample > 1 {
+		return fmt.Errorf("gbdt: Subsample must be in (0,1], got %g", c.Subsample)
+	}
+	if c.ColSample <= 0 || c.ColSample > 1 {
+		return fmt.Errorf("gbdt: ColSample must be in (0,1], got %g", c.ColSample)
+	}
+	return nil
+}
+
+// Node is a tree node. Leaves have Feature == -1.
+type Node struct {
+	Feature   int     // split feature index, -1 for leaves
+	Threshold float64 // go left when value <= Threshold
+	Left      int     // index of left child in Tree.Nodes
+	Right     int     // index of right child
+	Value     float64 // leaf weight (already shrunk by eta)
+	Gain      float64 // split gain (internal nodes)
+	Count     int     // training rows reaching the node
+	// DefaultRight sends missing (NaN) values to the right child. The
+	// direction is learned per split (XGBoost's sparsity-aware algorithm);
+	// the zero value preserves the historical missing-goes-left behaviour.
+	DefaultRight bool
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (n *Node) IsLeaf() bool { return n.Feature < 0 }
+
+// Tree is a single regression tree stored as a flat node array with the root
+// at index 0.
+type Tree struct {
+	Nodes []Node
+}
+
+// PredictRow traverses the tree for one row of raw feature values.
+func (t *Tree) PredictRow(row []float64) float64 {
+	i := 0
+	for {
+		n := &t.Nodes[i]
+		if n.IsLeaf() {
+			return n.Value
+		}
+		v := row[n.Feature]
+		switch {
+		case math.IsNaN(v):
+			if n.DefaultRight {
+				i = n.Right
+			} else {
+				i = n.Left
+			}
+		case v <= n.Threshold:
+			i = n.Left
+		default:
+			i = n.Right
+		}
+	}
+}
+
+// Model is a trained booster.
+type Model struct {
+	Trees     []*Tree
+	Config    Config
+	BaseScore float64 // initial raw score (log-odds for Logistic)
+	NumFeat   int
+	Names     []string // optional column names for reporting
+}
+
+// TrainWithValidation fits a boosted model with early stopping: after each
+// round the model is scored on the validation set (AUC for Logistic,
+// negative MSE for Squared) and training stops once earlyStopRounds
+// consecutive rounds bring no improvement, truncating the model to its best
+// round. This mirrors Algorithm 1 line 3, which hands XGBoost both D_train
+// and D_valid. earlyStopRounds <= 0 disables early stopping.
+func TrainWithValidation(cols [][]float64, labels []float64, vcols [][]float64, vlabels []float64, names []string, cfg Config, earlyStopRounds int) (*Model, error) {
+	if len(vcols) != len(cols) {
+		return nil, fmt.Errorf("gbdt: validation has %d columns, want %d", len(vcols), len(cols))
+	}
+	if len(vlabels) == 0 {
+		return nil, errors.New("gbdt: empty validation labels")
+	}
+	model, err := trainInternal(cols, labels, names, cfg, &validation{
+		cols: vcols, labels: vlabels, patience: earlyStopRounds,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return model, nil
+}
+
+// validation tracks early-stopping state during training.
+type validation struct {
+	cols     [][]float64
+	labels   []float64
+	patience int
+
+	raw      []float64 // running raw validation scores
+	bestEval float64
+	bestSize int
+	badRuns  int
+	rounds   int
+}
+
+// Train fits a boosted model on column-major data: cols[j][i] is feature j of
+// row i. labels are {0,1} for Logistic, arbitrary for Squared. names may be
+// nil. Train does not retain cols or labels.
+func Train(cols [][]float64, labels []float64, names []string, cfg Config) (*Model, error) {
+	return trainInternal(cols, labels, names, cfg, nil)
+}
+
+func trainInternal(cols [][]float64, labels []float64, names []string, cfg Config, val *validation) (*Model, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	m := len(cols)
+	if m == 0 {
+		return nil, errors.New("gbdt: no features")
+	}
+	n := len(labels)
+	if n == 0 {
+		return nil, errors.New("gbdt: no rows")
+	}
+	for j := range cols {
+		if len(cols[j]) != n {
+			return nil, fmt.Errorf("gbdt: column %d has %d rows, want %d", j, len(cols[j]), n)
+		}
+	}
+
+	b := newBinner(cols, cfg.MaxBins)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	base := 0.0
+	if cfg.Objective == Logistic {
+		pos := 0.0
+		for _, y := range labels {
+			if y > 0.5 {
+				pos++
+			}
+		}
+		p := (pos + 1) / (float64(n) + 2) // smoothed prior
+		base = math.Log(p / (1 - p))
+	} else {
+		for _, y := range labels {
+			base += y
+		}
+		base /= float64(n)
+	}
+
+	model := &Model{Config: cfg, BaseScore: base, NumFeat: m, Names: names}
+	raw := make([]float64, n)
+	for i := range raw {
+		raw[i] = base
+	}
+	grad := make([]float64, n)
+	hess := make([]float64, n)
+
+	tr := &trainer{
+		binner: b,
+		cfg:    cfg,
+		n:      n,
+		m:      m,
+	}
+
+	if val != nil {
+		val.raw = make([]float64, len(val.labels))
+		for i := range val.raw {
+			val.raw[i] = base
+		}
+		val.bestEval = math.Inf(-1)
+	}
+
+	for t := 0; t < cfg.NumTrees; t++ {
+		computeGradients(cfg.Objective, raw, labels, grad, hess)
+
+		rows := allRows(n)
+		if cfg.Subsample < 1 {
+			rows = sampleRows(n, cfg.Subsample, rng)
+		}
+		feats := allRows(m)
+		if cfg.ColSample < 1 {
+			feats = sampleRows(m, cfg.ColSample, rng)
+			if len(feats) == 0 {
+				feats = []int{rng.Intn(m)}
+			}
+		}
+
+		tree := tr.buildTree(rows, feats, grad, hess)
+		model.Trees = append(model.Trees, tree)
+
+		// Update raw scores on all rows (not only the subsample).
+		updatePredictions(tree, b, raw)
+
+		if val != nil && val.patience > 0 {
+			if stop := val.update(tree, cfg.Objective); stop {
+				model.Trees = model.Trees[:val.bestSize]
+				break
+			}
+		}
+	}
+	return model, nil
+}
+
+// update adds the new tree's contribution to the validation scores,
+// evaluates, and reports whether training should stop.
+func (val *validation) update(tree *Tree, obj Objective) bool {
+	val.rounds++
+	row := make([]float64, len(val.cols))
+	for i := range val.raw {
+		for j := range val.cols {
+			row[j] = val.cols[j][i]
+		}
+		val.raw[i] += tree.PredictRow(row)
+	}
+	eval := val.evaluate(obj)
+	if eval > val.bestEval+1e-12 {
+		val.bestEval = eval
+		val.bestSize = val.rounds
+		val.badRuns = 0
+		return false
+	}
+	val.badRuns++
+	return val.badRuns >= val.patience
+}
+
+// evaluate scores the running validation predictions: AUC for Logistic,
+// negated MSE for Squared (higher is better for both).
+func (val *validation) evaluate(obj Objective) float64 {
+	if obj == Logistic {
+		return rankAUC(val.raw, val.labels)
+	}
+	mse := 0.0
+	for i, r := range val.raw {
+		d := r - val.labels[i]
+		mse += d * d
+	}
+	return -mse / float64(len(val.raw))
+}
+
+// rankAUC is a local AUC on raw scores (monotone-invariant, so raw scores
+// work as well as probabilities). Kept here to avoid a dependency cycle
+// with the metrics package's consumers.
+func rankAUC(scores, labels []float64) float64 {
+	n := len(scores)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j < n && scores[idx[j]] == scores[idx[i]] {
+			j++
+		}
+		mid := float64(i+j+1) / 2
+		for k := i; k < j; k++ {
+			ranks[idx[k]] = mid
+		}
+		i = j
+	}
+	var pos, neg, sumPos float64
+	for i := 0; i < n; i++ {
+		if labels[i] > 0.5 {
+			pos++
+			sumPos += ranks[i]
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return 0.5
+	}
+	return (sumPos - pos*(pos+1)/2) / (pos * neg)
+}
+
+func computeGradients(obj Objective, raw, labels, grad, hess []float64) {
+	switch obj {
+	case Logistic:
+		for i := range raw {
+			p := sigmoid(raw[i])
+			grad[i] = p - labels[i]
+			h := p * (1 - p)
+			if h < 1e-16 {
+				h = 1e-16
+			}
+			hess[i] = h
+		}
+	default:
+		for i := range raw {
+			grad[i] = raw[i] - labels[i]
+			hess[i] = 1
+		}
+	}
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+func allRows(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func sampleRows(n int, frac float64, rng *rand.Rand) []int {
+	out := make([]int, 0, int(frac*float64(n))+1)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < frac {
+			out = append(out, i)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, rng.Intn(n))
+	}
+	return out
+}
+
+// binner quantises features to uint8 codes. Code 0 is reserved for missing
+// values (NaN); real bins are 1..numBins[j]. cuts[j][b] is the inclusive
+// upper bound of bin b+1.
+type binner struct {
+	codes   [][]uint8
+	cuts    [][]float64
+	numBins []int
+	cols    [][]float64 // retained for prediction updates during training
+}
+
+func newBinner(cols [][]float64, maxBins int) *binner {
+	m := len(cols)
+	b := &binner{
+		codes:   make([][]uint8, m),
+		cuts:    make([][]float64, m),
+		numBins: make([]int, m),
+		cols:    cols,
+	}
+	for j := range cols {
+		cuts := quantileCuts(cols[j], maxBins)
+		b.cuts[j] = cuts
+		b.numBins[j] = len(cuts) + 1
+		codes := make([]uint8, len(cols[j]))
+		for i, v := range cols[j] {
+			if math.IsNaN(v) {
+				codes[i] = 0
+				continue
+			}
+			codes[i] = uint8(1 + sort.SearchFloat64s(cuts, v))
+		}
+		b.codes[j] = codes
+	}
+	return b
+}
+
+// quantileCuts returns at most maxBins-1 interior cut points from the
+// empirical quantiles of xs, deduplicated.
+func quantileCuts(xs []float64, maxBins int) []float64 {
+	clean := make([]float64, 0, len(xs))
+	for _, v := range xs {
+		if !math.IsNaN(v) {
+			clean = append(clean, v)
+		}
+	}
+	if len(clean) == 0 {
+		return nil
+	}
+	sort.Float64s(clean)
+	cuts := make([]float64, 0, maxBins-1)
+	for k := 1; k < maxBins; k++ {
+		idx := k * len(clean) / maxBins
+		if idx >= len(clean) {
+			idx = len(clean) - 1
+		}
+		c := clean[idx]
+		if len(cuts) == 0 || c != cuts[len(cuts)-1] {
+			cuts = append(cuts, c)
+		}
+	}
+	// Drop a trailing cut equal to the max: it would create an empty bin.
+	if len(cuts) > 0 && cuts[len(cuts)-1] >= clean[len(clean)-1] {
+		cuts = cuts[:len(cuts)-1]
+	}
+	return cuts
+}
+
+// threshold returns the raw-value threshold for "code <= c".
+func (b *binner) threshold(feat int, code uint8) float64 {
+	cuts := b.cuts[feat]
+	if code == 0 || len(cuts) == 0 {
+		return math.Inf(-1)
+	}
+	idx := int(code) - 1
+	if idx >= len(cuts) {
+		idx = len(cuts) - 1
+	}
+	return cuts[idx]
+}
+
+type trainer struct {
+	binner *binner
+	cfg    Config
+	n, m   int
+}
+
+// hist is a per-feature gradient histogram.
+type hist struct {
+	grad  []float64
+	hess  []float64
+	count []int
+}
+
+type splitResult struct {
+	feature      int
+	binCode      uint8 // go left when 1 <= code <= binCode
+	gain         float64
+	threshold    float64
+	leftRows     int
+	rightRows    int
+	defaultRight bool // learned direction for the missing bin (code 0)
+}
+
+// buildTree grows one tree depth-first over the given row and feature
+// subsets.
+func (tr *trainer) buildTree(rows, feats []int, grad, hess []float64) *Tree {
+	t := &Tree{}
+	var sumG, sumH float64
+	for _, r := range rows {
+		sumG += grad[r]
+		sumH += hess[r]
+	}
+	t.Nodes = append(t.Nodes, Node{Feature: -1, Count: len(rows)})
+	tr.grow(t, 0, rows, feats, grad, hess, sumG, sumH, 0)
+	return t
+}
+
+func (tr *trainer) grow(t *Tree, nodeIdx int, rows, feats []int, grad, hess []float64, sumG, sumH float64, depth int) {
+	cfg := tr.cfg
+	leafValue := -cfg.LearningRate * sumG / (sumH + cfg.Lambda)
+
+	if depth >= cfg.MaxDepth || len(rows) < 2*cfg.MinChildCount || sumH < 2*cfg.MinChildWeight {
+		t.Nodes[nodeIdx].Value = leafValue
+		return
+	}
+
+	best := tr.findBestSplit(rows, feats, grad, hess, sumG, sumH)
+	if best.feature < 0 || best.gain <= cfg.Gamma {
+		t.Nodes[nodeIdx].Value = leafValue
+		return
+	}
+
+	codes := tr.binner.codes[best.feature]
+	left := make([]int, 0, best.leftRows)
+	right := make([]int, 0, best.rightRows)
+	var lG, lH float64
+	for _, r := range rows {
+		c := codes[r]
+		goLeft := false
+		if c == 0 {
+			goLeft = !best.defaultRight
+		} else {
+			goLeft = c <= best.binCode
+		}
+		if goLeft {
+			left = append(left, r)
+			lG += grad[r]
+			lH += hess[r]
+		} else {
+			right = append(right, r)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		t.Nodes[nodeIdx].Value = leafValue
+		return
+	}
+
+	li := len(t.Nodes)
+	t.Nodes = append(t.Nodes, Node{Feature: -1, Count: len(left)})
+	ri := len(t.Nodes)
+	t.Nodes = append(t.Nodes, Node{Feature: -1, Count: len(right)})
+
+	nd := &t.Nodes[nodeIdx]
+	nd.Feature = best.feature
+	nd.Threshold = best.threshold
+	nd.Gain = best.gain
+	nd.Left = li
+	nd.Right = ri
+	nd.DefaultRight = best.defaultRight
+
+	tr.grow(t, li, left, feats, grad, hess, lG, lH, depth+1)
+	tr.grow(t, ri, right, feats, grad, hess, sumG-lG, sumH-lH, depth+1)
+}
+
+// findBestSplit scans histogram bins of every candidate feature. With
+// cfg.Parallel it shards features across workers.
+func (tr *trainer) findBestSplit(rows, feats []int, grad, hess []float64, sumG, sumH float64) splitResult {
+	cfg := tr.cfg
+	parentScore := sumG * sumG / (sumH + cfg.Lambda)
+
+	evalFeature := func(j int, h *hist) splitResult {
+		nb := tr.binner.numBins[j] + 1 // +1 for the missing bin 0
+		for b := 0; b < nb; b++ {
+			h.grad[b] = 0
+			h.hess[b] = 0
+			h.count[b] = 0
+		}
+		codes := tr.binner.codes[j]
+		for _, r := range rows {
+			c := codes[r]
+			h.grad[c] += grad[r]
+			h.hess[c] += hess[r]
+			h.count[c]++
+		}
+		best := splitResult{feature: -1, gain: 0}
+		mG, mH := h.grad[0], h.hess[0]
+		mC := h.count[0]
+
+		// Sparsity-aware split (XGBoost Alg. 3): scan real-bin boundaries
+		// with the missing bin assigned first to the left child, then to
+		// the right, and keep the best direction.
+		for _, missLeft := range [2]bool{true, false} {
+			var lG, lH float64
+			lC := 0
+			if missLeft {
+				lG, lH, lC = mG, mH, mC
+			}
+			for b := 1; b < nb-1; b++ { // split after real bin b
+				lG += h.grad[b]
+				lH += h.hess[b]
+				lC += h.count[b]
+				rG := sumG - lG
+				rH := sumH - lH
+				rC := len(rows) - lC
+				if lC < cfg.MinChildCount || rC < cfg.MinChildCount {
+					continue
+				}
+				if lH < cfg.MinChildWeight || rH < cfg.MinChildWeight {
+					continue
+				}
+				gain := 0.5 * (lG*lG/(lH+cfg.Lambda) + rG*rG/(rH+cfg.Lambda) - parentScore)
+				if gain > best.gain {
+					best = splitResult{
+						feature:      j,
+						binCode:      uint8(b),
+						gain:         gain,
+						threshold:    tr.binner.threshold(j, uint8(b)),
+						leftRows:     lC,
+						rightRows:    rC,
+						defaultRight: !missLeft,
+					}
+				}
+			}
+			if mC == 0 {
+				break // no missing values: both directions are identical
+			}
+		}
+		return best
+	}
+
+	if !cfg.Parallel || len(feats) < 4 {
+		h := newHist(257)
+		best := splitResult{feature: -1}
+		for _, j := range feats {
+			if s := evalFeature(j, h); s.feature >= 0 && (best.feature < 0 || s.gain > best.gain) {
+				best = s
+			}
+		}
+		return best
+	}
+
+	workers := runtime.NumCPU()
+	if workers > len(feats) {
+		workers = len(feats)
+	}
+	results := make([]splitResult, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := newHist(257)
+			best := splitResult{feature: -1}
+			for k := w; k < len(feats); k += workers {
+				if s := evalFeature(feats[k], h); s.feature >= 0 && (best.feature < 0 || s.gain > best.gain) {
+					best = s
+				}
+			}
+			results[w] = best
+		}(w)
+	}
+	wg.Wait()
+	best := splitResult{feature: -1}
+	for _, s := range results {
+		if s.feature >= 0 && (best.feature < 0 || s.gain > best.gain) {
+			best = s
+		}
+	}
+	return best
+}
+
+func newHist(size int) *hist {
+	return &hist{
+		grad:  make([]float64, size),
+		hess:  make([]float64, size),
+		count: make([]int, size),
+	}
+}
+
+// updatePredictions adds the new tree's outputs to the raw scores of all
+// rows.
+func updatePredictions(t *Tree, b *binner, raw []float64) {
+	for i := range raw {
+		idx := 0
+		for {
+			n := &t.Nodes[idx]
+			if n.IsLeaf() {
+				raw[i] += n.Value
+				break
+			}
+			v := b.cols[n.Feature][i]
+			switch {
+			case math.IsNaN(v):
+				if n.DefaultRight {
+					idx = n.Right
+				} else {
+					idx = n.Left
+				}
+			case v <= n.Threshold:
+				idx = n.Left
+			default:
+				idx = n.Right
+			}
+		}
+	}
+}
+
+// PredictRow returns the model output for one row of raw feature values:
+// a probability for Logistic, a raw value for Squared.
+func (m *Model) PredictRow(row []float64) float64 {
+	s := m.BaseScore
+	for _, t := range m.Trees {
+		s += t.PredictRow(row)
+	}
+	if m.Config.Objective == Logistic {
+		return sigmoid(s)
+	}
+	return s
+}
+
+// Predict scores column-major data and returns one prediction per row.
+func (m *Model) Predict(cols [][]float64) []float64 {
+	if len(cols) == 0 {
+		return nil
+	}
+	n := len(cols[0])
+	out := make([]float64, n)
+	row := make([]float64, len(cols))
+	for i := 0; i < n; i++ {
+		for j := range cols {
+			row[j] = cols[j][i]
+		}
+		out[i] = m.PredictRow(row)
+	}
+	return out
+}

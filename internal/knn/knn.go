@@ -1,0 +1,183 @@
+// Package knn implements the k-nearest-neighbours evaluator of Table III
+// with standardised Euclidean distance and probability output (fraction of
+// positive neighbours). For the dataset sizes in this repository a brute
+// force scan with a bounded max-heap is fast enough and has no tuning
+// surface; training-set subsampling keeps the largest benchmarks tractable.
+package knn
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Config holds kNN parameters.
+type Config struct {
+	K        int
+	MaxTrain int // subsample the training set to at most this many rows (<=0: no cap)
+	Seed     int64
+}
+
+// DefaultConfig mirrors sklearn's KNeighborsClassifier default (k=5) with a
+// training-set cap for the biggest benchmarks.
+func DefaultConfig() Config { return Config{K: 5, MaxTrain: 20000} }
+
+// Model is a fitted kNN classifier (it memorises standardised training
+// rows).
+type Model struct {
+	k    int
+	x    [][]float64
+	y    []float64
+	mean []float64
+	std  []float64
+}
+
+// Train memorises (a subsample of) the training data in standardised form.
+func Train(cols [][]float64, labels []float64, cfg Config) (*Model, error) {
+	m := len(cols)
+	if m == 0 {
+		return nil, errors.New("knn: no features")
+	}
+	n := len(labels)
+	if n == 0 {
+		return nil, errors.New("knn: no rows")
+	}
+	for j := range cols {
+		if len(cols[j]) != n {
+			return nil, fmt.Errorf("knn: column %d has %d rows, want %d", j, len(cols[j]), n)
+		}
+	}
+	if cfg.K <= 0 {
+		cfg.K = 5
+	}
+
+	mod := &Model{k: cfg.K, mean: make([]float64, m), std: make([]float64, m)}
+	for j := 0; j < m; j++ {
+		var sum float64
+		cnt := 0
+		for _, v := range cols[j] {
+			if !math.IsNaN(v) {
+				sum += v
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			mod.std[j] = 1
+			continue
+		}
+		mean := sum / float64(cnt)
+		var ss float64
+		for _, v := range cols[j] {
+			if !math.IsNaN(v) {
+				d := v - mean
+				ss += d * d
+			}
+		}
+		std := math.Sqrt(ss / float64(cnt))
+		if std < 1e-12 {
+			std = 1
+		}
+		mod.mean[j], mod.std[j] = mean, std
+	}
+
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	if cfg.MaxTrain > 0 && n > cfg.MaxTrain {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		rng.Shuffle(n, func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+		idx = idx[:cfg.MaxTrain]
+	}
+
+	mod.x = make([][]float64, len(idx))
+	mod.y = make([]float64, len(idx))
+	for out, i := range idx {
+		row := make([]float64, m)
+		for j := 0; j < m; j++ {
+			v := cols[j][i]
+			if math.IsNaN(v) {
+				row[j] = 0
+			} else {
+				row[j] = (v - mod.mean[j]) / mod.std[j]
+			}
+		}
+		mod.x[out] = row
+		mod.y[out] = labels[i]
+	}
+	return mod, nil
+}
+
+// distHeap is a bounded max-heap of (distance, label) pairs.
+type distHeap []struct{ d, y float64 }
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d > h[j].d } // max-heap
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(struct{ d, y float64 })) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// PredictRow returns the fraction of positive labels among the k nearest
+// training rows of a raw input row.
+func (mod *Model) PredictRow(row []float64) float64 {
+	q := make([]float64, len(row))
+	for j, v := range row {
+		if math.IsNaN(v) {
+			q[j] = 0
+		} else {
+			q[j] = (v - mod.mean[j]) / mod.std[j]
+		}
+	}
+	h := make(distHeap, 0, mod.k+1)
+	for i, x := range mod.x {
+		d := 0.0
+		for j, v := range q {
+			diff := v - x[j]
+			d += diff * diff
+			if len(h) == mod.k && d > h[0].d {
+				break // early abandon: already worse than the k-th best
+			}
+		}
+		if len(h) < mod.k {
+			heap.Push(&h, struct{ d, y float64 }{d, mod.y[i]})
+		} else if d < h[0].d {
+			h[0] = struct{ d, y float64 }{d, mod.y[i]}
+			heap.Fix(&h, 0)
+		}
+	}
+	if len(h) == 0 {
+		return 0.5
+	}
+	pos := 0.0
+	for _, it := range h {
+		if it.y > 0.5 {
+			pos++
+		}
+	}
+	return pos / float64(len(h))
+}
+
+// Predict scores column-major data.
+func (mod *Model) Predict(cols [][]float64) []float64 {
+	if len(cols) == 0 {
+		return nil
+	}
+	n := len(cols[0])
+	out := make([]float64, n)
+	row := make([]float64, len(cols))
+	for i := 0; i < n; i++ {
+		for j := range cols {
+			row[j] = cols[j][i]
+		}
+		out[i] = mod.PredictRow(row)
+	}
+	return out
+}

@@ -1,0 +1,417 @@
+// Package linear implements the linear evaluators of Table III — logistic
+// regression and a linear SVM — plus ridge regression, which the paper lists
+// as a binary feature-generation operator (Section III, citing AutoLearn).
+// Models train with mini-batch SGD on standardised inputs; standardisation
+// parameters are learned at fit time and applied at prediction time so
+// callers pass raw features.
+package linear
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// scaler standardises columns to zero mean / unit variance.
+type scaler struct {
+	mean []float64
+	std  []float64
+}
+
+func fitScaler(cols [][]float64) *scaler {
+	s := &scaler{mean: make([]float64, len(cols)), std: make([]float64, len(cols))}
+	for j, col := range cols {
+		var sum float64
+		n := 0
+		for _, v := range col {
+			if math.IsNaN(v) {
+				continue
+			}
+			sum += v
+			n++
+		}
+		if n == 0 {
+			s.std[j] = 1
+			continue
+		}
+		mean := sum / float64(n)
+		var ss float64
+		for _, v := range col {
+			if math.IsNaN(v) {
+				continue
+			}
+			d := v - mean
+			ss += d * d
+		}
+		std := math.Sqrt(ss / float64(n))
+		if std < 1e-12 {
+			std = 1
+		}
+		s.mean[j] = mean
+		s.std[j] = std
+	}
+	return s
+}
+
+func (s *scaler) apply(row, dst []float64) {
+	for j, v := range row {
+		if math.IsNaN(v) {
+			dst[j] = 0
+			continue
+		}
+		dst[j] = (v - s.mean[j]) / s.std[j]
+	}
+}
+
+// LogisticConfig configures logistic-regression training.
+type LogisticConfig struct {
+	Epochs       int
+	LearningRate float64
+	L2           float64
+	BatchSize    int
+	Seed         int64
+}
+
+// DefaultLogisticConfig returns settings comparable to sklearn's
+// LogisticRegression defaults (L2-regularised).
+func DefaultLogisticConfig() LogisticConfig {
+	return LogisticConfig{Epochs: 30, LearningRate: 0.1, L2: 1e-4, BatchSize: 64}
+}
+
+// Logistic is a trained logistic-regression model.
+type Logistic struct {
+	W      []float64
+	B      float64
+	scaler *scaler
+}
+
+// TrainLogistic fits logistic regression on column-major data with {0,1}
+// labels.
+func TrainLogistic(cols [][]float64, labels []float64, cfg LogisticConfig) (*Logistic, error) {
+	rows, err := toRows(cols, len(labels))
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 30
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = 0.1
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 64
+	}
+	m := len(cols)
+	sc := fitScaler(cols)
+	lm := &Logistic{W: make([]float64, m), scaler: sc}
+
+	n := len(labels)
+	x := make([][]float64, n)
+	for i := range x {
+		x[i] = make([]float64, m)
+		sc.apply(rows[i], x[i])
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := rng.Perm(n)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		lr := cfg.LearningRate / (1 + 0.1*float64(epoch))
+		shuffleInts(order, rng)
+		for start := 0; start < n; start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > n {
+				end = n
+			}
+			gw := make([]float64, m)
+			gb := 0.0
+			for _, i := range order[start:end] {
+				z := lm.B
+				for j, v := range x[i] {
+					z += lm.W[j] * v
+				}
+				e := sigmoid(z) - labels[i]
+				for j, v := range x[i] {
+					gw[j] += e * v
+				}
+				gb += e
+			}
+			k := float64(end - start)
+			for j := range lm.W {
+				lm.W[j] -= lr * (gw[j]/k + cfg.L2*lm.W[j])
+			}
+			lm.B -= lr * gb / k
+		}
+	}
+	return lm, nil
+}
+
+// PredictRow returns the positive-class probability for one raw row.
+func (lm *Logistic) PredictRow(row []float64) float64 {
+	x := make([]float64, len(row))
+	lm.scaler.apply(row, x)
+	z := lm.B
+	for j, v := range x {
+		z += lm.W[j] * v
+	}
+	return sigmoid(z)
+}
+
+// Predict scores column-major data.
+func (lm *Logistic) Predict(cols [][]float64) []float64 {
+	return predictRows(cols, lm.PredictRow)
+}
+
+// SVMConfig configures the linear SVM.
+type SVMConfig struct {
+	Epochs       int
+	LearningRate float64
+	C            float64 // inverse regularisation strength
+	Seed         int64
+}
+
+// DefaultSVMConfig mirrors a default linear-kernel SVC at this scale.
+func DefaultSVMConfig() SVMConfig {
+	return SVMConfig{Epochs: 30, LearningRate: 0.05, C: 1.0}
+}
+
+// SVM is a trained linear SVM. Scores are calibrated to probabilities with a
+// fixed sigmoid on the margin (Platt-style with unit slope), which preserves
+// ranking — the property AUC measures.
+type SVM struct {
+	W      []float64
+	B      float64
+	scaler *scaler
+}
+
+// TrainSVM fits a linear SVM with hinge loss and L2 regularisation via
+// Pegasos-style SGD.
+func TrainSVM(cols [][]float64, labels []float64, cfg SVMConfig) (*SVM, error) {
+	rows, err := toRows(cols, len(labels))
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 30
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = 0.05
+	}
+	if cfg.C <= 0 {
+		cfg.C = 1
+	}
+	m := len(cols)
+	n := len(labels)
+	sc := fitScaler(cols)
+	svm := &SVM{W: make([]float64, m), scaler: sc}
+	lambda := 1 / (cfg.C * float64(n))
+
+	x := make([][]float64, n)
+	for i := range x {
+		x[i] = make([]float64, m)
+		sc.apply(rows[i], x[i])
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := rng.Perm(n)
+	step := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		shuffleInts(order, rng)
+		for _, i := range order {
+			step++
+			lr := cfg.LearningRate / (1 + lambda*float64(step))
+			y := -1.0
+			if labels[i] > 0.5 {
+				y = 1
+			}
+			z := svm.B
+			for j, v := range x[i] {
+				z += svm.W[j] * v
+			}
+			for j := range svm.W {
+				svm.W[j] -= lr * lambda * svm.W[j]
+			}
+			if y*z < 1 {
+				for j, v := range x[i] {
+					svm.W[j] += lr * y * v
+				}
+				svm.B += lr * y
+			}
+		}
+	}
+	return svm, nil
+}
+
+// PredictRow returns a calibrated probability for one raw row.
+func (svm *SVM) PredictRow(row []float64) float64 {
+	x := make([]float64, len(row))
+	svm.scaler.apply(row, x)
+	z := svm.B
+	for j, v := range x {
+		z += svm.W[j] * v
+	}
+	return sigmoid(z)
+}
+
+// Predict scores column-major data.
+func (svm *SVM) Predict(cols [][]float64) []float64 {
+	return predictRows(cols, svm.PredictRow)
+}
+
+// Ridge is a closed-form ridge regression of one target feature on one (or
+// more) source features. The paper lists ridge regression among the binary
+// operators (a generated feature is the regression's prediction or residual).
+type Ridge struct {
+	W []float64
+	B float64
+}
+
+// TrainRidge solves (X'X + alpha I) w = X'y with Gaussian elimination. cols
+// is column-major; y is the regression target.
+func TrainRidge(cols [][]float64, y []float64, alpha float64) (*Ridge, error) {
+	m := len(cols)
+	if m == 0 {
+		return nil, errors.New("linear: ridge: no features")
+	}
+	n := len(y)
+	for j := range cols {
+		if len(cols[j]) != n {
+			return nil, fmt.Errorf("linear: ridge: column %d has %d rows, want %d", j, len(cols[j]), n)
+		}
+	}
+	if alpha <= 0 {
+		alpha = 1e-6
+	}
+	// Build the (m+1)x(m+1) normal system including a bias column.
+	d := m + 1
+	a := make([][]float64, d)
+	for i := range a {
+		a[i] = make([]float64, d+1)
+	}
+	get := func(j, i int) float64 {
+		if j == m {
+			return 1
+		}
+		v := cols[j][i]
+		if math.IsNaN(v) {
+			return 0
+		}
+		return v
+	}
+	for p := 0; p < d; p++ {
+		for q := p; q < d; q++ {
+			s := 0.0
+			for i := 0; i < n; i++ {
+				s += get(p, i) * get(q, i)
+			}
+			a[p][q] = s
+			a[q][p] = s
+		}
+		if p < m {
+			a[p][p] += alpha
+		}
+		s := 0.0
+		for i := 0; i < n; i++ {
+			s += get(p, i) * y[i]
+		}
+		a[p][d] = s
+	}
+	w, err := solve(a)
+	if err != nil {
+		return nil, err
+	}
+	return &Ridge{W: w[:m], B: w[m]}, nil
+}
+
+// PredictRow evaluates the regression for one row.
+func (r *Ridge) PredictRow(row []float64) float64 {
+	s := r.B
+	for j, v := range row {
+		if math.IsNaN(v) {
+			continue
+		}
+		s += r.W[j] * v
+	}
+	return s
+}
+
+// solve performs Gaussian elimination with partial pivoting on an augmented
+// matrix a (d x d+1), returning the solution vector.
+func solve(a [][]float64) ([]float64, error) {
+	d := len(a)
+	for p := 0; p < d; p++ {
+		// Pivot.
+		max, arg := math.Abs(a[p][p]), p
+		for r := p + 1; r < d; r++ {
+			if v := math.Abs(a[r][p]); v > max {
+				max, arg = v, r
+			}
+		}
+		if max < 1e-12 {
+			return nil, errors.New("linear: singular system")
+		}
+		a[p], a[arg] = a[arg], a[p]
+		for r := p + 1; r < d; r++ {
+			f := a[r][p] / a[p][p]
+			for c := p; c <= d; c++ {
+				a[r][c] -= f * a[p][c]
+			}
+		}
+	}
+	x := make([]float64, d)
+	for p := d - 1; p >= 0; p-- {
+		s := a[p][d]
+		for c := p + 1; c < d; c++ {
+			s -= a[p][c] * x[c]
+		}
+		x[p] = s / a[p][p]
+	}
+	return x, nil
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+func toRows(cols [][]float64, n int) ([][]float64, error) {
+	m := len(cols)
+	if m == 0 {
+		return nil, errors.New("linear: no features")
+	}
+	if n == 0 {
+		return nil, errors.New("linear: no rows")
+	}
+	for j := range cols {
+		if len(cols[j]) != n {
+			return nil, fmt.Errorf("linear: column %d has %d rows, want %d", j, len(cols[j]), n)
+		}
+	}
+	rows := make([][]float64, n)
+	flat := make([]float64, n*m)
+	for i := 0; i < n; i++ {
+		rows[i] = flat[i*m : (i+1)*m]
+		for j := 0; j < m; j++ {
+			rows[i][j] = cols[j][i]
+		}
+	}
+	return rows, nil
+}
+
+func predictRows(cols [][]float64, f func([]float64) float64) []float64 {
+	if len(cols) == 0 {
+		return nil
+	}
+	n := len(cols[0])
+	out := make([]float64, n)
+	row := make([]float64, len(cols))
+	for i := 0; i < n; i++ {
+		for j := range cols {
+			row[j] = cols[j][i]
+		}
+		out[i] = f(row)
+	}
+	return out
+}
+
+func shuffleInts(xs []int, rng *rand.Rand) {
+	for i := len(xs) - 1; i > 0; i-- {
+		k := rng.Intn(i + 1)
+		xs[i], xs[k] = xs[k], xs[i]
+	}
+}

@@ -1,0 +1,177 @@
+package linear
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func separable(n int, seed int64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	cols := [][]float64{make([]float64, n), make([]float64, n)}
+	labels := make([]float64, n)
+	for i := 0; i < n; i++ {
+		cols[0][i] = rng.NormFloat64()
+		cols[1][i] = rng.NormFloat64()
+		if 2*cols[0][i]-cols[1][i] > 0 {
+			labels[i] = 1
+		}
+	}
+	return cols, labels
+}
+
+func TestLogisticValidation(t *testing.T) {
+	if _, err := TrainLogistic(nil, []float64{1}, DefaultLogisticConfig()); err == nil {
+		t.Error("accepted no features")
+	}
+	if _, err := TrainLogistic([][]float64{{1}}, nil, DefaultLogisticConfig()); err == nil {
+		t.Error("accepted no labels")
+	}
+	if _, err := TrainLogistic([][]float64{{1, 2}, {1}}, []float64{0, 1}, DefaultLogisticConfig()); err == nil {
+		t.Error("accepted ragged columns")
+	}
+}
+
+func TestLogisticLearnsSeparable(t *testing.T) {
+	cols, labels := separable(2000, 1)
+	lm, err := TrainLogistic(cols, labels, DefaultLogisticConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	testCols, testLabels := separable(500, 42)
+	if auc := metrics.AUC(lm.Predict(testCols), testLabels); auc < 0.97 {
+		t.Errorf("logistic test AUC = %v, want >= 0.97", auc)
+	}
+}
+
+func TestLogisticSignOfWeights(t *testing.T) {
+	cols, labels := separable(2000, 2)
+	lm, err := TrainLogistic(cols, labels, DefaultLogisticConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lm.W[0] <= 0 {
+		t.Errorf("weight on positively-correlated feature = %v, want > 0", lm.W[0])
+	}
+	if lm.W[1] >= 0 {
+		t.Errorf("weight on negatively-correlated feature = %v, want < 0", lm.W[1])
+	}
+}
+
+func TestLogisticProbabilities(t *testing.T) {
+	cols, labels := separable(300, 3)
+	lm, err := TrainLogistic(cols, labels, DefaultLogisticConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range lm.Predict(cols) {
+		if p <= 0 || p >= 1 || math.IsNaN(p) {
+			t.Fatalf("prediction %v outside (0,1)", p)
+		}
+	}
+}
+
+func TestLogisticHandlesNaN(t *testing.T) {
+	cols, labels := separable(300, 4)
+	cols[0][0] = math.NaN()
+	lm, err := TrainLogistic(cols, labels, DefaultLogisticConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := lm.PredictRow([]float64{math.NaN(), 1})
+	if math.IsNaN(p) {
+		t.Error("NaN input produced NaN prediction")
+	}
+}
+
+func TestSVMLearnsSeparable(t *testing.T) {
+	cols, labels := separable(2000, 5)
+	svm, err := TrainSVM(cols, labels, DefaultSVMConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	testCols, testLabels := separable(500, 43)
+	if auc := metrics.AUC(svm.Predict(testCols), testLabels); auc < 0.95 {
+		t.Errorf("SVM test AUC = %v, want >= 0.95", auc)
+	}
+}
+
+func TestSVMValidation(t *testing.T) {
+	if _, err := TrainSVM(nil, []float64{1}, DefaultSVMConfig()); err == nil {
+		t.Error("accepted no features")
+	}
+}
+
+func TestRidgeExactFit(t *testing.T) {
+	// y = 2x + 3 exactly; tiny alpha recovers the coefficients.
+	n := 50
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = float64(i)
+		y[i] = 2*x[i] + 3
+	}
+	r, err := TrainRidge([][]float64{x}, y, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.W[0]-2) > 1e-3 {
+		t.Errorf("slope = %v, want 2", r.W[0])
+	}
+	if math.Abs(r.B-3) > 1e-2 {
+		t.Errorf("intercept = %v, want 3", r.B)
+	}
+}
+
+func TestRidgeMultiFeature(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 500
+	x1 := make([]float64, n)
+	x2 := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x1[i] = rng.NormFloat64()
+		x2[i] = rng.NormFloat64()
+		y[i] = 1.5*x1[i] - 0.5*x2[i] + 0.01*rng.NormFloat64()
+	}
+	r, err := TrainRidge([][]float64{x1, x2}, y, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.W[0]-1.5) > 0.05 || math.Abs(r.W[1]+0.5) > 0.05 {
+		t.Errorf("weights = %v, want [1.5, -0.5]", r.W)
+	}
+}
+
+func TestRidgeRegularisationShrinks(t *testing.T) {
+	n := 100
+	x := make([]float64, n)
+	y := make([]float64, n)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < n; i++ {
+		x[i] = rng.NormFloat64()
+		y[i] = 4 * x[i]
+	}
+	small, err := TrainRidge([][]float64{x}, y, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := TrainRidge([][]float64{x}, y, 1e4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(large.W[0]) >= math.Abs(small.W[0]) {
+		t.Errorf("alpha=1e4 weight %v not smaller than alpha=1e-6 weight %v", large.W[0], small.W[0])
+	}
+}
+
+func TestRidgeValidation(t *testing.T) {
+	if _, err := TrainRidge(nil, []float64{1}, 1); err == nil {
+		t.Error("accepted no features")
+	}
+	if _, err := TrainRidge([][]float64{{1, 2}}, []float64{1}, 1); err == nil {
+		t.Error("accepted length mismatch")
+	}
+}

@@ -1,0 +1,93 @@
+// Package metrics implements the evaluation metrics used in the paper's
+// experiments: AUC (the headline metric of Tables III and VIII), accuracy
+// and log-loss.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// AUC computes the area under the ROC curve from predicted scores and binary
+// labels, using the rank statistic (Mann-Whitney U) with midrank handling of
+// ties. It returns 0.5 when either class is absent.
+func AUC(scores, labels []float64) float64 {
+	n := len(scores)
+	if n == 0 || n != len(labels) {
+		return 0.5
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+
+	var pos, neg float64
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j < n && scores[idx[j]] == scores[idx[i]] {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // average 1-based rank of the tie group
+		for k := i; k < j; k++ {
+			ranks[idx[k]] = mid
+		}
+		i = j
+	}
+	sumPos := 0.0
+	for i := 0; i < n; i++ {
+		if labels[i] > 0.5 {
+			pos++
+			sumPos += ranks[i]
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return 0.5
+	}
+	return (sumPos - pos*(pos+1)/2) / (pos * neg)
+}
+
+// Accuracy returns the fraction of predictions on the correct side of 0.5.
+func Accuracy(scores, labels []float64) float64 {
+	if len(scores) == 0 {
+		return 0
+	}
+	ok := 0
+	for i, s := range scores {
+		pred := 0.0
+		if s >= 0.5 {
+			pred = 1
+		}
+		if (pred > 0.5) == (labels[i] > 0.5) {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(scores))
+}
+
+// LogLoss returns the mean negative log-likelihood of the predictions,
+// clipping probabilities to [eps, 1-eps].
+func LogLoss(scores, labels []float64) float64 {
+	if len(scores) == 0 {
+		return 0
+	}
+	const eps = 1e-12
+	s := 0.0
+	for i, p := range scores {
+		if p < eps {
+			p = eps
+		}
+		if p > 1-eps {
+			p = 1 - eps
+		}
+		if labels[i] > 0.5 {
+			s -= math.Log(p)
+		} else {
+			s -= math.Log(1 - p)
+		}
+	}
+	return s / float64(len(scores))
+}

@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAUCPerfect(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	labels := []float64{0, 0, 1, 1}
+	if got := AUC(scores, labels); got != 1 {
+		t.Errorf("perfect AUC = %v, want 1", got)
+	}
+}
+
+func TestAUCInverted(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []float64{0, 0, 1, 1}
+	if got := AUC(scores, labels); got != 0 {
+		t.Errorf("inverted AUC = %v, want 0", got)
+	}
+}
+
+func TestAUCTies(t *testing.T) {
+	// All scores equal: AUC must be exactly 0.5 via midranks.
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	labels := []float64{0, 1, 0, 1}
+	if got := AUC(scores, labels); got != 0.5 {
+		t.Errorf("all-tied AUC = %v, want 0.5", got)
+	}
+}
+
+func TestAUCDegenerate(t *testing.T) {
+	if got := AUC([]float64{0.3, 0.7}, []float64{1, 1}); got != 0.5 {
+		t.Errorf("single-class AUC = %v, want 0.5", got)
+	}
+	if got := AUC(nil, nil); got != 0.5 {
+		t.Errorf("empty AUC = %v, want 0.5", got)
+	}
+	if got := AUC([]float64{0.5}, []float64{1, 0}); got != 0.5 {
+		t.Errorf("length-mismatch AUC = %v, want 0.5", got)
+	}
+}
+
+func TestAUCRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(100)
+		scores := make([]float64, n)
+		labels := make([]float64, n)
+		for i := range scores {
+			scores[i] = rng.Float64()
+			labels[i] = float64(rng.Intn(2))
+		}
+		a := AUC(scores, labels)
+		return a >= 0 && a <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAUCComplementProperty(t *testing.T) {
+	// AUC(s, y) + AUC(-s, y) == 1 for tie-free scores.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(50)
+		scores := make([]float64, n)
+		labels := make([]float64, n)
+		pos := 0
+		for i := range scores {
+			scores[i] = rng.NormFloat64() // continuous, ties have measure zero
+			labels[i] = float64(rng.Intn(2))
+			if labels[i] == 1 {
+				pos++
+			}
+		}
+		if pos == 0 || pos == n {
+			return true
+		}
+		neg := make([]float64, n)
+		for i := range scores {
+			neg[i] = -scores[i]
+		}
+		return math.Abs(AUC(scores, labels)+AUC(neg, labels)-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAUCMonotoneInvariantProperty(t *testing.T) {
+	// AUC is invariant under strictly increasing transforms of scores.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(50)
+		scores := make([]float64, n)
+		labels := make([]float64, n)
+		for i := range scores {
+			scores[i] = rng.NormFloat64()
+			labels[i] = float64(rng.Intn(2))
+		}
+		transformed := make([]float64, n)
+		for i, s := range scores {
+			transformed[i] = math.Exp(s) // strictly increasing
+		}
+		return math.Abs(AUC(scores, labels)-AUC(transformed, labels)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	scores := []float64{0.9, 0.1, 0.6, 0.4}
+	labels := []float64{1, 0, 0, 1}
+	if got := Accuracy(scores, labels); got != 0.5 {
+		t.Errorf("Accuracy = %v, want 0.5", got)
+	}
+	if got := Accuracy(nil, nil); got != 0 {
+		t.Errorf("empty Accuracy = %v, want 0", got)
+	}
+}
+
+func TestLogLoss(t *testing.T) {
+	// Perfect confident predictions give near-zero loss.
+	if got := LogLoss([]float64{1, 0}, []float64{1, 0}); got > 1e-10 {
+		t.Errorf("perfect LogLoss = %v, want ~0", got)
+	}
+	// Uniform predictions give ln 2.
+	if got := LogLoss([]float64{0.5, 0.5}, []float64{1, 0}); math.Abs(got-math.Ln2) > 1e-12 {
+		t.Errorf("uniform LogLoss = %v, want ln 2", got)
+	}
+	// Confidently wrong is heavily penalised but finite (clipping).
+	got := LogLoss([]float64{0}, []float64{1})
+	if math.IsInf(got, 0) || got < 10 {
+		t.Errorf("wrong LogLoss = %v, want large finite", got)
+	}
+}

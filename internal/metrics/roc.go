@@ -1,0 +1,115 @@
+package metrics
+
+import "sort"
+
+// ROCPoint is one operating point of a ROC curve.
+type ROCPoint struct {
+	Threshold float64
+	TPR       float64 // true-positive rate (recall)
+	FPR       float64 // false-positive rate
+}
+
+// ROC computes the ROC curve at every distinct score threshold, descending.
+// The first point is (inf, 0, 0)-like at the highest threshold; the last
+// approaches (1,1). Degenerate inputs return nil.
+func ROC(scores, labels []float64) []ROCPoint {
+	n := len(scores)
+	if n == 0 || n != len(labels) {
+		return nil
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+
+	var pos, neg float64
+	for _, y := range labels {
+		if y > 0.5 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return nil
+	}
+
+	var out []ROCPoint
+	var tp, fp float64
+	for i := 0; i < n; {
+		thr := scores[idx[i]]
+		for i < n && scores[idx[i]] == thr {
+			if labels[idx[i]] > 0.5 {
+				tp++
+			} else {
+				fp++
+			}
+			i++
+		}
+		out = append(out, ROCPoint{Threshold: thr, TPR: tp / pos, FPR: fp / neg})
+	}
+	return out
+}
+
+// KS returns the Kolmogorov-Smirnov statistic max|TPR - FPR| — the standard
+// discrimination metric in financial risk modelling (the paper's domain).
+func KS(scores, labels []float64) float64 {
+	best := 0.0
+	for _, p := range ROC(scores, labels) {
+		d := p.TPR - p.FPR
+		if d < 0 {
+			d = -d
+		}
+		if d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// PRAUC computes the area under the precision-recall curve by the
+// trapezoidal rule over distinct thresholds. For heavily imbalanced fraud
+// data this is often more informative than ROC AUC. Returns the positive
+// rate (the random baseline) when either class is absent.
+func PRAUC(scores, labels []float64) float64 {
+	n := len(scores)
+	if n == 0 || n != len(labels) {
+		return 0
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+
+	var pos float64
+	for _, y := range labels {
+		if y > 0.5 {
+			pos++
+		}
+	}
+	if pos == 0 || pos == float64(n) {
+		return pos / float64(n)
+	}
+
+	var tp, fp, area, prevRecall float64
+	prevPrecision := 1.0
+	for i := 0; i < n; {
+		thr := scores[idx[i]]
+		for i < n && scores[idx[i]] == thr {
+			if labels[idx[i]] > 0.5 {
+				tp++
+			} else {
+				fp++
+			}
+			i++
+		}
+		recall := tp / pos
+		precision := tp / (tp + fp)
+		area += (recall - prevRecall) * (precision + prevPrecision) / 2
+		prevRecall = recall
+		prevPrecision = precision
+	}
+	return area
+}

@@ -1,0 +1,179 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestROCPerfectClassifier(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []float64{1, 1, 0, 0}
+	pts := ROC(scores, labels)
+	if len(pts) == 0 {
+		t.Fatal("no ROC points")
+	}
+	// Somewhere on the curve TPR=1 with FPR=0.
+	found := false
+	for _, p := range pts {
+		if p.TPR == 1 && p.FPR == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("perfect classifier curve misses (0,1): %+v", pts)
+	}
+	last := pts[len(pts)-1]
+	if last.TPR != 1 || last.FPR != 1 {
+		t.Errorf("curve does not end at (1,1): %+v", last)
+	}
+}
+
+func TestROCMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 500
+	scores := make([]float64, n)
+	labels := make([]float64, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+		labels[i] = float64(rng.Intn(2))
+	}
+	pts := ROC(scores, labels)
+	for i := 1; i < len(pts); i++ {
+		if pts[i].TPR < pts[i-1].TPR || pts[i].FPR < pts[i-1].FPR {
+			t.Fatalf("ROC not monotone at %d: %+v -> %+v", i, pts[i-1], pts[i])
+		}
+		if pts[i].Threshold >= pts[i-1].Threshold {
+			t.Fatalf("thresholds not descending at %d", i)
+		}
+	}
+}
+
+func TestROCDegenerate(t *testing.T) {
+	if pts := ROC([]float64{0.5}, []float64{1}); pts != nil {
+		t.Errorf("single-class ROC = %+v, want nil", pts)
+	}
+	if pts := ROC(nil, nil); pts != nil {
+		t.Errorf("empty ROC = %+v, want nil", pts)
+	}
+}
+
+func TestKSPerfectAndRandom(t *testing.T) {
+	perfect := KS([]float64{0.9, 0.8, 0.2, 0.1}, []float64{1, 1, 0, 0})
+	if perfect != 1 {
+		t.Errorf("perfect KS = %v, want 1", perfect)
+	}
+	// All-tied scores: TPR always equals FPR -> KS 0.
+	tied := KS([]float64{0.5, 0.5, 0.5, 0.5}, []float64{1, 0, 1, 0})
+	if tied != 0 {
+		t.Errorf("tied KS = %v, want 0", tied)
+	}
+}
+
+func TestKSBoundedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(100)
+		scores := make([]float64, n)
+		labels := make([]float64, n)
+		for i := range scores {
+			scores[i] = rng.NormFloat64()
+			labels[i] = float64(rng.Intn(2))
+		}
+		ks := KS(scores, labels)
+		return ks >= 0 && ks <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPRAUCPerfect(t *testing.T) {
+	got := PRAUC([]float64{0.9, 0.8, 0.2, 0.1}, []float64{1, 1, 0, 0})
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect PR-AUC = %v, want 1", got)
+	}
+}
+
+func TestPRAUCRandomBaseline(t *testing.T) {
+	// For random scores PR-AUC approaches the positive rate.
+	rng := rand.New(rand.NewSource(2))
+	n := 20000
+	scores := make([]float64, n)
+	labels := make([]float64, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+		if rng.Float64() < 0.1 {
+			labels[i] = 1
+		}
+	}
+	got := PRAUC(scores, labels)
+	if got < 0.05 || got > 0.2 {
+		t.Errorf("random PR-AUC = %v, want near the 0.1 positive rate", got)
+	}
+}
+
+func TestPRAUCImbalanceSensitivity(t *testing.T) {
+	// A mediocre classifier on imbalanced data: PR-AUC must sit strictly
+	// between the random baseline and 1.
+	rng := rand.New(rand.NewSource(3))
+	n := 5000
+	scores := make([]float64, n)
+	labels := make([]float64, n)
+	for i := range scores {
+		if rng.Float64() < 0.05 {
+			labels[i] = 1
+			scores[i] = rng.Float64()*0.6 + 0.4
+		} else {
+			scores[i] = rng.Float64() * 0.8
+		}
+	}
+	pr := PRAUC(scores, labels)
+	if pr <= 0.06 || pr >= 0.999 {
+		t.Errorf("PR-AUC = %v, want strictly informative", pr)
+	}
+}
+
+func TestPRAUCDegenerate(t *testing.T) {
+	if got := PRAUC([]float64{0.5, 0.6}, []float64{1, 1}); got != 1 {
+		t.Errorf("all-positive PR-AUC = %v, want 1", got)
+	}
+	if got := PRAUC([]float64{0.5, 0.6}, []float64{0, 0}); got != 0 {
+		t.Errorf("all-negative PR-AUC = %v, want 0", got)
+	}
+	if got := PRAUC(nil, nil); got != 0 {
+		t.Errorf("empty PR-AUC = %v, want 0", got)
+	}
+}
+
+func TestKSVsAUCConsistencyProperty(t *testing.T) {
+	// A classifier with AUC 0.5 on tie-free scores should have small KS;
+	// perfect AUC implies KS 1. Weaker invariant: KS <= 2*AUC for AUC>=0.5
+	// (sanity relation, always true since KS<=1 and AUC>=0.5).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(100)
+		scores := make([]float64, n)
+		labels := make([]float64, n)
+		hasPos, hasNeg := false, false
+		for i := range scores {
+			scores[i] = rng.NormFloat64()
+			labels[i] = float64(rng.Intn(2))
+			if labels[i] == 1 {
+				hasPos = true
+			} else {
+				hasNeg = true
+			}
+		}
+		if !hasPos || !hasNeg {
+			return true
+		}
+		auc := AUC(scores, labels)
+		folded := math.Abs(auc-0.5) + 0.5
+		return KS(scores, labels) <= 2*folded
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,123 @@
+package operators
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry maps operator names to constructors, so configurations can name
+// operators ("add,sub,mul,div") and applications can plug in domain-specific
+// operators (Section III: lag operators, genetic operators, ...).
+type Registry struct {
+	mu  sync.RWMutex
+	ops map[string]func() Operator
+}
+
+// NewRegistry returns a registry pre-populated with the paper's full
+// operator catalogue.
+func NewRegistry() *Registry {
+	r := &Registry{ops: make(map[string]func() Operator)}
+	for name, ctor := range builtins() {
+		r.ops[name] = ctor
+	}
+	return r
+}
+
+func builtins() map[string]func() Operator {
+	return map[string]func() Operator{
+		// Binary arithmetic (the experimental set of Section V).
+		"add": Add, "sub": Sub, "mul": Mul, "div": Div,
+		// Unary transforms.
+		"log": Log, "sqrt": Sqrt, "square": Square, "sigmoid": Sigmoid,
+		"tanh": Tanh, "round": Round, "abs": Abs, "reciprocal": Reciprocal,
+		// Normalisation.
+		"minmax": MinMax, "zscore": ZScore,
+		// Discretisation.
+		"bin_freq":     func() Operator { return Discretize(EqualFrequency, 10) },
+		"bin_width":    func() Operator { return Discretize(EqualWidth, 10) },
+		"bin_chimerge": func() Operator { return Discretize(ChiMergeBins, 10) },
+		// Logical.
+		"and": And, "or": Or, "xor": Xor, "nand": Nand, "nor": Nor,
+		"implies": Implies, "iff": Iff,
+		// GroupByThen*.
+		"groupby_max":   func() Operator { return GroupBy(GroupMax, 32) },
+		"groupby_min":   func() Operator { return GroupBy(GroupMin, 32) },
+		"groupby_avg":   func() Operator { return GroupBy(GroupAvg, 32) },
+		"groupby_std":   func() Operator { return GroupBy(GroupStdev, 32) },
+		"groupby_count": func() Operator { return GroupBy(GroupCount, 32) },
+		// Regression operator.
+		"ridge": func() Operator { return RidgeOp(1.0) },
+		// Ternary.
+		"cond": Conditional,
+		// n-ary row aggregates (Section III: MAX, MIN, MEAN "divided into
+		// different categories when they accept a different number of
+		// inputs").
+		"max2":  func() Operator { return RowMax(2) },
+		"min2":  func() Operator { return RowMin(2) },
+		"mean2": func() Operator { return RowMean(2) },
+		"max3":  func() Operator { return RowMax(3) },
+		"min3":  func() Operator { return RowMin(3) },
+		"mean3": func() Operator { return RowMean(3) },
+	}
+}
+
+// Register adds (or replaces) a named operator constructor.
+func (r *Registry) Register(name string, ctor func() Operator) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ops[name] = ctor
+}
+
+// Get instantiates the named operator.
+func (r *Registry) Get(name string) (Operator, error) {
+	r.mu.RLock()
+	ctor, ok := r.ops[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("operators: unknown operator %q", name)
+	}
+	return ctor(), nil
+}
+
+// GetAll instantiates a list of named operators.
+func (r *Registry) GetAll(names []string) ([]Operator, error) {
+	out := make([]Operator, 0, len(names))
+	for _, name := range names {
+		op, err := r.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, op)
+	}
+	return out, nil
+}
+
+// Names lists the registered operator names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.ops))
+	for name := range r.ops {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Commutative reports whether a binary operator's output is independent of
+// argument order. Non-commutative operators (e.g. "÷") are tried in both
+// orders during generation, which the paper models as distinct operators.
+func Commutative(name string) bool {
+	switch name {
+	case "add", "mul", "and", "or", "xor", "nand", "nor", "iff":
+		return true
+	default:
+		return false
+	}
+}
+
+// DefaultExperimentOperators is the operator set used throughout Section V:
+// "for simplicity and versatility, we only select four basic binary
+// operators +, −, × and ÷".
+func DefaultExperimentOperators() []string { return []string{"add", "sub", "mul", "div"} }

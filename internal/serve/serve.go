@@ -1,0 +1,150 @@
+// Package serve implements the real-time inference service of
+// Section IV-E3: an HTTP handler that loads a saved pipeline Ψ (and
+// optionally a saved GBDT model trained on Ψ's output) and scores raw
+// feature rows per request. It lives in internal/ so both cmd/safe-serve
+// and the tests exercise the exact same handler.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/gbdt"
+)
+
+// ScoreRequest is the JSON request body: either a dense row ordered as the
+// pipeline's OriginalNames, or a name->value map.
+type ScoreRequest struct {
+	Row    []float64          `json:"row,omitempty"`
+	Values map[string]float64 `json:"values,omitempty"`
+}
+
+// ScoreResponse is the JSON response: the engineered feature vector, the
+// feature names, and — when a model is attached — the model score.
+type ScoreResponse struct {
+	Features []float64 `json:"features"`
+	Names    []string  `json:"names,omitempty"`
+	Score    *float64  `json:"score,omitempty"`
+}
+
+// Handler scores rows through a pipeline and optional model.
+type Handler struct {
+	mu       sync.RWMutex
+	pipeline *core.Pipeline
+	model    *gbdt.Model
+}
+
+// NewHandler builds a handler for the given pipeline; model may be nil
+// (transform-only service).
+func NewHandler(p *core.Pipeline, model *gbdt.Model) (*Handler, error) {
+	if p == nil {
+		return nil, fmt.Errorf("serve: nil pipeline")
+	}
+	if model != nil && model.NumFeat != p.NumFeatures() {
+		return nil, fmt.Errorf("serve: model expects %d features, pipeline emits %d",
+			model.NumFeat, p.NumFeatures())
+	}
+	return &Handler{pipeline: p, model: model}, nil
+}
+
+// Swap atomically replaces the pipeline and model (hot reload).
+func (h *Handler) Swap(p *core.Pipeline, model *gbdt.Model) error {
+	if p == nil {
+		return fmt.Errorf("serve: nil pipeline")
+	}
+	if model != nil && model.NumFeat != p.NumFeatures() {
+		return fmt.Errorf("serve: model expects %d features, pipeline emits %d",
+			model.NumFeat, p.NumFeatures())
+	}
+	h.mu.Lock()
+	h.pipeline, h.model = p, model
+	h.mu.Unlock()
+	return nil
+}
+
+// ServeHTTP implements three routes:
+//
+//	POST /score   {"row":[...]} or {"values":{"x0":1,...}} -> features (+score)
+//	GET  /schema  -> pipeline input/output schema
+//	GET  /healthz -> 200 ok
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/healthz" && r.Method == http.MethodGet:
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	case r.URL.Path == "/schema" && r.Method == http.MethodGet:
+		h.handleSchema(w)
+	case r.URL.Path == "/score" && r.Method == http.MethodPost:
+		h.handleScore(w, r)
+	default:
+		http.Error(w, "not found", http.StatusNotFound)
+	}
+}
+
+type schemaResponse struct {
+	Inputs   []string `json:"inputs"`
+	Outputs  []string `json:"outputs"`
+	HasModel bool     `json:"has_model"`
+}
+
+func (h *Handler) handleSchema(w http.ResponseWriter) {
+	h.mu.RLock()
+	resp := schemaResponse{
+		Inputs:   h.pipeline.OriginalNames,
+		Outputs:  h.pipeline.Output,
+		HasModel: h.model != nil,
+	}
+	h.mu.RUnlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (h *Handler) handleScore(w http.ResponseWriter, r *http.Request) {
+	var req ScoreRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	h.mu.RLock()
+	p, model := h.pipeline, h.model
+	h.mu.RUnlock()
+
+	row := req.Row
+	if row == nil {
+		if req.Values == nil {
+			http.Error(w, `bad request: provide "row" or "values"`, http.StatusBadRequest)
+			return
+		}
+		row = make([]float64, len(p.OriginalNames))
+		for i, name := range p.OriginalNames {
+			v, ok := req.Values[name]
+			if !ok {
+				http.Error(w, fmt.Sprintf("bad request: missing value for %q", name), http.StatusBadRequest)
+				return
+			}
+			row[i] = v
+		}
+	}
+	features, err := p.TransformRow(row)
+	if err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp := ScoreResponse{Features: features, Names: p.Output}
+	if model != nil {
+		s := model.PredictRow(features)
+		resp.Score = &s
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are already out; nothing more to do.
+		_ = err
+	}
+}

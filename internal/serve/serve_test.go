@@ -1,0 +1,242 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/gbdt"
+)
+
+func fitArtifacts(t *testing.T) (*core.Pipeline, *gbdt.Model, *datagen.Dataset) {
+	t.Helper()
+	ds, err := datagen.Generate(datagen.Spec{
+		Name: "serve-test", Train: 2000, Test: 400, Dim: 8,
+		Interactions: 3, SignalScale: 2.5, Seed: 61,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.New(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _, err := eng.Fit(ds.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trNew, err := p.Transform(ds.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := make([][]float64, trNew.NumCols())
+	for j := range cols {
+		cols[j] = trNew.Columns[j].Values
+	}
+	cfg := gbdt.DefaultConfig()
+	cfg.NumTrees = 20
+	model, err := gbdt.Train(cols, trNew.Label, trNew.Names(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, model, ds
+}
+
+func postScore(t *testing.T, srv *httptest.Server, body interface{}) (*http.Response, ScoreResponse) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/score", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out ScoreResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, out
+}
+
+func TestScoreDenseRow(t *testing.T) {
+	p, model, ds := fitArtifacts(t)
+	h, err := NewHandler(p, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	row := ds.Test.Row(0, nil)
+	resp, out := postScore(t, srv, ScoreRequest{Row: row})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(out.Features) != p.NumFeatures() {
+		t.Errorf("got %d features, want %d", len(out.Features), p.NumFeatures())
+	}
+	if out.Score == nil || *out.Score < 0 || *out.Score > 1 {
+		t.Errorf("score = %v, want probability", out.Score)
+	}
+	// Agreement with direct evaluation.
+	want, err := p.TransformRow(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if out.Features[i] != want[i] {
+			t.Fatalf("feature %d: %v vs %v", i, out.Features[i], want[i])
+		}
+	}
+}
+
+func TestScoreNamedValues(t *testing.T) {
+	p, _, ds := fitArtifacts(t)
+	h, err := NewHandler(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	row := ds.Test.Row(1, nil)
+	values := map[string]float64{}
+	for i, name := range p.OriginalNames {
+		values[name] = row[i]
+	}
+	resp, out := postScore(t, srv, ScoreRequest{Values: values})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out.Score != nil {
+		t.Error("score present without a model")
+	}
+	want, _ := p.TransformRow(row)
+	for i := range want {
+		if out.Features[i] != want[i] {
+			t.Fatalf("feature %d mismatch", i)
+		}
+	}
+}
+
+func TestScoreBadRequests(t *testing.T) {
+	p, _, _ := fitArtifacts(t)
+	h, _ := NewHandler(p, nil)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	cases := []interface{}{
+		ScoreRequest{},                                    // neither row nor values
+		ScoreRequest{Row: []float64{1}},                   // wrong width
+		ScoreRequest{Values: map[string]float64{"x0": 1}}, // incomplete values
+	}
+	for i, c := range cases {
+		resp, _ := postScore(t, srv, c)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("case %d: status %d, want 400", i, resp.StatusCode)
+		}
+	}
+	// Malformed JSON.
+	resp, err := http.Post(srv.URL+"/score", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestSchemaAndHealth(t *testing.T) {
+	p, model, _ := fitArtifacts(t)
+	h, _ := NewHandler(p, model)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/schema")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var schema struct {
+		Inputs   []string `json:"inputs"`
+		Outputs  []string `json:"outputs"`
+		HasModel bool     `json:"has_model"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&schema); err != nil {
+		t.Fatal(err)
+	}
+	if len(schema.Inputs) != len(p.OriginalNames) || len(schema.Outputs) != p.NumFeatures() {
+		t.Errorf("schema = %+v", schema)
+	}
+	if !schema.HasModel {
+		t.Error("schema missing model flag")
+	}
+}
+
+func TestUnknownRoute(t *testing.T) {
+	p, _, _ := fitArtifacts(t)
+	h, _ := NewHandler(p, nil)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestHandlerValidation(t *testing.T) {
+	p, model, _ := fitArtifacts(t)
+	if _, err := NewHandler(nil, nil); err == nil {
+		t.Error("accepted nil pipeline")
+	}
+	// Width mismatch between model and pipeline.
+	bad := &core.Pipeline{OriginalNames: p.OriginalNames, Output: p.Output[:1]}
+	if _, err := NewHandler(bad, model); err == nil {
+		t.Error("accepted model/pipeline width mismatch")
+	}
+}
+
+func TestSwapHotReload(t *testing.T) {
+	p, model, ds := fitArtifacts(t)
+	h, _ := NewHandler(p, model)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	// Swap to a transform-only handler.
+	if err := h.Swap(p, nil); err != nil {
+		t.Fatal(err)
+	}
+	row := ds.Test.Row(2, nil)
+	resp, out := postScore(t, srv, ScoreRequest{Row: row})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d after swap", resp.StatusCode)
+	}
+	if out.Score != nil {
+		t.Error("score still present after swapping the model out")
+	}
+	if err := h.Swap(nil, nil); err == nil {
+		t.Error("Swap accepted nil pipeline")
+	}
+}

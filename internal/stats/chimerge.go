@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// ChiMerge discretises a feature against binary labels using the classic
+// bottom-up chi-squared interval merging algorithm. It starts from one
+// interval per distinct value (capped at maxInitial to bound cost) and
+// repeatedly merges the adjacent pair with the lowest chi-squared statistic
+// until at most maxBins intervals remain or every adjacent pair exceeds the
+// chi-squared threshold. It returns the interior cut points (ascending),
+// usable with Digitize.
+//
+// The paper lists ChiMerge among the discretisation operators of O1.
+func ChiMerge(feature, labels []float64, maxBins int, threshold float64) []float64 {
+	if maxBins < 2 {
+		maxBins = 2
+	}
+	type interval struct {
+		upper    float64 // inclusive upper bound
+		pos, neg float64
+	}
+
+	// Build initial intervals from (capped) distinct values.
+	idx := make([]int, 0, len(feature))
+	for i, v := range feature {
+		if !math.IsNaN(v) {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == 0 {
+		return nil
+	}
+	sort.Slice(idx, func(a, b int) bool { return feature[idx[a]] < feature[idx[b]] })
+
+	const maxInitial = 256
+	// Pre-quantise to at most maxInitial starting intervals via quantiles.
+	cuts := Quantiles(feature, maxInitial)
+	assign := Digitize(feature, cuts)
+	nb := len(cuts) + 1
+	ivs := make([]interval, 0, nb)
+	counts := make([][2]float64, nb)
+	uppers := make([]float64, nb)
+	for i := range uppers {
+		uppers[i] = math.Inf(-1)
+	}
+	for i, b := range assign {
+		if b < 0 {
+			continue
+		}
+		if labels[i] > 0.5 {
+			counts[b][0]++
+		} else {
+			counts[b][1]++
+		}
+		if feature[i] > uppers[b] {
+			uppers[b] = feature[i]
+		}
+	}
+	for b := 0; b < nb; b++ {
+		if counts[b][0]+counts[b][1] == 0 {
+			continue
+		}
+		ivs = append(ivs, interval{upper: uppers[b], pos: counts[b][0], neg: counts[b][1]})
+	}
+
+	chi2 := func(a, b interval) float64 {
+		// 2x2 chi-squared with expected counts from the merged interval.
+		rowA := a.pos + a.neg
+		rowB := b.pos + b.neg
+		colP := a.pos + b.pos
+		colN := a.neg + b.neg
+		total := rowA + rowB
+		if total == 0 || colP == 0 || colN == 0 || rowA == 0 || rowB == 0 {
+			return 0
+		}
+		x := 0.0
+		obs := [2][2]float64{{a.pos, a.neg}, {b.pos, b.neg}}
+		rows := [2]float64{rowA, rowB}
+		cols := [2]float64{colP, colN}
+		for r := 0; r < 2; r++ {
+			for c := 0; c < 2; c++ {
+				e := rows[r] * cols[c] / total
+				if e == 0 {
+					continue
+				}
+				d := obs[r][c] - e
+				x += d * d / e
+			}
+		}
+		return x
+	}
+
+	for len(ivs) > maxBins {
+		best := -1
+		bestChi := math.Inf(1)
+		for i := 0; i+1 < len(ivs); i++ {
+			x := chi2(ivs[i], ivs[i+1])
+			if x < bestChi {
+				bestChi = x
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		if len(ivs) <= maxBins && bestChi > threshold {
+			break
+		}
+		ivs[best].pos += ivs[best+1].pos
+		ivs[best].neg += ivs[best+1].neg
+		ivs[best].upper = ivs[best+1].upper
+		ivs = append(ivs[:best+1], ivs[best+2:]...)
+	}
+	// Continue merging below the threshold even once under maxBins.
+	for len(ivs) > 2 {
+		best := -1
+		bestChi := math.Inf(1)
+		for i := 0; i+1 < len(ivs); i++ {
+			x := chi2(ivs[i], ivs[i+1])
+			if x < bestChi {
+				bestChi = x
+				best = i
+			}
+		}
+		if best < 0 || bestChi > threshold {
+			break
+		}
+		ivs[best].pos += ivs[best+1].pos
+		ivs[best].neg += ivs[best+1].neg
+		ivs[best].upper = ivs[best+1].upper
+		ivs = append(ivs[:best+1], ivs[best+2:]...)
+	}
+
+	out := make([]float64, 0, len(ivs)-1)
+	for i := 0; i+1 < len(ivs); i++ {
+		out = append(out, ivs[i].upper)
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestChiMergeFindsBoundary(t *testing.T) {
+	// Labels flip exactly at x = 0: ChiMerge should place a cut near 0.
+	rng := rand.New(rand.NewSource(3))
+	n := 2000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = rng.Float64()*2 - 1
+		if xs[i] > 0 {
+			ys[i] = 1
+		}
+	}
+	cuts := ChiMerge(xs, ys, 4, 3.84)
+	if len(cuts) == 0 {
+		t.Fatal("ChiMerge produced no cuts")
+	}
+	closest := math.Inf(1)
+	for _, c := range cuts {
+		if d := math.Abs(c); d < closest {
+			closest = d
+		}
+	}
+	if closest > 0.05 {
+		t.Errorf("nearest cut to the true boundary is %v away, want < 0.05", closest)
+	}
+}
+
+func TestChiMergeRespectsMaxBins(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 1000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = rng.NormFloat64()
+		ys[i] = float64(rng.Intn(2))
+	}
+	for _, maxBins := range []int{2, 4, 8} {
+		cuts := ChiMerge(xs, ys, maxBins, 1e9) // huge threshold forces merging to maxBins or fewer
+		if len(cuts)+1 > maxBins {
+			t.Errorf("maxBins=%d produced %d bins", maxBins, len(cuts)+1)
+		}
+	}
+}
+
+func TestChiMergeAscendingCuts(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 500
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = rng.Float64() * 10
+		if xs[i] > 3 && xs[i] < 7 {
+			ys[i] = 1
+		}
+	}
+	cuts := ChiMerge(xs, ys, 6, 3.84)
+	for i := 1; i < len(cuts); i++ {
+		if cuts[i] <= cuts[i-1] {
+			t.Fatalf("cuts not strictly ascending: %v", cuts)
+		}
+	}
+}
+
+func TestChiMergeEmptyAndNaN(t *testing.T) {
+	if got := ChiMerge(nil, nil, 4, 3.84); got != nil {
+		t.Errorf("ChiMerge(nil) = %v, want nil", got)
+	}
+	xs := []float64{math.NaN(), math.NaN()}
+	ys := []float64{0, 1}
+	if got := ChiMerge(xs, ys, 4, 3.84); len(got) != 0 {
+		t.Errorf("ChiMerge(all NaN) = %v, want empty", got)
+	}
+}

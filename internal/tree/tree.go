@@ -1,0 +1,383 @@
+// Package tree implements a CART-style decision tree for binary
+// classification. It is the building block for the DT, RF, ET and AdaBoost
+// evaluators of Table III and for the FCTree baseline. Splits are found with
+// an exact greedy scan over sorted feature values; impurity is Gini or
+// entropy. Trees support per-row sample weights (required by AdaBoost) and
+// randomised split candidates (required by ExtraTrees).
+package tree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Criterion selects the impurity measure.
+type Criterion int
+
+const (
+	// Gini impurity: 2 p (1-p).
+	Gini Criterion = iota
+	// Entropy impurity: -p ln p - (1-p) ln (1-p).
+	Entropy
+)
+
+// Config holds tree hyper-parameters. Zero values get sensible defaults via
+// normalise.
+type Config struct {
+	MaxDepth        int       // <=0 means unlimited (capped at 64)
+	MinSamplesSplit int       // minimum rows to consider a split (default 2)
+	MinSamplesLeaf  int       // minimum rows per leaf (default 1)
+	Criterion       Criterion // impurity measure
+	MaxFeatures     int       // candidate features per split; <=0 means all
+	RandomSplits    bool      // ExtraTrees mode: one random threshold per feature
+	Seed            int64
+}
+
+func (c Config) normalise() Config {
+	if c.MaxDepth <= 0 || c.MaxDepth > 64 {
+		c.MaxDepth = 64
+	}
+	if c.MinSamplesSplit < 2 {
+		c.MinSamplesSplit = 2
+	}
+	if c.MinSamplesLeaf < 1 {
+		c.MinSamplesLeaf = 1
+	}
+	return c
+}
+
+// Node of the flat tree array; leaves have Feature == -1.
+type Node struct {
+	Feature   int
+	Threshold float64 // left when value <= Threshold
+	Left      int
+	Right     int
+	Prob      float64 // leaf: weighted positive-class probability
+	Gain      float64 // impurity decrease of the split (weighted)
+	Count     int
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (n *Node) IsLeaf() bool { return n.Feature < 0 }
+
+// Tree is a trained decision tree.
+type Tree struct {
+	Nodes   []Node
+	NumFeat int
+	cfg     Config
+}
+
+// Train fits a tree on column-major data with binary labels. weights may be
+// nil (uniform). The data is not retained.
+func Train(cols [][]float64, labels []float64, weights []float64, cfg Config) (*Tree, error) {
+	cfg = cfg.normalise()
+	m := len(cols)
+	if m == 0 {
+		return nil, errors.New("tree: no features")
+	}
+	n := len(labels)
+	if n == 0 {
+		return nil, errors.New("tree: no rows")
+	}
+	for j := range cols {
+		if len(cols[j]) != n {
+			return nil, fmt.Errorf("tree: column %d has %d rows, want %d", j, len(cols[j]), n)
+		}
+	}
+	if weights == nil {
+		weights = make([]float64, n)
+		for i := range weights {
+			weights[i] = 1
+		}
+	} else if len(weights) != n {
+		return nil, fmt.Errorf("tree: %d weights for %d rows", len(weights), n)
+	}
+
+	t := &Tree{NumFeat: m, cfg: cfg}
+	b := &builder{
+		cols:    cols,
+		labels:  labels,
+		weights: weights,
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = i
+	}
+	t.Nodes = append(t.Nodes, Node{Feature: -1, Count: n})
+	b.grow(t, 0, rows, 0)
+	return t, nil
+}
+
+type builder struct {
+	cols    [][]float64
+	labels  []float64
+	weights []float64
+	cfg     Config
+	rng     *rand.Rand
+}
+
+func (b *builder) impurity(posW, totW float64) float64 {
+	if totW <= 0 {
+		return 0
+	}
+	p := posW / totW
+	switch b.cfg.Criterion {
+	case Entropy:
+		if p <= 0 || p >= 1 {
+			return 0
+		}
+		return -p*math.Log(p) - (1-p)*math.Log(1-p)
+	default:
+		return 2 * p * (1 - p)
+	}
+}
+
+type split struct {
+	feature   int
+	threshold float64
+	gain      float64
+}
+
+func (b *builder) grow(t *Tree, nodeIdx int, rows []int, depth int) {
+	var posW, totW float64
+	for _, r := range rows {
+		w := b.weights[r]
+		totW += w
+		if b.labels[r] > 0.5 {
+			posW += w
+		}
+	}
+	prob := 0.5
+	if totW > 0 {
+		prob = posW / totW
+	}
+
+	if depth >= b.cfg.MaxDepth || len(rows) < b.cfg.MinSamplesSplit || posW == 0 || posW == totW {
+		t.Nodes[nodeIdx].Prob = prob
+		return
+	}
+
+	best := b.findSplit(rows, posW, totW)
+	if best.feature < 0 {
+		t.Nodes[nodeIdx].Prob = prob
+		return
+	}
+
+	col := b.cols[best.feature]
+	var left, right []int
+	for _, r := range rows {
+		v := col[r]
+		if math.IsNaN(v) || v <= best.threshold {
+			left = append(left, r)
+		} else {
+			right = append(right, r)
+		}
+	}
+	if len(left) < b.cfg.MinSamplesLeaf || len(right) < b.cfg.MinSamplesLeaf {
+		t.Nodes[nodeIdx].Prob = prob
+		return
+	}
+
+	li := len(t.Nodes)
+	t.Nodes = append(t.Nodes, Node{Feature: -1, Count: len(left)})
+	ri := len(t.Nodes)
+	t.Nodes = append(t.Nodes, Node{Feature: -1, Count: len(right)})
+	nd := &t.Nodes[nodeIdx]
+	nd.Feature = best.feature
+	nd.Threshold = best.threshold
+	nd.Gain = best.gain
+	nd.Left = li
+	nd.Right = ri
+
+	b.grow(t, li, left, depth+1)
+	b.grow(t, ri, right, depth+1)
+}
+
+func (b *builder) candidateFeatures() []int {
+	m := len(b.cols)
+	k := b.cfg.MaxFeatures
+	if k <= 0 || k >= m {
+		out := make([]int, m)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	perm := b.rng.Perm(m)
+	return perm[:k]
+}
+
+func (b *builder) findSplit(rows []int, posW, totW float64) split {
+	parentImp := b.impurity(posW, totW)
+	best := split{feature: -1}
+	bestGain := 1e-12
+
+	type pair struct {
+		v, y, w float64
+	}
+	buf := make([]pair, len(rows))
+
+	for _, j := range b.candidateFeatures() {
+		col := b.cols[j]
+		if b.cfg.RandomSplits {
+			// ExtraTrees: a single uniform-random threshold in [min,max).
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for _, r := range rows {
+				v := col[r]
+				if math.IsNaN(v) {
+					continue
+				}
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			if !(hi > lo) {
+				continue
+			}
+			thr := lo + b.rng.Float64()*(hi-lo)
+			var lp, lt float64
+			ln, rn := 0, 0
+			for _, r := range rows {
+				v := col[r]
+				w := b.weights[r]
+				if math.IsNaN(v) || v <= thr {
+					lt += w
+					ln++
+					if b.labels[r] > 0.5 {
+						lp += w
+					}
+				} else {
+					rn++
+				}
+			}
+			if ln < b.cfg.MinSamplesLeaf || rn < b.cfg.MinSamplesLeaf {
+				continue
+			}
+			rp := posW - lp
+			rt := totW - lt
+			gain := parentImp - (lt/totW)*b.impurity(lp, lt) - (rt/totW)*b.impurity(rp, rt)
+			if gain > bestGain {
+				bestGain = gain
+				best = split{feature: j, threshold: thr, gain: gain * totW}
+			}
+			continue
+		}
+
+		// Exact scan over sorted values.
+		k := 0
+		for _, r := range rows {
+			v := col[r]
+			if math.IsNaN(v) {
+				continue
+			}
+			buf[k] = pair{v: v, y: b.labels[r], w: b.weights[r]}
+			k++
+		}
+		if k < 2 {
+			continue
+		}
+		part := buf[:k]
+		sort.Slice(part, func(a, c int) bool { return part[a].v < part[c].v })
+
+		var lp, lt float64
+		for i := 0; i+1 < k; i++ {
+			lt += part[i].w
+			if part[i].y > 0.5 {
+				lp += part[i].w
+			}
+			if part[i].v == part[i+1].v {
+				continue
+			}
+			if i+1 < b.cfg.MinSamplesLeaf || k-i-1 < b.cfg.MinSamplesLeaf {
+				continue
+			}
+			rp := posW - lp
+			rt := totW - lt
+			gain := parentImp - (lt/totW)*b.impurity(lp, lt) - (rt/totW)*b.impurity(rp, rt)
+			if gain > bestGain {
+				bestGain = gain
+				best = split{feature: j, threshold: part[i].v, gain: gain * totW}
+			}
+		}
+	}
+	return best
+}
+
+// PredictRow returns the positive-class probability for one row.
+func (t *Tree) PredictRow(row []float64) float64 {
+	i := 0
+	for {
+		n := &t.Nodes[i]
+		if n.IsLeaf() {
+			return n.Prob
+		}
+		v := row[n.Feature]
+		if math.IsNaN(v) || v <= n.Threshold {
+			i = n.Left
+		} else {
+			i = n.Right
+		}
+	}
+}
+
+// Predict scores column-major data.
+func (t *Tree) Predict(cols [][]float64) []float64 {
+	if len(cols) == 0 {
+		return nil
+	}
+	n := len(cols[0])
+	out := make([]float64, n)
+	row := make([]float64, len(cols))
+	for i := 0; i < n; i++ {
+		for j := range cols {
+			row[j] = cols[j][i]
+		}
+		out[i] = t.PredictRow(row)
+	}
+	return out
+}
+
+// FeatureImportance returns total split gain per feature, normalised to sum
+// to 1 when any split exists.
+func (t *Tree) FeatureImportance() []float64 {
+	imp := make([]float64, t.NumFeat)
+	total := 0.0
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		if n.IsLeaf() {
+			continue
+		}
+		imp[n.Feature] += n.Gain
+		total += n.Gain
+	}
+	if total > 0 {
+		for j := range imp {
+			imp[j] /= total
+		}
+	}
+	return imp
+}
+
+// SplitFeatures returns the distinct features used anywhere in the tree, in
+// first-use (breadth) order of the node array.
+func (t *Tree) SplitFeatures() []int {
+	seen := make(map[int]bool)
+	var out []int
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		if n.IsLeaf() || seen[n.Feature] {
+			continue
+		}
+		seen[n.Feature] = true
+		out = append(out, n.Feature)
+	}
+	return out
+}

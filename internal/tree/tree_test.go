@@ -1,0 +1,204 @@
+package tree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func thresholdData(n int, seed int64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	cols := [][]float64{make([]float64, n), make([]float64, n)}
+	labels := make([]float64, n)
+	for i := 0; i < n; i++ {
+		cols[0][i] = rng.Float64() * 10
+		cols[1][i] = rng.NormFloat64()
+		if cols[0][i] > 5 {
+			labels[i] = 1
+		}
+	}
+	return cols, labels
+}
+
+func TestValidation(t *testing.T) {
+	cols, labels := thresholdData(20, 1)
+	if _, err := Train(nil, labels, nil, Config{}); err == nil {
+		t.Error("accepted no features")
+	}
+	if _, err := Train(cols, nil, nil, Config{}); err == nil {
+		t.Error("accepted no rows")
+	}
+	if _, err := Train(cols, labels, []float64{1}, Config{}); err == nil {
+		t.Error("accepted weight length mismatch")
+	}
+	if _, err := Train([][]float64{{1}, {1, 2}}, []float64{0}, nil, Config{}); err == nil {
+		t.Error("accepted ragged columns")
+	}
+}
+
+func TestLearnsThreshold(t *testing.T) {
+	cols, labels := thresholdData(1000, 2)
+	tr, err := Train(cols, labels, nil, Config{MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc := metrics.AUC(tr.Predict(cols), labels)
+	if auc < 0.99 {
+		t.Errorf("AUC on a simple threshold = %v, want >= 0.99", auc)
+	}
+	// The root split should be on feature 0 near 5.
+	root := tr.Nodes[0]
+	if root.Feature != 0 {
+		t.Errorf("root split feature = %d, want 0", root.Feature)
+	}
+	if math.Abs(root.Threshold-5) > 0.5 {
+		t.Errorf("root threshold = %v, want near 5", root.Threshold)
+	}
+}
+
+func TestEntropyCriterion(t *testing.T) {
+	cols, labels := thresholdData(500, 3)
+	tr, err := Train(cols, labels, nil, Config{MaxDepth: 3, Criterion: Entropy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc := metrics.AUC(tr.Predict(cols), labels); auc < 0.99 {
+		t.Errorf("entropy-criterion AUC = %v, want >= 0.99", auc)
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	cols, labels := thresholdData(500, 4)
+	tr, err := Train(cols, labels, nil, Config{MaxDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Depth-1 tree has at most 3 nodes.
+	if len(tr.Nodes) > 3 {
+		t.Errorf("depth-1 tree has %d nodes", len(tr.Nodes))
+	}
+}
+
+func TestMinSamplesLeaf(t *testing.T) {
+	cols, labels := thresholdData(100, 5)
+	tr, err := Train(cols, labels, nil, Config{MaxDepth: 10, MinSamplesLeaf: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Nodes {
+		if tr.Nodes[i].IsLeaf() && tr.Nodes[i].Count < 30 {
+			t.Errorf("leaf with %d rows violates MinSamplesLeaf=30", tr.Nodes[i].Count)
+		}
+	}
+}
+
+func TestWeightedTraining(t *testing.T) {
+	// Rows with zero weight must not influence the tree: give weight only
+	// to rows where x1 determines the label, zero elsewhere.
+	rng := rand.New(rand.NewSource(6))
+	n := 600
+	cols := [][]float64{make([]float64, n), make([]float64, n)}
+	labels := make([]float64, n)
+	weights := make([]float64, n)
+	for i := 0; i < n; i++ {
+		cols[0][i] = rng.NormFloat64()
+		cols[1][i] = rng.NormFloat64()
+		if i < n/2 {
+			// Weighted half: label follows x1.
+			weights[i] = 1
+			if cols[1][i] > 0 {
+				labels[i] = 1
+			}
+		} else {
+			// Unweighted half: label follows x0 (a decoy).
+			weights[i] = 0
+			if cols[0][i] > 0 {
+				labels[i] = 1
+			}
+		}
+	}
+	tr, err := Train(cols, labels, weights, Config{MaxDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Nodes[0].Feature != 1 {
+		t.Errorf("root split on feature %d; weighted rows dictate feature 1", tr.Nodes[0].Feature)
+	}
+}
+
+func TestExtraTreesRandomSplits(t *testing.T) {
+	cols, labels := thresholdData(800, 7)
+	tr, err := Train(cols, labels, nil, Config{MaxDepth: 6, RandomSplits: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc := metrics.AUC(tr.Predict(cols), labels); auc < 0.9 {
+		t.Errorf("ExtraTrees-mode AUC = %v, want >= 0.9", auc)
+	}
+}
+
+func TestFeatureImportanceNormalised(t *testing.T) {
+	cols, labels := thresholdData(500, 8)
+	tr, err := Train(cols, labels, nil, Config{MaxDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := tr.FeatureImportance()
+	sum := 0.0
+	for _, v := range imp {
+		if v < 0 {
+			t.Errorf("negative importance %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("importances sum to %v, want 1", sum)
+	}
+	if imp[0] < imp[1] {
+		t.Errorf("signal feature importance %v below noise %v", imp[0], imp[1])
+	}
+}
+
+func TestSplitFeatures(t *testing.T) {
+	cols, labels := thresholdData(500, 9)
+	tr, err := Train(cols, labels, nil, Config{MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats := tr.SplitFeatures()
+	if len(feats) == 0 {
+		t.Fatal("no split features")
+	}
+	if feats[0] != 0 {
+		t.Errorf("first split feature = %d, want 0", feats[0])
+	}
+}
+
+func TestPureNodeStops(t *testing.T) {
+	cols := [][]float64{{1, 2, 3, 4}}
+	labels := []float64{1, 1, 1, 1}
+	tr, err := Train(cols, labels, nil, Config{MaxDepth: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Nodes) != 1 {
+		t.Errorf("pure data grew %d nodes, want 1", len(tr.Nodes))
+	}
+	if p := tr.PredictRow([]float64{2}); p != 1 {
+		t.Errorf("pure leaf prob = %v, want 1", p)
+	}
+}
+
+func TestNaNRowsGoLeft(t *testing.T) {
+	cols, labels := thresholdData(300, 10)
+	tr, err := Train(cols, labels, nil, Config{MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tr.PredictRow([]float64{math.NaN(), math.NaN()})
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		t.Errorf("NaN prediction = %v, want a probability", p)
+	}
+}

@@ -1,0 +1,178 @@
+// Package safe is the public API of this reproduction of "SAFE: Scalable
+// Automatic Feature Engineering Framework for Industrial Tasks" (Shi et al.,
+// ICDE 2020). SAFE learns a feature generation function Ψ from a labelled
+// training set in two stages per iteration: XGBoost-path-guided feature
+// generation, then a three-stage selection pipeline (Information Value
+// filter, Pearson redundancy removal, XGBoost gain ranking).
+//
+// Quickstart:
+//
+//	train, _ := safe.ReadCSVFile("train.csv", "label")
+//	eng, _ := safe.New(safe.DefaultConfig())
+//	pipeline, report, _ := eng.Fit(train)
+//	transformed, _ := pipeline.Transform(train)      // batch
+//	features, _ := pipeline.TransformRow(rawRow)     // real-time inference
+//
+// Every generated feature carries an interpretable formula (e.g.
+// "(x3 * x7)"), and new operators can be plugged in through a Registry.
+package safe
+
+import (
+	"io"
+
+	"repro/internal/clf"
+	"repro/internal/core"
+	"repro/internal/frame"
+	"repro/internal/metrics"
+	"repro/internal/operators"
+)
+
+// Config configures the SAFE engineer; see core.Config for field docs.
+type Config = core.Config
+
+// Pipeline is the learned feature generation function Ψ.
+type Pipeline = core.Pipeline
+
+// Report summarises a Fit run per iteration.
+type Report = core.Report
+
+// IterationReport records stage sizes within one iteration.
+type IterationReport = core.IterationReport
+
+// SelectionConfig configures the standalone selection pipeline.
+type SelectionConfig = core.SelectionConfig
+
+// Frame is the columnar dataset type consumed by SAFE.
+type Frame = frame.Frame
+
+// Column is one named feature column of a Frame.
+type Column = frame.Column
+
+// Registry maps operator names to constructors; custom domain operators
+// register here.
+type Registry = operators.Registry
+
+// Operator generates one feature from one or more input features.
+type Operator = operators.Operator
+
+// Applier is a fitted operator application.
+type Applier = operators.Applier
+
+// Arity is the number of inputs an operator consumes.
+type Arity = operators.Arity
+
+// Operator arities.
+const (
+	Unary   = operators.Unary
+	Binary  = operators.Binary
+	Ternary = operators.Ternary
+)
+
+// Engineer runs the SAFE algorithm.
+type Engineer struct {
+	inner *core.Engineer
+}
+
+// DefaultConfig returns the paper's experimental configuration: operators
+// {+,−,×,÷}, α=0.1, β=10, θ=0.8, one iteration, 2M output budget.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DefaultSelectionConfig returns the paper's selection thresholds.
+func DefaultSelectionConfig() SelectionConfig { return core.DefaultSelectionConfig() }
+
+// New validates the configuration and constructs an Engineer.
+func New(cfg Config) (*Engineer, error) {
+	inner, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Engineer{inner: inner}, nil
+}
+
+// Fit learns Ψ from a labelled training frame.
+func (e *Engineer) Fit(train *Frame) (*Pipeline, *Report, error) {
+	return e.inner.Fit(train)
+}
+
+// NewRegistry returns an operator registry pre-populated with the paper's
+// catalogue (arithmetic, logical, transforms, normalisation, discretisation,
+// GroupByThen*, ridge, conditional).
+func NewRegistry() *Registry { return operators.NewRegistry() }
+
+// LoadPipeline reads a pipeline saved with Pipeline.Save, reconstructing
+// every fitted operator. This is the deployment path: train offline, save
+// Ψ as JSON, load in the serving process and call TransformRow per request.
+func LoadPipeline(r io.Reader) (*Pipeline, error) { return core.LoadPipeline(r) }
+
+// LoadPipelineFile reads a pipeline from a JSON file.
+func LoadPipelineFile(path string) (*Pipeline, error) { return core.LoadPipelineFile(path) }
+
+// Select runs SAFE's three-stage feature selection over candidate columns,
+// returning selected indices best-first.
+func Select(cols [][]float64, labels []float64, cfg SelectionConfig) ([]int, error) {
+	return core.Select(cols, labels, cfg)
+}
+
+// ReadCSV parses a CSV stream with a header row; labelCol may be "".
+func ReadCSV(r io.Reader, labelCol string) (*Frame, error) {
+	return frame.ReadCSV(r, labelCol)
+}
+
+// ReadCSVFile parses a CSV file; labelCol may be "".
+func ReadCSVFile(path, labelCol string) (*Frame, error) {
+	return frame.ReadCSVFile(path, labelCol)
+}
+
+// Classifier scores frames with positive-class probabilities. The nine
+// evaluation classifiers of the paper's Table III are available through
+// TrainClassifier.
+type Classifier struct {
+	model clf.Model
+	names []string
+}
+
+// ClassifierNames lists the available classifier keys (AB, DT, ET, kNN, LR,
+// MLP, RF, SVM, XGB).
+func ClassifierNames() []string { return clf.Names() }
+
+// TrainClassifier fits one of the nine evaluation classifiers on a labelled
+// frame with default parameters.
+func TrainClassifier(name string, train *Frame, seed int64) (*Classifier, error) {
+	cols := colsOf(train)
+	model, err := clf.Train(name, cols, train.Label, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Classifier{model: model, names: train.Names()}, nil
+}
+
+// Predict scores a frame (columns are matched positionally; use the same
+// pipeline output ordering as at training time).
+func (c *Classifier) Predict(f *Frame) []float64 {
+	return c.model.Predict(colsOf(f))
+}
+
+// AUC computes the area under the ROC curve of scores against binary labels.
+func AUC(scores, labels []float64) float64 { return metrics.AUC(scores, labels) }
+
+// Accuracy computes thresholded accuracy at 0.5.
+func Accuracy(scores, labels []float64) float64 { return metrics.Accuracy(scores, labels) }
+
+// LogLoss computes mean negative log-likelihood.
+func LogLoss(scores, labels []float64) float64 { return metrics.LogLoss(scores, labels) }
+
+// KS computes the Kolmogorov-Smirnov statistic (max |TPR−FPR|), the standard
+// discrimination metric in financial risk modelling.
+func KS(scores, labels []float64) float64 { return metrics.KS(scores, labels) }
+
+// PRAUC computes the area under the precision-recall curve — often more
+// informative than ROC AUC on heavily imbalanced fraud data.
+func PRAUC(scores, labels []float64) float64 { return metrics.PRAUC(scores, labels) }
+
+func colsOf(f *Frame) [][]float64 {
+	cols := make([][]float64, f.NumCols())
+	for j := range cols {
+		cols[j] = f.Columns[j].Values
+	}
+	return cols
+}
