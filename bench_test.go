@@ -6,11 +6,17 @@
 package safe_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"repro"
 	"repro/internal/experiments"
+	"repro/internal/gbdt"
+	"repro/internal/serve"
 )
 
 // benchOptions returns a configuration small enough for `go test -bench=.`
@@ -209,6 +215,104 @@ func BenchmarkPipelineTransformBatch(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkPipelineTransformRowsBatchedVsLoop quantifies the batching win:
+// the same 256 rows through TransformBatch (one columnar pass) vs a
+// TransformRow loop. Both report rows/sec.
+func BenchmarkPipelineTransformRowsBatchedVsLoop(b *testing.B) {
+	ds := benchDataset(b, 2000, 12)
+	eng, err := safe.New(safe.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pipeline, _, err := eng.Fit(ds.Train)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 256
+	rows := make([][]float64, batch)
+	for i := range rows {
+		rows[i] = ds.Test.Row(i%ds.Test.NumRows(), nil)
+	}
+	b.Run("batched", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pipeline.TransformBatch(rows); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "rows/s")
+	})
+	b.Run("row-at-a-time", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, row := range rows {
+				if _, err := pipeline.TransformRow(row); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "rows/s")
+	})
+}
+
+// BenchmarkServeBatchedPredict measures end-to-end serving throughput:
+// batched /predict over HTTP, including JSON codec, registry resolution,
+// the columnar transform, and GBDT scoring. Reported in rows/sec.
+func BenchmarkServeBatchedPredict(b *testing.B) {
+	ds := benchDataset(b, 2000, 12)
+	eng, err := safe.New(safe.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pipeline, _, err := eng.Fit(ds.Train)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := pipeline.Transform(ds.Train)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cols := make([][]float64, tr.NumCols())
+	for j := range cols {
+		cols[j] = tr.Columns[j].Values
+	}
+	cfg := gbdt.DefaultConfig()
+	cfg.NumTrees = 30
+	model, err := gbdt.Train(cols, tr.Label, tr.Names(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := serve.NewRegistry()
+	if err := reg.Register("bench", "v1", pipeline, model); err != nil {
+		b.Fatal(err)
+	}
+	srv := httptest.NewServer(serve.NewServer(reg, serve.Options{}))
+	defer srv.Close()
+
+	const batch = 128
+	rows := make([][]float64, batch)
+	for i := range rows {
+		rows[i] = ds.Test.Row(i%ds.Test.NumRows(), nil)
+	}
+	body, err := json.Marshal(serve.BatchRequest{Rows: rows})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(srv.URL+"/predict", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "rows/s")
 }
 
 func BenchmarkClassifierXGB(b *testing.B) {

@@ -9,18 +9,36 @@
 //	safe-bench -experiment table8 -business-scale 0.01
 //	safe-bench -experiment fig3,fig4,searchspace,assumptions
 //	safe-bench -datasets banknote,magic -clfs LR,XGB -repeats 5
+//	safe-bench -experiment serving -serve-clients 8 -serve-batch 128
 //
 // Experiments: table3, table5, table6, table8, fig3, fig4, searchspace,
-// assumptions, ablation, all.
+// assumptions, ablation, serving, all.
+//
+// The serving experiment trains a pipeline + GBDT model, stands up the
+// internal/serve HTTP server in-process, and drives concurrent batched
+// /predict load against it, reporting sustained rows/sec and latency
+// quantiles.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
+	"repro/internal/core"
+	"repro/internal/datagen"
 	"repro/internal/experiments"
+	"repro/internal/gbdt"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -35,6 +53,10 @@ func main() {
 		clfs          = flag.String("clfs", "", "comma-separated classifier subset (default: all 9)")
 		seed          = flag.Int64("seed", 0, "base random seed")
 		jsonDir       = flag.String("json", "", "also write structured results as JSON into this directory")
+		serveClients  = flag.Int("serve-clients", 4, "concurrent clients for the serving experiment")
+		serveBatch    = flag.Int("serve-batch", 128, "rows per request for the serving experiment")
+		serveRequests = flag.Int("serve-requests", 100, "requests per client for the serving experiment")
+		serveCache    = flag.Int("serve-cache", 0, "feature cache capacity for the serving experiment (0 disables)")
 	)
 	flag.Parse()
 
@@ -56,7 +78,7 @@ func main() {
 		run[strings.TrimSpace(e)] = true
 	}
 	if run["all"] {
-		for _, e := range []string{"table3", "table5", "table6", "table8", "fig3", "fig4", "searchspace", "assumptions", "ablation"} {
+		for _, e := range []string{"table3", "table5", "table6", "table8", "fig3", "fig4", "searchspace", "assumptions", "ablation", "serving"} {
 			run[e] = true
 		}
 	}
@@ -104,6 +126,141 @@ func main() {
 		res, err := experiments.RunAblation(opts, w)
 		export("ablation", res, err)
 	}
+	if run["serving"] {
+		res, err := runServing(servingOptions{
+			Clients:   *serveClients,
+			Batch:     *serveBatch,
+			Requests:  *serveRequests,
+			CacheSize: *serveCache,
+			Seed:      *seed,
+		}, w)
+		export("serving", res, err)
+	}
+}
+
+type servingOptions struct {
+	Clients   int
+	Batch     int
+	Requests  int
+	CacheSize int
+	Seed      int64
+}
+
+// servingResult is the structured output of the serving experiment.
+type servingResult struct {
+	Clients     int     `json:"clients"`
+	Batch       int     `json:"batch"`
+	Requests    uint64  `json:"requests"`
+	Rows        uint64  `json:"rows"`
+	Failed      uint64  `json:"failed"`
+	Seconds     float64 `json:"seconds"`
+	RowsPerSec  float64 `json:"rows_per_sec"`
+	P50us       float64 `json:"p50_us"`
+	P99us       float64 `json:"p99_us"`
+	NumFeatures int     `json:"num_features"`
+}
+
+// runServing stands up the serving layer in-process and drives concurrent
+// batched /predict load against it, reporting sustained throughput.
+func runServing(opts servingOptions, w io.Writer) (*servingResult, error) {
+	ds, err := datagen.Generate(datagen.Spec{
+		Name: "serving-bench", Train: 4000, Test: 1000, Dim: 12,
+		Interactions: 4, SignalScale: 2.5, Seed: 31 + opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.New(core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	pipeline, _, err := eng.Fit(ds.Train)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := pipeline.Transform(ds.Train)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([][]float64, tr.NumCols())
+	for j := range cols {
+		cols[j] = tr.Columns[j].Values
+	}
+	mcfg := gbdt.DefaultConfig()
+	mcfg.NumTrees = 30
+	model, err := gbdt.Train(cols, tr.Label, tr.Names(), mcfg)
+	if err != nil {
+		return nil, err
+	}
+
+	reg := serve.NewRegistry()
+	if err := reg.Register("bench", "v1", pipeline, model); err != nil {
+		return nil, err
+	}
+	srv := httptest.NewServer(serve.NewServer(reg, serve.Options{CacheSize: opts.CacheSize}))
+	defer srv.Close()
+
+	rows := make([][]float64, opts.Batch)
+	for i := range rows {
+		rows[i] = ds.Test.Row(i%ds.Test.NumRows(), nil)
+	}
+	body, err := json.Marshal(serve.BatchRequest{Rows: rows})
+	if err != nil {
+		return nil, err
+	}
+
+	var wg sync.WaitGroup
+	var failed atomic.Uint64
+	start := time.Now()
+	for c := 0; c < opts.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < opts.Requests; i++ {
+				resp, err := http.Post(srv.URL+"/predict", "application/json", bytes.NewReader(body))
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				if _, err := io.Copy(io.Discard, resp.Body); err != nil || resp.StatusCode != http.StatusOK {
+					failed.Add(1)
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Pull the server's own latency view.
+	statsResp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer statsResp.Body.Close()
+	var stats serve.StatsResponse
+	if err := json.NewDecoder(statsResp.Body).Decode(&stats); err != nil {
+		return nil, err
+	}
+
+	res := &servingResult{
+		Clients:     opts.Clients,
+		Batch:       opts.Batch,
+		Requests:    stats.Requests,
+		Rows:        stats.Rows,
+		Failed:      failed.Load(),
+		Seconds:     elapsed.Seconds(),
+		RowsPerSec:  float64(stats.Rows) / elapsed.Seconds(),
+		P50us:       stats.Latency.P50us,
+		P99us:       stats.Latency.P99us,
+		NumFeatures: pipeline.NumFeatures(),
+	}
+	fmt.Fprintf(w, "\nServing throughput (batched /predict, %d features)\n", res.NumFeatures)
+	fmt.Fprintf(w, "  clients=%d batch=%d requests=%d rows=%d failed=%d\n",
+		res.Clients, res.Batch, res.Requests, res.Rows, res.Failed)
+	fmt.Fprintf(w, "  %.0f rows/sec over %.2fs, latency p50=%.0fus p99=%.0fus\n",
+		res.RowsPerSec, res.Seconds, res.P50us, res.P99us)
+	return res, nil
 }
 
 func check(err error) {

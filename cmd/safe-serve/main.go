@@ -1,15 +1,26 @@
-// Command safe-serve runs the real-time inference HTTP service of
-// Section IV-E3: it loads a pipeline Ψ saved by `safe -save-pipeline` (and
-// optionally a GBDT model trained on Ψ's output) and scores raw feature
-// rows per request.
+// Command safe-serve runs the online serving layer: a registry of named,
+// versioned pipelines behind batched /transform and /predict endpoints,
+// with an optional feature cache, request metrics, and hot-swappable
+// versions (Section IV-E3 of the paper at production shape).
 //
-//	safe-serve -pipeline pipeline.json [-model model.json] [-addr :8080]
+// Serve a model directory (dir/<name>/<version>/pipeline.json, optional
+// model.json per version; lexically greatest version starts active):
+//
+//	safe-serve -models ./models [-addr :8080] [-max-batch 4096] [-cache 65536]
+//
+// Or serve a single pipeline file (the v1 invocation still works):
+//
+//	safe-serve -pipeline pipeline.json [-model model.json] [-name risk] [-version v1]
 //
 // Routes:
 //
-//	POST /score   {"row":[...]} or {"values":{"x0":1,...}}
-//	GET  /schema
-//	GET  /healthz
+//	POST /transform        {"pipeline":"risk","rows":[[...],...]}
+//	POST /predict          same, plus model scores
+//	POST /score            {"row":[...]} or {"values":{"x0":1,...}}
+//	POST /admin/activate   {"pipeline":"risk","version":"v2"}
+//	GET  /pipelines /schema /stats /healthz
+//
+// See docs/serving.md for the full API contract.
 package main
 
 import (
@@ -26,33 +37,54 @@ import (
 
 func main() {
 	var (
-		pipelinePath = flag.String("pipeline", "", "pipeline JSON (required)")
-		modelPath    = flag.String("model", "", "optional GBDT model JSON")
+		modelsDir    = flag.String("models", "", "model directory: <name>/<version>/pipeline.json [+ model.json]")
+		pipelinePath = flag.String("pipeline", "", "single pipeline JSON (alternative to -models)")
+		modelPath    = flag.String("model", "", "optional GBDT model JSON for -pipeline")
+		name         = flag.String("name", "default", "registry name for -pipeline")
+		version      = flag.String("version", "v1", "registry version for -pipeline")
 		addr         = flag.String("addr", ":8080", "listen address")
+		maxBatch     = flag.Int("max-batch", serve.DefaultMaxBatch, "max rows per /transform or /predict request")
+		maxBody      = flag.Int64("max-body", serve.DefaultMaxBodyBytes, "max request body size in bytes")
+		cacheSize    = flag.Int("cache", 0, "feature cache capacity in rows (0 disables)")
 	)
 	flag.Parse()
-	if *pipelinePath == "" {
-		fmt.Fprintln(os.Stderr, "safe-serve: -pipeline is required")
+	if *modelsDir == "" && *pipelinePath == "" {
+		fmt.Fprintln(os.Stderr, "safe-serve: one of -models or -pipeline is required")
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	pipeline, err := core.LoadPipelineFile(*pipelinePath)
-	if err != nil {
-		log.Fatalf("safe-serve: %v", err)
-	}
-	var model *gbdt.Model
-	if *modelPath != "" {
-		model, err = gbdt.LoadFile(*modelPath)
+	reg := serve.NewRegistry()
+	if *modelsDir != "" {
+		n, err := reg.LoadDir(*modelsDir)
 		if err != nil {
 			log.Fatalf("safe-serve: %v", err)
 		}
+		log.Printf("safe-serve: loaded %d pipeline version(s) from %s", n, *modelsDir)
 	}
-	h, err := serve.NewHandler(pipeline, model)
-	if err != nil {
-		log.Fatalf("safe-serve: %v", err)
+	if *pipelinePath != "" {
+		pipeline, err := core.LoadPipelineFile(*pipelinePath)
+		if err != nil {
+			log.Fatalf("safe-serve: %v", err)
+		}
+		var model *gbdt.Model
+		if *modelPath != "" {
+			if model, err = gbdt.LoadFile(*modelPath); err != nil {
+				log.Fatalf("safe-serve: %v", err)
+			}
+		}
+		if err := reg.Register(*name, *version, pipeline, model); err != nil {
+			log.Fatalf("safe-serve: %v", err)
+		}
 	}
-	log.Printf("safe-serve: %d inputs -> %d features (model: %v), listening on %s",
-		len(pipeline.OriginalNames), pipeline.NumFeatures(), model != nil, *addr)
-	log.Fatal(http.ListenAndServe(*addr, h))
+
+	for _, info := range reg.Snapshot() {
+		log.Printf("safe-serve: pipeline %q versions=%v active=%s inputs=%d outputs=%d model=%v",
+			info.Name, info.Versions, info.Active, info.Inputs, info.Outputs, info.HasModel)
+	}
+	s := serve.NewServer(reg, serve.Options{
+		MaxBatch: *maxBatch, MaxBodyBytes: *maxBody, CacheSize: *cacheSize,
+	})
+	log.Printf("safe-serve: listening on %s (max-batch %d, cache %d)", *addr, *maxBatch, *cacheSize)
+	log.Fatal(http.ListenAndServe(*addr, s))
 }

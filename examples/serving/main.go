@@ -1,36 +1,35 @@
-// Serving: the deployment story of Section IV-E3 (real-time inference).
-// Train SAFE offline, save the learned pipeline Ψ as JSON, reload it in a
-// fresh "serving process", and score single raw rows through
-// Pipeline.TransformRow — demonstrating that the saved artefact is
-// self-contained (all fitted operator parameters travel with it).
+// Serving: the deployment story of Section IV-E3 at production shape.
+// Train SAFE offline twice (a champion and a challenger configuration),
+// publish both as versions v1 and v2 of one named pipeline in a model
+// directory, load them into the serving layer, drive concurrent batched
+// /predict traffic against both, and hot-swap the active version mid-load —
+// verifying that not a single request fails during the swap.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro"
+	"repro/internal/gbdt"
+	"repro/internal/serve"
 )
 
 func main() {
-	// ---- offline training side ----
+	// ---- offline training side: two pipeline versions ----
 	ds, err := safe.GenerateDataset(safe.DatasetSpec{
 		Name: "serving", Train: 5000, Test: 1000, Dim: 12,
 		Informative: 2, Interactions: 4, SignalScale: 2.5, Seed: 51,
 	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	cfg := safe.DefaultConfig()
-	cfg.Operators = []string{"add", "sub", "mul", "div", "zscore", "groupby_avg"}
-	eng, err := safe.New(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	pipeline, _, err := eng.Fit(ds.Train)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,56 +39,155 @@ func main() {
 		log.Fatal(err)
 	}
 	defer os.RemoveAll(dir)
-	path := filepath.Join(dir, "pipeline.json")
-	if err := pipeline.SaveFile(path); err != nil {
-		log.Fatal(err)
-	}
-	info, _ := os.Stat(path)
-	fmt.Printf("offline: trained Ψ with %d features, saved %d bytes to %s\n",
-		pipeline.NumFeatures(), info.Size(), path)
 
-	// Train the downstream model on the engineered representation.
-	trNew, err := pipeline.Transform(ds.Train)
-	if err != nil {
-		log.Fatal(err)
-	}
-	model, err := safe.TrainClassifier("XGB", trNew, 1)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// ---- serving side: a fresh process would only have the JSON file ----
-	served, err := safe.LoadPipelineFile(path)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("serving: loaded Ψ (%d nodes, %d outputs)\n",
-		len(served.Nodes), served.NumFeatures())
-
-	// Score 5 "requests" end to end and measure per-row latency.
-	start := time.Now()
-	const requests = 1000
-	row := make([]float64, ds.Test.NumCols())
-	for i := 0; i < requests; i++ {
-		ds.Test.Row(i%ds.Test.NumRows(), row)
-		if _, err := served.TransformRow(row); err != nil {
-			log.Fatal(err)
-		}
-	}
-	perRow := time.Since(start) / requests
-	fmt.Printf("serving: TransformRow latency = %v/request (%d requests)\n", perRow, requests)
-
-	fmt.Println("\nrequest  score    label")
-	for i := 0; i < 5; i++ {
-		ds.Test.Row(i, row)
-		feats, err := served.TransformRow(row)
+	train := func(version string, ops []string) *safe.Pipeline {
+		cfg := safe.DefaultConfig()
+		cfg.Operators = ops
+		eng, err := safe.New(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		single := &safe.Frame{}
-		for j, name := range served.Output {
-			single.AddColumn(name, []float64{feats[j]})
+		pipeline, _, err := eng.Fit(ds.Train)
+		if err != nil {
+			log.Fatal(err)
 		}
-		fmt.Printf("%7d  %.4f   %v\n", i, model.Predict(single)[0], ds.Test.Label[i])
+		vdir := filepath.Join(dir, "risk", version)
+		if err := os.MkdirAll(vdir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		if err := pipeline.SaveFile(filepath.Join(vdir, "pipeline.json")); err != nil {
+			log.Fatal(err)
+		}
+		// Train the downstream GBDT on this version's representation and
+		// publish it next to the pipeline.
+		tr, err := pipeline.Transform(ds.Train)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cols := make([][]float64, tr.NumCols())
+		for j := range cols {
+			cols[j] = tr.Columns[j].Values
+		}
+		mcfg := gbdt.DefaultConfig()
+		mcfg.NumTrees = 30
+		model, err := gbdt.Train(cols, tr.Label, tr.Names(), mcfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := model.SaveFile(filepath.Join(vdir, "model.json")); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("offline: risk@%s trained, %d features\n", version, pipeline.NumFeatures())
+		return pipeline
 	}
+	train("v1", []string{"add", "sub", "mul", "div"})
+	train("v2", []string{"add", "sub", "mul", "div", "zscore", "groupby_avg"})
+
+	// ---- serving side: a fresh process would only have the directory ----
+	reg := serve.NewRegistry()
+	n, err := reg.LoadDir(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	server := serve.NewServer(reg, serve.Options{MaxBatch: 1024, CacheSize: 4096})
+	srv := httptest.NewServer(server)
+	defer srv.Close()
+	fmt.Printf("serving: loaded %d versions, active versions: %v\n", n, actives(reg))
+
+	// Drive concurrent batched traffic: half the clients pin v1, half pin
+	// v2, and one stream uses the active (unpinned) version while it is
+	// hot-swapped from v2 back to v1 mid-load.
+	const (
+		clients   = 4
+		perClient = 50
+		batchSize = 64
+	)
+	rows := make([][]float64, batchSize)
+	for i := range rows {
+		rows[i] = ds.Test.Row(i%ds.Test.NumRows(), nil)
+	}
+
+	var wg sync.WaitGroup
+	var failed, served atomic.Uint64
+	post := func(req serve.BatchRequest) bool {
+		data, _ := json.Marshal(req)
+		resp, err := http.Post(srv.URL+"/predict", "application/json", bytes.NewReader(data))
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		var out serve.BatchResponse
+		if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&out) != nil {
+			return false
+		}
+		return len(out.Scores) == batchSize
+	}
+
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		version := "v1"
+		if c%2 == 1 {
+			version = "v2"
+		}
+		wg.Add(1)
+		go func(version string) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				if post(serve.BatchRequest{Pipeline: "risk", Version: version, Rows: rows}) {
+					served.Add(batchSize)
+				} else {
+					failed.Add(1)
+				}
+			}
+		}(version)
+	}
+	// Unpinned stream with a hot swap halfway through.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < perClient; i++ {
+			if i == perClient/2 {
+				if err := reg.Activate("risk", "v1"); err != nil {
+					failed.Add(1)
+				}
+				fmt.Println("serving: hot-swapped active version v2 -> v1 mid-traffic")
+			}
+			if post(serve.BatchRequest{Pipeline: "risk", Rows: rows}) {
+				served.Add(batchSize)
+			} else {
+				failed.Add(1)
+			}
+		}
+	}()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	fmt.Printf("serving: %d rows scored in %v (%.0f rows/sec), %d failed requests\n",
+		served.Load(), elapsed.Round(time.Millisecond),
+		float64(served.Load())/elapsed.Seconds(), failed.Load())
+
+	// Pull the server's own view of the run.
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats serve.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stats: requests=%d errors=%d rows=%d p50=%.0fus p99=%.0fus cache hits=%d misses=%d\n",
+		stats.Requests, stats.Errors, stats.Rows,
+		stats.Latency.P50us, stats.Latency.P99us, stats.Cache.Hits, stats.Cache.Misses)
+	if failed.Load() > 0 {
+		log.Fatalf("serving: %d requests failed — hot swap dropped traffic", failed.Load())
+	}
+}
+
+func actives(reg *serve.Registry) map[string]string {
+	out := map[string]string{}
+	for _, info := range reg.Snapshot() {
+		out[info.Name] = info.Active
+	}
+	return out
 }

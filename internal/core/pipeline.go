@@ -1,8 +1,3 @@
-// Package core implements SAFE itself (Algorithm 1 of the paper): iterative
-// feature generation guided by XGBoost path mining (Section IV-B) followed
-// by the three-stage selection pipeline (Section IV-C). The output of Fit is
-// a Pipeline — the feature generation function Ψ — which can transform whole
-// frames for batch scoring or single rows for real-time inference.
 package core
 
 import (
@@ -127,6 +122,66 @@ func (p *Pipeline) TransformRow(row []float64) ([]float64, error) {
 			return nil, fmt.Errorf("core: transform row: unknown output column %q", name)
 		}
 		out[i] = v
+	}
+	return out, nil
+}
+
+// TransformBatch applies Ψ to a batch of raw rows (each ordered as
+// OriginalNames) in one columnar pass and returns the output feature matrix,
+// row-major. Unlike calling TransformRow per row, each operator is applied
+// once to whole columns, so the per-node dispatch and map lookups are
+// amortised over the batch — this is the serving-side entry point for
+// batched /transform and /predict traffic.
+func (p *Pipeline) TransformBatch(rows [][]float64) ([][]float64, error) {
+	n := len(rows)
+	if n == 0 {
+		return nil, nil
+	}
+	// Scatter the row-major input into original columns.
+	cols := make(map[string][]float64, len(p.OriginalNames)+len(p.Nodes))
+	flat := make([]float64, n*len(p.OriginalNames))
+	for j, name := range p.OriginalNames {
+		col := flat[j*n : (j+1)*n]
+		cols[name] = col
+	}
+	for i, row := range rows {
+		if len(row) != len(p.OriginalNames) {
+			return nil, fmt.Errorf("core: transform batch: row %d has %d values, want %d",
+				i, len(row), len(p.OriginalNames))
+		}
+		for j, name := range p.OriginalNames {
+			cols[name][i] = row[j]
+		}
+	}
+	for i := range p.Nodes {
+		node := &p.Nodes[i]
+		in := make([][]float64, len(node.Inputs))
+		for k, dep := range node.Inputs {
+			c, ok := cols[dep]
+			if !ok {
+				return nil, fmt.Errorf("core: transform batch: node %q needs unknown column %q", node.Name, dep)
+			}
+			in[k] = c
+		}
+		cols[node.Name] = node.Applier.Transform(in)
+	}
+	// Gather the selected outputs back into row-major form.
+	outFlat := make([]float64, n*len(p.Output))
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = outFlat[i*len(p.Output) : (i+1)*len(p.Output)]
+	}
+	for j, name := range p.Output {
+		c, ok := cols[name]
+		if !ok {
+			return nil, fmt.Errorf("core: transform batch: unknown output column %q", name)
+		}
+		if len(c) != n {
+			return nil, fmt.Errorf("core: transform batch: column %q has %d rows, want %d", name, len(c), n)
+		}
+		for i := 0; i < n; i++ {
+			out[i][j] = c[i]
+		}
 	}
 	return out, nil
 }

@@ -1,0 +1,59 @@
+package frame
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHashRowDeterministic(t *testing.T) {
+	row := []float64{1, 2.5, -3, math.NaN(), 0}
+	if HashRow(row) != HashRow(append([]float64(nil), row...)) {
+		t.Error("identical rows hash differently")
+	}
+	other := []float64{1, 2.5, -3, math.NaN(), 1}
+	if HashRow(row) == HashRow(other) {
+		t.Error("distinct rows collided (1-element change)")
+	}
+}
+
+func TestHashRowOrderSensitive(t *testing.T) {
+	if HashRow([]float64{1, 2}) == HashRow([]float64{2, 1}) {
+		t.Error("hash ignores element order")
+	}
+	if HashRow([]float64{0}) == HashRow([]float64{0, 0}) {
+		t.Error("hash ignores length")
+	}
+}
+
+func TestFrameRowHashMatchesHashRow(t *testing.T) {
+	f := NewWithShape(3, 4)
+	f.Col(1)[2] = 7.25
+	f.Col(3)[0] = math.Inf(1)
+	for i := 0; i < f.NumRows(); i++ {
+		if got, want := f.RowHash(i), HashRow(f.Row(i, nil)); got != want {
+			t.Errorf("row %d: RowHash %x != HashRow %x", i, got, want)
+		}
+	}
+}
+
+func TestHashStringChains(t *testing.T) {
+	a := HashFloats(HashString(HashSeed(), "model-a"), []float64{1, 2})
+	b := HashFloats(HashString(HashSeed(), "model-b"), []float64{1, 2})
+	if a == b {
+		t.Error("different string prefixes collided")
+	}
+}
+
+func TestRowsEqual(t *testing.T) {
+	a := []float64{1, math.NaN(), 3}
+	b := []float64{1, math.NaN(), 3}
+	if !RowsEqual(a, b) {
+		t.Error("NaN-equal rows reported unequal")
+	}
+	if RowsEqual(a, []float64{1, math.NaN()}) {
+		t.Error("length mismatch reported equal")
+	}
+	if RowsEqual(a, []float64{1, 2, 3}) {
+		t.Error("value mismatch reported equal")
+	}
+}

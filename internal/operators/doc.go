@@ -1,0 +1,30 @@
+// Package operators implements the feature-generation operator framework of
+// Section III: unary operators (mathematical transforms, normalisation,
+// discretisation), binary operators (arithmetic, logical, GroupByThen*,
+// ridge regression) and ternary operators (the conditional a?b:c). New
+// operators register through the same interfaces, satisfying the paper's
+// requirement that "new operators should be easily added".
+//
+// Operators are split into a stateless compute step and an optional Fit
+// step that learns parameters from training data (bin edges, normalisation
+// statistics, group aggregates):
+//
+//   - Operator is the unfitted form: a name, an arity, and Fit. Fitting
+//     binds it to training columns and yields an Applier.
+//
+//   - Applier is the fitted form: it evaluates whole columns (Transform)
+//     or a single row (TransformRow) using only the parameters captured at
+//     fit time, so it is safe to apply to unseen data.
+//
+//   - Registry maps operator names to constructors. core.Engineer consults
+//     it when expanding candidate features, and custom operators added to a
+//     registry participate in generation like the built-ins.
+//
+//   - persist.go round-trips fitted Appliers through JSON (EncodeApplier /
+//     DecodeApplier) so a saved core.Pipeline carries every learned
+//     parameter. Custom appliers opt in via PersistableApplier.
+//
+// A fitted operator application is a Generated feature: it carries an
+// interpretable formula string and can be evaluated row-by-row for
+// real-time inference.
+package operators

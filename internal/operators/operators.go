@@ -1,15 +1,3 @@
-// Package operators implements the feature-generation operator framework of
-// Section III: unary operators (mathematical transforms, normalisation,
-// discretisation), binary operators (arithmetic, logical, GroupByThen*,
-// ridge regression) and ternary operators (the conditional a?b:c). New
-// operators register through the same interfaces, satisfying the paper's
-// requirement that "new operators should be easily added".
-//
-// Operators are split into a stateless compute step and an optional Fit step
-// that learns parameters from training data (bin edges, normalisation
-// statistics, group aggregates). A fitted operator application is a
-// Generated feature: it carries an interpretable formula string and can be
-// evaluated row-by-row for real-time inference.
 package operators
 
 import (

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/frame"
+)
+
+// cached is one materialised result: the engineered features (and model
+// score, when computed) for a raw row. The raw row is kept so a 64-bit hash
+// collision degrades to a miss instead of serving another entity's features.
+type cached struct {
+	key      uint64
+	row      []float64
+	features []float64
+	score    float64
+	hasScore bool
+}
+
+// FeatureCache is an LRU cache of engineered feature vectors keyed by
+// pipeline identity and raw-row hash. Risk-scoring traffic is heavily
+// skewed — the same entity is scored many times in a burst — so caching the
+// transform output skips the whole Ψ evaluation for repeated rows.
+type FeatureCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List
+	items    map[uint64]*list.Element
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// NewFeatureCache returns an LRU cache holding up to capacity rows.
+// Capacity <= 0 returns nil, which every method treats as a disabled cache.
+func NewFeatureCache(capacity int) *FeatureCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &FeatureCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[uint64]*list.Element, capacity),
+	}
+}
+
+// cacheKey derives the cache key for a raw row scored by entry e. The
+// pipeline name and version prefix the hash so the same row scored by two
+// versions occupies two slots; each string is length-suffixed so distinct
+// (name, version) pairs never chain to the same byte sequence.
+func cacheKey(e *Entry, row []float64) uint64 {
+	h := frame.HashString(frame.HashSeed(), e.Name)
+	h = frame.HashUint64(h, uint64(len(e.Name)))
+	h = frame.HashString(h, e.Version)
+	h = frame.HashUint64(h, uint64(len(e.Version)))
+	return frame.HashFloats(h, row)
+}
+
+// Get returns the cached result for (key, row), verifying the stored row to
+// rule out hash collisions. The returned cached value and its slices must be
+// treated as immutable.
+func (c *FeatureCache) Get(key uint64, row []float64) (*cached, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	var ent *cached
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		// Read the value while still holding the lock: Put may replace
+		// el.Value concurrently.
+		ent = el.Value.(*cached)
+	}
+	c.mu.Unlock()
+	if ent == nil {
+		c.misses.Add(1)
+		return nil, false
+	}
+	if !frame.RowsEqual(ent.row, row) {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return ent, true
+}
+
+// Put stores a result, copying both slices: row so callers may reuse their
+// buffers, features so a cached entry does not pin the whole batch's backing
+// array (TransformBatch returns rows as views into one flat allocation).
+func (c *FeatureCache) Put(key uint64, row, features []float64, score *float64) {
+	if c == nil {
+		return
+	}
+	ent := &cached{
+		key:      key,
+		row:      append([]float64(nil), row...),
+		features: append([]float64(nil), features...),
+	}
+	if score != nil {
+		ent.score, ent.hasScore = *score, true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value = ent
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(ent)
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cached).key)
+	}
+}
+
+// CacheStats is the cache section of the /stats response.
+type CacheStats struct {
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Size     int    `json:"size"`
+	Capacity int    `json:"capacity"`
+}
+
+// Stats returns current hit/miss counters and occupancy.
+func (c *FeatureCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	size := c.ll.Len()
+	c.mu.Unlock()
+	return CacheStats{
+		Hits:     c.hits.Load(),
+		Misses:   c.misses.Load(),
+		Size:     size,
+		Capacity: c.capacity,
+	}
+}

@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRegistryConcurrentSwap hammers Get/Activate/Snapshot/Register from
+// many goroutines. Run with -race; the invariant is that every Get returns
+// a fully-formed entry of the expected pipeline.
+func TestRegistryConcurrentSwap(t *testing.T) {
+	f := artifacts(t)
+	reg := NewRegistry()
+	if err := reg.Register("risk", "v1", f.p1, f.m1); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("risk", "v2", f.p2, f.m2); err != nil {
+		t.Fatal(err)
+	}
+
+	const iters = 500
+	var wg sync.WaitGroup
+	var failures atomic.Uint64
+
+	// Readers resolving the active version.
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				e, err := reg.Get("risk", "")
+				if err != nil || e == nil || e.Pipeline == nil || e.Model == nil {
+					failures.Add(1)
+					continue
+				}
+				if e.Model.NumFeat != e.Pipeline.NumFeatures() {
+					failures.Add(1) // torn entry: model paired with wrong pipeline
+				}
+			}
+		}()
+	}
+	// Swapper flipping the active version.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		versions := []string{"v1", "v2"}
+		for i := 0; i < iters; i++ {
+			if err := reg.Activate("risk", versions[i%2]); err != nil {
+				failures.Add(1)
+			}
+		}
+	}()
+	// Writer registering new names while readers run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			name := fmt.Sprintf("side-%d", i)
+			if err := reg.Register(name, "v1", f.p1, nil); err != nil {
+				failures.Add(1)
+			}
+		}
+	}()
+	// Listing concurrently.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			for _, info := range reg.Snapshot() {
+				if info.Name == "" {
+					failures.Add(1)
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("%d failures under concurrent swap", n)
+	}
+	if got := len(reg.Names()); got != 51 {
+		t.Errorf("registry holds %d names, want 51", got)
+	}
+}
+
+// TestHotSwapUnderLoad drives batched /predict traffic from several clients
+// while the active version is flipped continuously. No request may fail, and
+// every response must be internally consistent with the version it reports.
+func TestHotSwapUnderLoad(t *testing.T) {
+	f := artifacts(t)
+	s, srv := newTestServer(t, Options{CacheSize: 256})
+
+	widths := map[string]int{"v1": f.p1.NumFeatures(), "v2": f.p2.NumFeatures()}
+	const clients = 6
+	const perClient = 40
+	rows := testRows(f, 8)
+
+	var clientsWG, swapWG sync.WaitGroup
+	var failed atomic.Uint64
+	stop := make(chan struct{})
+
+	// Continuous hot-swapping in the background until the clients finish.
+	swapWG.Add(1)
+	go func() {
+		defer swapWG.Done()
+		versions := []string{"v2", "v1"}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := s.Registry().Activate("risk", versions[i%2]); err != nil {
+				failed.Add(1)
+			}
+		}
+	}()
+
+	for c := 0; c < clients; c++ {
+		clientsWG.Add(1)
+		go func() {
+			defer clientsWG.Done()
+			for i := 0; i < perClient; i++ {
+				resp := postJSON(t, srv.URL+"/predict", BatchRequest{Rows: rows, ReturnFeatures: true})
+				if resp.StatusCode != http.StatusOK {
+					failed.Add(1)
+					resp.Body.Close()
+					continue
+				}
+				var out BatchResponse
+				decode(t, resp, &out)
+				// The response must be wholly from one version: width of
+				// every feature row matches the reported version.
+				want, ok := widths[out.Version]
+				if !ok || len(out.Scores) != len(rows) {
+					failed.Add(1)
+					continue
+				}
+				for _, feats := range out.Features {
+					if len(feats) != want {
+						failed.Add(1)
+						break
+					}
+				}
+			}
+		}()
+	}
+
+	clientsWG.Wait()
+	close(stop)
+	swapWG.Wait()
+
+	if n := failed.Load(); n != 0 {
+		t.Fatalf("%d failed or inconsistent requests during hot swap", n)
+	}
+}
+
+// TestSwapKeepsInFlightEntry pins the semantics Activate promises: an entry
+// resolved before a swap stays fully usable afterwards.
+func TestSwapKeepsInFlightEntry(t *testing.T) {
+	f := artifacts(t)
+	reg := NewRegistry()
+	if err := reg.Register("risk", "v1", f.p1, f.m1); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("risk", "v2", f.p2, f.m2); err != nil {
+		t.Fatal(err)
+	}
+	e, err := reg.Get("risk", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Activate("risk", "v2"); err != nil {
+		t.Fatal(err)
+	}
+	// The old entry still transforms and scores.
+	row := f.ds.Test.Row(0, nil)
+	feats, err := e.Pipeline.TransformRow(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feats) != f.p1.NumFeatures() {
+		t.Errorf("in-flight entry width %d, want %d", len(feats), f.p1.NumFeatures())
+	}
+	_ = e.Model.PredictRow(feats)
+
+	now, err := reg.Get("risk", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if now.Version != "v2" {
+		t.Errorf("active after swap = %s, want v2", now.Version)
+	}
+}
+
+func BenchmarkRegistryGet(b *testing.B) {
+	f := artifactsBench(b)
+	reg := NewRegistry()
+	if err := reg.Register("risk", "v1", f.p1, f.m1); err != nil {
+		b.Fatal(err)
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := reg.Get("risk", ""); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// artifactsBench adapts the shared fixture for benchmarks.
+func artifactsBench(b *testing.B) fixture {
+	b.Helper()
+	buildFixture()
+	if fixErr != nil {
+		b.Fatal(fixErr)
+	}
+	return fix
+}

@@ -1,143 +1,371 @@
-// Package serve implements the real-time inference service of
-// Section IV-E3: an HTTP handler that loads a saved pipeline Ψ (and
-// optionally a saved GBDT model trained on Ψ's output) and scores raw
-// feature rows per request. It lives in internal/ so both cmd/safe-serve
-// and the tests exercise the exact same handler.
 package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
-	"sync"
-
-	"repro/internal/core"
-	"repro/internal/gbdt"
+	"time"
 )
 
-// ScoreRequest is the JSON request body: either a dense row ordered as the
-// pipeline's OriginalNames, or a name->value map.
-type ScoreRequest struct {
-	Row    []float64          `json:"row,omitempty"`
-	Values map[string]float64 `json:"values,omitempty"`
+// DefaultMaxBatch caps how many rows a single /transform or /predict request
+// may carry when Options.MaxBatch is unset.
+const DefaultMaxBatch = 4096
+
+// DefaultMaxBodyBytes bounds a request body when Options.MaxBodyBytes is
+// unset. The row-count limit alone cannot protect memory — the body is
+// decoded before rows can be counted — so the byte cap is enforced first.
+const DefaultMaxBodyBytes = 32 << 20
+
+// Options configures a Server.
+type Options struct {
+	// MaxBatch is the largest accepted rows-per-request; <= 0 means
+	// DefaultMaxBatch. Oversized batches are rejected with 413.
+	MaxBatch int
+	// MaxBodyBytes is the largest accepted request body; <= 0 means
+	// DefaultMaxBodyBytes. Oversized bodies are rejected with 413.
+	MaxBodyBytes int64
+	// CacheSize is the feature-cache capacity in rows; <= 0 disables the
+	// cache.
+	CacheSize int
 }
 
-// ScoreResponse is the JSON response: the engineered feature vector, the
-// feature names, and — when a model is attached — the model score.
+// Server is the HTTP serving layer: it exposes every pipeline in a Registry
+// through batched transform/predict endpoints, with an optional feature
+// cache and request metrics.
+type Server struct {
+	registry *Registry
+	cache    *FeatureCache
+	metrics  *Metrics
+	maxBatch int
+	maxBody  int64
+}
+
+// NewServer builds a server over the given registry.
+func NewServer(reg *Registry, opts Options) *Server {
+	maxBatch := opts.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = DefaultMaxBatch
+	}
+	maxBody := opts.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = DefaultMaxBodyBytes
+	}
+	return &Server{
+		registry: reg,
+		cache:    NewFeatureCache(opts.CacheSize),
+		metrics:  NewMetrics(),
+		maxBatch: maxBatch,
+		maxBody:  maxBody,
+	}
+}
+
+// decodeBody decodes a JSON request body under the byte cap, writing the
+// error response itself on failure: 413 for an oversized body, 400 for
+// malformed JSON. Returns the written status and whether decoding succeeded.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) (int, bool) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", s.maxBody)), false
+		}
+		return writeError(w, http.StatusBadRequest, "bad request: "+err.Error()), false
+	}
+	return http.StatusOK, true
+}
+
+// Registry returns the server's registry, for in-process administration
+// (registering or activating versions while serving).
+func (s *Server) Registry() *Registry { return s.registry }
+
+// BatchRequest is the JSON body of POST /transform and POST /predict. Rows
+// are dense and ordered as the pipeline's input schema (GET /schema).
+type BatchRequest struct {
+	// Pipeline selects the registered pipeline by name; optional when
+	// exactly one pipeline is registered.
+	Pipeline string `json:"pipeline,omitempty"`
+	// Version pins a specific version; empty means the active one.
+	Version string `json:"version,omitempty"`
+	// Rows is the request batch, each row ordered as the input schema.
+	Rows [][]float64 `json:"rows"`
+	// ReturnFeatures asks /predict to include the engineered features in
+	// the response alongside the scores.
+	ReturnFeatures bool `json:"return_features,omitempty"`
+}
+
+// BatchResponse is the JSON body returned by /transform and /predict.
+type BatchResponse struct {
+	Pipeline string      `json:"pipeline"`
+	Version  string      `json:"version"`
+	Names    []string    `json:"names,omitempty"`
+	Features [][]float64 `json:"features,omitempty"`
+	Scores   []float64   `json:"scores,omitempty"`
+}
+
+// ScoreRequest is the JSON body of POST /score (single-row endpoint):
+// either a dense row ordered as the input schema, or a name->value map.
+type ScoreRequest struct {
+	Pipeline string             `json:"pipeline,omitempty"`
+	Version  string             `json:"version,omitempty"`
+	Row      []float64          `json:"row,omitempty"`
+	Values   map[string]float64 `json:"values,omitempty"`
+}
+
+// ScoreResponse is the JSON body returned by /score.
 type ScoreResponse struct {
 	Features []float64 `json:"features"`
 	Names    []string  `json:"names,omitempty"`
 	Score    *float64  `json:"score,omitempty"`
 }
 
-// Handler scores rows through a pipeline and optional model.
-type Handler struct {
-	mu       sync.RWMutex
-	pipeline *core.Pipeline
-	model    *gbdt.Model
+// activateRequest is the JSON body of POST /admin/activate.
+type activateRequest struct {
+	Pipeline string `json:"pipeline"`
+	Version  string `json:"version"`
 }
 
-// NewHandler builds a handler for the given pipeline; model may be nil
-// (transform-only service).
-func NewHandler(p *core.Pipeline, model *gbdt.Model) (*Handler, error) {
-	if p == nil {
-		return nil, fmt.Errorf("serve: nil pipeline")
-	}
-	if model != nil && model.NumFeat != p.NumFeatures() {
-		return nil, fmt.Errorf("serve: model expects %d features, pipeline emits %d",
-			model.NumFeat, p.NumFeatures())
-	}
-	return &Handler{pipeline: p, model: model}, nil
-}
-
-// Swap atomically replaces the pipeline and model (hot reload).
-func (h *Handler) Swap(p *core.Pipeline, model *gbdt.Model) error {
-	if p == nil {
-		return fmt.Errorf("serve: nil pipeline")
-	}
-	if model != nil && model.NumFeat != p.NumFeatures() {
-		return fmt.Errorf("serve: model expects %d features, pipeline emits %d",
-			model.NumFeat, p.NumFeatures())
-	}
-	h.mu.Lock()
-	h.pipeline, h.model = p, model
-	h.mu.Unlock()
-	return nil
-}
-
-// ServeHTTP implements three routes:
+// ServeHTTP routes:
 //
-//	POST /score   {"row":[...]} or {"values":{"x0":1,...}} -> features (+score)
-//	GET  /schema  -> pipeline input/output schema
-//	GET  /healthz -> 200 ok
-func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+//	POST /transform       batched feature engineering
+//	POST /predict         batched feature engineering + model scoring
+//	POST /score           single row (back-compatible with the v1 service)
+//	POST /admin/activate  hot-swap the active version of a pipeline
+//	GET  /pipelines       registry listing
+//	GET  /schema          input/output schema of one pipeline
+//	GET  /stats           request counters, latency quantiles, cache stats
+//	GET  /healthz         liveness
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case r.URL.Path == "/healthz" && r.Method == http.MethodGet:
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
+	case r.URL.Path == "/stats" && r.Method == http.MethodGet:
+		writeJSON(w, http.StatusOK, s.metrics.snapshot(s.cache, s.registry))
+	case r.URL.Path == "/pipelines" && r.Method == http.MethodGet:
+		writeJSON(w, http.StatusOK, s.registry.Snapshot())
 	case r.URL.Path == "/schema" && r.Method == http.MethodGet:
-		h.handleSchema(w)
+		s.handleSchema(w, r)
+	case r.URL.Path == "/transform" && r.Method == http.MethodPost:
+		s.handleBatch(w, r, false)
+	case r.URL.Path == "/predict" && r.Method == http.MethodPost:
+		s.handleBatch(w, r, true)
 	case r.URL.Path == "/score" && r.Method == http.MethodPost:
-		h.handleScore(w, r)
+		s.handleScore(w, r)
+	case r.URL.Path == "/admin/activate" && r.Method == http.MethodPost:
+		s.handleActivate(w, r)
 	default:
-		http.Error(w, "not found", http.StatusNotFound)
+		writeError(w, http.StatusNotFound, "not found")
 	}
 }
 
 type schemaResponse struct {
+	Pipeline string   `json:"pipeline"`
+	Version  string   `json:"version"`
 	Inputs   []string `json:"inputs"`
 	Outputs  []string `json:"outputs"`
 	HasModel bool     `json:"has_model"`
 }
 
-func (h *Handler) handleSchema(w http.ResponseWriter) {
-	h.mu.RLock()
-	resp := schemaResponse{
-		Inputs:   h.pipeline.OriginalNames,
-		Outputs:  h.pipeline.Output,
-		HasModel: h.model != nil,
-	}
-	h.mu.RUnlock()
-	writeJSON(w, http.StatusOK, resp)
-}
-
-func (h *Handler) handleScore(w http.ResponseWriter, r *http.Request) {
-	var req ScoreRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	e, err := s.registry.Get(q.Get("pipeline"), q.Get("version"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
 		return
 	}
-	h.mu.RLock()
-	p, model := h.pipeline, h.model
-	h.mu.RUnlock()
+	writeJSON(w, http.StatusOK, schemaResponse{
+		Pipeline: e.Name,
+		Version:  e.Version,
+		Inputs:   e.Pipeline.OriginalNames,
+		Outputs:  e.Pipeline.Output,
+		HasModel: e.Model != nil,
+	})
+}
 
+func (s *Server) handleActivate(w http.ResponseWriter, r *http.Request) {
+	var req activateRequest
+	if _, ok := s.decodeBody(w, r, &req); !ok {
+		return
+	}
+	if err := s.registry.Activate(req.Pipeline, req.Version); err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{
+		"pipeline": req.Pipeline, "active": req.Version,
+	})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, predict bool) {
+	start := time.Now()
+	nRows, status := s.serveBatch(w, r, predict)
+	s.metrics.Observe(time.Since(start), nRows, status >= 400)
+}
+
+// serveBatch decodes, validates and executes one batched request, returning
+// the row count and response status for metrics.
+func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request, predict bool) (int, int) {
+	var req BatchRequest
+	if status, ok := s.decodeBody(w, r, &req); !ok {
+		return 0, status
+	}
+	if len(req.Rows) == 0 {
+		return 0, writeError(w, http.StatusBadRequest, `bad request: "rows" must be a non-empty array`)
+	}
+	if len(req.Rows) > s.maxBatch {
+		return 0, writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d rows exceeds limit %d", len(req.Rows), s.maxBatch))
+	}
+	e, err := s.registry.Get(req.Pipeline, req.Version)
+	if err != nil {
+		return 0, writeError(w, http.StatusNotFound, err.Error())
+	}
+	if predict && e.Model == nil {
+		return 0, writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("pipeline %s@%s has no model attached; use /transform", e.Name, e.Version))
+	}
+	width := len(e.Pipeline.OriginalNames)
+	for i, row := range req.Rows {
+		if len(row) != width {
+			return 0, writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("bad request: row %d has %d values, want %d", i, len(row), width))
+		}
+	}
+
+	features, scores, err := s.runBatch(e, req.Rows, predict)
+	if err != nil {
+		return 0, writeError(w, http.StatusBadRequest, err.Error())
+	}
+	resp := BatchResponse{Pipeline: e.Name, Version: e.Version}
+	if predict {
+		resp.Scores = scores
+		if req.ReturnFeatures {
+			resp.Names, resp.Features = e.Pipeline.Output, features
+		}
+	} else {
+		resp.Names, resp.Features = e.Pipeline.Output, features
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return len(req.Rows), http.StatusOK
+}
+
+// runBatch evaluates rows through e, consulting the feature cache per row
+// and transforming only the misses in one columnar pass.
+func (s *Server) runBatch(e *Entry, rows [][]float64, predict bool) ([][]float64, []float64, error) {
+	n := len(rows)
+	features := make([][]float64, n)
+	var scores []float64
+	if predict {
+		scores = make([]float64, n)
+	}
+
+	var keys []uint64
+	missIdx := make([]int, 0, n)
+	if s.cache != nil {
+		keys = make([]uint64, n)
+		for i, row := range rows {
+			keys[i] = cacheKey(e, row)
+			ent, ok := s.cache.Get(keys[i], row)
+			if !ok {
+				missIdx = append(missIdx, i)
+				continue
+			}
+			features[i] = ent.features
+			if predict {
+				if ent.hasScore {
+					scores[i] = ent.score
+				} else {
+					scores[i] = e.Model.PredictRow(ent.features)
+					s.cache.Put(keys[i], row, ent.features, &scores[i])
+				}
+			}
+		}
+	} else {
+		for i := range rows {
+			missIdx = append(missIdx, i)
+		}
+	}
+
+	if len(missIdx) > 0 {
+		missRows := make([][]float64, len(missIdx))
+		for k, i := range missIdx {
+			missRows[k] = rows[i]
+		}
+		out, err := e.Pipeline.TransformBatch(missRows)
+		if err != nil {
+			return nil, nil, err
+		}
+		for k, i := range missIdx {
+			features[i] = out[k]
+			var score *float64
+			if predict {
+				scores[i] = e.Model.PredictRow(out[k])
+				score = &scores[i]
+			}
+			if s.cache != nil {
+				s.cache.Put(keys[i], rows[i], out[k], score)
+			}
+		}
+	}
+	return features, scores, nil
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	status := s.serveScore(w, r)
+	s.metrics.Observe(time.Since(start), 1, status >= 400)
+}
+
+func (s *Server) serveScore(w http.ResponseWriter, r *http.Request) int {
+	var req ScoreRequest
+	if status, ok := s.decodeBody(w, r, &req); !ok {
+		return status
+	}
+	e, err := s.registry.Get(req.Pipeline, req.Version)
+	if err != nil {
+		return writeError(w, http.StatusNotFound, err.Error())
+	}
 	row := req.Row
 	if row == nil {
 		if req.Values == nil {
-			http.Error(w, `bad request: provide "row" or "values"`, http.StatusBadRequest)
-			return
+			return writeError(w, http.StatusBadRequest, `bad request: provide "row" or "values"`)
 		}
-		row = make([]float64, len(p.OriginalNames))
-		for i, name := range p.OriginalNames {
+		row = make([]float64, len(e.Pipeline.OriginalNames))
+		for i, name := range e.Pipeline.OriginalNames {
 			v, ok := req.Values[name]
 			if !ok {
-				http.Error(w, fmt.Sprintf("bad request: missing value for %q", name), http.StatusBadRequest)
-				return
+				return writeError(w, http.StatusBadRequest,
+					fmt.Sprintf("bad request: missing value for %q", name))
 			}
 			row[i] = v
 		}
 	}
-	features, err := p.TransformRow(row)
-	if err != nil {
-		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
-		return
+	if len(row) != len(e.Pipeline.OriginalNames) {
+		return writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("bad request: got %d values, want %d", len(row), len(e.Pipeline.OriginalNames)))
 	}
-	resp := ScoreResponse{Features: features, Names: p.Output}
-	if model != nil {
-		s := model.PredictRow(features)
-		resp.Score = &s
+	features, scores, err := s.runBatch(e, [][]float64{row}, e.Model != nil)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, "bad request: "+err.Error())
+	}
+	resp := ScoreResponse{Features: features[0], Names: e.Pipeline.Output}
+	if e.Model != nil {
+		resp.Score = &scores[0]
 	}
 	writeJSON(w, http.StatusOK, resp)
+	return http.StatusOK
+}
+
+// errorResponse is the JSON error body used by every endpoint.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) int {
+	writeJSON(w, status, errorResponse{Error: msg})
+	return status
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {

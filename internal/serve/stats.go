@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyWindow is how many recent request latencies are retained for
+// quantile estimation. A power of two keeps the ring index cheap.
+const latencyWindow = 2048
+
+// Metrics aggregates request counters and a sliding window of latencies.
+// Counters are lock-free atomics; the latency ring takes a short mutex per
+// request, which is negligible next to a pipeline transform.
+type Metrics struct {
+	start    time.Time
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	rows     atomic.Uint64
+
+	mu    sync.Mutex
+	ring  [latencyWindow]time.Duration
+	count uint64 // total observations; ring holds the last min(count, window)
+}
+
+// NewMetrics returns a metrics collector with the clock started.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now()}
+}
+
+// Observe records one finished request: its wall latency, how many rows it
+// served, and whether it failed. Failed requests count toward errors only —
+// their rows were not served and their latency is not representative.
+func (m *Metrics) Observe(d time.Duration, rows int, failed bool) {
+	m.requests.Add(1)
+	if failed {
+		m.errors.Add(1)
+		return
+	}
+	if rows > 0 {
+		m.rows.Add(uint64(rows))
+	}
+	m.mu.Lock()
+	m.ring[m.count%latencyWindow] = d
+	m.count++
+	m.mu.Unlock()
+}
+
+// LatencyStats summarises the recent latency distribution in microseconds.
+type LatencyStats struct {
+	P50us   float64 `json:"p50_us"`
+	P90us   float64 `json:"p90_us"`
+	P99us   float64 `json:"p99_us"`
+	Samples int     `json:"samples"`
+}
+
+// Latency computes quantiles over the retained window of successful
+// requests.
+func (m *Metrics) Latency() LatencyStats {
+	m.mu.Lock()
+	n := int(m.count)
+	if n > latencyWindow {
+		n = latencyWindow
+	}
+	buf := make([]time.Duration, n)
+	copy(buf, m.ring[:n])
+	m.mu.Unlock()
+	if n == 0 {
+		return LatencyStats{}
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	q := func(p float64) float64 {
+		i := int(p * float64(n-1))
+		return float64(buf[i]) / float64(time.Microsecond)
+	}
+	return LatencyStats{P50us: q(0.50), P90us: q(0.90), P99us: q(0.99), Samples: n}
+}
+
+// StatsResponse is the JSON body of GET /stats.
+type StatsResponse struct {
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Requests      uint64         `json:"requests"`
+	Errors        uint64         `json:"errors"`
+	Rows          uint64         `json:"rows"`
+	Latency       LatencyStats   `json:"latency"`
+	Cache         CacheStats     `json:"cache"`
+	Pipelines     []PipelineInfo `json:"pipelines"`
+}
+
+// snapshot assembles the full stats payload.
+func (m *Metrics) snapshot(cache *FeatureCache, reg *Registry) StatsResponse {
+	return StatsResponse{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Requests:      m.requests.Load(),
+		Errors:        m.errors.Load(),
+		Rows:          m.rows.Load(),
+		Latency:       m.Latency(),
+		Cache:         cache.Stats(),
+		Pipelines:     reg.Snapshot(),
+	}
+}
