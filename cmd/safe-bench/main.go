@@ -10,14 +10,23 @@
 //	safe-bench -experiment fig3,fig4,searchspace,assumptions
 //	safe-bench -datasets banknote,magic -clfs LR,XGB -repeats 5
 //	safe-bench -experiment serving -serve-clients 8 -serve-batch 128
+//	safe-bench -experiment fit                  # full fit workload matrix
+//	safe-bench -experiment fit -quick -bench-compare   # the CI smoke gate
 //
 // Experiments: table3, table5, table6, table8, fig3, fig4, searchspace,
-// assumptions, ablation, serving, all.
+// assumptions, ablation, serving, fit, all.
 //
 // The serving experiment trains a pipeline + GBDT model, stands up the
 // internal/serve HTTP server in-process, and drives concurrent batched
 // /predict load against it, reporting sustained rows/sec and latency
 // quantiles.
+//
+// The fit experiment is the repository's perf harness (internal/benchkit):
+// it runs the fixed synthetic fit workload matrix, reports rows/sec and
+// allocation behaviour per cell, and maintains the BENCH_fit.json
+// trajectory. With -bench-compare it exits non-zero when throughput
+// regresses more than -bench-tolerance against the latest recorded run —
+// the check CI's bench-smoke job gates on. See docs/performance.md.
 package main
 
 import (
@@ -34,6 +43,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/benchkit"
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/experiments"
@@ -57,6 +67,14 @@ func main() {
 		serveBatch    = flag.Int("serve-batch", 128, "rows per request for the serving experiment")
 		serveRequests = flag.Int("serve-requests", 100, "requests per client for the serving experiment")
 		serveCache    = flag.Int("serve-cache", 0, "feature cache capacity for the serving experiment (0 disables)")
+		quick         = flag.Bool("quick", false, "fit experiment: run only the quick (CI smoke) workload subset")
+		benchFile     = flag.String("bench-file", "BENCH_fit.json", "fit experiment: trajectory file to load and compare against")
+		benchLabel    = flag.String("bench-label", "", "fit experiment: label for this run (default: quick/full)")
+		benchAppend   = flag.Bool("bench-append", false, "fit experiment: append this run to -bench-file")
+		benchOut      = flag.String("bench-out", "", "fit experiment: also write this run (as a one-run trajectory) to this path")
+		benchCompare  = flag.Bool("bench-compare", false, "fit experiment: exit non-zero when throughput regresses beyond -bench-tolerance vs the latest run in -bench-file")
+		benchTol      = flag.Float64("bench-tolerance", 0.20, "fit experiment: allowed fractional throughput regression")
+		benchRepeats  = flag.Int("bench-repeats", 3, "fit experiment: measurements per cell; the fastest is kept")
 	)
 	flag.Parse()
 
@@ -78,7 +96,7 @@ func main() {
 		run[strings.TrimSpace(e)] = true
 	}
 	if run["all"] {
-		for _, e := range []string{"table3", "table5", "table6", "table8", "fig3", "fig4", "searchspace", "assumptions", "ablation", "serving"} {
+		for _, e := range []string{"table3", "table5", "table6", "table8", "fig3", "fig4", "searchspace", "assumptions", "ablation", "serving", "fit"} {
 			run[e] = true
 		}
 	}
@@ -136,6 +154,95 @@ func main() {
 		}, w)
 		export("serving", res, err)
 	}
+	if run["fit"] {
+		res, err := runFitBench(fitBenchOptions{
+			Quick:     *quick,
+			File:      *benchFile,
+			Label:     *benchLabel,
+			Append:    *benchAppend,
+			Out:       *benchOut,
+			Compare:   *benchCompare,
+			Tolerance: *benchTol,
+			Repeats:   *benchRepeats,
+		}, w)
+		export("fit", res, err)
+	}
+}
+
+type fitBenchOptions struct {
+	Quick     bool
+	File      string
+	Label     string
+	Append    bool
+	Out       string
+	Compare   bool
+	Tolerance float64
+	Repeats   int
+}
+
+// runFitBench runs the fit workload matrix, prints per-cell throughput,
+// maintains the BENCH_fit.json trajectory, and enforces the regression gate.
+func runFitBench(opts fitBenchOptions, w io.Writer) (*benchkit.Run, error) {
+	matrix := benchkit.FitMatrix()
+	label := opts.Label
+	if label == "" {
+		label = "full"
+	}
+	if opts.Quick {
+		matrix = benchkit.QuickFitMatrix()
+		if opts.Label == "" {
+			label = "quick"
+		}
+	}
+
+	hist, err := benchkit.Load(opts.File)
+	if err != nil {
+		return nil, err
+	}
+	prev := hist.Latest()
+	base := hist.Baseline()
+
+	cur := benchkit.NewRun(label)
+	fmt.Fprintf(w, "\nFit throughput (synthetic workload matrix, GOMAXPROCS=%d)\n", cur.GOMAXPROCS)
+	for _, cell := range matrix {
+		res, err := benchkit.RunFitBest(cell, opts.Repeats)
+		if err != nil {
+			return nil, err
+		}
+		cur.Results = append(cur.Results, res)
+		fmt.Fprintf(w, "  %-12s %8.0f rows/sec  %6.2fs  alloc=%7.1fMB  peak=%6.1fMB  selected=%d",
+			res.Workload, res.RowsPerSec, res.Seconds, res.AllocMB, res.PeakHeapMB, res.Selected)
+		if ref := base.Find(res.Workload); ref != nil && ref.RowsPerSec > 0 && base != prev {
+			fmt.Fprintf(w, "  (%.2fx vs baseline %q)", res.RowsPerSec/ref.RowsPerSec, base.Label)
+		}
+		if ref := prev.Find(res.Workload); ref != nil && ref.RowsPerSec > 0 {
+			fmt.Fprintf(w, "  (%.2fx vs latest %q)", res.RowsPerSec/ref.RowsPerSec, prev.Label)
+		}
+		fmt.Fprintln(w)
+	}
+
+	regressions := benchkit.Compare(prev, &cur, opts.Tolerance)
+	for _, r := range regressions {
+		fmt.Fprintf(w, "  REGRESSION %s (tolerance %.0f%%)\n", r, opts.Tolerance*100)
+	}
+
+	if opts.Out != "" {
+		out := &benchkit.File{Runs: []benchkit.Run{cur}}
+		if err := out.Write(opts.Out); err != nil {
+			return nil, err
+		}
+	}
+	if opts.Append {
+		hist.Runs = append(hist.Runs, cur)
+		if err := hist.Write(opts.File); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "  recorded run %q in %s (%d runs)\n", cur.Label, opts.File, len(hist.Runs))
+	}
+	if opts.Compare && len(regressions) > 0 {
+		return &cur, fmt.Errorf("fit throughput regressed on %d workload(s) vs run %q", len(regressions), prev.Label)
+	}
+	return &cur, nil
 }
 
 type servingOptions struct {

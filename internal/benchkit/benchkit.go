@@ -1,0 +1,291 @@
+// Package benchkit is the reproducible performance harness of this
+// repository. It runs fixed synthetic fit workloads (rows × base features ×
+// iterations), measures throughput and allocation behaviour, and maintains an
+// append-only JSON trajectory file (BENCH_fit.json at the repository root) so
+// every PR records how the hot path moved. CI runs the quick subset of the
+// matrix and fails when throughput regresses beyond a tolerance against the
+// latest committed run; see docs/performance.md.
+package benchkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+)
+
+// FitWorkload is one cell of the synthetic fit workload matrix. The dataset
+// is fully determined by (Rows, Dim, Seed), so two runs of the same workload
+// on different builds fit identical data.
+type FitWorkload struct {
+	Name       string `json:"name"`
+	Rows       int    `json:"rows"`
+	Dim        int    `json:"dim"`
+	Iterations int    `json:"iterations"`
+	Quick      bool   `json:"quick"` // part of the CI smoke subset
+}
+
+// FitMatrix is the fixed workload matrix. The quick subset is small enough
+// for a CI smoke job; the full matrix includes the 100k×50 headline workload
+// the README quotes. Do not edit cells in place — add new ones — or the
+// trajectory in BENCH_fit.json stops being comparable.
+func FitMatrix() []FitWorkload {
+	return []FitWorkload{
+		{Name: "fit-5k-20", Rows: 5000, Dim: 20, Iterations: 1, Quick: true},
+		{Name: "fit-20k-20", Rows: 20000, Dim: 20, Iterations: 1, Quick: true},
+		{Name: "fit-50k-50", Rows: 50000, Dim: 50, Iterations: 1},
+		{Name: "fit-100k-50", Rows: 100000, Dim: 50, Iterations: 1},
+	}
+}
+
+// QuickFitMatrix returns the CI smoke subset of FitMatrix.
+func QuickFitMatrix() []FitWorkload {
+	var out []FitWorkload
+	for _, w := range FitMatrix() {
+		if w.Quick {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Result is one measured workload cell.
+type Result struct {
+	Workload   string  `json:"workload"`
+	Rows       int     `json:"rows"`
+	Dim        int     `json:"dim"`
+	Iterations int     `json:"iterations"`
+	Seconds    float64 `json:"seconds"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+	// AllocMB is the total heap allocated during the fit (MB): the GC
+	// pressure the run generated.
+	AllocMB float64 `json:"alloc_mb"`
+	// PeakHeapMB is the live heap right after the fit (MB), an upper-bound
+	// proxy for the working set.
+	PeakHeapMB float64 `json:"peak_heap_mb"`
+	// Allocs is the number of heap allocations during the fit.
+	Allocs uint64 `json:"allocs"`
+	// Selected is the number of features the fit selected — a cheap
+	// fingerprint that two builds did equivalent work.
+	Selected int `json:"selected"`
+}
+
+// Run is one benchmark session: every workload measured on one build.
+type Run struct {
+	Label      string   `json:"label"`
+	Timestamp  string   `json:"timestamp"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Results    []Result `json:"results"`
+}
+
+// File is the on-disk trajectory: runs in chronological order, oldest first.
+type File struct {
+	Schema string `json:"schema"`
+	Runs   []Run  `json:"runs"`
+}
+
+// FileSchema identifies the BENCH_fit.json layout.
+const FileSchema = "safe-bench-fit/v1"
+
+// Load reads a trajectory file; a missing file yields an empty trajectory.
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &File{Schema: FileSchema}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	f := &File{}
+	if err := json.Unmarshal(data, f); err != nil {
+		return nil, fmt.Errorf("benchkit: parse %s: %w", path, err)
+	}
+	return f, nil
+}
+
+// Write persists the trajectory with stable formatting.
+func (f *File) Write(path string) error {
+	f.Schema = FileSchema
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Latest returns the most recent run, or nil for an empty trajectory.
+func (f *File) Latest() *Run {
+	if len(f.Runs) == 0 {
+		return nil
+	}
+	return &f.Runs[len(f.Runs)-1]
+}
+
+// Baseline returns the oldest run: the pre-optimisation reference the
+// trajectory is measured against.
+func (f *File) Baseline() *Run {
+	if len(f.Runs) == 0 {
+		return nil
+	}
+	return &f.Runs[0]
+}
+
+// Find returns the result for a workload within a run, or nil.
+func (r *Run) Find(workload string) *Result {
+	if r == nil {
+		return nil
+	}
+	for i := range r.Results {
+		if r.Results[i].Workload == workload {
+			return &r.Results[i]
+		}
+	}
+	return nil
+}
+
+// NewRun stamps an empty run for the current build.
+func NewRun(label string) Run {
+	return Run{
+		Label:      label,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+// FitConfig returns the engineer configuration every benchmark run uses: the
+// paper defaults with a fixed seed and the requested iteration count, so runs
+// are comparable across builds.
+func FitConfig(iterations int, seed int64) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Iterations = iterations
+	cfg.Seed = seed
+	return cfg
+}
+
+// workloadSeed fixes the dataset seed per workload shape so every build fits
+// identical data.
+const workloadSeed = 11
+
+// Dataset generates the synthetic dataset for a workload. Shared with tests
+// so determinism checks exercise exactly the benchmarked distribution.
+func Dataset(w FitWorkload) (*datagen.Dataset, error) {
+	return datagen.Generate(datagen.Spec{
+		Name:         w.Name,
+		Train:        w.Rows,
+		Test:         256,
+		Dim:          w.Dim,
+		Interactions: w.Dim / 3,
+		SignalScale:  2.5,
+		Seed:         workloadSeed,
+	})
+}
+
+// RunFit measures one workload cell once: dataset generation is excluded
+// from the timed region; the fit itself runs with the paper-default
+// configuration.
+func RunFit(w FitWorkload) (Result, error) {
+	return RunFitBest(w, 1)
+}
+
+// RunFitBest measures a workload cell repeats times on one shared dataset
+// and keeps the fastest measurement. Throughput noise on a busy machine is
+// one-sided — interference only ever makes a run slower — so best-of-N
+// estimates the build's true capability and keeps the CI regression gate
+// from flapping on scheduler jitter.
+func RunFitBest(w FitWorkload, repeats int) (Result, error) {
+	ds, err := Dataset(w)
+	if err != nil {
+		return Result{}, err
+	}
+	var best Result
+	for r := 0; r < repeats || r == 0; r++ {
+		res, err := runFitOnce(w, ds)
+		if err != nil {
+			return Result{}, err
+		}
+		if r == 0 || res.RowsPerSec > best.RowsPerSec {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+func runFitOnce(w FitWorkload, ds *datagen.Dataset) (Result, error) {
+	eng, err := core.New(FitConfig(w.Iterations, 1))
+	if err != nil {
+		return Result{}, err
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	_, report, err := eng.Fit(ds.Train)
+	elapsed := time.Since(start)
+	if err != nil {
+		return Result{}, fmt.Errorf("benchkit: %s: %w", w.Name, err)
+	}
+	runtime.ReadMemStats(&after)
+
+	selected := 0
+	if n := len(report.Iterations); n > 0 {
+		selected = report.Iterations[n-1].Selected
+	}
+	return Result{
+		Workload:   w.Name,
+		Rows:       w.Rows,
+		Dim:        w.Dim,
+		Iterations: w.Iterations,
+		Seconds:    elapsed.Seconds(),
+		RowsPerSec: float64(w.Rows*w.Iterations) / elapsed.Seconds(),
+		AllocMB:    float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20),
+		PeakHeapMB: float64(after.HeapAlloc) / (1 << 20),
+		Allocs:     after.Mallocs - before.Mallocs,
+		Selected:   selected,
+	}, nil
+}
+
+// Regression is one workload whose throughput fell beyond tolerance.
+type Regression struct {
+	Workload  string
+	Reference float64 // rows/sec in the reference run
+	Current   float64 // rows/sec now
+	Ratio     float64 // Current / Reference
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %.0f rows/sec vs reference %.0f (%.2fx)",
+		r.Workload, r.Current, r.Reference, r.Ratio)
+}
+
+// Compare checks current against a reference run: every workload present in
+// both must keep Current/Reference >= 1 - tolerance. Workloads missing from
+// either side are skipped (the matrix may grow over time).
+func Compare(reference, current *Run, tolerance float64) []Regression {
+	var out []Regression
+	if reference == nil || current == nil {
+		return out
+	}
+	for i := range current.Results {
+		cur := &current.Results[i]
+		ref := reference.Find(cur.Workload)
+		if ref == nil || ref.RowsPerSec <= 0 {
+			continue
+		}
+		ratio := cur.RowsPerSec / ref.RowsPerSec
+		if ratio < 1-tolerance {
+			out = append(out, Regression{
+				Workload:  cur.Workload,
+				Reference: ref.RowsPerSec,
+				Current:   cur.RowsPerSec,
+				Ratio:     ratio,
+			})
+		}
+	}
+	return out
+}

@@ -1,11 +1,10 @@
 package core
 
 import (
-	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/gbdt"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
@@ -145,9 +144,10 @@ const maxPartitionCells = 1024
 
 // scoreCombos computes the information gain ratio of every combination over
 // the training data (Algorithm 2): the combo's split values partition the
-// rows into prod_i (|V_i|+1) cells. Scoring is feature-parallel.
-func scoreCombos(combos []Combo, cols [][]float64, labels []float64, parallel bool) {
-	score := func(c *Combo) {
+// rows into prod_i (|V_i|+1) cells. Scoring is combo-parallel on the shared
+// pool; each chunk reuses one row-partition buffer across its combos.
+func scoreCombos(combos []Combo, cols [][]float64, labels []float64, pool *parallel.Pool) {
+	score := func(c *Combo, parts []int) {
 		values := thinValues(c.Values)
 		// Mixed-radix cell id per row.
 		radix := make([]int, len(values))
@@ -160,7 +160,6 @@ func scoreCombos(combos []Combo, cols [][]float64, labels []float64, parallel bo
 			c.GainRatio = 0
 			return
 		}
-		parts := make([]int, len(labels))
 		for r := range parts {
 			id := 0
 			for i, f := range c.Features {
@@ -173,24 +172,12 @@ func scoreCombos(combos []Combo, cols [][]float64, labels []float64, parallel bo
 		c.GainRatio = stats.GainRatio(labels, parts, cells)
 	}
 
-	if !parallel || len(combos) < 8 {
-		for i := range combos {
-			score(&combos[i])
+	pool.ForChunks(len(combos), pool.Grain(len(combos)), func(lo, hi int) {
+		parts := make([]int, len(labels))
+		for i := lo; i < hi; i++ {
+			score(&combos[i], parts)
 		}
-		return
-	}
-	workers := runtime.NumCPU()
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := w; i < len(combos); i += workers {
-				score(&combos[i])
-			}
-		}(w)
-	}
-	wg.Wait()
+	})
 }
 
 // thinValues reduces split-value sets so the partition stays under

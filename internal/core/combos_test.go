@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/gbdt"
+	"repro/internal/parallel"
 )
 
 func trainTinyModel(t *testing.T) *gbdt.Model {
@@ -154,7 +155,7 @@ func TestScoreCombosXORPairWins(t *testing.T) {
 		}
 	}
 	combos := mineCombos(model, []int{2})
-	scoreCombos(combos, cols, labels, false)
+	scoreCombos(combos, cols, labels, parallel.Get(1))
 	combos = topCombos(combos, 0)
 	if len(combos) == 0 {
 		t.Fatal("no combos")
@@ -182,8 +183,8 @@ func TestScoreCombosParallelMatchesSerial(t *testing.T) {
 	}
 	a := mineCombos(model, []int{1, 2})
 	b := mineCombos(model, []int{1, 2})
-	scoreCombos(a, cols, labels, false)
-	scoreCombos(b, cols, labels, true)
+	scoreCombos(a, cols, labels, parallel.Get(1))
+	scoreCombos(b, cols, labels, parallel.Get(4))
 	for i := range a {
 		if a[i].GainRatio != b[i].GainRatio {
 			t.Fatalf("combo %v: serial %v != parallel %v", a[i].Features, a[i].GainRatio, b[i].GainRatio)

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestFitDeterministicAcrossWorkerCounts is the contract the parallel rebuild
+// must keep: Fit selects the same features, with the same formulas in the
+// same order, no matter how many workers the shared pool uses — including the
+// fully serial path. CI runs this under -race.
+func TestFitDeterministicAcrossWorkerCounts(t *testing.T) {
+	ds := testDataset(t)
+
+	type outcome struct {
+		output   []string
+		formulas []string
+		selected int
+	}
+	run := func(parallel bool, workers int) outcome {
+		cfg := DefaultConfig()
+		cfg.Parallel = parallel
+		cfg.Workers = workers
+		eng, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, report, err := eng.Fit(ds.Train)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel := 0
+		if n := len(report.Iterations); n > 0 {
+			sel = report.Iterations[n-1].Selected
+		}
+		return outcome{output: p.Output, formulas: p.Formulas(), selected: sel}
+	}
+
+	ref := run(false, 0) // fully serial reference
+	cases := []struct {
+		name    string
+		workers int
+	}{
+		{"workers-1", 1},
+		{"workers-2", 2},
+		{"workers-numcpu", runtime.NumCPU()},
+	}
+	for _, tc := range cases {
+		got := run(true, tc.workers)
+		if got.selected != ref.selected {
+			t.Errorf("%s: selected %d features, serial selected %d", tc.name, got.selected, ref.selected)
+		}
+		if len(got.output) != len(ref.output) {
+			t.Fatalf("%s: output width %d, serial %d", tc.name, len(got.output), len(ref.output))
+		}
+		for i := range ref.output {
+			if got.output[i] != ref.output[i] {
+				t.Errorf("%s: output[%d] = %q, serial %q", tc.name, i, got.output[i], ref.output[i])
+			}
+			if got.formulas[i] != ref.formulas[i] {
+				t.Errorf("%s: formula[%d] = %q, serial %q", tc.name, i, got.formulas[i], ref.formulas[i])
+			}
+		}
+	}
+}

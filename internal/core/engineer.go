@@ -9,6 +9,7 @@ import (
 	"repro/internal/gbdt"
 	"repro/internal/metrics"
 	"repro/internal/operators"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
@@ -62,9 +63,12 @@ type Config struct {
 	// MinDelta is the minimum validation-AUC improvement that resets the
 	// patience counter.
 	MinDelta float64
-	// Parallel enables worker-pool parallelism in mining, IV and Pearson
-	// computations.
+	// Parallel enables worker-pool parallelism in mining, generation, IV
+	// and Pearson computations.
 	Parallel bool
+	// Workers bounds the shared worker pool when Parallel is set; <= 0
+	// selects GOMAXPROCS. Fit results are identical for any worker count.
+	Workers int
 	// Seed drives all stochastic components.
 	Seed int64
 }
@@ -118,7 +122,8 @@ type Report struct {
 
 // Engineer runs SAFE. Construct with New, then call Fit.
 type Engineer struct {
-	cfg Config
+	cfg  Config
+	pool *parallel.Pool
 }
 
 // New validates the configuration and returns an Engineer.
@@ -156,24 +161,32 @@ func New(cfg Config) (*Engineer, error) {
 	}
 	cfg.Miner.Parallel = cfg.Parallel
 	cfg.Ranker.Parallel = cfg.Parallel
+	cfg.Miner.Workers = cfg.Workers
+	cfg.Ranker.Workers = cfg.Workers
 	cfg.Miner.Seed = cfg.Seed
 	cfg.Ranker.Seed = cfg.Seed + 1
 	// Validate that every operator resolves.
 	if _, err := cfg.Registry.GetAll(cfg.Operators); err != nil {
 		return nil, err
 	}
-	return &Engineer{cfg: cfg}, nil
+	pool := parallel.Get(1)
+	if cfg.Parallel {
+		pool = parallel.Get(cfg.Workers)
+	}
+	return &Engineer{cfg: cfg, pool: pool}, nil
 }
 
 // liveFeature is one feature of the current working set X_i: its training
 // (and optionally validation) values plus the pipeline node that derives it
-// (nil for originals).
+// (nil for originals). pooled marks columns owned by the fit arena, which
+// may be recycled once the feature provably leaves the working set.
 type liveFeature struct {
-	name  string
-	train []float64
-	valid []float64 // nil when fitting without a validation frame
-	node  *FeatureNode
-	iv    float64
+	name   string
+	train  []float64
+	valid  []float64 // nil when fitting without a validation frame
+	node   *FeatureNode
+	iv     float64
+	pooled bool
 }
 
 // Fit learns the feature generation function Ψ from a labelled training
@@ -251,6 +264,8 @@ func (e *Engineer) fit(train, valid *frame.Frame) (*Pipeline, *Report, error) {
 	bestAUC := 0.0
 	bestLive := live
 	patienceLeft := cfg.Patience
+	arena := operators.NewArena(train.NumRows())
+	pool := e.pool
 
 	for round := 0; round < cfg.Iterations; round++ {
 		if cfg.TimeBudget > 0 && time.Since(start) > cfg.TimeBudget {
@@ -278,39 +293,38 @@ func (e *Engineer) fit(train, valid *frame.Frame) (*Pipeline, *Report, error) {
 		ir.SearchSpaceAll = exhaustiveBinaryCount(len(live), ops)
 
 		// (2) Sort and filter combinations by gain ratio (Algorithm 2).
-		scoreCombos(combos, cols, labels, cfg.Parallel)
+		scoreCombos(combos, cols, labels, pool)
 		combos = topCombos(combos, gamma)
 		ir.CombosKept = len(combos)
 		if len(combos) > 0 {
 			ir.BestGainRatio = combos[0].GainRatio
 		}
 
-		// (3) Generate features (Algorithm 1 line 6).
-		newFeats, err := e.generate(combos, live, ops, labels, valid != nil)
-		if err != nil {
+		// (3)-(5) Generate features and filter uninformative ones
+		// (Algorithm 1 lines 6-7, Algorithm 3), streamed: candidates are
+		// IV-scored chunk by chunk and rejected columns recycle through the
+		// arena instead of materialising the full candidate set X̂.
+		stream := newCandidateStream(&cfg, pool, arena, live, labels)
+		stream.addBase()
+		if err := e.enumerate(stream, combos, ops); err != nil {
 			return nil, nil, err
 		}
-		ir.Generated = len(newFeats)
+		entries := stream.finish()
+		ir.Generated = stream.generated
+		ir.Candidates = len(entries)
 
-		// (4) Candidate set X̂ = X ∪ X̃ (line 7).
-		candidates := append(append([]*liveFeature(nil), live...), newFeats...)
-		ir.Candidates = len(candidates)
-
-		candCols := make([][]float64, len(candidates))
-		for i, lf := range candidates {
-			candCols[i] = lf.train
-		}
-
-		// (5) Remove uninformative features (Algorithm 3).
-		ivs := computeIVs(candCols, labels, cfg.IVBins, cfg.IVEqualWidth, cfg.Parallel)
-		for i, lf := range candidates {
-			lf.iv = ivs[i]
-		}
-		keptA := ivFilter(ivs, cfg.IVThreshold, cfg.MinKeepIV)
+		keptA := stream.keptAfterIV(entries, cfg.MinKeepIV)
 		ir.AfterIV = len(keptA)
 
+		candCols := make([][]float64, len(entries))
+		ivs := make([]float64, len(entries))
+		for i, en := range entries {
+			candCols[i] = en.lf.train // nil for recycled IV rejects, which no later stage touches
+			ivs[i] = en.iv
+		}
+
 		// (6) Remove redundant features (Algorithm 4).
-		keptB := pearsonDedup(candCols, ivs, keptA, cfg.PearsonThreshold, cfg.Parallel)
+		keptB := pearsonDedup(candCols, ivs, keptA, cfg.PearsonThreshold, pool)
 		ir.AfterPearson = len(keptB)
 
 		// (7) Rank by XGBoost gain, keep top budget (line 10).
@@ -327,11 +341,45 @@ func (e *Engineer) fit(train, valid *frame.Frame) (*Pipeline, *Report, error) {
 
 		// Carry the selection to the next round and record new nodes.
 		next := make([]*liveFeature, 0, len(ranked))
+		selected := make(map[*liveFeature]bool, len(ranked))
 		for _, idx := range ranked {
-			next = append(next, candidates[idx])
+			lf := entries[idx].lf
+			next = append(next, lf)
+			selected[lf] = true
 		}
-		for _, lf := range newFeats {
-			allNodes = append(allNodes, *lf.node)
+		for _, en := range entries {
+			if en.spec.op != nil {
+				allNodes = append(allNodes, *en.lf.node)
+			}
+		}
+		// Selected generated features need validation columns (computed
+		// lazily here instead of for every candidate at generation time).
+		if valid != nil {
+			for _, en := range entries {
+				if en.spec.op == nil || !selected[en.lf] {
+					continue
+				}
+				vin := make([][]float64, len(en.spec.feats))
+				for i, f := range en.spec.feats {
+					vin[i] = live[f].valid
+				}
+				vvals := en.applier.Transform(vin)
+				sanitize(vvals)
+				en.lf.valid = vvals
+			}
+		}
+		// Recycle arena columns that provably left the working set: rejects
+		// generated this round always; prior-round features only when no
+		// validation snapshot (bestLive) may still reference them.
+		for _, en := range entries {
+			lf := en.lf
+			if selected[lf] || !lf.pooled || lf.train == nil {
+				continue
+			}
+			if en.spec.op != nil || valid == nil {
+				arena.Put(lf.train)
+				lf.train = nil
+			}
 		}
 		live = next
 
@@ -378,78 +426,28 @@ func (e *Engineer) fit(train, valid *frame.Frame) (*Pipeline, *Report, error) {
 	return p, report, nil
 }
 
-// generate applies the operator set to the selected combinations
-// (Section IV-B3), returning new live features with fitted pipeline nodes.
+// enumerate applies the operator set to the selected combinations
+// (Section IV-B3), feeding each application into the candidate stream.
 // Non-commutative binary operators are applied in both argument orders
-// (the paper counts such orders as distinct operators). When withValid is
-// set, validation values are computed alongside training values.
-func (e *Engineer) generate(combos []Combo, live []*liveFeature, ops []operators.Operator, labels []float64, withValid bool) ([]*liveFeature, error) {
-	existing := make(map[string]bool, len(live))
-	for _, lf := range live {
-		existing[lf.name] = true
-	}
-	var out []*liveFeature
-
-	apply := func(op operators.Operator, feats []int) error {
-		in := make([][]float64, len(feats))
-		names := make([]string, len(feats))
-		for i, f := range feats {
-			in[i] = live[f].train
-			names[i] = live[f].name
-		}
-		if d, ok := op.(*operators.DiscretizeOp); ok {
-			d.SetLabels(labels)
-		}
-		applier, err := op.Fit(in)
-		if err != nil {
-			return fmt.Errorf("core: generate %s: %w", op.Name(), err)
-		}
-		name := applier.Formula(names)
-		if existing[name] {
-			return nil
-		}
-		existing[name] = true
-		vals := applier.Transform(in)
-		sanitize(vals)
-		lf := &liveFeature{
-			name:  name,
-			train: vals,
-			node: &FeatureNode{
-				Name:    name,
-				Inputs:  names,
-				Applier: applier,
-			},
-		}
-		if withValid {
-			vin := make([][]float64, len(feats))
-			for i, f := range feats {
-				vin[i] = live[f].valid
-			}
-			vvals := applier.Transform(vin)
-			sanitize(vvals)
-			lf.valid = vvals
-		}
-		out = append(out, lf)
-		return nil
-	}
-
+// (the paper counts such orders as distinct operators).
+func (e *Engineer) enumerate(stream *candidateStream, combos []Combo, ops []operators.Operator) error {
 	for _, c := range combos {
 		for _, op := range ops {
 			if int(op.Arity()) != len(c.Features) {
 				continue
 			}
-			if err := apply(op, c.Features); err != nil {
-				return nil, err
+			if err := stream.generate(op, c.Features); err != nil {
+				return err
 			}
 			if op.Arity() == operators.Binary && !operators.Commutative(op.Name()) {
 				rev := []int{c.Features[1], c.Features[0]}
-				if err := apply(op, rev); err != nil {
-					return nil, err
+				if err := stream.generate(op, rev); err != nil {
+					return err
 				}
 			}
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // validationAUC trains a small gradient-boosted evaluator on the selected

@@ -10,6 +10,7 @@ import (
 	"repro/internal/frame"
 	"repro/internal/gbdt"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 )
 
 // testDataset returns a mid-size dataset with planted interactions.
@@ -404,7 +405,7 @@ func TestPearsonDedupKeepsHigherIV(t *testing.T) {
 	}
 	cols := [][]float64{a, b}
 	ivs := []float64{0.5, 0.2}
-	kept := pearsonDedup(cols, ivs, []int{0, 1}, 0.8, false)
+	kept := pearsonDedup(cols, ivs, []int{0, 1}, 0.8, parallel.Get(1))
 	if len(kept) != 1 || kept[0] != 0 {
 		t.Errorf("kept %v, want [0]", kept)
 	}

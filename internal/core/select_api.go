@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"repro/internal/gbdt"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
@@ -20,6 +21,9 @@ type SelectionConfig struct {
 	MinKeepIV        int
 	Ranker           gbdt.Config
 	Parallel         bool
+	// Workers bounds the shared worker pool when Parallel is set; <= 0
+	// selects GOMAXPROCS. Results are identical for any worker count.
+	Workers int
 	// SkipIV and SkipPearson disable individual stages (selection ablation).
 	SkipIV      bool
 	SkipPearson bool
@@ -66,8 +70,13 @@ func Select(cols [][]float64, labels []float64, cfg SelectionConfig) ([]int, err
 		cfg.Ranker.MaxDepth = 4
 	}
 	cfg.Ranker.Parallel = cfg.Parallel
+	cfg.Ranker.Workers = cfg.Workers
+	pool := parallel.Get(1)
+	if cfg.Parallel {
+		pool = parallel.Get(cfg.Workers)
+	}
 
-	ivs := computeIVs(cols, labels, cfg.IVBins, cfg.IVEqualWidth, cfg.Parallel)
+	ivs := computeIVs(cols, labels, cfg.IVBins, cfg.IVEqualWidth, pool)
 
 	var keptA []int
 	if cfg.SkipIV {
@@ -81,7 +90,7 @@ func Select(cols [][]float64, labels []float64, cfg SelectionConfig) ([]int, err
 
 	keptB := keptA
 	if !cfg.SkipPearson {
-		keptB = pearsonDedup(cols, ivs, keptA, cfg.PearsonThreshold, cfg.Parallel)
+		keptB = pearsonDedup(cols, ivs, keptA, cfg.PearsonThreshold, pool)
 	}
 
 	ranked, err := rankByGain(cols, labels, ivs, keptB, cfg.Ranker)
@@ -95,6 +104,10 @@ func Select(cols [][]float64, labels []float64, cfg SelectionConfig) ([]int, err
 }
 
 // IVs exposes the parallel Information Value computation for harness code.
-func IVs(cols [][]float64, labels []float64, bins int, parallel bool) []float64 {
-	return computeIVs(cols, labels, bins, false, parallel)
+func IVs(cols [][]float64, labels []float64, bins int, par bool) []float64 {
+	pool := parallel.Get(1)
+	if par {
+		pool = parallel.Get(0)
+	}
+	return computeIVs(cols, labels, bins, false, pool)
 }

@@ -2,43 +2,34 @@ package core
 
 import (
 	"math"
-	"runtime"
 	"sort"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/gbdt"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
 // computeIVs calculates the Information Value of every column against the
-// labels using equal-frequency binning (Algorithm 3), in parallel.
-func computeIVs(cols [][]float64, labels []float64, bins int, equalWidth, parallel bool) []float64 {
+// labels using equal-frequency binning (Algorithm 3), column-parallel on
+// the shared pool. Each chunk amortises one IV scratch across its columns.
+func computeIVs(cols [][]float64, labels []float64, bins int, equalWidth bool, pool *parallel.Pool) []float64 {
 	out := make([]float64, len(cols))
-	ivOf := func(j int) float64 {
-		if equalWidth {
-			return stats.InformationValueWidth(cols[j], labels, bins)
-		}
-		return stats.InformationValue(cols[j], labels, bins)
-	}
-	if !parallel || len(cols) < 8 {
-		for j := range cols {
-			out[j] = ivOf(j)
-		}
-		return out
-	}
-	workers := runtime.NumCPU()
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for j := w; j < len(cols); j += workers {
-				out[j] = ivOf(j)
-			}
-		}(w)
-	}
-	wg.Wait()
+	computeIVsInto(out, cols, labels, bins, equalWidth, pool)
 	return out
+}
+
+func computeIVsInto(out []float64, cols [][]float64, labels []float64, bins int, equalWidth bool, pool *parallel.Pool) {
+	pool.ForChunks(len(cols), pool.Grain(len(cols)), func(lo, hi int) {
+		var s stats.IVScratch
+		for j := lo; j < hi; j++ {
+			if equalWidth {
+				out[j] = s.InformationValueWidth(cols[j], labels, bins)
+			} else {
+				out[j] = s.InformationValue(cols[j], labels, bins)
+			}
+		}
+	})
 }
 
 // ivFilter implements Algorithm 3: drop features whose IV is at or below the
@@ -82,10 +73,10 @@ func ivFilter(ivs []float64, alpha float64, minKeep int) []int {
 // descending-IV order that keeps a feature unless it correlates above theta
 // with an already-kept feature.)
 //
-// Candidate columns are standardised once up front so each pairwise
-// correlation is a single dot product (Pearson(x,y) = x̃·ỹ/n), and the scans
-// against the kept set run in parallel.
-func pearsonDedup(cols [][]float64, ivs []float64, candidates []int, theta float64, parallel bool) []int {
+// Candidate columns are standardised once up front (column-parallel) so
+// each pairwise correlation is a single dot product (Pearson(x,y) = x̃·ỹ/n),
+// and the scans against the kept set run on the shared pool.
+func pearsonDedup(cols [][]float64, ivs []float64, candidates []int, theta float64, pool *parallel.Pool) []int {
 	order := append([]int(nil), candidates...)
 	sort.Slice(order, func(a, b int) bool {
 		if ivs[order[a]] != ivs[order[b]] {
@@ -95,9 +86,13 @@ func pearsonDedup(cols [][]float64, ivs []float64, candidates []int, theta float
 	})
 
 	// Standardise candidates (NaN -> 0 == the mean after standardisation).
+	stdByPos := make([][]float64, len(order))
+	pool.For(len(order), func(i int) {
+		stdByPos[i] = standardizeCol(cols[order[i]])
+	})
 	std := make(map[int][]float64, len(order))
-	for _, j := range order {
-		std[j] = standardizeCol(cols[j])
+	for i, j := range order {
+		std[j] = stdByPos[i]
 	}
 
 	kept := make([]int, 0, len(order))
@@ -108,7 +103,7 @@ func pearsonDedup(cols [][]float64, ivs []float64, candidates []int, theta float
 			kept = append(kept, j)
 			continue
 		}
-		if corrAny(std, j, kept, theta, parallel) {
+		if corrAny(std, j, kept, theta, pool) {
 			continue
 		}
 		kept = append(kept, j)
@@ -155,8 +150,10 @@ func standardizeCol(col []float64) []float64 {
 }
 
 // corrAny reports whether standardised column j correlates above theta
-// (absolute) with any column in kept.
-func corrAny(std map[int][]float64, j int, kept []int, theta float64, parallel bool) bool {
+// (absolute) with any column in kept. The scan is chunk-parallel with a
+// shared early-exit flag; the answer (a pure any-of) is independent of
+// which chunk finds a correlate first.
+func corrAny(std map[int][]float64, j int, kept []int, theta float64, pool *parallel.Pool) bool {
 	if len(kept) == 0 {
 		return false
 	}
@@ -173,42 +170,19 @@ func corrAny(std map[int][]float64, j int, kept []int, theta float64, parallel b
 		}
 		return math.Abs(dot) > limit
 	}
-	if !parallel || len(kept) < 8 {
-		for _, k := range kept {
-			if check(k) {
-				return true
+	var found atomic.Bool
+	pool.ForChunks(len(kept), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if found.Load() {
+				return
+			}
+			if check(kept[i]) {
+				found.Store(true)
+				return
 			}
 		}
-		return false
-	}
-	workers := runtime.NumCPU()
-	if workers > len(kept) {
-		workers = len(kept)
-	}
-	found := make([]bool, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := w; i < len(kept); i += workers {
-				if found[w] {
-					return
-				}
-				if check(kept[i]) {
-					found[w] = true
-					return
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	for _, f := range found {
-		if f {
-			return true
-		}
-	}
-	return false
+	})
+	return found.Load()
 }
 
 // rankByGain trains the ranking XGBoost on the candidate columns and orders

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/operators"
+	"repro/internal/parallel"
+)
+
+// This file implements the streaming generate-and-filter stage of Fit:
+// candidate features are generated chunk by chunk and IV-filtered as soon
+// as a chunk completes, so the candidate set X̂ of Algorithm 1 never fully
+// materialises. Columns of candidates the IV filter rejects go straight
+// back to the arena, turning per-round allocation from O(candidates) into
+// O(selected). The observable results (candidate counts, surviving set,
+// selection) are identical to the materialise-then-filter formulation.
+
+// genSpec records how a generated candidate is computed: the operator and
+// the indices of its inputs in the round's live set.
+type genSpec struct {
+	op    operators.Operator
+	feats []int
+}
+
+// candEntry is one candidate of a round: a base (live) feature or a
+// generated one. Generated entries whose IV fails the filter have their
+// column recycled (lf.train == nil, dropped == true) but keep their spec so
+// the rare min-keep fallback can regenerate them.
+type candEntry struct {
+	lf      *liveFeature
+	spec    genSpec // zero op for base features
+	applier operators.Applier
+	iv      float64
+	dropped bool
+}
+
+// streamChunk is how many generated candidates buffer between IV flushes:
+// large enough to keep the pool busy, small enough that the transient
+// column memory stays modest (streamChunk × rows × 8 bytes).
+const streamChunk = 32
+
+// candidateStream owns the per-round streaming state.
+type candidateStream struct {
+	cfg      *Config
+	pool     *parallel.Pool
+	arena    *operators.Arena
+	live     []*liveFeature
+	labels   []float64
+	existing map[string]bool
+
+	entries   []*candEntry // all candidates in deterministic order
+	pending   []*candEntry // generated, awaiting IV
+	ivBuf     []float64
+	colsBuf   [][]float64
+	generated int // total generated (post formula-dedup), including dropped
+}
+
+func newCandidateStream(cfg *Config, pool *parallel.Pool, arena *operators.Arena, live []*liveFeature, labels []float64) *candidateStream {
+	st := &candidateStream{
+		cfg:      cfg,
+		pool:     pool,
+		arena:    arena,
+		live:     live,
+		labels:   labels,
+		existing: make(map[string]bool, 2*len(live)),
+		entries:  make([]*candEntry, 0, 2*len(live)),
+		pending:  make([]*candEntry, 0, streamChunk),
+	}
+	for _, lf := range live {
+		st.existing[lf.name] = true
+	}
+	return st
+}
+
+// addBase registers the round's live features as candidates and computes
+// their IVs in one parallel sweep (they are filtered like any candidate but
+// their columns are frame- or prior-round-owned, so never recycled here).
+func (st *candidateStream) addBase() {
+	cols := make([][]float64, len(st.live))
+	for i, lf := range st.live {
+		cols[i] = lf.train
+	}
+	ivs := computeIVs(cols, st.labels, st.cfg.IVBins, st.cfg.IVEqualWidth, st.pool)
+	for i, lf := range st.live {
+		lf.iv = ivs[i]
+		st.entries = append(st.entries, &candEntry{lf: lf, iv: ivs[i]})
+	}
+}
+
+// generate applies op to the live features at feats, queueing the new
+// candidate for the next IV flush. Duplicate formulas are skipped.
+func (st *candidateStream) generate(op operators.Operator, feats []int) error {
+	in := make([][]float64, len(feats))
+	names := make([]string, len(feats))
+	for i, f := range feats {
+		in[i] = st.live[f].train
+		names[i] = st.live[f].name
+	}
+	if d, ok := op.(*operators.DiscretizeOp); ok {
+		d.SetLabels(st.labels)
+	}
+	applier, err := op.Fit(in)
+	if err != nil {
+		return fmt.Errorf("core: generate %s: %w", op.Name(), err)
+	}
+	name := applier.Formula(names)
+	if st.existing[name] {
+		return nil
+	}
+	st.existing[name] = true
+	st.generated++
+
+	buf := st.arena.Get()
+	operators.TransformColumn(applier, in, buf)
+	sanitize(buf)
+	lf := &liveFeature{
+		name:   name,
+		train:  buf,
+		pooled: true,
+		node: &FeatureNode{
+			Name:    name,
+			Inputs:  names,
+			Applier: applier,
+		},
+	}
+	st.pending = append(st.pending, &candEntry{
+		lf:      lf,
+		spec:    genSpec{op: op, feats: append([]int(nil), feats...)},
+		applier: applier,
+	})
+	if len(st.pending) >= streamChunk {
+		st.flush()
+	}
+	return nil
+}
+
+// flush IV-scores the pending chunk in parallel and applies the stream
+// filter: candidates at or below the threshold hand their column back to
+// the arena immediately.
+func (st *candidateStream) flush() {
+	if len(st.pending) == 0 {
+		return
+	}
+	if cap(st.ivBuf) < len(st.pending) {
+		st.ivBuf = make([]float64, len(st.pending))
+		st.colsBuf = make([][]float64, len(st.pending))
+	}
+	ivs := st.ivBuf[:len(st.pending)]
+	cols := st.colsBuf[:len(st.pending)]
+	cfg := st.cfg
+	pending := st.pending
+	for i, en := range pending {
+		cols[i] = en.lf.train
+	}
+	computeIVsInto(ivs, cols, st.labels, cfg.IVBins, cfg.IVEqualWidth, st.pool)
+	for i, en := range pending {
+		en.iv = ivs[i]
+		en.lf.iv = ivs[i]
+		if en.iv <= cfg.IVThreshold {
+			en.dropped = true
+			st.arena.Put(en.lf.train)
+			en.lf.train = nil
+		}
+		st.entries = append(st.entries, en)
+	}
+	st.pending = st.pending[:0]
+}
+
+// finish flushes the tail chunk and returns every candidate entry.
+func (st *candidateStream) finish() []*candEntry {
+	st.flush()
+	return st.entries
+}
+
+// keptAfterIV returns the indices (into entries) surviving Algorithm 3:
+// IV strictly above the threshold, with the same top-minKeep fallback the
+// ivFilter helper applies. Fallback winners whose columns were recycled are
+// regenerated from their specs.
+func (st *candidateStream) keptAfterIV(entries []*candEntry, minKeep int) []int {
+	ivs := make([]float64, len(entries))
+	for i, en := range entries {
+		ivs[i] = en.iv
+	}
+	kept := ivFilter(ivs, st.cfg.IVThreshold, minKeep)
+	for _, idx := range kept {
+		if en := entries[idx]; en.dropped {
+			st.regenerate(en)
+		}
+	}
+	return kept
+}
+
+// regenerate rebuilds a recycled candidate column from its fitted applier.
+func (st *candidateStream) regenerate(en *candEntry) {
+	in := make([][]float64, len(en.spec.feats))
+	for i, f := range en.spec.feats {
+		in[i] = st.live[f].train
+	}
+	buf := st.arena.Get()
+	operators.TransformColumn(en.applier, in, buf)
+	sanitize(buf)
+	en.lf.train = buf
+	en.dropped = false
+}

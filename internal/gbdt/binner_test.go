@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/parallel"
 )
 
 func TestBinnerCodesConsistentWithThresholds(t *testing.T) {
@@ -13,7 +15,7 @@ func TestBinnerCodesConsistentWithThresholds(t *testing.T) {
 	for i := range col {
 		col[i] = rng.NormFloat64()
 	}
-	b := newBinner([][]float64{col}, 32)
+	b := newBinner([][]float64{col}, 32, parallel.Get(1))
 	// For every row, code c means: value <= threshold(c) and (c == 1 or
 	// value > threshold(c-1)).
 	for i, v := range col {
@@ -36,7 +38,7 @@ func TestBinnerCodesConsistentWithThresholds(t *testing.T) {
 
 func TestBinnerNaNGetsCodeZero(t *testing.T) {
 	col := []float64{1, math.NaN(), 3}
-	b := newBinner([][]float64{col}, 8)
+	b := newBinner([][]float64{col}, 8, parallel.Get(1))
 	if b.codes[0][1] != 0 {
 		t.Errorf("NaN code = %d, want 0", b.codes[0][1])
 	}
@@ -47,7 +49,7 @@ func TestBinnerNaNGetsCodeZero(t *testing.T) {
 
 func TestBinnerConstantColumn(t *testing.T) {
 	col := []float64{5, 5, 5, 5}
-	b := newBinner([][]float64{col}, 8)
+	b := newBinner([][]float64{col}, 8, parallel.Get(1))
 	if len(b.cuts[0]) != 0 {
 		t.Errorf("constant column produced cuts %v", b.cuts[0])
 	}
@@ -64,7 +66,7 @@ func TestBinnerCutsSortedProperty(t *testing.T) {
 		for i := range col {
 			col[i] = math.Round(rng.NormFloat64() * 3) // ties likely
 		}
-		b := newBinner([][]float64{col}, 16)
+		b := newBinner([][]float64{col}, 16, parallel.Get(1))
 		cuts := b.cuts[0]
 		for i := 1; i < len(cuts); i++ {
 			if cuts[i] <= cuts[i-1] {

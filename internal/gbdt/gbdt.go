@@ -17,9 +17,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
 	"sort"
-	"sync"
+
+	"repro/internal/parallel"
+	"repro/internal/stats"
 )
 
 // Objective selects the training loss.
@@ -48,7 +49,18 @@ type Config struct {
 	MaxBins        int       // histogram bins per feature (<= 255)
 	Objective      Objective // training loss
 	Seed           int64     // RNG seed for subsampling
-	Parallel       bool      // parallelise split finding across features
+	Parallel       bool      // parallelise histogram building across features
+	// Workers bounds the worker-pool size when Parallel is set; <= 0 selects
+	// GOMAXPROCS. Results are identical for any worker count.
+	Workers int
+}
+
+// pool returns the shared worker pool the configuration selects.
+func (c *Config) pool() *parallel.Pool {
+	if !c.Parallel {
+		return parallel.Get(1)
+	}
+	return parallel.Get(c.Workers)
 }
 
 // DefaultConfig returns settings close to XGBoost's defaults, scaled to the
@@ -209,7 +221,8 @@ func trainInternal(cols [][]float64, labels []float64, names []string, cfg Confi
 		}
 	}
 
-	b := newBinner(cols, cfg.MaxBins)
+	pool := cfg.pool()
+	b := newBinner(cols, cfg.MaxBins, pool)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	base := 0.0
@@ -237,12 +250,7 @@ func trainInternal(cols [][]float64, labels []float64, names []string, cfg Confi
 	grad := make([]float64, n)
 	hess := make([]float64, n)
 
-	tr := &trainer{
-		binner: b,
-		cfg:    cfg,
-		n:      n,
-		m:      m,
-	}
+	tr := newTrainer(b, cfg, pool, n, m)
 
 	if val != nil {
 		val.raw = make([]float64, len(val.labels))
@@ -255,13 +263,21 @@ func trainInternal(cols [][]float64, labels []float64, names []string, cfg Confi
 	for t := 0; t < cfg.NumTrees; t++ {
 		computeGradients(cfg.Objective, raw, labels, grad, hess)
 
-		rows := allRows(n)
+		// The row set is partitioned in place while the tree grows, so it
+		// lives in a per-trainer buffer refilled each round instead of a
+		// fresh allocation.
+		rows := tr.rowBuf[:0]
 		if cfg.Subsample < 1 {
-			rows = sampleRows(n, cfg.Subsample, rng)
+			rows = sampleRowsInto(rows, n, cfg.Subsample, rng)
+		} else {
+			for i := 0; i < n; i++ {
+				rows = append(rows, i)
+			}
 		}
+		tr.rowBuf = rows[:0]
 		feats := allRows(m)
 		if cfg.ColSample < 1 {
-			feats = sampleRows(m, cfg.ColSample, rng)
+			feats = sampleRowsInto(nil, m, cfg.ColSample, rng)
 			if len(feats) == 0 {
 				feats = []int{rng.Intn(m)}
 			}
@@ -271,7 +287,7 @@ func trainInternal(cols [][]float64, labels []float64, names []string, cfg Confi
 		model.Trees = append(model.Trees, tree)
 
 		// Update raw scores on all rows (not only the subsample).
-		updatePredictions(tree, b, raw)
+		updatePredictions(tree, b, raw, pool)
 
 		if val != nil && val.patience > 0 {
 			if stop := val.update(tree, cfg.Objective); stop {
@@ -386,17 +402,18 @@ func allRows(n int) []int {
 	return out
 }
 
-func sampleRows(n int, frac float64, rng *rand.Rand) []int {
-	out := make([]int, 0, int(frac*float64(n))+1)
+// sampleRowsInto appends a Bernoulli sample of [0,n) to dst (never empty).
+func sampleRowsInto(dst []int, n int, frac float64, rng *rand.Rand) []int {
+	base := len(dst)
 	for i := 0; i < n; i++ {
 		if rng.Float64() < frac {
-			out = append(out, i)
+			dst = append(dst, i)
 		}
 	}
-	if len(out) == 0 {
-		out = append(out, rng.Intn(n))
+	if len(dst) == base {
+		dst = append(dst, rng.Intn(n))
 	}
-	return out
+	return dst
 }
 
 // binner quantises features to uint8 codes. Code 0 is reserved for missing
@@ -409,7 +426,7 @@ type binner struct {
 	cols    [][]float64 // retained for prediction updates during training
 }
 
-func newBinner(cols [][]float64, maxBins int) *binner {
+func newBinner(cols [][]float64, maxBins int, pool *parallel.Pool) *binner {
 	m := len(cols)
 	b := &binner{
 		codes:   make([][]uint8, m),
@@ -417,52 +434,49 @@ func newBinner(cols [][]float64, maxBins int) *binner {
 		numBins: make([]int, m),
 		cols:    cols,
 	}
-	for j := range cols {
-		cuts := quantileCuts(cols[j], maxBins)
-		b.cuts[j] = cuts
-		b.numBins[j] = len(cuts) + 1
-		codes := make([]uint8, len(cols[j]))
-		for i, v := range cols[j] {
-			if math.IsNaN(v) {
-				codes[i] = 0
-				continue
+	// Columns bin independently; chunks amortise one quantile scratch each.
+	pool.ForChunks(m, pool.Grain(m), func(lo, hi int) {
+		var qs stats.QuantileScratch
+		var ix stats.CutIndexer
+		for j := lo; j < hi; j++ {
+			cuts := quantileCuts(cols[j], maxBins, &qs)
+			b.cuts[j] = cuts
+			b.numBins[j] = len(cuts) + 1
+			ix.Reset(cuts)
+			codes := make([]uint8, len(cols[j]))
+			for i, v := range cols[j] {
+				if math.IsNaN(v) {
+					codes[i] = 0
+					continue
+				}
+				codes[i] = uint8(1 + ix.Find(v))
 			}
-			codes[i] = uint8(1 + sort.SearchFloat64s(cuts, v))
+			b.codes[j] = codes
 		}
-		b.codes[j] = codes
-	}
+	})
 	return b
 }
 
 // quantileCuts returns at most maxBins-1 interior cut points from the
-// empirical quantiles of xs, deduplicated.
-func quantileCuts(xs []float64, maxBins int) []float64 {
-	clean := make([]float64, 0, len(xs))
-	for _, v := range xs {
-		if !math.IsNaN(v) {
-			clean = append(clean, v)
-		}
-	}
-	if len(clean) == 0 {
+// empirical quantiles of xs, deduplicated, dropping a trailing cut equal to
+// the maximum (it would create an empty bin). Cut values come from
+// multi-rank selection (stats.QuantileScratch) rather than a full sort.
+func quantileCuts(xs []float64, maxBins int, qs *stats.QuantileScratch) []float64 {
+	cuts := qs.Quantiles(xs, maxBins)
+	if len(cuts) == 0 {
 		return nil
 	}
-	sort.Float64s(clean)
-	cuts := make([]float64, 0, maxBins-1)
-	for k := 1; k < maxBins; k++ {
-		idx := k * len(clean) / maxBins
-		if idx >= len(clean) {
-			idx = len(clean) - 1
-		}
-		c := clean[idx]
-		if len(cuts) == 0 || c != cuts[len(cuts)-1] {
-			cuts = append(cuts, c)
+	mx := math.Inf(-1)
+	for _, v := range xs {
+		if !math.IsNaN(v) && v > mx {
+			mx = v
 		}
 	}
-	// Drop a trailing cut equal to the max: it would create an empty bin.
-	if len(cuts) > 0 && cuts[len(cuts)-1] >= clean[len(clean)-1] {
+	if cuts[len(cuts)-1] >= mx {
 		cuts = cuts[:len(cuts)-1]
 	}
-	return cuts
+	// The scratch owns the returned slice; keep a stable copy.
+	return append([]float64(nil), cuts...)
 }
 
 // threshold returns the raw-value threshold for "code <= c".
@@ -481,14 +495,67 @@ func (b *binner) threshold(feat int, code uint8) float64 {
 type trainer struct {
 	binner *binner
 	cfg    Config
+	pool   *parallel.Pool
 	n, m   int
+	// stride is the per-feature slot width in a histSet: the largest
+	// numBins[j]+1 (real bins plus the missing bin 0) across features.
+	stride int
+	// free is the hist-set free list. Depth-first growth holds at most two
+	// sets per level, so the list stays O(MaxDepth) long and every tree
+	// after the first builds histograms without allocating.
+	free []*histSet
+	// rowBuf backs the per-tree row set (partitioned in place as the tree
+	// grows); partScratch is the right-side spill buffer that keeps the
+	// partition stable.
+	rowBuf      []int
+	partScratch []int
 }
 
-// hist is a per-feature gradient histogram.
-type hist struct {
+func newTrainer(b *binner, cfg Config, pool *parallel.Pool, n, m int) *trainer {
+	stride := 1
+	for _, nb := range b.numBins {
+		if nb+1 > stride {
+			stride = nb + 1
+		}
+	}
+	return &trainer{
+		binner:      b,
+		cfg:         cfg,
+		pool:        pool,
+		n:           n,
+		m:           m,
+		stride:      stride,
+		rowBuf:      make([]int, 0, n),
+		partScratch: make([]int, 0, n),
+	}
+}
+
+// histSet holds the gradient histograms of every candidate feature for one
+// node, flattened with a fixed stride so one allocation serves all features.
+type histSet struct {
 	grad  []float64
 	hess  []float64
 	count []int
+}
+
+func (tr *trainer) getHistSet() *histSet {
+	if n := len(tr.free); n > 0 {
+		h := tr.free[n-1]
+		tr.free = tr.free[:n-1]
+		return h
+	}
+	size := tr.m * tr.stride
+	return &histSet{
+		grad:  make([]float64, size),
+		hess:  make([]float64, size),
+		count: make([]int, size),
+	}
+}
+
+func (tr *trainer) putHistSet(h *histSet) {
+	if h != nil {
+		tr.free = append(tr.free, h)
+	}
 }
 
 type splitResult struct {
@@ -496,13 +563,11 @@ type splitResult struct {
 	binCode      uint8 // go left when 1 <= code <= binCode
 	gain         float64
 	threshold    float64
-	leftRows     int
-	rightRows    int
 	defaultRight bool // learned direction for the missing bin (code 0)
 }
 
 // buildTree grows one tree depth-first over the given row and feature
-// subsets.
+// subsets. rows is partitioned in place as the tree grows.
 func (tr *trainer) buildTree(rows, feats []int, grad, hess []float64) *Tree {
 	t := &Tree{}
 	var sumG, sumH float64
@@ -511,49 +576,77 @@ func (tr *trainer) buildTree(rows, feats []int, grad, hess []float64) *Tree {
 		sumH += hess[r]
 	}
 	t.Nodes = append(t.Nodes, Node{Feature: -1, Count: len(rows)})
-	tr.grow(t, 0, rows, feats, grad, hess, sumG, sumH, 0)
+	var h *histSet
+	if tr.needsSplitEval(len(rows), sumH, 0) {
+		h = tr.getHistSet()
+		tr.computeHists(rows, feats, grad, hess, h)
+	}
+	tr.grow(t, 0, rows, feats, grad, hess, sumG, sumH, 0, h)
 	return t
 }
 
-func (tr *trainer) grow(t *Tree, nodeIdx int, rows, feats []int, grad, hess []float64, sumG, sumH float64, depth int) {
+// needsSplitEval reports whether a node with the given population can be
+// split at all — the pre-histogram leaf checks.
+func (tr *trainer) needsSplitEval(nRows int, sumH float64, depth int) bool {
+	cfg := tr.cfg
+	return depth < cfg.MaxDepth && nRows >= 2*cfg.MinChildCount && sumH >= 2*cfg.MinChildWeight
+}
+
+// grow turns node nodeIdx into a split or a leaf. h is the node's histogram
+// set (nil when the leaf checks already failed); grow owns h and returns it
+// to the free list. Children histograms are built for the smaller side only
+// and derived for the larger by subtraction from the parent — the classic
+// histogram trick that nearly halves split-finding work.
+func (tr *trainer) grow(t *Tree, nodeIdx int, rows, feats []int, grad, hess []float64, sumG, sumH float64, depth int, h *histSet) {
 	cfg := tr.cfg
 	leafValue := -cfg.LearningRate * sumG / (sumH + cfg.Lambda)
 
-	if depth >= cfg.MaxDepth || len(rows) < 2*cfg.MinChildCount || sumH < 2*cfg.MinChildWeight {
+	if h == nil {
 		t.Nodes[nodeIdx].Value = leafValue
 		return
 	}
 
-	best := tr.findBestSplit(rows, feats, grad, hess, sumG, sumH)
+	best := tr.bestSplit(h, feats, len(rows), sumG, sumH)
 	if best.feature < 0 || best.gain <= cfg.Gamma {
 		t.Nodes[nodeIdx].Value = leafValue
+		tr.putHistSet(h)
 		return
 	}
 
+	// Stable in-place partition: left rows compact forward, right rows
+	// spill to scratch and copy back behind them, preserving relative order
+	// on both sides (so directly-built child histograms accumulate in the
+	// same order an append-based partition produced).
 	codes := tr.binner.codes[best.feature]
-	left := make([]int, 0, best.leftRows)
-	right := make([]int, 0, best.rightRows)
+	scratch := tr.partScratch[:0]
+	nl := 0
 	var lG, lH float64
 	for _, r := range rows {
 		c := codes[r]
-		goLeft := false
+		var goLeft bool
 		if c == 0 {
 			goLeft = !best.defaultRight
 		} else {
 			goLeft = c <= best.binCode
 		}
 		if goLeft {
-			left = append(left, r)
+			rows[nl] = r
+			nl++
 			lG += grad[r]
 			lH += hess[r]
 		} else {
-			right = append(right, r)
+			scratch = append(scratch, r)
 		}
 	}
+	copy(rows[nl:], scratch)
+	tr.partScratch = scratch[:0]
+	left, right := rows[:nl], rows[nl:]
 	if len(left) == 0 || len(right) == 0 {
 		t.Nodes[nodeIdx].Value = leafValue
+		tr.putHistSet(h)
 		return
 	}
+	rG, rH := sumG-lG, sumH-lH
 
 	li := len(t.Nodes)
 	t.Nodes = append(t.Nodes, Node{Feature: -1, Count: len(left)})
@@ -568,33 +661,108 @@ func (tr *trainer) grow(t *Tree, nodeIdx int, rows, feats []int, grad, hess []fl
 	nd.Right = ri
 	nd.DefaultRight = best.defaultRight
 
-	tr.grow(t, li, left, feats, grad, hess, lG, lH, depth+1)
-	tr.grow(t, ri, right, feats, grad, hess, sumG-lG, sumH-lH, depth+1)
+	needL := tr.needsSplitEval(len(left), lH, depth+1)
+	needR := tr.needsSplitEval(len(right), rH, depth+1)
+	var hL, hR *histSet
+	switch {
+	case needL && needR:
+		if len(left) <= len(right) {
+			hL = tr.getHistSet()
+			tr.computeHists(left, feats, grad, hess, hL)
+			hR = tr.getHistSet()
+			tr.subtractHists(hR, h, hL, feats)
+		} else {
+			hR = tr.getHistSet()
+			tr.computeHists(right, feats, grad, hess, hR)
+			hL = tr.getHistSet()
+			tr.subtractHists(hL, h, hR, feats)
+		}
+	case needL:
+		hL = tr.childHist(h, left, right, feats, grad, hess)
+	case needR:
+		hR = tr.childHist(h, right, left, feats, grad, hess)
+	}
+	tr.putHistSet(h)
+
+	tr.grow(t, li, left, feats, grad, hess, lG, lH, depth+1, hL)
+	tr.grow(t, ri, right, feats, grad, hess, rG, rH, depth+1, hR)
 }
 
-// findBestSplit scans histogram bins of every candidate feature. With
-// cfg.Parallel it shards features across workers.
-func (tr *trainer) findBestSplit(rows, feats []int, grad, hess []float64, sumG, sumH float64) splitResult {
+// childHist builds the histogram set of child (sibling being the other
+// side) by whichever route is cheaper: direct accumulation over child's
+// rows, or accumulating the sibling and subtracting from the parent.
+func (tr *trainer) childHist(parent *histSet, child, sibling, feats []int, grad, hess []float64) *histSet {
+	if len(child) <= len(sibling) {
+		h := tr.getHistSet()
+		tr.computeHists(child, feats, grad, hess, h)
+		return h
+	}
+	hs := tr.getHistSet()
+	tr.computeHists(sibling, feats, grad, hess, hs)
+	h := tr.getHistSet()
+	tr.subtractHists(h, parent, hs, feats)
+	tr.putHistSet(hs)
+	return h
+}
+
+// computeHists accumulates per-feature gradient histograms over rows,
+// feature-parallel on the shared pool. Each feature slot is written by
+// exactly one chunk, so results are deterministic for any worker count.
+func (tr *trainer) computeHists(rows, feats []int, grad, hess []float64, h *histSet) {
+	tr.pool.ForChunks(len(feats), tr.pool.Grain(len(feats)), func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			j := feats[k]
+			nb := tr.binner.numBins[j] + 1 // +1 for the missing bin 0
+			base := k * tr.stride
+			g := h.grad[base : base+nb]
+			hh := h.hess[base : base+nb]
+			cnt := h.count[base : base+nb]
+			for b := range g {
+				g[b] = 0
+				hh[b] = 0
+				cnt[b] = 0
+			}
+			codes := tr.binner.codes[j]
+			for _, r := range rows {
+				c := codes[r]
+				g[c] += grad[r]
+				hh[c] += hess[r]
+				cnt[c]++
+			}
+		}
+	})
+}
+
+// subtractHists derives dst = parent - child per feature slot.
+func (tr *trainer) subtractHists(dst, parent, child *histSet, feats []int) {
+	for k := range feats {
+		nb := tr.binner.numBins[feats[k]] + 1
+		base := k * tr.stride
+		for b := base; b < base+nb; b++ {
+			dst.grad[b] = parent.grad[b] - child.grad[b]
+			dst.hess[b] = parent.hess[b] - child.hess[b]
+			dst.count[b] = parent.count[b] - child.count[b]
+		}
+	}
+}
+
+// bestSplit scans the prebuilt histograms of every candidate feature. The
+// scan is serial in feats order (it is cheap relative to histogram
+// accumulation), which fixes the tie-break deterministically: on equal gain
+// the earliest feature in feats wins, for any worker count.
+func (tr *trainer) bestSplit(h *histSet, feats []int, nRows int, sumG, sumH float64) splitResult {
 	cfg := tr.cfg
 	parentScore := sumG * sumG / (sumH + cfg.Lambda)
+	best := splitResult{feature: -1, gain: 0}
 
-	evalFeature := func(j int, h *hist) splitResult {
-		nb := tr.binner.numBins[j] + 1 // +1 for the missing bin 0
-		for b := 0; b < nb; b++ {
-			h.grad[b] = 0
-			h.hess[b] = 0
-			h.count[b] = 0
-		}
-		codes := tr.binner.codes[j]
-		for _, r := range rows {
-			c := codes[r]
-			h.grad[c] += grad[r]
-			h.hess[c] += hess[r]
-			h.count[c]++
-		}
-		best := splitResult{feature: -1, gain: 0}
-		mG, mH := h.grad[0], h.hess[0]
-		mC := h.count[0]
+	for k, j := range feats {
+		nb := tr.binner.numBins[j] + 1
+		base := k * tr.stride
+		g := h.grad[base : base+nb]
+		hh := h.hess[base : base+nb]
+		cnt := h.count[base : base+nb]
+		mG, mH := g[0], hh[0]
+		mC := cnt[0]
 
 		// Sparsity-aware split (XGBoost Alg. 3): scan real-bin boundaries
 		// with the missing bin assigned first to the left child, then to
@@ -606,12 +774,12 @@ func (tr *trainer) findBestSplit(rows, feats []int, grad, hess []float64, sumG, 
 				lG, lH, lC = mG, mH, mC
 			}
 			for b := 1; b < nb-1; b++ { // split after real bin b
-				lG += h.grad[b]
-				lH += h.hess[b]
-				lC += h.count[b]
+				lG += g[b]
+				lH += hh[b]
+				lC += cnt[b]
 				rG := sumG - lG
 				rH := sumH - lH
-				rC := len(rows) - lC
+				rC := nRows - lC
 				if lC < cfg.MinChildCount || rC < cfg.MinChildCount {
 					continue
 				}
@@ -625,8 +793,6 @@ func (tr *trainer) findBestSplit(rows, feats []int, grad, hess []float64, sumG, 
 						binCode:      uint8(b),
 						gain:         gain,
 						threshold:    tr.binner.threshold(j, uint8(b)),
-						leftRows:     lC,
-						rightRows:    rC,
 						defaultRight: !missLeft,
 					}
 				}
@@ -635,62 +801,20 @@ func (tr *trainer) findBestSplit(rows, feats []int, grad, hess []float64, sumG, 
 				break // no missing values: both directions are identical
 			}
 		}
-		return best
-	}
-
-	if !cfg.Parallel || len(feats) < 4 {
-		h := newHist(257)
-		best := splitResult{feature: -1}
-		for _, j := range feats {
-			if s := evalFeature(j, h); s.feature >= 0 && (best.feature < 0 || s.gain > best.gain) {
-				best = s
-			}
-		}
-		return best
-	}
-
-	workers := runtime.NumCPU()
-	if workers > len(feats) {
-		workers = len(feats)
-	}
-	results := make([]splitResult, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			h := newHist(257)
-			best := splitResult{feature: -1}
-			for k := w; k < len(feats); k += workers {
-				if s := evalFeature(feats[k], h); s.feature >= 0 && (best.feature < 0 || s.gain > best.gain) {
-					best = s
-				}
-			}
-			results[w] = best
-		}(w)
-	}
-	wg.Wait()
-	best := splitResult{feature: -1}
-	for _, s := range results {
-		if s.feature >= 0 && (best.feature < 0 || s.gain > best.gain) {
-			best = s
-		}
 	}
 	return best
 }
 
-func newHist(size int) *hist {
-	return &hist{
-		grad:  make([]float64, size),
-		hess:  make([]float64, size),
-		count: make([]int, size),
-	}
+// updatePredictions adds the new tree's outputs to the raw scores of all
+// rows, row-parallel on the shared pool (each index written exactly once).
+func updatePredictions(t *Tree, b *binner, raw []float64, pool *parallel.Pool) {
+	pool.ForChunks(len(raw), 2048, func(lo, hi int) {
+		updatePredictionsRange(t, b, raw, lo, hi)
+	})
 }
 
-// updatePredictions adds the new tree's outputs to the raw scores of all
-// rows.
-func updatePredictions(t *Tree, b *binner, raw []float64) {
-	for i := range raw {
+func updatePredictionsRange(t *Tree, b *binner, raw []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		idx := 0
 		for {
 			n := &t.Nodes[idx]

@@ -41,14 +41,37 @@ type Applier interface {
 	Formula(names []string) string
 }
 
+// ColumnApplier is the optional allocation-free fast path of an Applier:
+// TransformInto writes the output column into dst (len(dst) == rows)
+// instead of allocating. The built-in arithmetic operators additionally
+// dispatch to tight column loops here, skipping the per-row closure of the
+// generic path.
+type ColumnApplier interface {
+	TransformInto(cols [][]float64, dst []float64)
+}
+
+// TransformColumn applies ap into dst, using the ColumnApplier fast path
+// when available and falling back to Transform+copy otherwise. It returns
+// dst.
+func TransformColumn(ap Applier, cols [][]float64, dst []float64) []float64 {
+	if ca, ok := ap.(ColumnApplier); ok {
+		ca.TransformInto(cols, dst)
+		return dst
+	}
+	copy(dst, ap.Transform(cols))
+	return dst
+}
+
 // ---------- stateless helpers ----------
 
-// funcOp is a stateless operator defined by a row function and a formula
-// template.
+// funcOp is a stateless operator defined by a row function, an optional
+// vectorised column function (the hot-path variant generation uses), and a
+// formula template.
 type funcOp struct {
 	name    string
 	arity   Arity
 	f       func(vals []float64) float64
+	vec     func(cols [][]float64, dst []float64)
 	formula func(names []string) string
 }
 
@@ -66,16 +89,31 @@ type funcApplier struct{ op *funcOp }
 func (a *funcApplier) TransformRow(vals []float64) float64 { return a.op.f(vals) }
 func (a *funcApplier) Formula(names []string) string       { return a.op.formula(names) }
 func (a *funcApplier) Transform(cols [][]float64) []float64 {
-	n := len(cols[0])
-	out := make([]float64, n)
-	vals := make([]float64, len(cols))
-	for i := 0; i < n; i++ {
-		for j := range cols {
+	out := make([]float64, len(cols[0]))
+	a.TransformInto(cols, out)
+	return out
+}
+
+// TransformInto implements ColumnApplier: the vectorised column function
+// when the operator has one, otherwise a generic row loop that still avoids
+// allocating the output.
+func (a *funcApplier) TransformInto(cols [][]float64, dst []float64) {
+	if a.op.vec != nil {
+		a.op.vec(cols, dst)
+		return
+	}
+	k := len(cols)
+	var stack [4]float64
+	vals := stack[:]
+	if k > len(stack) {
+		vals = make([]float64, k)
+	}
+	for i := range dst {
+		for j := 0; j < k; j++ {
 			vals[j] = cols[j][i]
 		}
-		out[i] = a.op.f(vals)
+		dst[i] = a.op.f(vals[:k])
 	}
-	return out
 }
 
 func unary(name string, f func(float64) float64, tmpl string) Operator {
@@ -83,6 +121,12 @@ func unary(name string, f func(float64) float64, tmpl string) Operator {
 		name:  name,
 		arity: Unary,
 		f:     func(v []float64) float64 { return f(v[0]) },
+		vec: func(cols [][]float64, dst []float64) {
+			x := cols[0][:len(dst)]
+			for i := range dst {
+				dst[i] = f(x[i])
+			}
+		},
 		formula: func(names []string) string {
 			return fmt.Sprintf(tmpl, names[0])
 		},
@@ -94,32 +138,79 @@ func binary(name string, f func(a, b float64) float64, tmpl string) Operator {
 		name:  name,
 		arity: Binary,
 		f:     func(v []float64) float64 { return f(v[0], v[1]) },
+		vec: func(cols [][]float64, dst []float64) {
+			x := cols[0][:len(dst)]
+			y := cols[1][:len(dst)]
+			for i := range dst {
+				dst[i] = f(x[i], y[i])
+			}
+		},
 		formula: func(names []string) string {
 			return fmt.Sprintf(tmpl, names[0], names[1])
 		},
 	}
 }
 
+// binaryVec is binary with a hand-specialised column loop: the arithmetic
+// operators of the paper's experimental set run hot enough that even the
+// two-argument closure call per row shows up in profiles.
+func binaryVec(name string, f func(a, b float64) float64, vec func(x, y, dst []float64), tmpl string) Operator {
+	op := binary(name, f, tmpl).(*funcOp)
+	op.vec = func(cols [][]float64, dst []float64) {
+		vec(cols[0][:len(dst)], cols[1][:len(dst)], dst)
+	}
+	return op
+}
+
 // ---------- arithmetic binary operators (the paper's experimental set) ----------
 
 // Add returns the + operator.
-func Add() Operator { return binary("add", func(a, b float64) float64 { return a + b }, "(%s + %s)") }
+func Add() Operator {
+	return binaryVec("add", func(a, b float64) float64 { return a + b },
+		func(x, y, dst []float64) {
+			for i := range dst {
+				dst[i] = x[i] + y[i]
+			}
+		}, "(%s + %s)")
+}
 
 // Sub returns the - operator. Subtraction is not commutative; the paper
 // treats such operators as distinct per argument order, which feature
 // generation honours by trying both orders.
-func Sub() Operator { return binary("sub", func(a, b float64) float64 { return a - b }, "(%s - %s)") }
+func Sub() Operator {
+	return binaryVec("sub", func(a, b float64) float64 { return a - b },
+		func(x, y, dst []float64) {
+			for i := range dst {
+				dst[i] = x[i] - y[i]
+			}
+		}, "(%s - %s)")
+}
 
 // Mul returns the × operator.
-func Mul() Operator { return binary("mul", func(a, b float64) float64 { return a * b }, "(%s * %s)") }
+func Mul() Operator {
+	return binaryVec("mul", func(a, b float64) float64 { return a * b },
+		func(x, y, dst []float64) {
+			for i := range dst {
+				dst[i] = x[i] * y[i]
+			}
+		}, "(%s * %s)")
+}
 
 // Div returns the ÷ operator; division by zero yields NaN (missing).
 func Div() Operator {
-	return binary("div", func(a, b float64) float64 {
+	return binaryVec("div", func(a, b float64) float64 {
 		if b == 0 {
 			return math.NaN()
 		}
 		return a / b
+	}, func(x, y, dst []float64) {
+		for i := range dst {
+			if y[i] == 0 {
+				dst[i] = math.NaN()
+			} else {
+				dst[i] = x[i] / y[i]
+			}
+		}
 	}, "(%s / %s)")
 }
 

@@ -1,0 +1,188 @@
+// Package parallel provides the one bounded, reusable worker pool every hot
+// path of this repository shares. It replaces the ad-hoc
+// runtime.NumCPU()-goroutine spawns that used to live in candidate scoring,
+// IV/Pearson selection and GBDT split finding with a single chunked
+// parallel-for primitive.
+//
+// Design constraints, in order:
+//
+//  1. Determinism: results must be identical for any worker count. Both For
+//     and ForChunks therefore hand callers disjoint index ranges and expect
+//     outputs to be written to per-index (or per-chunk) slots; chunk
+//     boundaries depend only on n, never on the worker count or on
+//     scheduling.
+//  2. Bounded concurrency: a pool owns a fixed set of long-lived worker
+//     goroutines. Submitting work never spawns; a saturated pool simply
+//     leaves the caller to chew through the chunks itself, which also makes
+//     nested For calls deadlock-free.
+//  3. Reuse: pools are cached per size (Get), so repeated Fit calls do not
+//     churn goroutines.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded set of reusable worker goroutines. The zero value is not
+// usable; obtain pools with Get or New.
+type Pool struct {
+	workers int
+	tasks   chan func()
+}
+
+var (
+	poolsMu sync.Mutex
+	pools   = map[int]*Pool{}
+)
+
+// Get returns the shared pool with the given worker count, creating it on
+// first use. workers <= 0 selects GOMAXPROCS. Pools are never torn down:
+// idle workers cost only a blocked goroutine each.
+func Get(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	poolsMu.Lock()
+	defer poolsMu.Unlock()
+	if p, ok := pools[workers]; ok {
+		return p
+	}
+	p := New(workers)
+	pools[workers] = p
+	return p
+}
+
+// Default returns the shared GOMAXPROCS-sized pool.
+func Default() *Pool { return Get(0) }
+
+// New creates a pool with its own worker goroutines. Most callers want Get.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// The task channel is deliberately unbuffered: a send succeeds only when
+	// an idle worker is actively receiving, so queued work can never wait on
+	// a worker that is itself blocked in a nested ForChunks.
+	p := &Pool{workers: workers, tasks: make(chan func())}
+	// The caller of For/ForChunks always participates, so workers-1 helpers
+	// saturate the target concurrency.
+	for i := 0; i < workers-1; i++ {
+		go func() {
+			for task := range p.tasks {
+				task()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// Grain returns a chunk size that gives each worker a few chunks of an
+// n-element loop — the default second argument to ForChunks when the caller
+// has no per-chunk setup cost to amortise further.
+func (p *Pool) Grain(n int) int {
+	g := n / (4 * p.workers)
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// minChunk is the smallest index range worth shipping to another goroutine.
+const minChunk = 64
+
+// ForChunks splits [0,n) into contiguous chunks of at least grain indices
+// and runs fn on each. The calling goroutine always executes chunks itself;
+// idle pool workers join in. fn must write results to per-index or per-chunk
+// locations — chunk boundaries are a pure function of n and grain, so any
+// such use is deterministic regardless of worker count or scheduling.
+// ForChunks returns once every chunk has completed; a panic in fn is
+// re-raised on the calling goroutine.
+func (p *Pool) ForChunks(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = minChunk
+	}
+	chunks := (n + grain - 1) / grain
+	if chunks <= 1 || p.workers == 1 {
+		fn(0, n)
+		return
+	}
+
+	var (
+		next     atomic.Int64
+		panicked atomic.Pointer[panicValue]
+		wg       sync.WaitGroup
+	)
+	run := func() {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				panicked.CompareAndSwap(nil, &panicValue{r})
+				// Drain remaining chunks so other participants finish fast.
+				next.Store(int64(chunks))
+			}
+		}()
+		for {
+			c := int(next.Add(1)) - 1
+			if c >= chunks {
+				return
+			}
+			lo := c * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+	}
+
+	helpers := p.workers - 1
+	if helpers > chunks-1 {
+		helpers = chunks - 1
+	}
+	wg.Add(1 + helpers)
+	submitted := 0
+submit:
+	for submitted < helpers {
+		select {
+		case p.tasks <- run:
+			submitted++
+		default:
+			// Pool saturated (e.g. a nested call): the caller picks up the
+			// slack, which keeps nesting deadlock-free.
+			break submit
+		}
+	}
+	for i := submitted; i < helpers; i++ {
+		wg.Done()
+	}
+	run()
+	wg.Wait()
+	if pv := panicked.Load(); pv != nil {
+		panic(pv.v)
+	}
+}
+
+type panicValue struct{ v any }
+
+// For runs fn for every i in [0,n), sharded over the pool in chunks sized
+// so each worker sees a few chunks. The same determinism contract as
+// ForChunks applies: fn must write to per-index locations.
+func (p *Pool) For(n int, fn func(i int)) {
+	grain := n / (4 * p.workers)
+	if grain < 1 {
+		grain = 1
+	}
+	p.ForChunks(n, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}

@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestCutIndexerMatchesSearchCuts fuzzes Find against SearchCuts over cut
+// layouts that exercise the table path, the short-cuts fallback, duplicate
+// cuts, and the clustered-cuts fallback.
+func TestCutIndexerMatchesSearchCuts(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	layouts := [][]float64{
+		{0.5},                                // too short for a table
+		{0, 1, 2},                            // still short
+		{0, 1, 2, 3, 4, 5},                   // uniform
+		{0, 0, 1, 1, 2, 2},                   // duplicates
+		{-3, -1, 0, 0.1, 0.2, 0.3, 10, 1000}, // skewed
+	}
+	uniform := make([]float64, 255)
+	for i := range uniform {
+		uniform[i] = float64(i) * 0.37
+	}
+	layouts = append(layouts, uniform)
+	clustered := make([]float64, 64)
+	for i := range clustered {
+		clustered[i] = 1e-9 * float64(i) // all cuts inside one bucket + outlier
+	}
+	clustered = append(clustered, 1e12)
+	layouts = append(layouts, clustered)
+
+	var ix CutIndexer
+	for li, cuts := range layouts {
+		ix.Reset(cuts)
+		probe := func(v float64) {
+			if got, want := ix.Find(v), SearchCuts(cuts, v); got != want {
+				t.Fatalf("layout %d: Find(%v) = %d, SearchCuts = %d", li, v, got, want)
+			}
+		}
+		for _, v := range cuts { // exact cut values: the (.., cut] boundary
+			probe(v)
+			probe(math.Nextafter(v, math.Inf(-1)))
+			probe(math.Nextafter(v, math.Inf(1)))
+		}
+		lo, hi := cuts[0], cuts[len(cuts)-1]
+		probe(lo - 1)
+		probe(hi + 1)
+		probe(math.Inf(-1))
+		probe(math.Inf(1))
+		for i := 0; i < 2000; i++ {
+			probe(lo + (hi-lo)*(rng.Float64()*1.2-0.1))
+		}
+	}
+}
+
+func TestCutIndexerDegenerateSpans(t *testing.T) {
+	var ix CutIndexer
+	for _, cuts := range [][]float64{
+		nil,
+		{},
+		{1, 1, 1, 1, 1},                      // zero span
+		{math.Inf(-1), 0, 1, 2, math.Inf(1)}, // infinite span
+		{0, 1, 2, math.MaxFloat64},           // invStep underflows to 0 span scale
+	} {
+		ix.Reset(cuts)
+		for _, v := range []float64{-1, 0, 0.5, 1, 3, 1e300} {
+			if got, want := ix.Find(v), SearchCuts(cuts, v); got != want {
+				t.Fatalf("cuts %v: Find(%v) = %d, SearchCuts = %d", cuts, v, got, want)
+			}
+		}
+	}
+}
+
+func BenchmarkCutIndexerFind(b *testing.B) {
+	cuts := make([]float64, 255)
+	for i := range cuts {
+		cuts[i] = float64(i)
+	}
+	var ix CutIndexer
+	ix.Reset(cuts)
+	vals := make([]float64, 1024)
+	rng := rand.New(rand.NewSource(3))
+	for i := range vals {
+		vals[i] = rng.Float64() * 260
+	}
+	b.Run("indexer", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ix.Find(vals[i&1023])
+		}
+	})
+	b.Run("binary-search", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			SearchCuts(cuts, vals[i&1023])
+		}
+	})
+}

@@ -8,7 +8,6 @@ package stats
 
 import (
 	"math"
-	"sort"
 )
 
 // Thresholds from the paper's rules of thumb (Tables I and II).
@@ -226,37 +225,17 @@ func Pearson(x, y []float64) float64 {
 }
 
 // Quantiles returns the q-quantile cut points of xs (q-1 interior points)
-// using the nearest-rank method on a sorted copy. NaNs are skipped.
+// using the nearest-rank method. NaNs are skipped. The cut values are the
+// same a sorted copy would yield, but computed by multi-rank selection in
+// expected O(n log q). Hot paths should use QuantileScratch to amortise the
+// working buffers.
 func Quantiles(xs []float64, q int) []float64 {
-	if q < 2 {
+	var s QuantileScratch
+	cuts := s.Quantiles(xs, q)
+	if cuts == nil {
 		return nil
 	}
-	clean := make([]float64, 0, len(xs))
-	for _, v := range xs {
-		if !math.IsNaN(v) {
-			clean = append(clean, v)
-		}
-	}
-	if len(clean) == 0 {
-		return nil
-	}
-	sort.Float64s(clean)
-	cuts := make([]float64, 0, q-1)
-	for k := 1; k < q; k++ {
-		idx := k * len(clean) / q
-		if idx >= len(clean) {
-			idx = len(clean) - 1
-		}
-		cuts = append(cuts, clean[idx])
-	}
-	// Deduplicate: repeated cut points collapse bins.
-	out := cuts[:0]
-	for i, c := range cuts {
-		if i == 0 || c != cuts[i-1] {
-			out = append(out, c)
-		}
-	}
-	return out
+	return append([]float64(nil), cuts...)
 }
 
 // Digitize maps each value to its bin index given ascending cut points:
@@ -269,9 +248,9 @@ func Digitize(xs []float64, cuts []float64) []int {
 			out[i] = -1
 			continue
 		}
-		// SearchFloat64s returns the first index with cuts[j] >= v, which
-		// puts v == cuts[j] into bin j: the (.., cuts[j]] convention.
-		out[i] = sort.SearchFloat64s(cuts, v)
+		// SearchCuts returns the first index with cuts[j] >= v, which puts
+		// v == cuts[j] into bin j: the (.., cuts[j]] convention.
+		out[i] = SearchCuts(cuts, v)
 	}
 	return out
 }
@@ -328,17 +307,129 @@ func EqualWidthBins(xs []float64, bins int) ([]int, int) {
 
 // InformationValue computes the IV of a feature against binary labels
 // (Eq. 6) using equal-frequency binning into at most bins bins. Counts are
-// Laplace-smoothed by 0.5 to keep the WoE finite on empty cells.
+// Laplace-smoothed by 0.5 to keep the WoE finite on empty cells. Hot paths
+// computing IVs for many columns should use IVScratch.
 func InformationValue(feature, labels []float64, bins int) float64 {
-	assign, nb := EqualFrequencyBins(feature, bins)
-	return ivFromAssignment(assign, nb, labels)
+	var s IVScratch
+	return s.InformationValue(feature, labels, bins)
 }
 
 // InformationValueWidth is InformationValue with equal-width binning; used
 // by the binning ablation.
 func InformationValueWidth(feature, labels []float64, bins int) float64 {
-	assign, nb := EqualWidthBins(feature, bins)
-	return ivFromAssignment(assign, nb, labels)
+	var s IVScratch
+	return s.InformationValueWidth(feature, labels, bins)
+}
+
+// IVScratch computes Information Values with reusable buffers: one instance
+// amortises the quantile working copy and the bin-count arrays across an
+// entire column sweep. The zero value is ready to use; not safe for
+// concurrent use (hot paths keep one per worker).
+type IVScratch struct {
+	q        QuantileScratch
+	ix       CutIndexer
+	pos, neg []float64
+}
+
+// InformationValue is InformationValue with buffer reuse.
+func (s *IVScratch) InformationValue(feature, labels []float64, bins int) float64 {
+	cuts := s.q.Quantiles(feature, bins)
+	numBins := len(cuts) + 1
+	if numBins <= 1 {
+		return 0
+	}
+	s.ix.Reset(cuts)
+	pos, neg := s.counts(numBins)
+	var np, nn float64
+	for i, v := range feature {
+		if math.IsNaN(v) {
+			continue
+		}
+		b := s.ix.Find(v)
+		if labels[i] > 0.5 {
+			pos[b]++
+			np++
+		} else {
+			neg[b]++
+			nn++
+		}
+	}
+	return ivFromCounts(pos, neg, np, nn)
+}
+
+// InformationValueWidth is InformationValueWidth with buffer reuse.
+func (s *IVScratch) InformationValueWidth(feature, labels []float64, bins int) float64 {
+	if bins < 1 {
+		bins = 1
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range feature {
+		if math.IsNaN(v) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if !(hi > lo) {
+		return 0
+	}
+	w := (hi - lo) / float64(bins)
+	pos, neg := s.counts(bins)
+	var np, nn float64
+	for i, v := range feature {
+		if math.IsNaN(v) {
+			continue
+		}
+		b := int((v - lo) / w)
+		if b >= bins {
+			b = bins - 1
+		}
+		if labels[i] > 0.5 {
+			pos[b]++
+			np++
+		} else {
+			neg[b]++
+			nn++
+		}
+	}
+	return ivFromCounts(pos, neg, np, nn)
+}
+
+// counts returns zeroed pos/neg count slices of the given length.
+func (s *IVScratch) counts(n int) (pos, neg []float64) {
+	if cap(s.pos) < n {
+		s.pos = make([]float64, n)
+		s.neg = make([]float64, n)
+	}
+	pos, neg = s.pos[:n], s.neg[:n]
+	for i := range pos {
+		pos[i] = 0
+		neg[i] = 0
+	}
+	return pos, neg
+}
+
+// ivFromCounts folds per-bin positive/negative counts into the IV, with the
+// same 0.5 Laplace smoothing as ivFromAssignment.
+func ivFromCounts(pos, neg []float64, np, nn float64) float64 {
+	if np == 0 || nn == 0 {
+		return 0
+	}
+	numBins := float64(len(pos))
+	iv := 0.0
+	for b := range pos {
+		if pos[b]+neg[b] == 0 {
+			continue
+		}
+		dp := (pos[b] + 0.5) / (np + 0.5*numBins)
+		dn := (neg[b] + 0.5) / (nn + 0.5*numBins)
+		iv += (dp - dn) * math.Log(dp/dn)
+	}
+	return iv
 }
 
 func ivFromAssignment(assign []int, numBins int, labels []float64) float64 {
