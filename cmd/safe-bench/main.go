@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/benchkit"
+	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/experiments"
@@ -75,8 +76,13 @@ func main() {
 		benchCompare  = flag.Bool("bench-compare", false, "fit experiment: exit non-zero when throughput regresses beyond -bench-tolerance vs the latest run in -bench-file")
 		benchTol      = flag.Float64("bench-tolerance", 0.20, "fit experiment: allowed fractional throughput regression")
 		benchRepeats  = flag.Int("bench-repeats", 3, "fit experiment: measurements per cell; the fastest is kept")
+		version       = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String())
+		return
+	}
 
 	opts := experiments.Options{
 		Scale:         *scale,
@@ -96,10 +102,11 @@ func main() {
 		run[strings.TrimSpace(e)] = true
 	}
 	if run["all"] {
-		for _, e := range []string{"table3", "table5", "table6", "table8", "fig3", "fig4", "searchspace", "assumptions", "ablation", "serving", "fit"} {
+		for _, e := range []string{"table3", "table5", "table6", "table8", "fig3", "fig4", "searchspace", "assumptions", "ablation", "serving", "fit", "shardfit"} {
 			run[e] = true
 		}
 	}
+	fmt.Printf("safe-bench %s seed=%d\n", buildinfo.String(), *seed)
 
 	w := os.Stdout
 	export := func(name string, v interface{}, err error) {
@@ -154,8 +161,10 @@ func main() {
 		}, w)
 		export("serving", res, err)
 	}
-	if run["fit"] {
+	if run["fit"] || run["shardfit"] {
 		res, err := runFitBench(fitBenchOptions{
+			Fit:       run["fit"],
+			ShardFit:  run["shardfit"],
 			Quick:     *quick,
 			File:      *benchFile,
 			Label:     *benchLabel,
@@ -164,12 +173,15 @@ func main() {
 			Compare:   *benchCompare,
 			Tolerance: *benchTol,
 			Repeats:   *benchRepeats,
+			Seed:      *seed,
 		}, w)
 		export("fit", res, err)
 	}
 }
 
 type fitBenchOptions struct {
+	Fit       bool // include the in-memory fit matrix
+	ShardFit  bool // include the sharded out-of-core fit matrix
 	Quick     bool
 	File      string
 	Label     string
@@ -178,19 +190,32 @@ type fitBenchOptions struct {
 	Compare   bool
 	Tolerance float64
 	Repeats   int
+	Seed      int64
 }
 
-// runFitBench runs the fit workload matrix, prints per-cell throughput,
-// maintains the BENCH_fit.json trajectory, and enforces the regression gate.
+// runFitBench runs the fit (and/or sharded fit) workload matrix, prints
+// per-cell throughput, maintains the BENCH_fit.json trajectory, and
+// enforces the regression gate.
 func runFitBench(opts fitBenchOptions, w io.Writer) (*benchkit.Run, error) {
-	matrix := benchkit.FitMatrix()
+	var matrix []benchkit.FitWorkload
+	if opts.Fit {
+		if opts.Quick {
+			matrix = append(matrix, benchkit.QuickFitMatrix()...)
+		} else {
+			matrix = append(matrix, benchkit.FitMatrix()...)
+		}
+	}
+	if opts.ShardFit {
+		if opts.Quick {
+			matrix = append(matrix, benchkit.QuickShardFitMatrix()...)
+		} else {
+			matrix = append(matrix, benchkit.ShardFitMatrix()...)
+		}
+	}
 	label := opts.Label
 	if label == "" {
 		label = "full"
-	}
-	if opts.Quick {
-		matrix = benchkit.QuickFitMatrix()
-		if opts.Label == "" {
+		if opts.Quick {
 			label = "quick"
 		}
 	}
@@ -202,7 +227,7 @@ func runFitBench(opts fitBenchOptions, w io.Writer) (*benchkit.Run, error) {
 	prev := hist.Latest()
 	base := hist.Baseline()
 
-	cur := benchkit.NewRun(label)
+	cur := benchkit.NewRun(label, opts.Seed)
 	fmt.Fprintf(w, "\nFit throughput (synthetic workload matrix, GOMAXPROCS=%d)\n", cur.GOMAXPROCS)
 	for _, cell := range matrix {
 		res, err := benchkit.RunFitBest(cell, opts.Repeats)

@@ -14,6 +14,7 @@ import (
 	"path/filepath"
 
 	"repro"
+	"repro/internal/buildinfo"
 	"repro/internal/datagen"
 )
 
@@ -23,8 +24,15 @@ func main() {
 		scale         = flag.Float64("scale", 0.1, "benchmark row scale (1 = paper sizes)")
 		businessScale = flag.Float64("business-scale", 0.005, "business row scale (1 = 2.5M-8M rows)")
 		which         = flag.String("which", "all", "benchmarks | business | fraud | all")
+		seed          = flag.Int64("seed", 0, "seed offset added to every dataset's own seed")
+		version       = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String())
+		return
+	}
+	fmt.Printf("safe-datagen %s seed=%d\n", buildinfo.String(), *seed)
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatal(err)
@@ -47,6 +55,7 @@ func main() {
 	}
 
 	for _, spec := range specs {
+		spec.Seed += *seed
 		ds, err := datagen.Generate(spec)
 		if err != nil {
 			fatal(err)

@@ -7,15 +7,25 @@
 //	safe -train train.csv -label y [-test test.csv] [-out out.csv]
 //	     [-ops add,sub,mul,div] [-iters 1] [-max-features 0] [-gamma 0]
 //	     [-seed 0] [-v]
+//
+// Out-of-core fitting: -chunk-rows N streams the training CSV in N-row
+// chunks through the sharded fit engine (internal/shard), so files larger
+// than memory can be fitted; -shards K instead derives the chunk size from
+// a row-count pre-pass so the file splits into K partitions. With default
+// settings the sharded fit selects the same features as the in-memory fit.
 package main
 
 import (
+	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"repro"
+	"repro/internal/buildinfo"
 )
 
 func main() {
@@ -32,8 +42,15 @@ func main() {
 		verbose      = flag.Bool("v", false, "print per-iteration details")
 		savePipeline = flag.String("save-pipeline", "", "write the learned pipeline Ψ as JSON")
 		loadPipeline = flag.String("load-pipeline", "", "skip fitting; load Ψ from a JSON file")
+		chunkRows    = flag.Int("chunk-rows", 0, "fit out-of-core, streaming the training CSV in chunks of this many rows")
+		shards       = flag.Int("shards", 0, "fit out-of-core over this many partitions (chunk size from a row-count pre-pass)")
+		version      = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String())
+		return
+	}
 	if *trainPath == "" && *loadPipeline == "" {
 		fmt.Fprintln(os.Stderr, "safe: -train (or -load-pipeline) is required")
 		flag.Usage()
@@ -43,40 +60,44 @@ func main() {
 	var (
 		train    *safe.Frame
 		pipeline *safe.Pipeline
+		report   *safe.Report
 		err      error
 	)
-	if *loadPipeline != "" {
+	switch {
+	case *loadPipeline != "":
 		pipeline, err = safe.LoadPipelineFile(*loadPipeline)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("loaded pipeline: %d output features (%d derived)\n",
 			pipeline.NumFeatures(), pipeline.NumDerived())
-	} else {
+
+	case *chunkRows > 0 || *shards > 0:
+		// Sharded out-of-core fit: the training frame never materialises.
+		pipeline, report, err = fitSharded(*trainPath, *labelCol, *chunkRows, *shards, buildConfig(*opsFlag, *iters, *maxFeatures, *gamma, *seed))
+		if err != nil {
+			fatal(err)
+		}
+
+	default:
 		train, err = safe.ReadCSVFile(*trainPath, *labelCol)
 		if err != nil {
 			fatal(err)
 		}
-
-		cfg := safe.DefaultConfig()
-		cfg.Operators = strings.Split(*opsFlag, ",")
-		cfg.Iterations = *iters
-		cfg.MaxFeatures = *maxFeatures
-		cfg.Gamma = *gamma
-		cfg.Seed = *seed
-
-		eng, err := safe.New(cfg)
+		eng, err := safe.New(buildConfig(*opsFlag, *iters, *maxFeatures, *gamma, *seed))
 		if err != nil {
 			fatal(err)
 		}
-		var report *safe.Report
 		pipeline, report, err = eng.Fit(train)
 		if err != nil {
 			fatal(err)
 		}
+	}
 
-		fmt.Printf("SAFE fit complete in %v: %d input features -> %d output features (%d generated)\n",
-			report.Total.Round(1e6), train.NumCols(), pipeline.NumFeatures(), pipeline.NumDerived())
+	if report != nil {
+		inCols := len(pipeline.OriginalNames)
+		fmt.Printf("SAFE fit complete in %v (seed=%d): %d input features -> %d output features (%d generated)\n",
+			report.Total.Round(1e6), *seed, inCols, pipeline.NumFeatures(), pipeline.NumDerived())
 		if *verbose {
 			for _, ir := range report.Iterations {
 				fmt.Printf("  round %d: mined %d combos (vs %d exhaustive), kept %d, generated %d, "+
@@ -105,7 +126,10 @@ func main() {
 		}
 	}
 	if target == nil {
-		return // -load-pipeline without -train/-test: nothing to transform
+		if *outPath != "" && (*chunkRows > 0 || *shards > 0) {
+			fmt.Println("note: out-of-core fit does not keep the training data in memory; pass -test to transform a dataset")
+		}
+		return // nothing in memory to transform
 	}
 	transformed, err := pipeline.Transform(target)
 	if err != nil {
@@ -118,6 +142,73 @@ func main() {
 		fmt.Printf("wrote %d rows x %d features to %s\n",
 			transformed.NumRows(), transformed.NumCols(), *outPath)
 	}
+}
+
+func buildConfig(ops string, iters, maxFeatures, gamma int, seed int64) safe.Config {
+	cfg := safe.DefaultConfig()
+	cfg.Operators = strings.Split(ops, ",")
+	cfg.Iterations = iters
+	cfg.MaxFeatures = maxFeatures
+	cfg.Gamma = gamma
+	cfg.Seed = seed
+	return cfg
+}
+
+// fitSharded runs the out-of-core fit over a chunked CSV source. When only
+// a shard count is given, a counting pre-pass sizes the chunks so the file
+// splits into that many partitions.
+func fitSharded(path, label string, chunkRows, shards int, cfg safe.Config) (*safe.Pipeline, *safe.Report, error) {
+	if chunkRows <= 0 {
+		rows, err := countCSVRows(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		if rows == 0 {
+			return nil, nil, errors.New("safe: training CSV has no rows")
+		}
+		chunkRows = (rows + shards - 1) / shards
+	}
+	src, err := safe.OpenCSVChunks(path, label, chunkRows)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer src.Close()
+	shardCfg := safe.DefaultShardConfig()
+	shardCfg.Core = cfg
+	pipeline, report, stats, err := safe.FitSharded(src, shardCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	fmt.Printf("sharded fit: %d rows in %d partitions of %d rows, %d streaming passes (%d rows streamed)\n",
+		stats.Rows, stats.Partitions, chunkRows, stats.Passes, stats.RowsStreamed)
+	return pipeline, report, nil
+}
+
+// countCSVRows makes one cheap pass counting data records — no per-cell
+// float decoding, so the -shards pre-pass costs a fraction of a real pass.
+func countCSVRows(path string) (int, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer fh.Close()
+	cr := csv.NewReader(fh)
+	cr.ReuseRecord = true
+	if _, err := cr.Read(); err != nil { // header
+		return 0, fmt.Errorf("safe: read csv header: %w", err)
+	}
+	rows := 0
+	for {
+		_, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return 0, err
+		}
+		rows++
+	}
+	return rows, nil
 }
 
 func fatal(err error) {

@@ -14,8 +14,11 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/frame"
+	"repro/internal/shard"
 )
 
 // FitWorkload is one cell of the synthetic fit workload matrix. The dataset
@@ -27,6 +30,11 @@ type FitWorkload struct {
 	Dim        int    `json:"dim"`
 	Iterations int    `json:"iterations"`
 	Quick      bool   `json:"quick"` // part of the CI smoke subset
+	// Shards > 0 runs the cell through the sharded out-of-core engine
+	// (internal/shard) over that many partitions instead of the in-memory
+	// fit. The selected-feature fingerprint matches the equivalent
+	// in-memory cell by construction.
+	Shards int `json:"shards,omitempty"`
 }
 
 // FitMatrix is the fixed workload matrix. The quick subset is small enough
@@ -44,8 +52,28 @@ func FitMatrix() []FitWorkload {
 
 // QuickFitMatrix returns the CI smoke subset of FitMatrix.
 func QuickFitMatrix() []FitWorkload {
+	return quickSubset(FitMatrix())
+}
+
+// ShardFitMatrix is the sharded-engine workload matrix: the same synthetic
+// datasets as FitMatrix, fitted out-of-core over 4 partitions. Cells are
+// distinct from the in-memory ones (don't edit in place; add new cells) so
+// the BENCH_fit.json trajectory tracks both engines independently.
+func ShardFitMatrix() []FitWorkload {
+	return []FitWorkload{
+		{Name: "shardfit-20k-20", Rows: 20000, Dim: 20, Iterations: 1, Quick: true, Shards: 4},
+		{Name: "shardfit-100k-50", Rows: 100000, Dim: 50, Iterations: 1, Shards: 4},
+	}
+}
+
+// QuickShardFitMatrix returns the CI smoke subset of ShardFitMatrix.
+func QuickShardFitMatrix() []FitWorkload {
+	return quickSubset(ShardFitMatrix())
+}
+
+func quickSubset(all []FitWorkload) []FitWorkload {
 	var out []FitWorkload
-	for _, w := range FitMatrix() {
+	for _, w := range all {
 		if w.Quick {
 			out = append(out, w)
 		}
@@ -74,12 +102,16 @@ type Result struct {
 	Selected int `json:"selected"`
 }
 
-// Run is one benchmark session: every workload measured on one build.
+// Run is one benchmark session: every workload measured on one build. Seed
+// and Version make recorded runs self-describing: the harness seed that
+// drove the session and the exact build that produced the numbers.
 type Run struct {
 	Label      string   `json:"label"`
 	Timestamp  string   `json:"timestamp"`
 	GoVersion  string   `json:"go_version"`
 	GOMAXPROCS int      `json:"gomaxprocs"`
+	Seed       int64    `json:"seed"`
+	Version    string   `json:"version,omitempty"`
 	Results    []Result `json:"results"`
 }
 
@@ -148,13 +180,16 @@ func (r *Run) Find(workload string) *Result {
 	return nil
 }
 
-// NewRun stamps an empty run for the current build.
-func NewRun(label string) Run {
+// NewRun stamps an empty run for the current build with the harness seed
+// that drives the session.
+func NewRun(label string, seed int64) Run {
 	return Run{
 		Label:      label,
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       seed,
+		Version:    buildinfo.String(),
 	}
 }
 
@@ -217,15 +252,27 @@ func RunFitBest(w FitWorkload, repeats int) (Result, error) {
 }
 
 func runFitOnce(w FitWorkload, ds *datagen.Dataset) (Result, error) {
-	eng, err := core.New(FitConfig(w.Iterations, 1))
-	if err != nil {
-		return Result{}, err
+	fit := func() (*core.Report, error) {
+		eng, err := core.New(FitConfig(w.Iterations, 1))
+		if err != nil {
+			return nil, err
+		}
+		_, report, err := eng.Fit(ds.Train)
+		return report, err
+	}
+	if w.Shards > 0 {
+		chunkRows := (w.Rows + w.Shards - 1) / w.Shards
+		fit = func() (*core.Report, error) {
+			src := frame.NewFrameChunks(ds.Train, chunkRows)
+			_, report, _, err := shard.Fit(src, shard.Config{Core: FitConfig(w.Iterations, 1)})
+			return report, err
+		}
 	}
 	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
-	_, report, err := eng.Fit(ds.Train)
+	report, err := fit()
 	elapsed := time.Since(start)
 	if err != nil {
 		return Result{}, fmt.Errorf("benchkit: %s: %w", w.Name, err)

@@ -1,0 +1,27 @@
+// Package buildinfo identifies the build behind every command-line tool, so
+// benchmark records (BENCH_*.json) and logged runs are self-describing: a
+// recorded number can always be traced to the code and toolchain that
+// produced it.
+package buildinfo
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// Version is the repository's release string, bumped per PR milestone.
+const Version = "0.3.0"
+
+// String returns the full human-readable build identity, e.g.
+// "safe v0.3.0 go1.22.1 (2f5cde1a9b0c)".
+func String() string {
+	s := "safe v" + Version + " " + runtime.Version()
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, kv := range info.Settings {
+			if kv.Key == "vcs.revision" && len(kv.Value) >= 12 {
+				s += " (" + kv.Value[:12] + ")"
+			}
+		}
+	}
+	return s
+}

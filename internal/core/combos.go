@@ -148,28 +148,21 @@ const maxPartitionCells = 1024
 // pool; each chunk reuses one row-partition buffer across its combos.
 func scoreCombos(combos []Combo, cols [][]float64, labels []float64, pool *parallel.Pool) {
 	score := func(c *Combo, parts []int) {
-		values := thinValues(c.Values)
-		// Mixed-radix cell id per row.
-		radix := make([]int, len(values))
-		cells := 1
-		for i, vs := range values {
-			radix[i] = len(vs) + 1
-			cells *= radix[i]
-		}
-		if cells <= 1 {
+		cc := NewComboCells(c)
+		if cc.cells <= 1 {
 			c.GainRatio = 0
 			return
 		}
 		for r := range parts {
+			// Inline CellOf over the row's combo features (avoids a
+			// per-row gather).
 			id := 0
 			for i, f := range c.Features {
-				v := cols[f][r]
-				bin := searchFloats(values[i], v)
-				id = id*radix[i] + bin
+				id = id*cc.radix[i] + searchFloats(cc.values[i], cols[f][r])
 			}
 			parts[r] = id
 		}
-		c.GainRatio = stats.GainRatio(labels, parts, cells)
+		c.GainRatio = stats.GainRatio(labels, parts, cc.cells)
 	}
 
 	pool.ForChunks(len(combos), pool.Grain(len(combos)), func(lo, hi int) {

@@ -128,6 +128,22 @@ type Engineer struct {
 
 // New validates the configuration and returns an Engineer.
 func New(cfg Config) (*Engineer, error) {
+	cfg, err := NormalizeConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	pool := parallel.Get(1)
+	if cfg.Parallel {
+		pool = parallel.Get(cfg.Workers)
+	}
+	return &Engineer{cfg: cfg, pool: pool}, nil
+}
+
+// NormalizeConfig applies New's defaulting and validation and returns the
+// effective configuration — including the derived miner/ranker seeds and
+// parallelism settings. The sharded fit engine normalises through here so
+// both fit paths run from identical effective configurations.
+func NormalizeConfig(cfg Config) (Config, error) {
 	if cfg.Registry == nil {
 		cfg.Registry = operators.NewRegistry()
 	}
@@ -138,10 +154,10 @@ func New(cfg Config) (*Engineer, error) {
 		cfg.IVBins = 10
 	}
 	if cfg.IVThreshold < 0 {
-		return nil, errors.New("core: IVThreshold must be >= 0")
+		return Config{}, errors.New("core: IVThreshold must be >= 0")
 	}
 	if cfg.PearsonThreshold <= 0 || cfg.PearsonThreshold > 1 {
-		return nil, fmt.Errorf("core: PearsonThreshold must be in (0,1], got %g", cfg.PearsonThreshold)
+		return Config{}, fmt.Errorf("core: PearsonThreshold must be in (0,1], got %g", cfg.PearsonThreshold)
 	}
 	if cfg.Iterations <= 0 {
 		cfg.Iterations = 1
@@ -167,13 +183,9 @@ func New(cfg Config) (*Engineer, error) {
 	cfg.Ranker.Seed = cfg.Seed + 1
 	// Validate that every operator resolves.
 	if _, err := cfg.Registry.GetAll(cfg.Operators); err != nil {
-		return nil, err
+		return Config{}, err
 	}
-	pool := parallel.Get(1)
-	if cfg.Parallel {
-		pool = parallel.Get(cfg.Workers)
-	}
-	return &Engineer{cfg: cfg, pool: pool}, nil
+	return cfg, nil
 }
 
 // liveFeature is one feature of the current working set X_i: its training

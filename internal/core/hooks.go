@@ -1,0 +1,117 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/gbdt"
+	"repro/internal/operators"
+)
+
+// This file is the exported surface the sharded fit engine (internal/shard)
+// shares with the in-memory fit path. Every hook wraps or re-exposes the
+// exact logic Fit uses, so the two paths cannot drift: a sharded fit that
+// feeds these hooks the same intermediate statistics reaches the same
+// decisions.
+
+// MineCombos enumerates feature combinations from a miner model's
+// root-to-leaf paths (Algorithm 2's input), exactly as Fit does.
+func MineCombos(model *gbdt.Model, arities []int) []Combo {
+	return mineCombos(model, arities)
+}
+
+// SortCombos orders combinations by gain ratio and keeps the top gamma —
+// Algorithm 2's output, exactly as Fit applies it.
+func SortCombos(combos []Combo, gamma int) []Combo {
+	return topCombos(combos, gamma)
+}
+
+// IVFilter applies Algorithm 3's threshold with the top-minKeep fallback,
+// exactly as Fit's streaming filter resolves the surviving candidate set.
+func IVFilter(ivs []float64, alpha float64, minKeep int) []int {
+	return ivFilter(ivs, alpha, minKeep)
+}
+
+// OrderByGain orders candidate indices by ranker gain importance
+// (Section IV-C3): gain[i] belongs to candidates[i]; ties break by IV then
+// candidate index, exactly as Fit's ranking stage does.
+func OrderByGain(gain []float64, ivs []float64, candidates []int) []int {
+	order := make([]int, len(candidates))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ga, gb := gain[order[a]], gain[order[b]]
+		if ga != gb {
+			return ga > gb
+		}
+		iva, ivb := ivs[candidates[order[a]]], ivs[candidates[order[b]]]
+		if iva != ivb {
+			return iva > ivb
+		}
+		return candidates[order[a]] < candidates[order[b]]
+	})
+	out := make([]int, len(order))
+	for i, o := range order {
+		out[i] = candidates[o]
+	}
+	return out
+}
+
+// DistinctArities lists the distinct operator arities, in first-seen order.
+func DistinctArities(ops []operators.Operator) []int {
+	return distinctArities(ops)
+}
+
+// ExhaustiveCandidateCount is |S| of Eq. 3 restricted to binary operators:
+// the search-space figure Fit reports per round.
+func ExhaustiveCandidateCount(m int, ops []operators.Operator) int {
+	return exhaustiveBinaryCount(m, ops)
+}
+
+// Sanitize replaces NaN/Inf with 0 in place — the post-generation clamp Fit
+// applies to every generated candidate column.
+func Sanitize(col []float64) { sanitize(col) }
+
+// Prune drops nodes unreachable from the pipeline's outputs, exactly as Fit
+// does before returning Ψ. Callers assembling pipelines from externally
+// selected features (the sharded fit engine) finish through here.
+func (p *Pipeline) Prune() { p.prune() }
+
+// ComboCells maps rows to the partition cells of one combination, using the
+// same split-value thinning and mixed-radix cell ids as Fit's gain-ratio
+// scoring. A sharded scorer accumulates per-cell label counts with CellOf
+// and folds them through stats.GainRatioFromCounts.
+type ComboCells struct {
+	feats  []int
+	values [][]float64
+	radix  []int
+	cells  int
+}
+
+// NewComboCells prepares the cell mapping for one combination.
+func NewComboCells(c *Combo) *ComboCells {
+	values := thinValues(c.Values)
+	radix := make([]int, len(values))
+	cells := 1
+	for i, vs := range values {
+		radix[i] = len(vs) + 1
+		cells *= radix[i]
+	}
+	return &ComboCells{feats: c.Features, values: values, radix: radix, cells: cells}
+}
+
+// NumCells returns the partition size (1 for a degenerate combination).
+func (cc *ComboCells) NumCells() int { return cc.cells }
+
+// Features returns the combination's feature indices (not a copy).
+func (cc *ComboCells) Features() []int { return cc.feats }
+
+// CellOf returns the mixed-radix cell id for one row's combo-feature values
+// (vals[i] is the value of feature cc.Features()[i]).
+func (cc *ComboCells) CellOf(vals []float64) int {
+	id := 0
+	for i := range cc.feats {
+		id = id*cc.radix[i] + searchFloats(cc.values[i], vals[i])
+	}
+	return id
+}

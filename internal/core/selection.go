@@ -198,25 +198,5 @@ func rankByGain(cols [][]float64, labels []float64, ivs []float64, candidates []
 	if err != nil {
 		return nil, err
 	}
-	gain := model.GainImportance()
-	order := make([]int, len(candidates))
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool {
-		ga, gb := gain[order[a]], gain[order[b]]
-		if ga != gb {
-			return ga > gb
-		}
-		iva, ivb := ivs[candidates[order[a]]], ivs[candidates[order[b]]]
-		if iva != ivb {
-			return iva > ivb
-		}
-		return candidates[order[a]] < candidates[order[b]]
-	})
-	out := make([]int, len(order))
-	for i, o := range order {
-		out[i] = candidates[o]
-	}
-	return out, nil
+	return OrderByGain(model.GainImportance(), ivs, candidates), nil
 }

@@ -1,0 +1,153 @@
+package frame
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Chunk is one row-range of a chunked dataset: a columnar block of feature
+// values plus the matching label slice. Chunks arrive in row order; Start is
+// the global index of the chunk's first row.
+type Chunk struct {
+	Index int // 0-based chunk (partition) ordinal
+	Start int // global row index of the first row
+	Cols  [][]float64
+	Label []float64
+}
+
+// NumRows returns the chunk's row count.
+func (c *Chunk) NumRows() int {
+	if len(c.Cols) == 0 {
+		return len(c.Label)
+	}
+	return len(c.Cols[0])
+}
+
+// ChunkSource yields a labelled dataset as an ordered sequence of row
+// chunks, re-iterable from the top via Reset. It is the substrate of the
+// out-of-core fit path: sources larger than memory stream from disk chunk by
+// chunk, and the shard coordinator makes repeated passes without ever
+// holding more than one chunk of raw values per pass.
+//
+// A Chunk returned by Next is only valid until the following Next or Reset
+// call — implementations may reuse buffers. Next returns io.EOF after the
+// last chunk.
+type ChunkSource interface {
+	// Names returns the feature column names, available before iteration.
+	Names() []string
+	// NumCols returns the feature column count.
+	NumCols() int
+	// Reset rewinds the source for another full pass.
+	Reset() error
+	// Next returns the next chunk, or io.EOF when the pass is complete.
+	Next() (*Chunk, error)
+}
+
+// FrameChunks adapts an in-memory frame to the ChunkSource interface,
+// yielding zero-copy views of chunkRows rows each. It is how the sharded
+// fit engine runs over data that does fit in memory (benchmarks, equality
+// tests, callers that want partition parallelism without files).
+type FrameChunks struct {
+	f         *Frame
+	chunkRows int
+	pos       int
+	idx       int
+	chunk     Chunk
+}
+
+// NewFrameChunks wraps a frame as a chunk source; chunkRows <= 0 yields one
+// chunk holding the whole frame.
+func NewFrameChunks(f *Frame, chunkRows int) *FrameChunks {
+	if chunkRows <= 0 {
+		chunkRows = f.NumRows()
+		if chunkRows == 0 {
+			chunkRows = 1
+		}
+	}
+	return &FrameChunks{f: f, chunkRows: chunkRows, chunk: Chunk{Cols: make([][]float64, f.NumCols())}}
+}
+
+// Names implements ChunkSource.
+func (s *FrameChunks) Names() []string { return s.f.Names() }
+
+// NumCols implements ChunkSource.
+func (s *FrameChunks) NumCols() int { return s.f.NumCols() }
+
+// Reset implements ChunkSource.
+func (s *FrameChunks) Reset() error {
+	s.pos, s.idx = 0, 0
+	return nil
+}
+
+// Next implements ChunkSource, returning column views (no copies).
+func (s *FrameChunks) Next() (*Chunk, error) {
+	n := s.f.NumRows()
+	if s.pos >= n {
+		return nil, io.EOF
+	}
+	hi := s.pos + s.chunkRows
+	if hi > n {
+		hi = n
+	}
+	c := &s.chunk
+	c.Index = s.idx
+	c.Start = s.pos
+	for j := range s.f.Columns {
+		c.Cols[j] = s.f.Columns[j].Values[s.pos:hi]
+	}
+	if s.f.Label != nil {
+		c.Label = s.f.Label[s.pos:hi]
+	} else {
+		c.Label = nil
+	}
+	s.pos = hi
+	s.idx++
+	return c, nil
+}
+
+// NumChunks returns how many chunks a full pass yields.
+func (s *FrameChunks) NumChunks() int {
+	n := s.f.NumRows()
+	if n == 0 {
+		return 0
+	}
+	return (n + s.chunkRows - 1) / s.chunkRows
+}
+
+// ReadAll drains a chunk source into one in-memory frame (copying), mostly
+// for tests and small inputs. The source is Reset first.
+func ReadAll(src ChunkSource) (*Frame, error) {
+	if err := src.Reset(); err != nil {
+		return nil, err
+	}
+	names := src.Names()
+	f := &Frame{Columns: make([]Column, len(names))}
+	for j, name := range names {
+		f.Columns[j] = Column{Name: name}
+	}
+	sawLabel := false
+	for {
+		c, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(c.Cols) != len(names) {
+			return nil, fmt.Errorf("frame: chunk %d has %d columns, want %d", c.Index, len(c.Cols), len(names))
+		}
+		for j := range c.Cols {
+			f.Columns[j].Values = append(f.Columns[j].Values, c.Cols[j]...)
+		}
+		if c.Label != nil {
+			sawLabel = true
+			f.Label = append(f.Label, c.Label...)
+		}
+	}
+	if sawLabel && len(f.Label) != f.NumRows() {
+		return nil, fmt.Errorf("frame: chunked label covers %d of %d rows", len(f.Label), f.NumRows())
+	}
+	return f, f.Validate()
+}

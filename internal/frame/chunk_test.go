@@ -1,0 +1,215 @@
+package frame
+
+import (
+	"errors"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testFrame(rows, cols int, seed int64) *Frame {
+	rng := rand.New(rand.NewSource(seed))
+	f := NewWithShape(rows, cols)
+	for j := range f.Columns {
+		for i := range f.Columns[j].Values {
+			f.Columns[j].Values[i] = rng.NormFloat64()
+		}
+	}
+	for i := range f.Label {
+		if rng.Float64() < 0.4 {
+			f.Label[i] = 1
+		}
+	}
+	return f
+}
+
+func TestFrameChunksRoundTrip(t *testing.T) {
+	f := testFrame(1001, 3, 1)
+	src := NewFrameChunks(f, 100)
+	if got := src.NumChunks(); got != 11 {
+		t.Fatalf("NumChunks: got %d want 11", got)
+	}
+	for pass := 0; pass < 2; pass++ {
+		got, err := ReadAll(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NumRows() != f.NumRows() || got.NumCols() != f.NumCols() {
+			t.Fatalf("pass %d: shape %dx%d want %dx%d", pass, got.NumRows(), got.NumCols(), f.NumRows(), f.NumCols())
+		}
+		for j := range f.Columns {
+			for i, v := range f.Columns[j].Values {
+				if got.Columns[j].Values[i] != v {
+					t.Fatalf("pass %d: col %d row %d mismatch", pass, j, i)
+				}
+			}
+		}
+		for i, y := range f.Label {
+			if got.Label[i] != y {
+				t.Fatalf("pass %d: label %d mismatch", pass, i)
+			}
+		}
+	}
+}
+
+func TestFrameChunksIndices(t *testing.T) {
+	f := testFrame(250, 2, 2)
+	src := NewFrameChunks(f, 100)
+	if err := src.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	wantStarts := []int{0, 100, 200}
+	wantRows := []int{100, 100, 50}
+	for k := 0; ; k++ {
+		c, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			if k != 3 {
+				t.Fatalf("got %d chunks, want 3", k)
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Index != k || c.Start != wantStarts[k] || c.NumRows() != wantRows[k] {
+			t.Fatalf("chunk %d: index=%d start=%d rows=%d", k, c.Index, c.Start, c.NumRows())
+		}
+	}
+}
+
+func TestCSVChunksMatchesReadCSV(t *testing.T) {
+	f := testFrame(777, 4, 3)
+	f.Columns[2].Values[13] = math.NaN() // exercise missing values
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := f.WriteCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	src, err := OpenCSVChunks(path, "label", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if got := src.NumCols(); got != 4 {
+		t.Fatalf("NumCols: got %d want 4", got)
+	}
+	for pass := 0; pass < 2; pass++ { // Reset must allow a second full pass
+		got, err := ReadAll(src)
+		if err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+		want, err := ReadCSVFile(path, "label")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NumRows() != want.NumRows() || got.NumCols() != want.NumCols() {
+			t.Fatalf("pass %d: shape mismatch", pass)
+		}
+		for j := range want.Columns {
+			for i := range want.Columns[j].Values {
+				a, b := got.Columns[j].Values[i], want.Columns[j].Values[i]
+				if a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
+					t.Fatalf("pass %d: col %d row %d: %v vs %v", pass, j, i, a, b)
+				}
+			}
+		}
+		for i := range want.Label {
+			if got.Label[i] != want.Label[i] {
+				t.Fatalf("pass %d: label %d mismatch", pass, i)
+			}
+		}
+	}
+}
+
+func TestCSVChunksNoLabel(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.csv")
+	if err := os.WriteFile(path, []byte("a,b\n1,2\n3,4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := OpenCSVChunks(path, "", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	c, err := src.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Label != nil {
+		t.Fatalf("unlabelled source yielded labels")
+	}
+	if c.NumRows() != 2 || c.Cols[1][1] != 4 {
+		t.Fatalf("bad chunk content: %+v", c)
+	}
+}
+
+func TestCSVRaggedRowPositionedError(t *testing.T) {
+	in := "a,b,label\n1,2,0\n3,4\n5,6,1\n"
+	_, err := ReadCSV(strings.NewReader(in), "label")
+	if err == nil {
+		t.Fatal("ragged row accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "line 3") {
+		t.Errorf("error lacks the failing line number: %q", msg)
+	}
+	if !strings.Contains(msg, "2 fields, want 3") {
+		t.Errorf("error lacks observed/expected field counts: %q", msg)
+	}
+}
+
+func TestCSVMalformedQuotePositionedError(t *testing.T) {
+	in := "a,b\n1,2\n\"unterminated,3\n4,5\n"
+	_, err := ReadCSV(strings.NewReader(in), "")
+	if err == nil {
+		t.Fatal("malformed quoting accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "starting at line 3") || !strings.Contains(msg, "column") {
+		t.Errorf("error lacks line/column position: %q", msg)
+	}
+}
+
+func TestCSVChunksRaggedRowError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.csv")
+	if err := os.WriteFile(path, []byte("a,b\n1,2\n3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := OpenCSVChunks(path, "", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	_, err = src.Next()
+	if err == nil {
+		t.Fatal("ragged row accepted by chunked reader")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("chunked reader error lacks line number: %q", err.Error())
+	}
+}
+
+func TestReadAllFromCSVLargerThanChunk(t *testing.T) {
+	// A file spanning many chunks reassembles losslessly.
+	f := testFrame(5000, 3, 9)
+	path := filepath.Join(t.TempDir(), "big.csv")
+	if err := f.WriteCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	src, err := OpenCSVChunks(path, "label", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	got, err := ReadAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 5000 {
+		t.Fatalf("rows: got %d want 5000", got.NumRows())
+	}
+}

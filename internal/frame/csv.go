@@ -2,6 +2,7 @@ package frame
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -9,68 +10,118 @@ import (
 	"strconv"
 )
 
-// ReadCSV parses a CSV stream with a header row into a Frame. labelCol names
-// the label column; pass "" for an unlabelled frame. Non-numeric cells parse
-// to NaN (missing).
-func ReadCSV(r io.Reader, labelCol string) (*Frame, error) {
+// csvScanner is the one streaming CSV decode path ReadCSV and CSVChunks
+// share: it reads the header, locates the label column, and parses records
+// one at a time with position-aware errors. Memory use is O(1) in the file
+// size — rows are handed to the caller as they decode.
+type csvScanner struct {
+	cr       *csv.Reader
+	names    []string // feature names, label column excluded
+	labelIdx int      // index of the label column in the raw record, -1 for none
+}
+
+func newCSVScanner(r io.Reader, labelCol string) (*csvScanner, error) {
 	cr := csv.NewReader(r)
 	cr.ReuseRecord = true
 	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("frame: read csv header: %w", err)
 	}
-	names := make([]string, len(header))
-	copy(names, header)
-
 	labelIdx := -1
-	if labelCol != "" {
-		for i, name := range names {
-			if name == labelCol {
-				labelIdx = i
-				break
-			}
-		}
-		if labelIdx < 0 {
-			return nil, fmt.Errorf("frame: label column %q not in header", labelCol)
-		}
-	}
-
-	f := &Frame{}
-	for i, name := range names {
-		if i == labelIdx {
+	names := make([]string, 0, len(header))
+	for i, name := range header {
+		if labelCol != "" && name == labelCol {
+			labelIdx = i
 			continue
 		}
-		f.Columns = append(f.Columns, Column{Name: name})
+		names = append(names, name)
 	}
-	if labelIdx >= 0 {
+	if labelCol != "" && labelIdx < 0 {
+		return nil, fmt.Errorf("frame: label column %q not in header", labelCol)
+	}
+	return &csvScanner{cr: cr, names: names, labelIdx: labelIdx}, nil
+}
+
+// positionedError rewrites a csv decode error with its file position
+// (encoding/csv tracks physical lines, so quoted multi-line fields report
+// correctly) and, for ragged rows, the observed/expected field counts.
+func (s *csvScanner) positionedError(err error, rec []string) error {
+	var pe *csv.ParseError
+	if errors.As(err, &pe) {
+		if errors.Is(pe.Err, csv.ErrFieldCount) {
+			want := len(s.names)
+			if s.labelIdx >= 0 {
+				want++
+			}
+			return fmt.Errorf("frame: csv: line %d: row has %d fields, want %d",
+				pe.Line, len(rec), want)
+		}
+		if pe.StartLine != 0 && pe.StartLine != pe.Line {
+			return fmt.Errorf("frame: csv: line %d, column %d (record starting at line %d): %w",
+				pe.Line, pe.Column, pe.StartLine, pe.Err)
+		}
+		return fmt.Errorf("frame: csv: line %d, column %d: %w", pe.Line, pe.Column, pe.Err)
+	}
+	return fmt.Errorf("frame: csv: %w", err)
+}
+
+// readRow decodes the next record into feat (len(s.names)) and the label.
+// Non-numeric cells parse to NaN (missing). ok is false at end of input.
+func (s *csvScanner) readRow(feat []float64) (label float64, ok bool, err error) {
+	rec, err := s.cr.Read()
+	if err == io.EOF {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, s.positionedError(err, rec)
+	}
+	fi := 0
+	for i, cell := range rec {
+		v, perr := strconv.ParseFloat(cell, 64)
+		if perr != nil {
+			v = math.NaN()
+		}
+		if i == s.labelIdx {
+			label = v
+			continue
+		}
+		feat[fi] = v
+		fi++
+	}
+	return label, true, nil
+}
+
+// ReadCSV parses a CSV stream with a header row into a Frame, decoding row
+// by row (memory beyond the resulting frame is O(1)). labelCol names the
+// label column; pass "" for an unlabelled frame. Non-numeric cells parse to
+// NaN (missing); ragged or malformed rows fail with their line (and, where
+// known, column) position.
+func ReadCSV(r io.Reader, labelCol string) (*Frame, error) {
+	sc, err := newCSVScanner(r, labelCol)
+	if err != nil {
+		return nil, err
+	}
+	f := &Frame{Columns: make([]Column, len(sc.names))}
+	for i, name := range sc.names {
+		f.Columns[i] = Column{Name: name}
+	}
+	if sc.labelIdx >= 0 {
 		f.Label = []float64{}
 	}
-
-	line := 1
+	feat := make([]float64, len(sc.names))
 	for {
-		rec, err := cr.Read()
-		if err == io.EOF {
+		label, ok, err := sc.readRow(feat)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
 			break
 		}
-		if err != nil {
-			return nil, fmt.Errorf("frame: read csv line %d: %w", line, err)
+		for j, v := range feat {
+			f.Columns[j].Values = append(f.Columns[j].Values, v)
 		}
-		line++
-		if len(rec) != len(names) {
-			return nil, fmt.Errorf("frame: csv line %d has %d fields, want %d", line, len(rec), len(names))
-		}
-		ci := 0
-		for i, cell := range rec {
-			v, perr := strconv.ParseFloat(cell, 64)
-			if perr != nil {
-				v = math.NaN()
-			}
-			if i == labelIdx {
-				f.Label = append(f.Label, v)
-				continue
-			}
-			f.Columns[ci].Values = append(f.Columns[ci].Values, v)
-			ci++
+		if sc.labelIdx >= 0 {
+			f.Label = append(f.Label, label)
 		}
 	}
 	if err := f.Validate(); err != nil {
@@ -87,6 +138,152 @@ func ReadCSVFile(path, labelCol string) (*Frame, error) {
 	}
 	defer fh.Close()
 	return ReadCSV(fh, labelCol)
+}
+
+// DefaultChunkRows is the chunk size CSVChunks uses when none is given.
+const DefaultChunkRows = 8192
+
+// CSVChunks streams a CSV file as a ChunkSource: rows decode in chunks of
+// chunkRows, so files far larger than memory can be fitted out-of-core. The
+// file reopens on Reset, making the source re-iterable for multi-pass
+// algorithms. Column buffers are reused across chunks — a Chunk is only
+// valid until the next Next or Reset call.
+type CSVChunks struct {
+	path      string
+	labelCol  string
+	chunkRows int
+
+	fh    *os.File
+	sc    *csvScanner
+	names []string
+	idx   int
+	start int
+	cols  [][]float64
+	label []float64
+	feat  []float64
+}
+
+// OpenCSVChunks opens a CSV file as a chunked source. labelCol may be "";
+// chunkRows <= 0 selects DefaultChunkRows. The header is read eagerly so
+// Names is available immediately; Close releases the file handle.
+func OpenCSVChunks(path, labelCol string, chunkRows int) (*CSVChunks, error) {
+	if chunkRows <= 0 {
+		chunkRows = DefaultChunkRows
+	}
+	s := &CSVChunks{path: path, labelCol: labelCol, chunkRows: chunkRows}
+	if err := s.Reset(); err != nil {
+		return nil, err
+	}
+	s.names = append([]string(nil), s.sc.names...)
+	return s, nil
+}
+
+// Names implements ChunkSource.
+func (s *CSVChunks) Names() []string { return s.names }
+
+// NumCols implements ChunkSource.
+func (s *CSVChunks) NumCols() int { return len(s.names) }
+
+// ChunkRows returns the configured rows per chunk.
+func (s *CSVChunks) ChunkRows() int { return s.chunkRows }
+
+// Reset implements ChunkSource: the file is reopened and the header
+// re-validated, so a new pass starts at the first data row.
+func (s *CSVChunks) Reset() error {
+	if s.fh != nil {
+		s.fh.Close()
+		s.fh = nil
+	}
+	fh, err := os.Open(s.path)
+	if err != nil {
+		return fmt.Errorf("frame: %w", err)
+	}
+	sc, err := newCSVScanner(fh, s.labelCol)
+	if err != nil {
+		fh.Close()
+		return err
+	}
+	if s.names != nil {
+		if len(sc.names) != len(s.names) {
+			fh.Close()
+			return fmt.Errorf("frame: csv %s: header changed between passes (%d vs %d columns)",
+				s.path, len(sc.names), len(s.names))
+		}
+		for i := range s.names {
+			if sc.names[i] != s.names[i] {
+				fh.Close()
+				return fmt.Errorf("frame: csv %s: header changed between passes (column %d is %q, was %q)",
+					s.path, i, sc.names[i], s.names[i])
+			}
+		}
+	}
+	s.fh, s.sc = fh, sc
+	s.idx, s.start = 0, 0
+	if s.cols == nil {
+		s.cols = make([][]float64, len(sc.names))
+		for j := range s.cols {
+			s.cols[j] = make([]float64, 0, s.chunkRows)
+		}
+		s.feat = make([]float64, len(sc.names))
+		if sc.labelIdx >= 0 {
+			s.label = make([]float64, 0, s.chunkRows)
+		}
+	}
+	return nil
+}
+
+// Next implements ChunkSource, decoding up to chunkRows rows into reused
+// buffers. It returns io.EOF after the last chunk and closes the file.
+func (s *CSVChunks) Next() (*Chunk, error) {
+	if s.sc == nil {
+		return nil, io.EOF
+	}
+	for j := range s.cols {
+		s.cols[j] = s.cols[j][:0]
+	}
+	hasLabel := s.sc.labelIdx >= 0
+	if hasLabel {
+		s.label = s.label[:0]
+	}
+	rows := 0
+	for rows < s.chunkRows {
+		label, ok, err := s.sc.readRow(s.feat)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			s.Close()
+			break
+		}
+		for j, v := range s.feat {
+			s.cols[j] = append(s.cols[j], v)
+		}
+		if hasLabel {
+			s.label = append(s.label, label)
+		}
+		rows++
+	}
+	if rows == 0 {
+		return nil, io.EOF
+	}
+	c := &Chunk{Index: s.idx, Start: s.start, Cols: s.cols}
+	if hasLabel {
+		c.Label = s.label
+	}
+	s.idx++
+	s.start += rows
+	return c, nil
+}
+
+// Close releases the underlying file; Reset reopens it.
+func (s *CSVChunks) Close() error {
+	s.sc = nil
+	if s.fh == nil {
+		return nil
+	}
+	err := s.fh.Close()
+	s.fh = nil
+	return err
 }
 
 // WriteCSV writes the frame (and its label as a final "label" column when

@@ -203,6 +203,56 @@ func Train(cols [][]float64, labels []float64, names []string, cfg Config) (*Mod
 	return trainInternal(cols, labels, names, cfg, nil)
 }
 
+// Prebinned is a feature matrix already quantised to per-feature bin codes:
+// Codes[j][i] is 0 for a missing value and 1+b for a value in bin b, where
+// bin b spans (Cuts[j][b-1], Cuts[j][b]] — exactly the encoding the internal
+// binner produces. Cuts must be strictly ascending per feature.
+type Prebinned struct {
+	Codes [][]uint8
+	Cuts  [][]float64
+}
+
+// TrainBinned fits a boosted model directly on a prebinned matrix, skipping
+// the internal quantile binning. Histogram training only ever consumes bin
+// codes, so given codes and cuts equal to what the internal binner would
+// produce from the raw columns, TrainBinned returns a bit-identical model to
+// Train — this is the entry point of the sharded fit engine, whose binned
+// matrices are built out-of-core from merged quantile sketches and are ~8×
+// smaller than the raw float64 columns. The model's split thresholds are
+// real cut values, so Predict works on raw rows as usual.
+func TrainBinned(pb *Prebinned, labels []float64, names []string, cfg Config) (*Model, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	m := len(pb.Codes)
+	if m == 0 {
+		return nil, errors.New("gbdt: no features")
+	}
+	if len(pb.Cuts) != m {
+		return nil, fmt.Errorf("gbdt: %d code columns but %d cut arrays", m, len(pb.Cuts))
+	}
+	n := len(labels)
+	if n == 0 {
+		return nil, errors.New("gbdt: no rows")
+	}
+	b := &binner{
+		codes:   pb.Codes,
+		cuts:    pb.Cuts,
+		numBins: make([]int, m),
+	}
+	for j := range pb.Codes {
+		if len(pb.Codes[j]) != n {
+			return nil, fmt.Errorf("gbdt: code column %d has %d rows, want %d", j, len(pb.Codes[j]), n)
+		}
+		nb := len(pb.Cuts[j]) + 1
+		if nb+1 > 256 {
+			return nil, fmt.Errorf("gbdt: feature %d has %d bins, max 255", j, nb)
+		}
+		b.numBins[j] = nb
+	}
+	return trainWithBinner(b, labels, names, cfg, nil)
+}
+
 func trainInternal(cols [][]float64, labels []float64, names []string, cfg Config, val *validation) (*Model, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -220,9 +270,16 @@ func trainInternal(cols [][]float64, labels []float64, names []string, cfg Confi
 			return nil, fmt.Errorf("gbdt: column %d has %d rows, want %d", j, len(cols[j]), n)
 		}
 	}
+	b := newBinner(cols, cfg.MaxBins, cfg.pool())
+	return trainWithBinner(b, labels, names, cfg, val)
+}
 
+// trainWithBinner is the boosting loop proper, shared by the raw-column and
+// prebinned entry points.
+func trainWithBinner(b *binner, labels []float64, names []string, cfg Config, val *validation) (*Model, error) {
+	m := len(b.codes)
+	n := len(labels)
 	pool := cfg.pool()
-	b := newBinner(cols, cfg.MaxBins, pool)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	base := 0.0
@@ -807,10 +864,61 @@ func (tr *trainer) bestSplit(h *histSet, feats []int, nRows int, sumG, sumH floa
 
 // updatePredictions adds the new tree's outputs to the raw scores of all
 // rows, row-parallel on the shared pool (each index written exactly once).
+// Binners without retained raw columns (prebinned training) traverse by bin
+// code, which is exactly equivalent: a value in bin c satisfies
+// v <= Threshold == cuts[bc-1] iff c <= bc.
 func updatePredictions(t *Tree, b *binner, raw []float64, pool *parallel.Pool) {
+	if b.cols == nil {
+		lc := leftCodes(t, b)
+		pool.ForChunks(len(raw), 2048, func(lo, hi int) {
+			updatePredictionsBinnedRange(t, b, lc, raw, lo, hi)
+		})
+		return
+	}
 	pool.ForChunks(len(raw), 2048, func(lo, hi int) {
 		updatePredictionsRange(t, b, raw, lo, hi)
 	})
+}
+
+// leftCodes maps every internal node's threshold back to its bin code: go
+// left when 1 <= code <= leftCodes[node]. Thresholds are cut values, so the
+// lookup is an exact inverse of binner.threshold.
+func leftCodes(t *Tree, b *binner) []uint8 {
+	out := make([]uint8, len(t.Nodes))
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		if n.IsLeaf() {
+			continue
+		}
+		out[i] = uint8(1 + stats.SearchCuts(b.cuts[n.Feature], n.Threshold))
+	}
+	return out
+}
+
+func updatePredictionsBinnedRange(t *Tree, b *binner, lc []uint8, raw []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		idx := 0
+		for {
+			n := &t.Nodes[idx]
+			if n.IsLeaf() {
+				raw[i] += n.Value
+				break
+			}
+			c := b.codes[n.Feature][i]
+			switch {
+			case c == 0:
+				if n.DefaultRight {
+					idx = n.Right
+				} else {
+					idx = n.Left
+				}
+			case c <= lc[idx]:
+				idx = n.Left
+			default:
+				idx = n.Right
+			}
+		}
+	}
 }
 
 func updatePredictionsRange(t *Tree, b *binner, raw []float64, lo, hi int) {

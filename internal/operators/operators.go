@@ -50,6 +50,18 @@ type ColumnApplier interface {
 	TransformInto(cols [][]float64, dst []float64)
 }
 
+// DataIndependent reports whether the operator's Fit ignores its input
+// column values (it only validates arity), so an Applier fitted on any —
+// even empty — columns behaves identically to one fitted on the training
+// data. All stateless operators (arithmetic, logical, transforms) qualify;
+// fitted operators (min-max, z-score, discretise, group-by, ridge) do not.
+// The sharded out-of-core fit engine requires data-independent operators,
+// since it fits appliers before any data has streamed.
+func DataIndependent(op Operator) bool {
+	_, ok := op.(*funcOp)
+	return ok
+}
+
 // TransformColumn applies ap into dst, using the ColumnApplier fast path
 // when available and falling back to Transform+copy otherwise. It returns
 // dst.

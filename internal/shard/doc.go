@@ -1,0 +1,25 @@
+// Package shard is the sharded, out-of-core fit engine: it runs the SAFE
+// algorithm over a frame.ChunkSource whose partitions never coexist in
+// memory, by replacing every full-column statistic of the in-memory path
+// with a mergeable sketch (internal/sketch) accumulated per partition and
+// merged by the coordinator.
+//
+// The engine makes a small number of streaming passes per iteration:
+//
+//  1. live stats    — per-feature quantile sketches + moments (first round)
+//  2. live codes    — bin the live features into resident uint8 codes
+//  3. combo scoring — per-combination label-count contingency tables
+//  4. candidate sketches — quantile sketches + moments of generated columns
+//  5. candidate counts   — binned label histograms → Information Values
+//  6. redundancy    — pairwise co-moments (Gram) of IV survivors + codes
+//
+// Everything the XGBoost miner and ranker consume is the resident binned
+// matrix (1 byte per value, ~8× smaller than raw float64 columns) plus the
+// labels — histogram GBDT training never touches raw values, and
+// gbdt.TrainBinned is bit-identical to gbdt.Train given equal bins. Combo
+// gain ratios, IV and Pearson decisions are reproduced from merged counts
+// and co-moments through the same exported core logic the in-memory path
+// runs, so the only divergence from core.Fit is quantile-sketch cut
+// placement, bounded by sketch.Quantile.ErrorBound. See docs/sharding.md
+// for the error model and when to prefer each path.
+package shard

@@ -1,0 +1,416 @@
+package shard
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/frame"
+	"repro/internal/operators"
+	"repro/internal/sketch"
+	"repro/internal/stats"
+)
+
+// evaluator materialises the current live feature columns for one chunk:
+// originals are zero-copy views of the chunk; derived features replay their
+// pipeline nodes (in dependency order) with the same post-generation
+// sanitisation the in-memory fit applies to candidate columns.
+type evaluator struct {
+	names []string
+	nodes []core.FeatureNode
+	live  []*liveFeat
+}
+
+// newEvaluator selects, from every node generated so far, the dependency-
+// ordered subset the current live set needs.
+func (f *fitter) newEvaluator() *evaluator {
+	needed := make(map[string]bool, len(f.live))
+	for _, lf := range f.live {
+		if lf.node != nil {
+			needed[lf.name] = true
+		}
+	}
+	keep := make([]bool, len(f.nodes))
+	for i := len(f.nodes) - 1; i >= 0; i-- {
+		if needed[f.nodes[i].Name] {
+			keep[i] = true
+			for _, dep := range f.nodes[i].Inputs {
+				needed[dep] = true
+			}
+		}
+	}
+	ev := &evaluator{names: f.names, live: f.live}
+	for i := range f.nodes {
+		if keep[i] {
+			ev.nodes = append(ev.nodes, f.nodes[i])
+		}
+	}
+	return ev
+}
+
+// liveCols returns the live columns for a chunk, in live order.
+func (e *evaluator) liveCols(c *frame.Chunk) [][]float64 {
+	vals := make(map[string][]float64, len(e.names)+len(e.nodes))
+	for j, name := range e.names {
+		vals[name] = c.Cols[j]
+	}
+	rows := c.NumRows()
+	for i := range e.nodes {
+		nd := &e.nodes[i]
+		in := make([][]float64, len(nd.Inputs))
+		for k, dep := range nd.Inputs {
+			in[k] = vals[dep]
+		}
+		out := make([]float64, rows)
+		operators.TransformColumn(nd.Applier, in, out)
+		core.Sanitize(out)
+		vals[nd.Name] = out
+	}
+	out := make([][]float64, len(e.live))
+	for i, lf := range e.live {
+		out[i] = vals[lf.name]
+	}
+	return out
+}
+
+// fillCodes bins one column slice into GBDT codes: 0 for NaN, 1+bin
+// otherwise — the binner encoding gbdt.TrainBinned expects.
+func fillCodes(dst []uint8, vals, cuts []float64, ix *stats.CutIndexer) {
+	ix.Reset(cuts)
+	for i, v := range vals {
+		if v != v { // NaN
+			dst[i] = 0
+			continue
+		}
+		dst[i] = uint8(1 + ix.Find(v))
+	}
+}
+
+// passLiveCodes streams one pass building the resident miner codes of the
+// given live features from their miner cuts, column-parallel per chunk.
+func (f *fitter) passLiveCodes(live []*liveFeat) error {
+	ev := f.newEvaluator()
+	return f.forEachChunk(func(c *frame.Chunk) error {
+		cols := ev.liveCols(c)
+		rows := c.NumRows()
+		f.pool.ForChunks(len(live), 1, func(lo, hi int) {
+			var ix stats.CutIndexer
+			for i := lo; i < hi; i++ {
+				fillCodes(live[i].codes[c.Start:c.Start+rows], cols[i], live[i].minerCuts, &ix)
+			}
+		})
+		return nil
+	})
+}
+
+// scoreCombos fills every combination's gain ratio from label-count
+// contingency tables accumulated over one streaming pass — count-space
+// arithmetic identical to the in-memory scorer (stats.GainRatioFromCounts),
+// so given the same mined combinations the scores match bit-for-bit.
+func (f *fitter) scoreCombos(combos []core.Combo) error {
+	if len(combos) == 0 {
+		return nil
+	}
+	cells := make([]*core.ComboCells, len(combos))
+	pos := make([][]int, len(combos))
+	tot := make([][]int, len(combos))
+	for i := range combos {
+		cells[i] = core.NewComboCells(&combos[i])
+		if nc := cells[i].NumCells(); nc > 1 {
+			pos[i] = make([]int, nc)
+			tot[i] = make([]int, nc)
+		}
+	}
+	ev := f.newEvaluator()
+	err := f.forEachChunk(func(c *frame.Chunk) error {
+		cols := ev.liveCols(c)
+		rows := c.NumRows()
+		labels := f.labels[c.Start : c.Start+rows]
+		f.pool.ForChunks(len(combos), 1, func(lo, hi int) {
+			var vals [3]float64
+			for ci := lo; ci < hi; ci++ {
+				if tot[ci] == nil {
+					continue
+				}
+				cc := cells[ci]
+				feats := cc.Features()
+				for r := 0; r < rows; r++ {
+					for k, fi := range feats {
+						vals[k] = cols[fi][r]
+					}
+					id := cc.CellOf(vals[:len(feats)])
+					tot[ci][id]++
+					if labels[r] > 0.5 {
+						pos[ci][id]++
+					}
+				}
+			}
+		})
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for i := range combos {
+		if tot[i] == nil {
+			combos[i].GainRatio = 0
+			continue
+		}
+		combos[i].GainRatio = stats.GainRatioFromCounts(pos[i], tot[i])
+	}
+	return nil
+}
+
+// passCandidateSketches streams one pass sketching every generated
+// candidate column (quantile summary + moments), candidate-parallel per
+// chunk; per-partition sketches merge into each candidate's running sketch.
+func (f *fitter) passCandidateSketches(entries []*candidate) error {
+	var gen []*candidate
+	for _, en := range entries {
+		if !en.isBase {
+			gen = append(gen, en)
+		}
+	}
+	if len(gen) == 0 {
+		return nil
+	}
+	ev := f.newEvaluator()
+	return f.forEachChunk(func(c *frame.Chunk) error {
+		cols := ev.liveCols(c)
+		rows := c.NumRows()
+		f.pool.ForChunks(len(gen), 1, func(lo, hi int) {
+			buf := make([]float64, rows)
+			var in [3][]float64
+			for i := lo; i < hi; i++ {
+				en := gen[i]
+				iv := in[:len(en.feats)]
+				for k, fi := range en.feats {
+					iv[k] = cols[fi]
+				}
+				operators.TransformColumn(en.applier, iv, buf)
+				core.Sanitize(buf)
+				part := sketch.NewQuantile(f.sketchSize)
+				part.AddAll(buf)
+				en.sk.Merge(part)
+				var pm sketch.Moments
+				pm.AddAll(buf)
+				en.mom.Merge(&pm)
+			}
+		})
+		return nil
+	})
+}
+
+// cutRankUnion merges the nearest-rank targets of every bin count the fit
+// will cut a column at (miner bins, IV bins, ranker bins), so one refiner
+// per column serves all cut consumers. n is the column's own non-NaN count
+// — the population quantile ranks are defined over — which differs per
+// column when values are missing.
+func cutRankUnion(n int64, cfg *core.Config) []int64 {
+	merged := sketch.CutRanks(n, cfg.Miner.MaxBins)
+	for _, bins := range []int{cfg.IVBins, cfg.Ranker.MaxBins} {
+		extra := sketch.CutRanks(n, bins)
+		out := make([]int64, 0, len(merged)+len(extra))
+		i, j := 0, 0
+		for i < len(merged) || j < len(extra) {
+			switch {
+			case i == len(merged):
+				out = append(out, extra[j])
+				j++
+			case j == len(extra):
+				out = append(out, merged[i])
+				i++
+			case merged[i] < extra[j]:
+				out = append(out, merged[i])
+				i++
+			case merged[i] > extra[j]:
+				out = append(out, extra[j])
+				j++
+			default:
+				out = append(out, merged[i])
+				i++
+				j++
+			}
+		}
+		merged = out
+	}
+	return merged
+}
+
+// refineLive brackets the live sketches' cut targets and, when any bracket
+// is still open, streams one gather pass to resolve them exactly. Approx
+// mode skips refinement entirely (cuts then come straight off the
+// sketches).
+func (f *fitter) refineLive() error {
+	if f.approxCuts {
+		return nil
+	}
+	need := false
+	for _, lf := range f.live {
+		lf.ref = sketch.NewRefiner(lf.sk, cutRankUnion(lf.sk.Count(), &f.cfg))
+		if lf.ref.NeedsPass() {
+			need = true
+		}
+	}
+	if !need {
+		return nil
+	}
+	live := f.live
+	return f.forEachChunk(func(c *frame.Chunk) error {
+		f.pool.ForChunks(len(live), 1, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				if live[j].ref.NeedsPass() {
+					live[j].ref.AddChunk(c.Cols[j])
+				}
+			}
+		})
+		return nil
+	})
+}
+
+// refineCandidates is refineLive for the round's generated candidates,
+// recomputing each candidate column per chunk to gather its open brackets.
+func (f *fitter) refineCandidates(entries []*candidate) error {
+	if f.approxCuts {
+		return nil
+	}
+	var open []*candidate
+	for _, en := range entries {
+		if en.isBase {
+			continue // base refiners carry over from the live set
+		}
+		en.ref = sketch.NewRefiner(en.sk, cutRankUnion(en.sk.Count(), &f.cfg))
+		if en.ref.NeedsPass() {
+			open = append(open, en)
+		}
+	}
+	if len(open) == 0 {
+		return nil
+	}
+	ev := f.newEvaluator()
+	return f.forEachChunk(func(c *frame.Chunk) error {
+		cols := ev.liveCols(c)
+		rows := c.NumRows()
+		f.pool.ForChunks(len(open), 1, func(lo, hi int) {
+			buf := make([]float64, rows)
+			var in [3][]float64
+			for i := lo; i < hi; i++ {
+				en := open[i]
+				iv := in[:len(en.feats)]
+				for k, fi := range en.feats {
+					iv[k] = cols[fi]
+				}
+				operators.TransformColumn(en.applier, iv, buf)
+				core.Sanitize(buf)
+				en.ref.AddChunk(buf)
+			}
+		})
+		return nil
+	})
+}
+
+// passCandidateCounts streams one pass accumulating every candidate's
+// binned label histogram (per-partition histograms merged exactly), from
+// which Information Values follow.
+func (f *fitter) passCandidateCounts(entries []*candidate) error {
+	for _, en := range entries {
+		en.hist = sketch.NewLabelHist(en.ivCuts)
+	}
+	ev := f.newEvaluator()
+	return f.forEachChunk(func(c *frame.Chunk) error {
+		cols := ev.liveCols(c)
+		rows := c.NumRows()
+		labels := f.labels[c.Start : c.Start+rows]
+		f.pool.ForChunks(len(entries), 1, func(lo, hi int) {
+			var buf []float64
+			var in [3][]float64
+			for i := lo; i < hi; i++ {
+				en := entries[i]
+				var col []float64
+				if en.isBase {
+					col = cols[en.baseIdx]
+				} else {
+					if buf == nil {
+						buf = make([]float64, rows)
+					}
+					iv := in[:len(en.feats)]
+					for k, fi := range en.feats {
+						iv[k] = cols[fi]
+					}
+					operators.TransformColumn(en.applier, iv, buf)
+					core.Sanitize(buf)
+					col = buf
+				}
+				part := sketch.NewLabelHist(en.ivCuts)
+				part.AddCol(col, labels)
+				if err := en.hist.Merge(part); err != nil {
+					panic(err) // cuts are identical by construction
+				}
+			}
+		})
+		return nil
+	})
+}
+
+// passGramAndCodes streams one pass over the IV survivors, accumulating the
+// pairwise co-moment Gram matrix (pair-parallel, merged by addition in
+// chunk order) and materialising resident ranker codes for survivors that
+// do not already alias live codes.
+func (f *fitter) passGramAndCodes(entries []*candidate, keptA []int) error {
+	needCodes := make([]bool, len(keptA))
+	for gi, idx := range keptA {
+		if entries[idx].codes == nil {
+			entries[idx].codes = make([]uint8, f.n)
+			needCodes[gi] = true
+		}
+	}
+	f.gram = sketch.NewGram(len(keptA))
+	ev := f.newEvaluator()
+	return f.forEachChunk(func(c *frame.Chunk) error {
+		cols := ev.liveCols(c)
+		rows := c.NumRows()
+		mat := make([][]float64, len(keptA))
+		f.pool.ForChunks(len(keptA), 1, func(lo, hi int) {
+			var ix stats.CutIndexer
+			var in [3][]float64
+			for gi := lo; gi < hi; gi++ {
+				en := entries[keptA[gi]]
+				var col []float64
+				if en.isBase {
+					col = cols[en.baseIdx]
+				} else {
+					col = make([]float64, rows)
+					iv := in[:len(en.feats)]
+					for k, fi := range en.feats {
+						iv[k] = cols[fi]
+					}
+					operators.TransformColumn(en.applier, iv, col)
+					core.Sanitize(col)
+				}
+				mat[gi] = col
+				if needCodes[gi] {
+					fillCodes(en.codes[c.Start:c.Start+rows], col, en.rgCuts, &ix)
+				}
+			}
+		})
+		g := f.gram
+		g.AddRows(rows)
+		prep := sketch.PrepChunk(mat)
+		f.pool.ForChunks(len(keptA), 1, func(jlo, jhi int) {
+			g.AddPrepared(mat, prep, jlo, jhi)
+		})
+		return nil
+	})
+}
+
+// sortByIVDesc orders candidate indices by IV descending, ties by index
+// ascending — the scan order of core's pearsonDedup.
+func sortByIVDesc(order []int, ivs []float64) {
+	sort.Slice(order, func(a, b int) bool {
+		if ivs[order[a]] != ivs[order[b]] {
+			return ivs[order[a]] > ivs[order[b]]
+		}
+		return order[a] < order[b]
+	})
+}
+
+func sortInts(xs []int) { sort.Ints(xs) }

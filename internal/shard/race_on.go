@@ -1,0 +1,8 @@
+//go:build race
+
+package shard
+
+// raceEnabled reports whether the race detector is compiled in; the heavy
+// 100k equality test skips under race (it runs in the plain test pass and
+// the race build covers the same code on the 20k workload).
+const raceEnabled = true

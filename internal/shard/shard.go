@@ -1,0 +1,549 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/frame"
+	"repro/internal/gbdt"
+	"repro/internal/operators"
+	"repro/internal/parallel"
+	"repro/internal/sketch"
+)
+
+// Config configures a sharded fit.
+type Config struct {
+	// Core is the SAFE configuration, shared with the in-memory path and
+	// normalised through core.NormalizeConfig, so both engines run from
+	// identical effective settings.
+	Core core.Config
+	// SketchSize is the per-level quantile summary size (sketch.DefaultSize
+	// when <= 0). Larger sizes tighten the sketches' bracketing error
+	// linearly at linearly more transient memory per sketched column,
+	// shrinking the refinement pass's gather buffers.
+	SketchSize int
+	// ApproxCuts skips the exact cut-refinement pass and bins directly at
+	// the sketches' approximate cut points. This trades the bit-exact
+	// equivalence with the in-memory path for one fewer streaming pass per
+	// stage; cut placement is then off by at most the sketches' rank error
+	// bound (Stats.MaxQuantileRankError).
+	ApproxCuts bool
+}
+
+// DefaultConfig returns the paper's configuration with default sketches.
+func DefaultConfig() Config { return Config{Core: core.DefaultConfig()} }
+
+// Stats reports how a sharded fit consumed its source.
+type Stats struct {
+	// Rows is the dataset length; Partitions the chunks per pass.
+	Rows       int
+	Partitions int
+	// Passes counts full streaming passes over the source.
+	Passes int
+	// RowsStreamed totals rows decoded across all passes.
+	RowsStreamed int64
+	// MaxQuantileRankError is the worst tracked rank-error bound across all
+	// quantile sketches — the "within quantile-sketch tolerance" of the
+	// fit's equivalence to the in-memory path, in ranks of Rows.
+	MaxQuantileRankError int64
+}
+
+// Fit learns the SAFE feature generation function Ψ from a labelled chunked
+// source (Algorithm 1), never holding more than one chunk of raw values per
+// pass plus the resident binned matrices. The selected features and
+// formulas match core.Fit on the same rows up to quantile-sketch tolerance
+// (see package doc); the returned report mirrors core's per-iteration
+// stage sizes.
+func Fit(src frame.ChunkSource, cfg Config) (*core.Pipeline, *core.Report, *Stats, error) {
+	norm, err := core.NormalizeConfig(cfg.Core)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ops, err := norm.Registry.GetAll(norm.Operators)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for _, op := range ops {
+		if !operators.DataIndependent(op) {
+			return nil, nil, nil, fmt.Errorf(
+				"shard: operator %q fits parameters from data; the sharded engine supports data-independent operators only",
+				op.Name())
+		}
+	}
+	if norm.IVEqualWidth {
+		return nil, nil, nil, errors.New("shard: IVEqualWidth is not supported by the sharded engine")
+	}
+	pool := parallel.Get(1)
+	if norm.Parallel {
+		pool = parallel.Get(norm.Workers)
+	}
+	f := &fitter{
+		cfg:        norm,
+		sketchSize: cfg.SketchSize,
+		approxCuts: cfg.ApproxCuts,
+		src:        src,
+		pool:       pool,
+		ops:        ops,
+		arities:    core.DistinctArities(ops),
+	}
+	p, rep, err := f.fit()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return p, rep, &f.stats, nil
+}
+
+// liveFeat is one feature of the working set: its identity plus the merged
+// sketches and resident codes standing in for the raw column.
+type liveFeat struct {
+	name string
+	node *core.FeatureNode // nil for originals
+	sk   *sketch.Quantile
+	ref  *sketch.Refiner // exact-cut refinement (nil in approx mode)
+	mom  *sketch.Moments
+	iv   float64
+
+	minerCuts []float64 // cuts behind codes (Miner.MaxBins binner cuts)
+	codes     []uint8   // resident binned column for GBDT training
+}
+
+// candidate is one entry of a round's candidate set X̂, ordered exactly as
+// the in-memory stream orders them: the live (base) features first, then
+// generated features in enumeration order.
+type candidate struct {
+	name    string
+	isBase  bool
+	baseIdx int               // index into live for base entries
+	applier operators.Applier // generated entries
+	feats   []int             // applier inputs, as live indices
+	node    *core.FeatureNode // generated entries
+	sk      *sketch.Quantile
+	ref     *sketch.Refiner
+	mom     *sketch.Moments
+	hist    *sketch.LabelHist
+	iv      float64
+	ivCuts  []float64
+	rgCuts  []float64 // ranker binner cuts
+	codes   []uint8   // ranker codes (aliases live codes for base entries)
+}
+
+type fitter struct {
+	cfg        core.Config
+	sketchSize int
+	approxCuts bool
+	src        frame.ChunkSource
+	pool       *parallel.Pool
+	ops        []operators.Operator
+	arities    []int
+
+	names  []string
+	labels []float64
+	n      int
+	live   []*liveFeat
+	nodes  []core.FeatureNode // all generated nodes, for pipeline assembly
+	gram   *sketch.Gram       // transient: current round's pairwise co-moments
+
+	stats Stats
+}
+
+// forEachChunk makes one full pass over the source, tracking pass and row
+// statistics and validating that the source yields a stable shape.
+func (f *fitter) forEachChunk(fn func(c *frame.Chunk) error) error {
+	if err := f.src.Reset(); err != nil {
+		return err
+	}
+	f.stats.Passes++
+	rows, parts := 0, 0
+	for {
+		c, err := f.src.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if len(c.Cols) != len(f.names) {
+			return fmt.Errorf("shard: chunk %d has %d columns, want %d", c.Index, len(c.Cols), len(f.names))
+		}
+		nr := c.NumRows()
+		if c.Label != nil && len(c.Label) != nr {
+			return fmt.Errorf("shard: chunk %d label covers %d of %d rows", c.Index, len(c.Label), nr)
+		}
+		if err := fn(c); err != nil {
+			return err
+		}
+		rows += nr
+		parts++
+	}
+	f.stats.RowsStreamed += int64(rows)
+	if f.n == 0 {
+		f.n, f.stats.Rows, f.stats.Partitions = rows, rows, parts
+		return nil
+	}
+	if rows != f.n {
+		return fmt.Errorf("shard: source yielded %d rows on a later pass, want %d (unstable source)", rows, f.n)
+	}
+	return nil
+}
+
+// trackSketch folds a sketch's error bound into the fit statistics.
+func (f *fitter) trackSketch(sk *sketch.Quantile) {
+	if b := sk.ErrorBound(); b > f.stats.MaxQuantileRankError {
+		f.stats.MaxQuantileRankError = b
+	}
+}
+
+func (f *fitter) fit() (*core.Pipeline, *core.Report, error) {
+	cfg := f.cfg
+	f.names = f.src.Names()
+	m := len(f.names)
+	if m == 0 {
+		return nil, nil, errors.New("shard: source has no feature columns")
+	}
+	seen := make(map[string]bool, m)
+	for _, name := range f.names {
+		if name == "" {
+			return nil, nil, errors.New("shard: source has an empty column name")
+		}
+		if seen[name] {
+			return nil, nil, fmt.Errorf("shard: duplicate column name %q", name)
+		}
+		seen[name] = true
+	}
+
+	// Pass 1: labels plus per-feature quantile sketches and moments.
+	f.live = make([]*liveFeat, m)
+	for j, name := range f.names {
+		f.live[j] = &liveFeat{name: name, sk: sketch.NewQuantile(f.sketchSize), mom: &sketch.Moments{}}
+	}
+	err := f.forEachChunk(func(c *frame.Chunk) error {
+		if c.Label == nil {
+			return errors.New("shard: source has no label column")
+		}
+		f.labels = append(f.labels, c.Label...)
+		f.pool.ForChunks(m, 1, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				part := sketch.NewQuantile(f.sketchSize)
+				part.AddAll(c.Cols[j])
+				f.live[j].sk.Merge(part)
+				var pm sketch.Moments
+				pm.AddAll(c.Cols[j])
+				f.live[j].mom.Merge(&pm)
+			}
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if f.n == 0 {
+		return nil, nil, errors.New("shard: source has no rows")
+	}
+
+	budget := cfg.MaxFeatures
+	if budget <= 0 {
+		budget = 2 * m
+	}
+	gamma := cfg.Gamma
+	if gamma <= 0 {
+		gamma = 2 * m
+	}
+
+	// Refine the live sketches' cut brackets to exact order statistics
+	// (skipped in approx mode, and a no-op pass-wise when the sketches are
+	// lossless), then build the resident miner codes for the original live
+	// set.
+	if err := f.refineLive(); err != nil {
+		return nil, nil, err
+	}
+	for _, lf := range f.live {
+		lf.minerCuts = sketch.ExactBinnerCuts(lf.sk, lf.ref, cfg.Miner.MaxBins)
+		lf.codes = make([]uint8, f.n)
+		f.trackSketch(lf.sk)
+	}
+	if err := f.passLiveCodes(f.live); err != nil {
+		return nil, nil, err
+	}
+
+	report := &core.Report{}
+	start := time.Now()
+	for round := 0; round < cfg.Iterations; round++ {
+		if cfg.TimeBudget > 0 && time.Since(start) > cfg.TimeBudget {
+			break
+		}
+		iterStart := time.Now()
+		ir := core.IterationReport{Round: round + 1}
+
+		// (1) Mine combination relations from the binned miner model.
+		minerCfg := cfg.Miner
+		minerCfg.Seed = cfg.Seed + int64(round)*131
+		pb := &gbdt.Prebinned{Codes: make([][]uint8, len(f.live)), Cuts: make([][]float64, len(f.live))}
+		liveNames := make([]string, len(f.live))
+		for i, lf := range f.live {
+			pb.Codes[i] = lf.codes
+			pb.Cuts[i] = lf.minerCuts
+			liveNames[i] = lf.name
+		}
+		model, err := gbdt.TrainBinned(pb, f.labels, liveNames, minerCfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("shard: miner: %w", err)
+		}
+		combos := core.MineCombos(model, f.arities)
+		ir.CombosMined = len(combos)
+		ir.SearchSpaceAll = core.ExhaustiveCandidateCount(len(f.live), f.ops)
+
+		// (2) Score combinations from merged contingency tables.
+		if err := f.scoreCombos(combos); err != nil {
+			return nil, nil, err
+		}
+		combos = core.SortCombos(combos, gamma)
+		ir.CombosKept = len(combos)
+		if len(combos) > 0 {
+			ir.BestGainRatio = combos[0].GainRatio
+		}
+
+		// (3) Enumerate candidates: base features first, then generated, in
+		// the in-memory stream's order with the same formula dedup.
+		entries, generated, err := f.enumerate(combos)
+		if err != nil {
+			return nil, nil, err
+		}
+		ir.Generated = generated
+		ir.Candidates = len(entries)
+
+		// (4)+(5) Sketch the generated candidates, refine their cuts to
+		// exact order statistics, then bin and count labels for every
+		// candidate; Information Values follow from the merged histograms.
+		if err := f.passCandidateSketches(entries); err != nil {
+			return nil, nil, err
+		}
+		if err := f.refineCandidates(entries); err != nil {
+			return nil, nil, err
+		}
+		for _, en := range entries {
+			en.ivCuts = sketch.ExactCuts(en.sk, en.ref, cfg.IVBins)
+			if en.isBase && cfg.Ranker.MaxBins == cfg.Miner.MaxBins {
+				en.rgCuts = f.live[en.baseIdx].minerCuts
+				en.codes = f.live[en.baseIdx].codes
+			} else {
+				en.rgCuts = sketch.ExactBinnerCuts(en.sk, en.ref, cfg.Ranker.MaxBins)
+			}
+			f.trackSketch(en.sk)
+		}
+		if err := f.passCandidateCounts(entries); err != nil {
+			return nil, nil, err
+		}
+		ivs := make([]float64, len(entries))
+		for i, en := range entries {
+			en.iv = en.hist.IV()
+			ivs[i] = en.iv
+		}
+
+		keptA := core.IVFilter(ivs, cfg.IVThreshold, cfg.MinKeepIV)
+		ir.AfterIV = len(keptA)
+
+		// (6) Redundancy removal from pairwise co-moments; the same pass
+		// builds resident ranker codes for the surviving candidates.
+		keptB, err := f.pearsonDedup(entries, keptA, cfg.PearsonThreshold)
+		if err != nil {
+			return nil, nil, err
+		}
+		ir.AfterPearson = len(keptB)
+
+		// (7) Rank by binned-XGBoost gain, keep the budget.
+		rankerCfg := cfg.Ranker
+		rankerCfg.Seed = cfg.Seed + 7919 + int64(round)*131
+		rpb := &gbdt.Prebinned{Codes: make([][]uint8, len(keptB)), Cuts: make([][]float64, len(keptB))}
+		for i, idx := range keptB {
+			rpb.Codes[i] = entries[idx].codes
+			rpb.Cuts[i] = entries[idx].rgCuts
+		}
+		ranker, err := gbdt.TrainBinned(rpb, f.labels, nil, rankerCfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("shard: ranker: %w", err)
+		}
+		ranked := core.OrderByGain(ranker.GainImportance(), ivs, keptB)
+		if len(ranked) > budget {
+			ranked = ranked[:budget]
+		}
+		ir.Selected = len(ranked)
+
+		// Record every generated node (pipeline pruning trims the unused
+		// ones, as in the in-memory path) and carry the selection forward.
+		for _, en := range entries {
+			if !en.isBase {
+				f.nodes = append(f.nodes, *en.node)
+			}
+		}
+		next := make([]*liveFeat, 0, len(ranked))
+		for _, idx := range ranked {
+			en := entries[idx]
+			lf := &liveFeat{
+				name: en.name,
+				sk:   en.sk,
+				ref:  en.ref,
+				mom:  en.mom,
+				iv:   en.iv,
+			}
+			if en.isBase {
+				lf.node = f.live[en.baseIdx].node
+			} else {
+				lf.node = en.node
+			}
+			// The selected candidates' ranker codes become the next round's
+			// miner matrix when the bin counts agree; otherwise rebin.
+			if cfg.Miner.MaxBins == cfg.Ranker.MaxBins {
+				lf.minerCuts = en.rgCuts
+				lf.codes = en.codes
+			} else {
+				lf.minerCuts = sketch.ExactBinnerCuts(en.sk, en.ref, cfg.Miner.MaxBins)
+			}
+			next = append(next, lf)
+		}
+		f.live = next
+		if cfg.Miner.MaxBins != cfg.Ranker.MaxBins && round+1 < cfg.Iterations {
+			for _, lf := range f.live {
+				lf.codes = make([]uint8, f.n)
+			}
+			if err := f.passLiveCodes(f.live); err != nil {
+				return nil, nil, err
+			}
+		}
+
+		ir.Elapsed = time.Since(iterStart)
+		report.Iterations = append(report.Iterations, ir)
+	}
+
+	p := &core.Pipeline{OriginalNames: append([]string(nil), f.names...), Nodes: f.nodes}
+	for _, lf := range f.live {
+		p.Output = append(p.Output, lf.name)
+	}
+	p.Prune()
+	report.Total = time.Since(start)
+	return p, report, nil
+}
+
+// enumerate builds the round's candidate entries: every live feature, then
+// every operator application to the kept combinations (both argument orders
+// for non-commutative binary operators), deduplicated by formula — the
+// exact order and dedup of the in-memory candidate stream.
+func (f *fitter) enumerate(combos []core.Combo) ([]*candidate, int, error) {
+	existing := make(map[string]bool, 2*len(f.live))
+	entries := make([]*candidate, 0, 2*len(f.live))
+	for i, lf := range f.live {
+		existing[lf.name] = true
+		entries = append(entries, &candidate{
+			name: lf.name, isBase: true, baseIdx: i, sk: lf.sk, ref: lf.ref, mom: lf.mom,
+		})
+	}
+	generated := 0
+	liveNames := make([]string, len(f.live))
+	for i, lf := range f.live {
+		liveNames[i] = lf.name
+	}
+	add := func(op operators.Operator, feats []int) error {
+		in := make([][]float64, len(feats))
+		names := make([]string, len(feats))
+		for i, fi := range feats {
+			names[i] = liveNames[fi]
+		}
+		applier, err := op.Fit(in)
+		if err != nil {
+			return fmt.Errorf("shard: generate %s: %w", op.Name(), err)
+		}
+		name := applier.Formula(names)
+		if existing[name] {
+			return nil
+		}
+		existing[name] = true
+		generated++
+		entries = append(entries, &candidate{
+			name:    name,
+			applier: applier,
+			feats:   append([]int(nil), feats...),
+			node:    &core.FeatureNode{Name: name, Inputs: names, Applier: applier},
+			sk:      sketch.NewQuantile(f.sketchSize),
+			mom:     &sketch.Moments{},
+		})
+		return nil
+	}
+	for _, c := range combos {
+		for _, op := range f.ops {
+			if int(op.Arity()) != len(c.Features) {
+				continue
+			}
+			if err := add(op, c.Features); err != nil {
+				return nil, 0, err
+			}
+			if op.Arity() == operators.Binary && !operators.Commutative(op.Name()) {
+				rev := []int{c.Features[1], c.Features[0]}
+				if err := add(op, rev); err != nil {
+					return nil, 0, err
+				}
+			}
+		}
+	}
+	return entries, generated, nil
+}
+
+// pearsonDedup replicates core's greedy Pearson filter from one Gram pass:
+// candidates scan in descending-IV order and survive unless their
+// standardised dot product with an already-kept candidate exceeds theta.
+// The same pass materialises ranker codes for the IV survivors.
+func (f *fitter) pearsonDedup(entries []*candidate, keptA []int, theta float64) ([]int, error) {
+	if err := f.passGramAndCodes(entries, keptA); err != nil {
+		return nil, err
+	}
+	g := f.gram
+	f.gram = nil
+
+	order := append([]int(nil), keptA...)
+	ivs := make([]float64, len(entries))
+	for i, en := range entries {
+		ivs[i] = en.iv
+	}
+	sortByIVDesc(order, ivs)
+
+	pos := make(map[int]int, len(keptA)) // entry index -> gram column
+	for gi, idx := range keptA {
+		pos[idx] = gi
+	}
+	isConst := func(en *candidate) bool {
+		return en.mom.N == 0 || en.mom.Std() < 1e-12
+	}
+	limit := theta * float64(f.n)
+	kept := make([]int, 0, len(order))
+	for _, j := range order {
+		en := entries[j]
+		if isConst(en) {
+			// Constant columns correlate with nothing by convention; the
+			// ranker buries them, exactly as in-memory.
+			kept = append(kept, j)
+			continue
+		}
+		redundant := false
+		for _, k := range kept {
+			ek := entries[k]
+			if isConst(ek) {
+				continue
+			}
+			dot := g.Dot(pos[j], pos[k],
+				en.mom.Mean, en.mom.Std(), ek.mom.Mean, ek.mom.Std())
+			if dot < 0 {
+				dot = -dot
+			}
+			if dot > limit {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			kept = append(kept, j)
+		}
+	}
+	sortInts(kept)
+	return kept, nil
+}

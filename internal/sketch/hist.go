@@ -1,0 +1,118 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// LabelHist is a mergeable binned label-count histogram over fixed cut
+// points: bin b counts the positive and negative labels of rows whose value
+// falls in (cuts[b-1], cuts[b]] — the convention stats.Digitize and the GBDT
+// binner share. NaN values are counted separately and excluded from bins,
+// matching stats.InformationValue. Counts are integers stored in float64, so
+// Merge is exact and exactly order-invariant.
+type LabelHist struct {
+	cuts     []float64
+	pos, neg []float64 // len(cuts)+1 bins
+	nanPos   float64
+	nanNeg   float64
+	ix       stats.CutIndexer
+}
+
+// NewLabelHist creates a histogram over the given ascending cut points
+// (len(cuts)+1 bins; nil cuts yield a single bin). The cuts slice is
+// retained and must not be modified.
+func NewLabelHist(cuts []float64) *LabelHist {
+	h := &LabelHist{
+		cuts: cuts,
+		pos:  make([]float64, len(cuts)+1),
+		neg:  make([]float64, len(cuts)+1),
+	}
+	h.ix.Reset(cuts)
+	return h
+}
+
+// Cuts returns the histogram's cut points (not a copy).
+func (h *LabelHist) Cuts() []float64 { return h.cuts }
+
+// Add observes one (value, binary label) observation.
+func (h *LabelHist) Add(v, label float64) {
+	if math.IsNaN(v) {
+		if label > 0.5 {
+			h.nanPos++
+		} else {
+			h.nanNeg++
+		}
+		return
+	}
+	b := h.ix.Find(v)
+	if label > 0.5 {
+		h.pos[b]++
+	} else {
+		h.neg[b]++
+	}
+}
+
+// AddCol observes a column of values against parallel labels.
+func (h *LabelHist) AddCol(vals, labels []float64) {
+	for i, v := range vals {
+		h.Add(v, labels[i])
+	}
+}
+
+// Merge folds another histogram into h. The cut arrays must be identical.
+func (h *LabelHist) Merge(o *LabelHist) error {
+	if len(o.cuts) != len(h.cuts) {
+		return fmt.Errorf("sketch: merge label hists with %d vs %d cuts", len(o.cuts), len(h.cuts))
+	}
+	for i := range h.cuts {
+		if h.cuts[i] != o.cuts[i] {
+			return fmt.Errorf("sketch: merge label hists with different cut %d", i)
+		}
+	}
+	for b := range h.pos {
+		h.pos[b] += o.pos[b]
+		h.neg[b] += o.neg[b]
+	}
+	h.nanPos += o.nanPos
+	h.nanNeg += o.nanNeg
+	return nil
+}
+
+// Counts returns the per-bin positive and negative counts (not copies).
+func (h *LabelHist) Counts() (pos, neg []float64) { return h.pos, h.neg }
+
+// IV returns the Information Value of the binned feature, reproducing
+// stats.InformationValue's Laplace smoothing exactly given the same cuts: a
+// histogram with no cuts (a single bin, e.g. an all-NaN column) scores 0.
+func (h *LabelHist) IV() float64 {
+	if len(h.cuts) == 0 {
+		return 0
+	}
+	var np, nn float64
+	for b := range h.pos {
+		np += h.pos[b]
+		nn += h.neg[b]
+	}
+	return stats.IVFromCounts(h.pos, h.neg, np, nn)
+}
+
+// ChiMergeCuts runs bottom-up chi-squared interval merging over the
+// histogram's bins (the sharded counterpart of stats.ChiMerge, which needs
+// the raw column): adjacent bins merge while the pair's chi-squared
+// statistic is lowest, down to at most maxBins intervals, then further while
+// below threshold. max is the exact column maximum (the last interval's
+// upper bound). It returns interior cut points usable with stats.Digitize.
+func (h *LabelHist) ChiMergeCuts(maxBins int, threshold, max float64) []float64 {
+	uppers := make([]float64, len(h.pos))
+	for b := range uppers {
+		if b < len(h.cuts) {
+			uppers[b] = h.cuts[b]
+		} else {
+			uppers[b] = max
+		}
+	}
+	return stats.ChiMergeCounts(uppers, h.pos, h.neg, maxBins, threshold)
+}

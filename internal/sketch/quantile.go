@@ -1,0 +1,355 @@
+package sketch
+
+import (
+	"math"
+	"sort"
+)
+
+// DefaultSize is the default per-level summary size of a Quantile sketch.
+// Larger sizes buy tighter rank bounds linearly at linearly more memory; a
+// partition of at most DefaultSize rows is summarised losslessly.
+const DefaultSize = 8192
+
+// wpoint is one weighted coreset point: a representative value standing in
+// for w original values at adjacent ranks.
+type wpoint struct {
+	v float64
+	w int64
+}
+
+// Quantile is a deterministic mergeable quantile summary. Values stream in
+// through Add (or AddAll); partitions summarised independently combine with
+// Merge. Count, Min, Max and NaNCount are exact; rank queries (RankValue,
+// Cuts) are exact while the data fits one level and carry a tracked
+// worst-case rank error (ErrorBound) beyond that.
+//
+// Internally the sketch is an LSM over weighted coresets: incoming values
+// buffer until size is reached, flush as a lossless level-0 summary, and
+// equal-level summaries merge like a binary counter. Merging two levels
+// concatenates their sorted point lists exactly; only when the result
+// exceeds size is it compacted to at most size points, each new point
+// absorbing a run of at most W = ceil(weight/size) original values — the
+// single source of rank error, accumulated per summary in errs. No step is
+// randomised.
+type Quantile struct {
+	size     int
+	count    int64 // non-NaN values observed
+	nan      int64
+	min, max float64
+	buf      []float64
+	levels   [][]wpoint
+	errs     []int64
+}
+
+// NewQuantile creates a quantile sketch with the given per-level summary
+// size; size <= 0 selects DefaultSize.
+func NewQuantile(size int) *Quantile {
+	if size <= 0 {
+		size = DefaultSize
+	}
+	return &Quantile{size: size, min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// Add observes one value. NaNs are counted separately and never contribute
+// to ranks, matching stats.Quantiles' NaN handling.
+func (q *Quantile) Add(v float64) {
+	if math.IsNaN(v) {
+		q.nan++
+		return
+	}
+	q.count++
+	if v < q.min {
+		q.min = v
+	}
+	if v > q.max {
+		q.max = v
+	}
+	if q.buf == nil {
+		q.buf = make([]float64, 0, q.size)
+	}
+	q.buf = append(q.buf, v)
+	if len(q.buf) >= q.size {
+		q.flush()
+	}
+}
+
+// AddAll observes a column of values.
+func (q *Quantile) AddAll(vs []float64) {
+	for _, v := range vs {
+		q.Add(v)
+	}
+}
+
+// Count returns the exact number of non-NaN values observed.
+func (q *Quantile) Count() int64 { return q.count }
+
+// NaNCount returns the exact number of NaNs observed.
+func (q *Quantile) NaNCount() int64 { return q.nan }
+
+// Min returns the exact minimum (+Inf when empty).
+func (q *Quantile) Min() float64 { return q.min }
+
+// Max returns the exact maximum (-Inf when empty).
+func (q *Quantile) Max() float64 { return q.max }
+
+// ErrorBound returns the current worst-case rank error of a query, in ranks
+// (not a fraction). Zero means the summary is lossless.
+func (q *Quantile) ErrorBound() int64 {
+	var e int64
+	for _, le := range q.errs {
+		e += le
+	}
+	return e
+}
+
+// Merge folds another sketch into q. Both sketches should be built with the
+// same size (the merged summary is compacted to q's). o is normalised (its
+// buffer flushed) but keeps its logical content and remains usable.
+func (q *Quantile) Merge(o *Quantile) {
+	if o == nil {
+		return
+	}
+	o.flush()
+	q.flush()
+	q.count += o.count
+	q.nan += o.nan
+	if o.min < q.min {
+		q.min = o.min
+	}
+	if o.max > q.max {
+		q.max = o.max
+	}
+	for level, pts := range o.levels {
+		if len(pts) == 0 {
+			continue
+		}
+		q.push(level, append([]wpoint(nil), pts...), o.errs[level])
+	}
+}
+
+// flush turns the pending buffer into a lossless level-0 summary.
+func (q *Quantile) flush() {
+	if len(q.buf) == 0 {
+		return
+	}
+	sort.Float64s(q.buf)
+	pts := make([]wpoint, 0, len(q.buf))
+	for _, v := range q.buf {
+		if n := len(pts); n > 0 && pts[n-1].v == v {
+			pts[n-1].w++
+			continue
+		}
+		pts = append(pts, wpoint{v: v, w: 1})
+	}
+	q.buf = q.buf[:0]
+	q.push(0, pts, 0)
+}
+
+// push installs a summary at the given level, carrying binary-counter style
+// into higher levels: an occupied slot merges, compacts when oversized, and
+// the result moves one level up.
+func (q *Quantile) push(level int, pts []wpoint, err int64) {
+	for {
+		for len(q.levels) <= level {
+			q.levels = append(q.levels, nil)
+			q.errs = append(q.errs, 0)
+		}
+		if len(q.levels[level]) == 0 {
+			q.levels[level] = pts
+			q.errs[level] = err
+			return
+		}
+		pts, err = mergePoints(q.levels[level], pts), q.errs[level]+err
+		q.levels[level] = nil
+		q.errs[level] = 0
+		if len(pts) > q.size {
+			var addErr int64
+			pts, addErr = compactPoints(pts, q.size)
+			err += addErr
+		}
+		level++
+	}
+}
+
+// mergePoints merge-joins two sorted weighted point lists exactly, summing
+// weights of equal values.
+func mergePoints(a, b []wpoint) []wpoint {
+	out := make([]wpoint, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		var p wpoint
+		switch {
+		case i == len(a):
+			p = b[j]
+			j++
+		case j == len(b):
+			p = a[i]
+			i++
+		case a[i].v <= b[j].v:
+			p = a[i]
+			i++
+		default:
+			p = b[j]
+			j++
+		}
+		if n := len(out); n > 0 && out[n-1].v == p.v {
+			out[n-1].w += p.w
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// compactPoints reduces a sorted weighted list to at most size points by
+// absorbing runs of at most W = ceil(weight/size) values into their weighted
+// median point. Every surviving rank estimate moves by less than W, the
+// returned error bound.
+func compactPoints(pts []wpoint, size int) ([]wpoint, int64) {
+	var total int64
+	for _, p := range pts {
+		total += p.w
+	}
+	w := (total + int64(size) - 1) / int64(size)
+	if w < 1 {
+		w = 1
+	}
+	out := make([]wpoint, 0, size+1)
+	i := 0
+	for i < len(pts) {
+		// Absorb a run of up to w weight starting at i.
+		var runW int64
+		j := i
+		for j < len(pts) {
+			if runW > 0 && runW+pts[j].w > w {
+				break
+			}
+			runW += pts[j].w
+			j++
+		}
+		// Representative: the point containing the run's weighted median.
+		var cum int64
+		rep := i
+		for k := i; k < j; k++ {
+			cum += pts[k].w
+			if 2*cum >= runW {
+				rep = k
+				break
+			}
+		}
+		out = append(out, wpoint{v: pts[rep].v, w: runW})
+		i = j
+	}
+	return out, w
+}
+
+// merged returns the sketch's full summary as one sorted weighted list,
+// including pending buffered values, without mutating the sketch.
+func (q *Quantile) merged() []wpoint {
+	var all []wpoint
+	for _, pts := range q.levels {
+		if len(pts) == 0 {
+			continue
+		}
+		if all == nil {
+			all = pts
+			continue
+		}
+		all = mergePoints(all, pts)
+	}
+	if len(q.buf) > 0 {
+		tmp := append([]float64(nil), q.buf...)
+		sort.Float64s(tmp)
+		pts := make([]wpoint, 0, len(tmp))
+		for _, v := range tmp {
+			if n := len(pts); n > 0 && pts[n-1].v == v {
+				pts[n-1].w++
+				continue
+			}
+			pts = append(pts, wpoint{v: v, w: 1})
+		}
+		if all == nil {
+			all = pts
+		} else {
+			all = mergePoints(all, pts)
+		}
+	}
+	return all
+}
+
+// RankValue returns the value at the given 0-based rank (nearest-rank
+// definition over the non-NaN values), within ErrorBound ranks. Ranks are
+// clamped to [0, Count-1]. NaN is returned for an empty sketch.
+func (q *Quantile) RankValue(rank int64) float64 {
+	if q.count == 0 {
+		return math.NaN()
+	}
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= q.count {
+		rank = q.count - 1
+	}
+	pts := q.merged()
+	var cum int64
+	for _, p := range pts {
+		cum += p.w
+		if rank < cum {
+			return p.v
+		}
+	}
+	return pts[len(pts)-1].v
+}
+
+// Cuts returns the k interior cut points of a k+1-quantile split — the same
+// nearest-rank cut values stats.Quantiles(xs, bins) yields (0-based ranks
+// i*n/bins for i in 1..bins-1, deduplicated by rank then by value), within
+// ErrorBound ranks. It returns nil when the sketch is empty or bins < 2.
+func (q *Quantile) Cuts(bins int) []float64 {
+	if bins < 2 || q.count == 0 {
+		return nil
+	}
+	n := q.count
+	ranks := make([]int64, 0, bins-1)
+	for k := 1; k < bins; k++ {
+		idx := int64(k) * n / int64(bins)
+		if idx >= n {
+			idx = n - 1
+		}
+		if m := len(ranks); m == 0 || ranks[m-1] != idx {
+			ranks = append(ranks, idx)
+		}
+	}
+	pts := q.merged()
+	out := make([]float64, 0, len(ranks))
+	var cum int64
+	pi := 0
+	for _, r := range ranks {
+		for pi < len(pts) && r >= cum+pts[pi].w {
+			cum += pts[pi].w
+			pi++
+		}
+		v := pts[len(pts)-1].v
+		if pi < len(pts) {
+			v = pts[pi].v
+		}
+		if m := len(out); m == 0 || out[m-1] != v {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// BinnerCuts returns GBDT binner cut points: Cuts(maxBins) with a trailing
+// cut equal to the exact maximum dropped (it would create an empty bin),
+// mirroring the in-memory binner's quantileCuts.
+func (q *Quantile) BinnerCuts(maxBins int) []float64 {
+	cuts := q.Cuts(maxBins)
+	if len(cuts) == 0 {
+		return nil
+	}
+	if cuts[len(cuts)-1] >= q.max {
+		cuts = cuts[:len(cuts)-1]
+	}
+	return cuts
+}

@@ -1,0 +1,230 @@
+package sketch
+
+import (
+	"math"
+	"sort"
+)
+
+// Refiner turns a merged (approximate) Quantile sketch into exact order
+// statistics with one more streaming pass over the data. The sketch brackets
+// every requested rank r inside a value interval [lo, hi] guaranteed to
+// contain the true rank-r value (brackets span ±2·ErrorBound ranks); the
+// refinement pass then gathers only the values that fall inside a bracket —
+// O(targets · ErrorBound) values in total, independent of n — plus an exact
+// count of values below each bracket. Value() afterwards returns exact
+// nearest-rank order statistics, bit-identical to sorting the full column.
+//
+// Brackets that collapse to a single value (duplicate-heavy regions,
+// constant columns) resolve without gathering, so heavy duplication cannot
+// inflate the gather buffers; strictly-interior values per target are
+// bounded by the bracket's rank span. AddChunk is one-pass streaming and
+// Merge combines refiners built over disjoint partitions, keeping the whole
+// construction mergeable.
+type Refiner struct {
+	ranks    []int64 // requested target ranks, ascending, deduplicated
+	lo, hi   []float64
+	resolved []bool // bracket collapsed: value known without gathering
+
+	lowDelta []int64     // per-target prefix deltas for the below-bracket count
+	loEq     []int64     // gathered: count of values == lo
+	hiEq     []int64     // gathered: count of values == hi
+	mid      [][]float64 // gathered: values strictly inside the bracket
+
+	finalized bool
+	lowCount  []int64
+}
+
+// NewRefiner brackets the given target ranks (ascending, in [0, Count))
+// using the sketch's current summary. A lossless sketch resolves every
+// target immediately — NeedsPass reports whether a gather pass is required.
+func NewRefiner(q *Quantile, ranks []int64) *Refiner {
+	r := &Refiner{
+		ranks:    append([]int64(nil), ranks...),
+		lo:       make([]float64, len(ranks)),
+		hi:       make([]float64, len(ranks)),
+		resolved: make([]bool, len(ranks)),
+		lowDelta: make([]int64, len(ranks)+1),
+		loEq:     make([]int64, len(ranks)),
+		hiEq:     make([]int64, len(ranks)),
+		mid:      make([][]float64, len(ranks)),
+	}
+	e := 2 * q.ErrorBound()
+	pts := q.merged()
+	for t, rank := range r.ranks {
+		r.lo[t] = valueAtRank(pts, rank-e)
+		r.hi[t] = valueAtRank(pts, rank+e)
+		if r.lo[t] == r.hi[t] {
+			// The bracket pinches to one value, which must be the answer.
+			r.resolved[t] = true
+		}
+	}
+	return r
+}
+
+// valueAtRank walks a merged weighted list to the value covering the given
+// rank (clamped).
+func valueAtRank(pts []wpoint, rank int64) float64 {
+	if len(pts) == 0 {
+		return math.NaN()
+	}
+	if rank < 0 {
+		rank = 0
+	}
+	var cum int64
+	for _, p := range pts {
+		cum += p.w
+		if rank < cum {
+			return p.v
+		}
+	}
+	return pts[len(pts)-1].v
+}
+
+// NeedsPass reports whether any target still needs gathered values.
+func (r *Refiner) NeedsPass() bool {
+	for t := range r.resolved {
+		if !r.resolved[t] {
+			return true
+		}
+	}
+	return false
+}
+
+// AddChunk streams one chunk of the column (NaNs skipped, as everywhere).
+func (r *Refiner) AddChunk(vals []float64) {
+	nt := len(r.ranks)
+	if nt == 0 {
+		return
+	}
+	for _, v := range vals {
+		if math.IsNaN(v) {
+			continue
+		}
+		// Targets with lo > v form a suffix; record one delta at its start.
+		idx := sort.Search(nt, func(t int) bool { return r.lo[t] > v })
+		r.lowDelta[idx]++
+		// Gather into the run of brackets containing v.
+		t := sort.Search(nt, func(t int) bool { return r.hi[t] >= v })
+		for ; t < nt && r.lo[t] <= v; t++ {
+			if r.resolved[t] {
+				continue
+			}
+			switch {
+			case v == r.lo[t]:
+				r.loEq[t]++
+			case v == r.hi[t]:
+				r.hiEq[t]++
+			default:
+				r.mid[t] = append(r.mid[t], v)
+			}
+		}
+	}
+}
+
+// Merge folds a refiner built over another partition (with identical
+// targets and brackets) into r.
+func (r *Refiner) Merge(o *Refiner) {
+	for t := range r.ranks {
+		r.lowDelta[t] += o.lowDelta[t]
+		r.loEq[t] += o.loEq[t]
+		r.hiEq[t] += o.hiEq[t]
+		r.mid[t] = append(r.mid[t], o.mid[t]...)
+	}
+	r.lowDelta[len(r.ranks)] += o.lowDelta[len(o.ranks)]
+}
+
+func (r *Refiner) finalize() {
+	if r.finalized {
+		return
+	}
+	r.finalized = true
+	r.lowCount = make([]int64, len(r.ranks))
+	var cum int64
+	for t := range r.ranks {
+		cum += r.lowDelta[t]
+		r.lowCount[t] = cum
+	}
+	for t := range r.mid {
+		sort.Float64s(r.mid[t])
+	}
+}
+
+// Value returns the exact value at the target rank (which must be one of
+// the ranks given to NewRefiner, after the gather pass completed).
+func (r *Refiner) Value(rank int64) float64 {
+	t := sort.Search(len(r.ranks), func(i int) bool { return r.ranks[i] >= rank })
+	if t == len(r.ranks) || r.ranks[t] != rank {
+		return math.NaN()
+	}
+	if r.resolved[t] {
+		return r.lo[t]
+	}
+	r.finalize()
+	local := rank - r.lowCount[t]
+	switch {
+	case local < r.loEq[t]:
+		return r.lo[t]
+	case local < r.loEq[t]+int64(len(r.mid[t])):
+		return r.mid[t][local-r.loEq[t]]
+	case local < r.loEq[t]+int64(len(r.mid[t]))+r.hiEq[t]:
+		return r.hi[t]
+	default:
+		// Out of the gathered range: the bracket guarantee was violated,
+		// which cannot happen for a correctly merged sketch; fall back to
+		// the nearest bracket edge rather than panicking.
+		if local < 0 {
+			return r.lo[t]
+		}
+		return r.hi[t]
+	}
+}
+
+// CutRanks returns the 0-based nearest-rank targets of a bins-quantile
+// split over n values — the ranks stats.Quantiles reads — deduplicated.
+func CutRanks(n int64, bins int) []int64 {
+	if bins < 2 || n <= 0 {
+		return nil
+	}
+	out := make([]int64, 0, bins-1)
+	for k := 1; k < bins; k++ {
+		idx := int64(k) * n / int64(bins)
+		if idx >= n {
+			idx = n - 1
+		}
+		if m := len(out); m == 0 || out[m-1] != idx {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+// ExactCuts reproduces stats.Quantiles(column, bins) exactly from a sketch
+// plus its completed refiner (refiner may be nil when the sketch is
+// lossless): rank targets and value deduplication match bit-for-bit.
+func ExactCuts(q *Quantile, r *Refiner, bins int) []float64 {
+	if r == nil {
+		return q.Cuts(bins)
+	}
+	ranks := CutRanks(q.Count(), bins)
+	out := make([]float64, 0, len(ranks))
+	for _, rank := range ranks {
+		v := r.Value(rank)
+		if m := len(out); m == 0 || out[m-1] != v {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ExactBinnerCuts is ExactCuts with the trailing cut >= max dropped,
+// mirroring Quantile.BinnerCuts and the in-memory GBDT binner.
+func ExactBinnerCuts(q *Quantile, r *Refiner, maxBins int) []float64 {
+	cuts := ExactCuts(q, r, maxBins)
+	if len(cuts) == 0 {
+		return nil
+	}
+	if cuts[len(cuts)-1] >= q.Max() {
+		cuts = cuts[:len(cuts)-1]
+	}
+	return cuts
+}

@@ -1,0 +1,156 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// refTestColumn builds columns that stress the refiner: continuous spread,
+// heavy duplicate runs, and NaNs.
+func refTestColumn(n int, seed int64, kind string) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		switch kind {
+		case "duplicates":
+			out[i] = math.Floor(rng.Float64() * 12) // 12 distinct values
+		case "constant":
+			out[i] = 3.25
+		case "nan":
+			if rng.Float64() < 0.1 {
+				out[i] = math.NaN()
+			} else {
+				out[i] = rng.NormFloat64()
+			}
+		default:
+			out[i] = rng.NormFloat64() * 50
+		}
+	}
+	return out
+}
+
+// TestRefinerExactCuts: a lossy sketch plus one refinement pass reproduces
+// stats.Quantiles bit-for-bit, for every column shape.
+func TestRefinerExactCuts(t *testing.T) {
+	for _, kind := range []string{"normal", "duplicates", "constant", "nan"} {
+		xs := refTestColumn(60000, 11, kind)
+		parts := splitParts(xs, 5)
+		q := NewQuantile(512) // deliberately lossy: forces real refinement
+		for _, p := range parts {
+			s := NewQuantile(512)
+			s.AddAll(p)
+			q.Merge(s)
+		}
+		for _, bins := range []int{10, 64} {
+			ranks := CutRanks(q.Count(), bins)
+			ref := NewRefiner(q, ranks)
+			if ref.NeedsPass() {
+				for _, p := range parts {
+					ref.AddChunk(p)
+				}
+			}
+			got := ExactCuts(q, ref, bins)
+			want := stats.Quantiles(xs, bins)
+			if len(got) != len(want) {
+				t.Fatalf("%s bins=%d: %d cuts vs %d (sketch bound %d)",
+					kind, bins, len(got), len(want), q.ErrorBound())
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s bins=%d cut %d: got %v want %v", kind, bins, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRefinerMergeMatchesSequential: per-partition refiners merged give the
+// same exact values as one refiner over all chunks.
+func TestRefinerMergeMatchesSequential(t *testing.T) {
+	xs := refTestColumn(30000, 13, "normal")
+	parts := splitParts(xs, 4)
+	q := NewQuantile(256)
+	for _, p := range parts {
+		s := NewQuantile(256)
+		s.AddAll(p)
+		q.Merge(s)
+	}
+	ranks := CutRanks(q.Count(), 32)
+
+	seq := NewRefiner(q, ranks)
+	for _, p := range parts {
+		seq.AddChunk(p)
+	}
+	merged := NewRefiner(q, ranks)
+	for i := len(parts) - 1; i >= 0; i-- { // merge in reverse partition order
+		part := NewRefiner(q, ranks)
+		part.AddChunk(parts[i])
+		merged.Merge(part)
+	}
+	for _, r := range ranks {
+		if seq.Value(r) != merged.Value(r) {
+			t.Fatalf("rank %d: sequential %v vs merged %v", r, seq.Value(r), merged.Value(r))
+		}
+	}
+}
+
+// TestRefinerLosslessSkipsPass: a lossless sketch resolves every bracket
+// without gathering.
+func TestRefinerLosslessSkipsPass(t *testing.T) {
+	xs := refTestColumn(4000, 17, "normal")
+	q := NewQuantile(8192)
+	q.AddAll(xs)
+	if q.ErrorBound() != 0 {
+		t.Fatal("expected lossless sketch")
+	}
+	ref := NewRefiner(q, CutRanks(q.Count(), 64))
+	if ref.NeedsPass() {
+		t.Fatal("lossless sketch should resolve every bracket immediately")
+	}
+	want := stats.Quantiles(xs, 64)
+	got := ExactCuts(q, ref, 64)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cut %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestExactBinnerCutsDropsTrailingMax(t *testing.T) {
+	xs := refTestColumn(10000, 19, "duplicates")
+	q := NewQuantile(128)
+	q.AddAll(xs)
+	ref := NewRefiner(q, CutRanks(q.Count(), 64))
+	if ref.NeedsPass() {
+		ref.AddChunk(xs)
+	}
+	cuts := ExactBinnerCuts(q, ref, 64)
+	for _, c := range cuts {
+		if c >= q.Max() {
+			t.Fatalf("binner cut %v not below max %v", c, q.Max())
+		}
+	}
+}
+
+func TestCutRanks(t *testing.T) {
+	ranks := CutRanks(100, 10)
+	want := []int64{10, 20, 30, 40, 50, 60, 70, 80, 90}
+	if len(ranks) != len(want) {
+		t.Fatalf("got %v want %v", ranks, want)
+	}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Fatalf("got %v want %v", ranks, want)
+		}
+	}
+	if CutRanks(0, 10) != nil || CutRanks(100, 1) != nil {
+		t.Fatal("degenerate inputs should yield nil")
+	}
+	// Tiny n dedups collapsing ranks.
+	if got := CutRanks(3, 10); len(got) >= 9 {
+		t.Fatalf("expected deduplicated ranks for n=3, got %v", got)
+	}
+}

@@ -1,9 +1,6 @@
 package stats
 
-import (
-	"math"
-	"sort"
-)
+import "math"
 
 // ChiMerge discretises a feature against binary labels using the classic
 // bottom-up chi-squared interval merging algorithm. It starts from one
@@ -15,33 +12,25 @@ import (
 //
 // The paper lists ChiMerge among the discretisation operators of O1.
 func ChiMerge(feature, labels []float64, maxBins int, threshold float64) []float64 {
-	if maxBins < 2 {
-		maxBins = 2
-	}
-	type interval struct {
-		upper    float64 // inclusive upper bound
-		pos, neg float64
-	}
-
 	// Build initial intervals from (capped) distinct values.
-	idx := make([]int, 0, len(feature))
-	for i, v := range feature {
+	any := false
+	for _, v := range feature {
 		if !math.IsNaN(v) {
-			idx = append(idx, i)
+			any = true
+			break
 		}
 	}
-	if len(idx) == 0 {
+	if !any {
 		return nil
 	}
-	sort.Slice(idx, func(a, b int) bool { return feature[idx[a]] < feature[idx[b]] })
 
 	const maxInitial = 256
 	// Pre-quantise to at most maxInitial starting intervals via quantiles.
 	cuts := Quantiles(feature, maxInitial)
 	assign := Digitize(feature, cuts)
 	nb := len(cuts) + 1
-	ivs := make([]interval, 0, nb)
-	counts := make([][2]float64, nb)
+	pos := make([]float64, nb)
+	neg := make([]float64, nb)
 	uppers := make([]float64, nb)
 	for i := range uppers {
 		uppers[i] = math.Inf(-1)
@@ -51,19 +40,40 @@ func ChiMerge(feature, labels []float64, maxBins int, threshold float64) []float
 			continue
 		}
 		if labels[i] > 0.5 {
-			counts[b][0]++
+			pos[b]++
 		} else {
-			counts[b][1]++
+			neg[b]++
 		}
 		if feature[i] > uppers[b] {
 			uppers[b] = feature[i]
 		}
 	}
-	for b := 0; b < nb; b++ {
-		if counts[b][0]+counts[b][1] == 0 {
+	return ChiMergeCounts(uppers, pos, neg, maxBins, threshold)
+}
+
+// ChiMergeCounts is ChiMerge's count-space core: it consumes per-interval
+// positive/negative label counts plus each interval's inclusive upper bound
+// and runs the same bottom-up chi-squared merging. Intervals with zero
+// population are dropped up front. It is the entry point for mergeable
+// binned label histograms (sharded fits), whose counts arrive pre-binned
+// with cut points as upper bounds.
+func ChiMergeCounts(uppers []float64, pos, neg []float64, maxBins int, threshold float64) []float64 {
+	if maxBins < 2 {
+		maxBins = 2
+	}
+	type interval struct {
+		upper    float64
+		pos, neg float64
+	}
+	ivs := make([]interval, 0, len(uppers))
+	for b := range uppers {
+		if pos[b]+neg[b] == 0 {
 			continue
 		}
-		ivs = append(ivs, interval{upper: uppers[b], pos: counts[b][0], neg: counts[b][1]})
+		ivs = append(ivs, interval{upper: uppers[b], pos: pos[b], neg: neg[b]})
+	}
+	if len(ivs) == 0 {
+		return nil
 	}
 
 	chi2 := func(a, b interval) float64 {

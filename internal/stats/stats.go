@@ -413,6 +413,58 @@ func (s *IVScratch) counts(n int) (pos, neg []float64) {
 	return pos, neg
 }
 
+// IVFromCounts folds per-bin positive/negative label counts into the
+// Information Value, with the same 0.5 Laplace smoothing as
+// InformationValue. np and nn are the total positive/negative counts across
+// the bins. It is the count-space entry point the mergeable sketches of the
+// sharded fit engine use: counts accumulated per partition and summed give
+// exactly the IV a single pass over the concatenated rows yields.
+func IVFromCounts(pos, neg []float64, np, nn float64) float64 {
+	return ivFromCounts(pos, neg, np, nn)
+}
+
+// GainRatioFromCounts computes the information gain ratio of a partition
+// given per-cell positive/negative label counts: the count-space equivalent
+// of GainRatio(labels, parts, numParts) over rows with valid part ids. Cell
+// counts are integers, so per-partition counts merged by addition reproduce
+// the single-pass value bit-for-bit.
+func GainRatioFromCounts(pos, tot []int) float64 {
+	n, allPos := 0, 0
+	for p := range tot {
+		n += tot[p]
+		allPos += pos[p]
+	}
+	if n == 0 {
+		return 0
+	}
+	// Split entropy (the denominator), accumulated in cell order exactly as
+	// SplitEntropy does.
+	split := 0.0
+	for p := range tot {
+		if tot[p] == 0 {
+			continue
+		}
+		f := float64(tot[p]) / float64(n)
+		split -= f * math.Log(f)
+	}
+	if split <= 0 {
+		return 0
+	}
+	base := entropyFromCounts(allPos, n-allPos)
+	cond := 0.0
+	for p := range tot {
+		if tot[p] == 0 {
+			continue
+		}
+		cond += float64(tot[p]) / float64(n) * entropyFromCounts(pos[p], tot[p]-pos[p])
+	}
+	gain := base - cond
+	if gain < 0 {
+		gain = 0
+	}
+	return gain / split
+}
+
 // ivFromCounts folds per-bin positive/negative counts into the IV, with the
 // same 0.5 Laplace smoothing as ivFromAssignment.
 func ivFromCounts(pos, neg []float64, np, nn float64) float64 {

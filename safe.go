@@ -25,6 +25,7 @@ import (
 	"repro/internal/frame"
 	"repro/internal/metrics"
 	"repro/internal/operators"
+	"repro/internal/shard"
 )
 
 // Config configures the SAFE engineer; see core.Config for field docs.
@@ -111,6 +112,42 @@ func LoadPipelineFile(path string) (*Pipeline, error) { return core.LoadPipeline
 // returning selected indices best-first.
 func Select(cols [][]float64, labels []float64, cfg SelectionConfig) ([]int, error) {
 	return core.Select(cols, labels, cfg)
+}
+
+// ChunkSource yields a labelled dataset as re-iterable row chunks — the
+// substrate of the sharded out-of-core fit path.
+type ChunkSource = frame.ChunkSource
+
+// ShardConfig configures FitSharded; see shard.Config.
+type ShardConfig = shard.Config
+
+// ShardStats reports how a sharded fit consumed its source.
+type ShardStats = shard.Stats
+
+// DefaultShardConfig returns the paper's configuration for the sharded
+// engine with default sketch settings.
+func DefaultShardConfig() ShardConfig { return shard.DefaultConfig() }
+
+// FitSharded learns Ψ out-of-core from a chunked source whose partitions
+// never coexist in memory: statistics are computed as mergeable sketches
+// per partition and merged, and the XGBoost stages train on a resident
+// binned (1 byte/value) matrix. With default settings the selected features
+// are identical to Fit on the same rows; see docs/sharding.md.
+func FitSharded(src ChunkSource, cfg ShardConfig) (*Pipeline, *Report, *ShardStats, error) {
+	return shard.Fit(src, cfg)
+}
+
+// OpenCSVChunks opens a CSV file as a streaming chunk source for FitSharded:
+// files far larger than memory fit out-of-core. labelCol may be "";
+// chunkRows <= 0 picks a default. Close it when done.
+func OpenCSVChunks(path, labelCol string, chunkRows int) (*frame.CSVChunks, error) {
+	return frame.OpenCSVChunks(path, labelCol, chunkRows)
+}
+
+// NewFrameChunks wraps an in-memory frame as a chunk source of chunkRows-row
+// partitions, e.g. to compare sharded and in-memory fits.
+func NewFrameChunks(f *Frame, chunkRows int) *frame.FrameChunks {
+	return frame.NewFrameChunks(f, chunkRows)
 }
 
 // ReadCSV parses a CSV stream with a header row; labelCol may be "".
