@@ -11,6 +11,7 @@
 //	safe-bench -datasets banknote,magic -clfs LR,XGB -repeats 5
 //	safe-bench -experiment serving -serve-clients 8 -serve-batch 128
 //	safe-bench -experiment fit                  # full fit workload matrix
+//	safe-bench -experiment fit -task regression # one task's cells only
 //	safe-bench -experiment fit -quick -bench-compare   # the CI smoke gate
 //
 // Experiments: table3, table5, table6, table8, fig3, fig4, searchspace,
@@ -76,6 +77,7 @@ func main() {
 		benchCompare  = flag.Bool("bench-compare", false, "fit experiment: exit non-zero when throughput regresses beyond -bench-tolerance vs the latest run in -bench-file")
 		benchTol      = flag.Float64("bench-tolerance", 0.20, "fit experiment: allowed fractional throughput regression")
 		benchRepeats  = flag.Int("bench-repeats", 3, "fit experiment: measurements per cell; the fastest is kept")
+		benchTask     = flag.String("task", "", "fit experiment: run only cells of this task (binary, multiclass:K, regression; default all)")
 		version       = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -166,6 +168,7 @@ func main() {
 			Fit:       run["fit"],
 			ShardFit:  run["shardfit"],
 			Quick:     *quick,
+			Task:      *benchTask,
 			File:      *benchFile,
 			Label:     *benchLabel,
 			Append:    *benchAppend,
@@ -183,6 +186,7 @@ type fitBenchOptions struct {
 	Fit       bool // include the in-memory fit matrix
 	ShardFit  bool // include the sharded out-of-core fit matrix
 	Quick     bool
+	Task      string // restrict to cells of one task ("" = all)
 	File      string
 	Label     string
 	Append    bool
@@ -211,6 +215,26 @@ func runFitBench(opts fitBenchOptions, w io.Writer) (*benchkit.Run, error) {
 		} else {
 			matrix = append(matrix, benchkit.ShardFitMatrix()...)
 		}
+	}
+	if opts.Task != "" {
+		want, err := core.ParseTask(opts.Task)
+		if err != nil {
+			return nil, err
+		}
+		var filtered []benchkit.FitWorkload
+		for _, cell := range matrix {
+			have, err := core.ParseTask(cell.Task)
+			if err != nil {
+				return nil, err
+			}
+			if have == want {
+				filtered = append(filtered, cell)
+			}
+		}
+		if len(filtered) == 0 {
+			return nil, fmt.Errorf("no workload cells match -task %s; measuring nothing would pass the gate vacuously", want)
+		}
+		matrix = filtered
 	}
 	label := opts.Label
 	if label == "" {

@@ -5,6 +5,12 @@
 // Usage:
 //
 //	safe-datagen -out data/ [-scale 0.1] [-business-scale 0.005] [-which benchmarks|business|fraud|all]
+//	             [-task binary|multiclass:K|regression]
+//
+// -task switches the generated label type: every emitted dataset keeps its
+// planted feature interactions but draws K-class or continuous targets from
+// the same signal, so the other tools can exercise the multiclass and
+// regression fit paths on identical shapes.
 package main
 
 import (
@@ -24,6 +30,7 @@ func main() {
 		scale         = flag.Float64("scale", 0.1, "benchmark row scale (1 = paper sizes)")
 		businessScale = flag.Float64("business-scale", 0.005, "business row scale (1 = 2.5M-8M rows)")
 		which         = flag.String("which", "all", "benchmarks | business | fraud | all")
+		taskFlag      = flag.String("task", "binary", "label type: binary, multiclass:K, or regression")
 		seed          = flag.Int64("seed", 0, "seed offset added to every dataset's own seed")
 		version       = flag.Bool("version", false, "print the build version and exit")
 	)
@@ -33,6 +40,12 @@ func main() {
 		return
 	}
 	fmt.Printf("safe-datagen %s seed=%d\n", buildinfo.String(), *seed)
+
+	task, err := safe.ParseTask(*taskFlag)
+	if err != nil {
+		fatal(err)
+	}
+	target, classes := safe.TargetForTask(task)
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatal(err)
@@ -56,6 +69,8 @@ func main() {
 
 	for _, spec := range specs {
 		spec.Seed += *seed
+		spec.Target = target
+		spec.Classes = classes
 		ds, err := datagen.Generate(spec)
 		if err != nil {
 			fatal(err)
@@ -72,8 +87,13 @@ func main() {
 			if err := f.WriteCSVFile(path); err != nil {
 				fatal(err)
 			}
-			fmt.Printf("wrote %s (%d rows x %d features, %.1f%% positive)\n",
-				path, f.NumRows(), f.NumCols(), 100*f.PositiveRate())
+			if task.Kind == safe.TaskBinary {
+				fmt.Printf("wrote %s (%d rows x %d features, %.1f%% positive)\n",
+					path, f.NumRows(), f.NumCols(), 100*f.PositiveRate())
+			} else {
+				fmt.Printf("wrote %s (%d rows x %d features, task=%s)\n",
+					path, f.NumRows(), f.NumCols(), task)
+			}
 		}
 	}
 }

@@ -79,8 +79,8 @@ func main() {
 	}
 
 	for _, info := range reg.Snapshot() {
-		log.Printf("safe-serve: pipeline %q versions=%v active=%s inputs=%d outputs=%d model=%v",
-			info.Name, info.Versions, info.Active, info.Inputs, info.Outputs, info.HasModel)
+		log.Printf("safe-serve: pipeline %q versions=%v active=%s task=%s inputs=%d outputs=%d model=%v",
+			info.Name, info.Versions, info.Active, info.Task, info.Inputs, info.Outputs, info.HasModel)
 	}
 	s := serve.NewServer(reg, serve.Options{
 		MaxBatch: *maxBatch, MaxBodyBytes: *maxBody, CacheSize: *cacheSize,

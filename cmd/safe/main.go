@@ -5,6 +5,7 @@
 // Usage:
 //
 //	safe -train train.csv -label y [-test test.csv] [-out out.csv]
+//	     [-task binary|multiclass:K|regression]
 //	     [-ops add,sub,mul,div] [-iters 1] [-max-features 0] [-gamma 0]
 //	     [-seed 0] [-v]
 //
@@ -34,6 +35,7 @@ func main() {
 		labelCol     = flag.String("label", "label", "label column name")
 		testPath     = flag.String("test", "", "optional CSV to transform with the learned pipeline")
 		outPath      = flag.String("out", "", "output CSV path for the transformed data (default: stdout summary only)")
+		taskFlag     = flag.String("task", "binary", "prediction task: binary, multiclass:K, or regression")
 		opsFlag      = flag.String("ops", "add,sub,mul,div", "comma-separated operator names")
 		iters        = flag.Int("iters", 1, "number of SAFE iterations (nIter)")
 		maxFeatures  = flag.Int("max-features", 0, "output feature budget (0 = 2x original count)")
@@ -56,6 +58,10 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	task, taskErr := safe.ParseTask(*taskFlag)
+	if taskErr != nil {
+		fatal(taskErr)
+	}
 
 	var (
 		train    *safe.Frame
@@ -69,12 +75,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("loaded pipeline: %d output features (%d derived)\n",
-			pipeline.NumFeatures(), pipeline.NumDerived())
+		fmt.Printf("loaded pipeline: task=%s, %d output features (%d derived)\n",
+			pipeline.Task, pipeline.NumFeatures(), pipeline.NumDerived())
 
 	case *chunkRows > 0 || *shards > 0:
 		// Sharded out-of-core fit: the training frame never materialises.
-		pipeline, report, err = fitSharded(*trainPath, *labelCol, *chunkRows, *shards, buildConfig(*opsFlag, *iters, *maxFeatures, *gamma, *seed))
+		pipeline, report, err = fitSharded(*trainPath, *labelCol, *chunkRows, *shards, buildConfig(*opsFlag, *iters, *maxFeatures, *gamma, *seed, task))
 		if err != nil {
 			fatal(err)
 		}
@@ -84,7 +90,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		eng, err := safe.New(buildConfig(*opsFlag, *iters, *maxFeatures, *gamma, *seed))
+		eng, err := safe.New(buildConfig(*opsFlag, *iters, *maxFeatures, *gamma, *seed, task))
 		if err != nil {
 			fatal(err)
 		}
@@ -96,8 +102,8 @@ func main() {
 
 	if report != nil {
 		inCols := len(pipeline.OriginalNames)
-		fmt.Printf("SAFE fit complete in %v (seed=%d): %d input features -> %d output features (%d generated)\n",
-			report.Total.Round(1e6), *seed, inCols, pipeline.NumFeatures(), pipeline.NumDerived())
+		fmt.Printf("SAFE fit complete in %v (task=%s seed=%d): %d input features -> %d output features (%d generated)\n",
+			report.Total.Round(1e6), pipeline.Task, *seed, inCols, pipeline.NumFeatures(), pipeline.NumDerived())
 		if *verbose {
 			for _, ir := range report.Iterations {
 				fmt.Printf("  round %d: mined %d combos (vs %d exhaustive), kept %d, generated %d, "+
@@ -144,8 +150,9 @@ func main() {
 	}
 }
 
-func buildConfig(ops string, iters, maxFeatures, gamma int, seed int64) safe.Config {
+func buildConfig(ops string, iters, maxFeatures, gamma int, seed int64, task safe.Task) safe.Config {
 	cfg := safe.DefaultConfig()
+	cfg.Task = task
 	cfg.Operators = strings.Split(ops, ",")
 	cfg.Iterations = iters
 	cfg.MaxFeatures = maxFeatures

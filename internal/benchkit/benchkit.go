@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro"
 	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/datagen"
@@ -35,6 +36,10 @@ type FitWorkload struct {
 	// fit. The selected-feature fingerprint matches the equivalent
 	// in-memory cell by construction.
 	Shards int `json:"shards,omitempty"`
+	// Task selects the prediction task of the cell ("", "binary",
+	// "multiclass:K", or "regression"); empty means binary. The dataset's
+	// label type follows the task while the planted signal stays fixed.
+	Task string `json:"task,omitempty"`
 }
 
 // FitMatrix is the fixed workload matrix. The quick subset is small enough
@@ -47,6 +52,8 @@ func FitMatrix() []FitWorkload {
 		{Name: "fit-20k-20", Rows: 20000, Dim: 20, Iterations: 1, Quick: true},
 		{Name: "fit-50k-50", Rows: 50000, Dim: 50, Iterations: 1},
 		{Name: "fit-100k-50", Rows: 100000, Dim: 50, Iterations: 1},
+		{Name: "fit-20k-20-mc3", Rows: 20000, Dim: 20, Iterations: 1, Quick: true, Task: "multiclass:3"},
+		{Name: "fit-20k-20-reg", Rows: 20000, Dim: 20, Iterations: 1, Quick: true, Task: "regression"},
 	}
 }
 
@@ -63,6 +70,8 @@ func ShardFitMatrix() []FitWorkload {
 	return []FitWorkload{
 		{Name: "shardfit-20k-20", Rows: 20000, Dim: 20, Iterations: 1, Quick: true, Shards: 4},
 		{Name: "shardfit-100k-50", Rows: 100000, Dim: 50, Iterations: 1, Shards: 4},
+		{Name: "shardfit-20k-20-mc3", Rows: 20000, Dim: 20, Iterations: 1, Quick: true, Shards: 4, Task: "multiclass:3"},
+		{Name: "shardfit-20k-20-reg", Rows: 20000, Dim: 20, Iterations: 1, Quick: true, Shards: 4, Task: "regression"},
 	}
 }
 
@@ -203,13 +212,29 @@ func FitConfig(iterations int, seed int64) core.Config {
 	return cfg
 }
 
+// workloadTask resolves a workload's task spec (empty means binary).
+func workloadTask(w FitWorkload) (core.Task, error) {
+	task, err := core.ParseTask(w.Task)
+	if err != nil {
+		return core.Task{}, fmt.Errorf("benchkit: %s: %w", w.Name, err)
+	}
+	return task, nil
+}
+
 // workloadSeed fixes the dataset seed per workload shape so every build fits
 // identical data.
 const workloadSeed = 11
 
-// Dataset generates the synthetic dataset for a workload. Shared with tests
-// so determinism checks exercise exactly the benchmarked distribution.
+// Dataset generates the synthetic dataset for a workload — the same planted
+// signal per shape, with the label type following the workload's task.
+// Shared with tests so determinism checks exercise exactly the benchmarked
+// distribution.
 func Dataset(w FitWorkload) (*datagen.Dataset, error) {
+	task, err := workloadTask(w)
+	if err != nil {
+		return nil, err
+	}
+	target, classes := safe.TargetForTask(task)
 	return datagen.Generate(datagen.Spec{
 		Name:         w.Name,
 		Train:        w.Rows,
@@ -218,6 +243,8 @@ func Dataset(w FitWorkload) (*datagen.Dataset, error) {
 		Interactions: w.Dim / 3,
 		SignalScale:  2.5,
 		Seed:         workloadSeed,
+		Target:       target,
+		Classes:      classes,
 	})
 }
 
@@ -252,8 +279,14 @@ func RunFitBest(w FitWorkload, repeats int) (Result, error) {
 }
 
 func runFitOnce(w FitWorkload, ds *datagen.Dataset) (Result, error) {
+	task, err := workloadTask(w)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg := FitConfig(w.Iterations, 1)
+	cfg.Task = task
 	fit := func() (*core.Report, error) {
-		eng, err := core.New(FitConfig(w.Iterations, 1))
+		eng, err := core.New(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -264,7 +297,7 @@ func runFitOnce(w FitWorkload, ds *datagen.Dataset) (Result, error) {
 		chunkRows := (w.Rows + w.Shards - 1) / w.Shards
 		fit = func() (*core.Report, error) {
 			src := frame.NewFrameChunks(ds.Train, chunkRows)
-			_, report, _, err := shard.Fit(src, shard.Config{Core: FitConfig(w.Iterations, 1)})
+			_, report, _, err := shard.Fit(src, shard.Config{Core: cfg})
 			return report, err
 		}
 	}

@@ -142,11 +142,23 @@ func mergeSorted(a, b []float64) []float64 {
 // computation O(N) with a small constant.
 const maxPartitionCells = 1024
 
-// scoreCombos computes the information gain ratio of every combination over
-// the training data (Algorithm 2): the combo's split values partition the
-// rows into prod_i (|V_i|+1) cells. Scoring is combo-parallel on the shared
-// pool; each chunk reuses one row-partition buffer across its combos.
-func scoreCombos(combos []Combo, cols [][]float64, labels []float64, pool *parallel.Pool) {
+// scoreCombos computes the gain ratio of every combination over the
+// training data (Algorithm 2): the combo's split values partition the rows
+// into prod_i (|V_i|+1) cells, scored with the task's criterion — binary
+// information gain ratio, its K-class generalisation, or the regression
+// variance-reduction ratio. Scoring is combo-parallel on the shared pool;
+// each chunk reuses one row-partition buffer across its combos.
+func scoreCombos(combos []Combo, cols [][]float64, labels []float64, task Task, pool *parallel.Pool) {
+	ratio := func(parts []int, cells int) float64 {
+		switch task.Kind {
+		case TaskMulticlass:
+			return stats.GainRatioClasses(labels, parts, cells, task.Classes)
+		case TaskRegression:
+			return stats.VarGainRatio(labels, parts, cells)
+		default:
+			return stats.GainRatio(labels, parts, cells)
+		}
+	}
 	score := func(c *Combo, parts []int) {
 		cc := NewComboCells(c)
 		if cc.cells <= 1 {
@@ -162,7 +174,7 @@ func scoreCombos(combos []Combo, cols [][]float64, labels []float64, pool *paral
 			}
 			parts[r] = id
 		}
-		c.GainRatio = stats.GainRatio(labels, parts, cc.cells)
+		c.GainRatio = ratio(parts, cc.cells)
 	}
 
 	pool.ForChunks(len(combos), pool.Grain(len(combos)), func(lo, hi int) {

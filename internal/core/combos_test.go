@@ -155,7 +155,7 @@ func TestScoreCombosXORPairWins(t *testing.T) {
 		}
 	}
 	combos := mineCombos(model, []int{2})
-	scoreCombos(combos, cols, labels, parallel.Get(1))
+	scoreCombos(combos, cols, labels, BinaryTask(), parallel.Get(1))
 	combos = topCombos(combos, 0)
 	if len(combos) == 0 {
 		t.Fatal("no combos")
@@ -183,8 +183,8 @@ func TestScoreCombosParallelMatchesSerial(t *testing.T) {
 	}
 	a := mineCombos(model, []int{1, 2})
 	b := mineCombos(model, []int{1, 2})
-	scoreCombos(a, cols, labels, parallel.Get(1))
-	scoreCombos(b, cols, labels, parallel.Get(4))
+	scoreCombos(a, cols, labels, BinaryTask(), parallel.Get(1))
+	scoreCombos(b, cols, labels, BinaryTask(), parallel.Get(4))
 	for i := range a {
 		if a[i].GainRatio != b[i].GainRatio {
 			t.Fatalf("combo %v: serial %v != parallel %v", a[i].Features, a[i].GainRatio, b[i].GainRatio)

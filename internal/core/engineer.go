@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/frame"
@@ -17,6 +18,12 @@ import (
 // paper uses in Section V; the only hyper-parameters are complexity knobs
 // (Section IV-E1).
 type Config struct {
+	// Task selects the prediction task the fit engineers features for:
+	// binary classification (the default and the paper's setting), K-class
+	// classification, or regression. It drives the miner/ranker objectives
+	// and the selection criterion; see Task.
+	Task Task
+
 	// Operators names the generation operators (keys of the Registry).
 	// Default: the paper's experimental set {add, sub, mul, div}.
 	Operators []string
@@ -47,9 +54,12 @@ type Config struct {
 	TimeBudget time.Duration
 
 	// Miner configures the combination-mining XGBoost (Section IV-B1).
-	// NumTrees/MaxDepth directly control the search space (Eq. 13).
+	// NumTrees/MaxDepth directly control the search space (Eq. 13). The
+	// Objective and NumClass fields are owned by Task: normalisation
+	// replaces any caller-set values with the task's objective.
 	Miner gbdt.Config
 	// Ranker configures the importance-ranking XGBoost (Section IV-C3).
+	// Objective/NumClass are owned by Task, as for Miner.
 	Ranker gbdt.Config
 
 	// MinKeepIV is the robustness floor for the IV filter: when fewer
@@ -109,8 +119,9 @@ type IterationReport struct {
 	Elapsed        time.Duration
 	BestGainRatio  float64
 	SearchSpaceAll int // exhaustive candidate count for this round (binary ops)
-	// ValidAUC is the validation AUC of the round's selection (only set by
-	// FitWithValidation).
+	// ValidAUC is the validation score of the round's selection, only set by
+	// FitWithValidation: AUC for the binary task, exact-match accuracy for
+	// multiclass, negative RMSE for regression (higher is better for all).
 	ValidAUC float64
 }
 
@@ -144,11 +155,24 @@ func New(cfg Config) (*Engineer, error) {
 // parallelism settings. The sharded fit engine normalises through here so
 // both fit paths run from identical effective configurations.
 func NormalizeConfig(cfg Config) (Config, error) {
+	if err := cfg.Task.Validate(); err != nil {
+		return Config{}, err
+	}
 	if cfg.Registry == nil {
 		cfg.Registry = operators.NewRegistry()
 	}
 	if len(cfg.Operators) == 0 {
 		cfg.Operators = operators.DefaultExperimentOperators()
+	}
+	if cfg.Task.Kind != TaskBinary {
+		if cfg.IVEqualWidth {
+			return Config{}, fmt.Errorf("core: IVEqualWidth is a binary-IV ablation; not supported for the %s task", cfg.Task)
+		}
+		for _, op := range cfg.Operators {
+			if op == "bin_chimerge" {
+				return Config{}, fmt.Errorf("core: operator %q discretises against binary labels; not supported for the %s task", op, cfg.Task)
+			}
+		}
 	}
 	if cfg.IVBins <= 1 {
 		cfg.IVBins = 10
@@ -175,6 +199,8 @@ func NormalizeConfig(cfg Config) (Config, error) {
 		cfg.Ranker.NumTrees = 20
 		cfg.Ranker.MaxDepth = 4
 	}
+	cfg.Task.applyObjective(&cfg.Miner)
+	cfg.Task.applyObjective(&cfg.Ranker)
 	cfg.Miner.Parallel = cfg.Parallel
 	cfg.Ranker.Parallel = cfg.Parallel
 	cfg.Miner.Workers = cfg.Workers
@@ -236,6 +262,14 @@ func (e *Engineer) fit(train, valid *frame.Frame) (*Pipeline, *Report, error) {
 		return nil, nil, errors.New("core: training frame has no features")
 	}
 	cfg := e.cfg
+	if err := cfg.Task.ValidateLabels(train.Label); err != nil {
+		return nil, nil, err
+	}
+	if valid != nil {
+		if err := cfg.Task.ValidateLabels(valid.Label); err != nil {
+			return nil, nil, err
+		}
+	}
 	m := train.NumCols()
 	budget := cfg.MaxFeatures
 	if budget <= 0 {
@@ -273,7 +307,10 @@ func (e *Engineer) fit(train, valid *frame.Frame) (*Pipeline, *Report, error) {
 	report := &Report{}
 	start := time.Now()
 	var allNodes []FeatureNode
-	bestAUC := 0.0
+	// Validation scores are only comparable within a task; regression's
+	// (negative RMSE) is always <= 0, so the best-so-far must start at -Inf
+	// or no round could ever be accepted.
+	bestAUC := math.Inf(-1)
 	bestLive := live
 	patienceLeft := cfg.Patience
 	arena := operators.NewArena(train.NumRows())
@@ -305,7 +342,7 @@ func (e *Engineer) fit(train, valid *frame.Frame) (*Pipeline, *Report, error) {
 		ir.SearchSpaceAll = exhaustiveBinaryCount(len(live), ops)
 
 		// (2) Sort and filter combinations by gain ratio (Algorithm 2).
-		scoreCombos(combos, cols, labels, pool)
+		scoreCombos(combos, cols, labels, cfg.Task, pool)
 		combos = topCombos(combos, gamma)
 		ir.CombosKept = len(combos)
 		if len(combos) > 0 {
@@ -397,7 +434,7 @@ func (e *Engineer) fit(train, valid *frame.Frame) (*Pipeline, *Report, error) {
 
 		// Validation tracking and early stopping.
 		if valid != nil {
-			auc, verr := e.validationAUC(live, labels, valid.Label, cfg, round)
+			auc, verr := e.validationScore(live, labels, valid.Label, cfg, round)
 			if verr != nil {
 				return nil, nil, verr
 			}
@@ -429,6 +466,7 @@ func (e *Engineer) fit(train, valid *frame.Frame) (*Pipeline, *Report, error) {
 	p := &Pipeline{
 		OriginalNames: train.Names(),
 		Nodes:         allNodes,
+		Task:          cfg.Task,
 	}
 	for _, lf := range bestLive {
 		p.Output = append(p.Output, lf.name)
@@ -462,9 +500,12 @@ func (e *Engineer) enumerate(stream *candidateStream, combos []Combo, ops []oper
 	return nil
 }
 
-// validationAUC trains a small gradient-boosted evaluator on the selected
-// training columns and scores the selected validation columns.
-func (e *Engineer) validationAUC(live []*liveFeature, trainLabels, validLabels []float64, cfg Config, round int) (float64, error) {
+// validationScore trains a small gradient-boosted evaluator on the selected
+// training columns and scores the selected validation columns with the
+// task's validation metric: AUC for binary, exact-match accuracy for
+// multiclass, negative RMSE for regression (all higher-is-better, so the
+// early-stopping comparison is task-agnostic).
+func (e *Engineer) validationScore(live []*liveFeature, trainLabels, validLabels []float64, cfg Config, round int) (float64, error) {
 	cols := make([][]float64, len(live))
 	vcols := make([][]float64, len(live))
 	for i, lf := range live {
@@ -477,7 +518,15 @@ func (e *Engineer) validationAUC(live []*liveFeature, trainLabels, validLabels [
 	if err != nil {
 		return 0, fmt.Errorf("core: validation evaluator: %w", err)
 	}
-	return metrics.AUC(model.Predict(vcols), validLabels), nil
+	preds := model.Predict(vcols)
+	switch cfg.Task.Kind {
+	case TaskMulticlass:
+		return metrics.ClassAccuracy(preds, validLabels), nil
+	case TaskRegression:
+		return -metrics.RMSE(preds, validLabels), nil
+	default:
+		return metrics.AUC(preds, validLabels), nil
+	}
 }
 
 func distinctArities(ops []operators.Operator) []int {

@@ -12,6 +12,7 @@ import (
 // pipelineJSON is the on-disk representation of a Pipeline.
 type pipelineJSON struct {
 	Version       int        `json:"version"`
+	Task          string     `json:"task,omitempty"` // absent in pre-task files => binary
 	OriginalNames []string   `json:"original_names"`
 	Nodes         []nodeJSON `json:"nodes"`
 	Output        []string   `json:"output"`
@@ -32,6 +33,7 @@ const pipelineVersion = 1
 func (p *Pipeline) MarshalJSON() ([]byte, error) {
 	out := pipelineJSON{
 		Version:       pipelineVersion,
+		Task:          p.Task.String(),
 		OriginalNames: p.OriginalNames,
 		Output:        p.Output,
 	}
@@ -57,6 +59,11 @@ func (p *Pipeline) UnmarshalJSON(data []byte) error {
 	if in.Version != pipelineVersion {
 		return fmt.Errorf("core: unsupported pipeline version %d (want %d)", in.Version, pipelineVersion)
 	}
+	task, err := ParseTask(in.Task)
+	if err != nil {
+		return err
+	}
+	p.Task = task
 	p.OriginalNames = in.OriginalNames
 	p.Output = in.Output
 	p.Nodes = p.Nodes[:0]

@@ -33,6 +33,11 @@ type Pipeline struct {
 	// Output lists the selected column names (original names pass through,
 	// derived names refer to Nodes).
 	Output []string
+	// Task records the prediction task the pipeline was fitted for, so a
+	// serving process knows how downstream predictions should be shaped
+	// (scalar vs class-probability vector). Round-trips through Save/Load;
+	// pipelines saved before the field existed load as the binary task.
+	Task Task
 }
 
 // NumFeatures returns the width of the transformed representation.

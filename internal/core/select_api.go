@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 
 	"repro/internal/gbdt"
 	"repro/internal/parallel"
@@ -13,6 +14,9 @@ import (
 // Section V-A1 "follow the same feature selection process as SAFE", which
 // they do by calling Select with this config.
 type SelectionConfig struct {
+	// Task selects the criterion and ranker objective; the zero value is the
+	// binary task.
+	Task             Task
 	IVThreshold      float64
 	IVBins           int
 	IVEqualWidth     bool
@@ -64,11 +68,21 @@ func Select(cols [][]float64, labels []float64, cfg SelectionConfig) ([]int, err
 	if cfg.PearsonThreshold <= 0 {
 		cfg.PearsonThreshold = stats.DefaultPearsonCutoff
 	}
+	if err := cfg.Task.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Task.ValidateLabels(labels); err != nil {
+		return nil, err
+	}
+	if cfg.Task.Kind != TaskBinary && cfg.IVEqualWidth {
+		return nil, fmt.Errorf("core: IVEqualWidth is a binary-IV ablation; not supported for the %s task", cfg.Task)
+	}
 	if cfg.Ranker.NumTrees == 0 {
 		cfg.Ranker = gbdt.DefaultConfig()
 		cfg.Ranker.NumTrees = 20
 		cfg.Ranker.MaxDepth = 4
 	}
+	cfg.Task.applyObjective(&cfg.Ranker)
 	cfg.Ranker.Parallel = cfg.Parallel
 	cfg.Ranker.Workers = cfg.Workers
 	pool := parallel.Get(1)
@@ -76,7 +90,7 @@ func Select(cols [][]float64, labels []float64, cfg SelectionConfig) ([]int, err
 		pool = parallel.Get(cfg.Workers)
 	}
 
-	ivs := computeIVs(cols, labels, cfg.IVBins, cfg.IVEqualWidth, pool)
+	ivs := computeCriteria(cols, labels, cfg.Task, cfg.IVBins, cfg.IVEqualWidth, pool)
 
 	var keptA []int
 	if cfg.SkipIV {
@@ -109,5 +123,5 @@ func IVs(cols [][]float64, labels []float64, bins int, par bool) []float64 {
 	if par {
 		pool = parallel.Get(0)
 	}
-	return computeIVs(cols, labels, bins, false, pool)
+	return computeCriteria(cols, labels, BinaryTask(), bins, false, pool)
 }

@@ -10,26 +10,46 @@ import (
 	"repro/internal/stats"
 )
 
-// computeIVs calculates the Information Value of every column against the
-// labels using equal-frequency binning (Algorithm 3), column-parallel on
-// the shared pool. Each chunk amortises one IV scratch across its columns.
-func computeIVs(cols [][]float64, labels []float64, bins int, equalWidth bool, pool *parallel.Pool) []float64 {
+// computeCriteria calculates the task-appropriate relevance criterion of
+// every column against the labels using equal-frequency binning — the
+// Information Value of Algorithm 3 for the binary task, its per-class
+// generalisation for multiclass, the correlation ratio η² for regression —
+// column-parallel on the shared pool. Each chunk amortises one scratch
+// across its columns.
+func computeCriteria(cols [][]float64, labels []float64, task Task, bins int, equalWidth bool, pool *parallel.Pool) []float64 {
 	out := make([]float64, len(cols))
-	computeIVsInto(out, cols, labels, bins, equalWidth, pool)
+	computeCriteriaInto(out, cols, labels, task, bins, equalWidth, pool)
 	return out
 }
 
-func computeIVsInto(out []float64, cols [][]float64, labels []float64, bins int, equalWidth bool, pool *parallel.Pool) {
-	pool.ForChunks(len(cols), pool.Grain(len(cols)), func(lo, hi int) {
-		var s stats.IVScratch
-		for j := lo; j < hi; j++ {
-			if equalWidth {
-				out[j] = s.InformationValueWidth(cols[j], labels, bins)
-			} else {
-				out[j] = s.InformationValue(cols[j], labels, bins)
+func computeCriteriaInto(out []float64, cols [][]float64, labels []float64, task Task, bins int, equalWidth bool, pool *parallel.Pool) {
+	switch task.Kind {
+	case TaskMulticlass:
+		pool.ForChunks(len(cols), pool.Grain(len(cols)), func(lo, hi int) {
+			var s stats.CritScratch
+			for j := lo; j < hi; j++ {
+				out[j] = s.MulticlassIV(cols[j], labels, task.Classes, bins)
 			}
-		}
-	})
+		})
+	case TaskRegression:
+		pool.ForChunks(len(cols), pool.Grain(len(cols)), func(lo, hi int) {
+			var s stats.CritScratch
+			for j := lo; j < hi; j++ {
+				out[j] = s.CorrelationRatio(cols[j], labels, bins)
+			}
+		})
+	default:
+		pool.ForChunks(len(cols), pool.Grain(len(cols)), func(lo, hi int) {
+			var s stats.IVScratch
+			for j := lo; j < hi; j++ {
+				if equalWidth {
+					out[j] = s.InformationValueWidth(cols[j], labels, bins)
+				} else {
+					out[j] = s.InformationValue(cols[j], labels, bins)
+				}
+			}
+		})
+	}
 }
 
 // ivFilter implements Algorithm 3: drop features whose IV is at or below the

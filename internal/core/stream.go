@@ -80,7 +80,7 @@ func (st *candidateStream) addBase() {
 	for i, lf := range st.live {
 		cols[i] = lf.train
 	}
-	ivs := computeIVs(cols, st.labels, st.cfg.IVBins, st.cfg.IVEqualWidth, st.pool)
+	ivs := computeCriteria(cols, st.labels, st.cfg.Task, st.cfg.IVBins, st.cfg.IVEqualWidth, st.pool)
 	for i, lf := range st.live {
 		lf.iv = ivs[i]
 		st.entries = append(st.entries, &candEntry{lf: lf, iv: ivs[i]})
@@ -152,7 +152,7 @@ func (st *candidateStream) flush() {
 	for i, en := range pending {
 		cols[i] = en.lf.train
 	}
-	computeIVsInto(ivs, cols, st.labels, cfg.IVBins, cfg.IVEqualWidth, st.pool)
+	computeCriteriaInto(ivs, cols, st.labels, cfg.Task, cfg.IVBins, cfg.IVEqualWidth, st.pool)
 	for i, en := range pending {
 		en.iv = ivs[i]
 		en.lf.iv = ivs[i]

@@ -36,6 +36,25 @@ const (
 	numInteractionKinds
 )
 
+// TargetKind selects the label type a Spec generates. The planted signal
+// (informative singles + pairwise interactions) is shared across kinds; only
+// the final label construction differs, so the same feature-engineering
+// ground truth underlies every task family.
+type TargetKind int
+
+const (
+	// TargetBinary draws {0,1} labels from a sigmoid of the planted signal
+	// (the default, matching the paper's setting).
+	TargetBinary TargetKind = iota
+	// TargetMulticlass draws class indices in [0, Classes) from a softmax
+	// over per-class affine transforms of the planted signal, so the class
+	// depends on the same interactions the binary label does.
+	TargetMulticlass
+	// TargetRegression emits the noisy planted signal itself as a
+	// continuous target.
+	TargetRegression
+)
+
 // Spec describes one synthetic dataset.
 type Spec struct {
 	Name  string
@@ -43,6 +62,11 @@ type Spec struct {
 	Valid int
 	Test  int
 	Dim   int
+
+	// Target selects the label type (default TargetBinary); Classes is the
+	// class count for TargetMulticlass (default 3).
+	Target  TargetKind
+	Classes int
 
 	// Informative is the number of features with a direct (single-feature)
 	// effect on the label.
@@ -187,19 +211,7 @@ func Generate(spec Spec) (*Dataset, error) {
 		logit[i] = logit[i]*spec.SignalScale + 0.3*rng.NormFloat64()
 	}
 
-	// Intercept to hit PosRate (balanced default 0.5).
-	target := spec.PosRate
-	if target <= 0 || target >= 1 {
-		target = 0.5
-	}
-	intercept := findIntercept(logit, target)
-	labels := make([]float64, n)
-	for i := range labels {
-		p := 1 / (1 + math.Exp(-(logit[i] + intercept)))
-		if rng.Float64() < p {
-			labels[i] = 1
-		}
-	}
+	labels := makeLabels(spec, logit, rng)
 
 	full := &frame.Frame{Label: labels}
 	for j := range cols {
@@ -219,6 +231,72 @@ func Generate(spec Spec) (*Dataset, error) {
 		Informative:  informative,
 		Interactions: inters,
 	}, nil
+}
+
+// makeLabels turns the noisy planted signal into labels per the spec's
+// target kind.
+func makeLabels(spec Spec, logit []float64, rng *rand.Rand) []float64 {
+	n := len(logit)
+	labels := make([]float64, n)
+	switch spec.Target {
+	case TargetRegression:
+		copy(labels, logit)
+
+	case TargetMulticlass:
+		k := spec.Classes
+		if k < 2 {
+			k = 3
+		}
+		// Per-class affine transforms of the signal: slopes spread over
+		// [-1.5, 1.5] so each class dominates a different signal band, plus
+		// small random offsets so no class starts empty.
+		slope := make([]float64, k)
+		offset := make([]float64, k)
+		for c := 0; c < k; c++ {
+			slope[c] = -1.5 + 3*float64(c)/float64(k-1)
+			offset[c] = 0.5 * rng.NormFloat64()
+		}
+		prob := make([]float64, k)
+		for i, z := range logit {
+			mx := math.Inf(-1)
+			for c := 0; c < k; c++ {
+				prob[c] = slope[c]*z + offset[c]
+				if prob[c] > mx {
+					mx = prob[c]
+				}
+			}
+			var sum float64
+			for c := 0; c < k; c++ {
+				prob[c] = math.Exp(prob[c] - mx)
+				sum += prob[c]
+			}
+			u := rng.Float64() * sum
+			cls := k - 1
+			for c := 0; c < k; c++ {
+				u -= prob[c]
+				if u < 0 {
+					cls = c
+					break
+				}
+			}
+			labels[i] = float64(cls)
+		}
+
+	default: // TargetBinary
+		// Intercept to hit PosRate (balanced default 0.5).
+		target := spec.PosRate
+		if target <= 0 || target >= 1 {
+			target = 0.5
+		}
+		intercept := findIntercept(logit, target)
+		for i := range labels {
+			p := 1 / (1 + math.Exp(-(logit[i] + intercept)))
+			if rng.Float64() < p {
+				labels[i] = 1
+			}
+		}
+	}
+	return labels
 }
 
 func interact(kind InteractionKind, a, b float64) float64 {

@@ -1,15 +1,3 @@
-// Package gbdt implements the XGBoost substrate of the SAFE reproduction: a
-// second-order gradient-boosted tree learner with histogram-based exact
-// greedy split finding, shrinkage, L2 regularisation and row/column
-// subsampling. Beyond prediction it exposes the two artefacts SAFE consumes:
-//
-//   - Paths: the distinct split features (and their split values) on every
-//     root-to-leaf path of every tree (Section IV-B of the paper), and
-//   - GainImportance: the average gain across all splits per feature
-//     (Section IV-C3).
-//
-// The implementation is single-node but feature-parallel, mirroring the
-// paper's "distributed computing" requirement at laptop scale.
 package gbdt
 
 import (
@@ -32,6 +20,11 @@ const (
 	Logistic Objective = iota
 	// Squared trains with squared error; predictions are raw values.
 	Squared
+	// Softmax trains with multiclass cross-entropy over Config.NumClass
+	// classes: labels are class indices in [0, NumClass), each boosting
+	// round grows one tree per class, and PredictRowVector returns the
+	// class-probability vector (PredictRow the argmax class index).
+	Softmax
 )
 
 // Config holds the booster's hyper-parameters. The zero value is not usable;
@@ -48,6 +41,7 @@ type Config struct {
 	ColSample      float64   // column subsampling per tree, (0,1]
 	MaxBins        int       // histogram bins per feature (<= 255)
 	Objective      Objective // training loss
+	NumClass       int       // number of classes (Softmax only; >= 2)
 	Seed           int64     // RNG seed for subsampling
 	Parallel       bool      // parallelise histogram building across features
 	// Workers bounds the worker-pool size when Parallel is set; <= 0 selects
@@ -101,6 +95,9 @@ func (c *Config) validate() error {
 	if c.ColSample <= 0 || c.ColSample > 1 {
 		return fmt.Errorf("gbdt: ColSample must be in (0,1], got %g", c.ColSample)
 	}
+	if c.Objective == Softmax && c.NumClass < 2 {
+		return fmt.Errorf("gbdt: Softmax needs NumClass >= 2, got %d", c.NumClass)
+	}
 	return nil
 }
 
@@ -152,13 +149,28 @@ func (t *Tree) PredictRow(row []float64) float64 {
 	}
 }
 
-// Model is a trained booster.
+// Model is a trained booster. For the Softmax objective (NumClass classes
+// in Config) the trees are round-major: tree t*NumClass+k is round t's tree
+// for class k, and BaseScores holds the per-class initial raw scores; other
+// objectives use BaseScore and one tree per round.
 type Model struct {
 	Trees     []*Tree
 	Config    Config
 	BaseScore float64 // initial raw score (log-odds for Logistic)
 	NumFeat   int
 	Names     []string // optional column names for reporting
+
+	// BaseScores is set for Softmax models only (len Config.NumClass).
+	BaseScores []float64
+}
+
+// NumGroups returns how many values PredictRowVector emits per row:
+// Config.NumClass for Softmax models, 1 otherwise.
+func (m *Model) NumGroups() int {
+	if m.Config.Objective == Softmax {
+		return m.Config.NumClass
+	}
+	return 1
 }
 
 // TrainWithValidation fits a boosted model with early stopping: after each
@@ -277,6 +289,9 @@ func trainInternal(cols [][]float64, labels []float64, names []string, cfg Confi
 // trainWithBinner is the boosting loop proper, shared by the raw-column and
 // prebinned entry points.
 func trainWithBinner(b *binner, labels []float64, names []string, cfg Config, val *validation) (*Model, error) {
+	if cfg.Objective == Softmax {
+		return trainSoftmaxWithBinner(b, labels, names, cfg, val)
+	}
 	m := len(b.codes)
 	n := len(labels)
 	pool := cfg.pool()
@@ -948,8 +963,12 @@ func updatePredictionsRange(t *Tree, b *binner, raw []float64, lo, hi int) {
 }
 
 // PredictRow returns the model output for one row of raw feature values:
-// a probability for Logistic, a raw value for Squared.
+// a probability for Logistic, a raw value for Squared, and the argmax class
+// index (as a float64) for Softmax.
 func (m *Model) PredictRow(row []float64) float64 {
+	if m.Config.Objective == Softmax {
+		return float64(argmax(m.rawScores(row)))
+	}
 	s := m.BaseScore
 	for _, t := range m.Trees {
 		s += t.PredictRow(row)
@@ -958,6 +977,82 @@ func (m *Model) PredictRow(row []float64) float64 {
 		return sigmoid(s)
 	}
 	return s
+}
+
+// rawScores sums the per-class raw scores of a Softmax model for one row.
+func (m *Model) rawScores(row []float64) []float64 {
+	s := append([]float64(nil), m.BaseScores...)
+	for ti, t := range m.Trees {
+		s[ti%m.Config.NumClass] += t.PredictRow(row)
+	}
+	return s
+}
+
+// PredictRowVector returns the model output as a vector: the length-NumClass
+// class-probability vector for Softmax, and a single-element vector (the
+// PredictRow value) for Logistic and Squared — so serving code can treat
+// every objective uniformly.
+func (m *Model) PredictRowVector(row []float64) []float64 {
+	if m.Config.Objective != Softmax {
+		return []float64{m.PredictRow(row)}
+	}
+	s := m.rawScores(row)
+	softmaxInPlace(s)
+	return s
+}
+
+// PredictVector scores column-major data, returning one PredictRowVector
+// per row.
+func (m *Model) PredictVector(cols [][]float64) [][]float64 {
+	if len(cols) == 0 {
+		return nil
+	}
+	n := len(cols[0])
+	out := make([][]float64, n)
+	row := make([]float64, len(cols))
+	for i := 0; i < n; i++ {
+		for j := range cols {
+			row[j] = cols[j][i]
+		}
+		out[i] = m.PredictRowVector(row)
+	}
+	return out
+}
+
+// Argmax returns the index of the largest value (first on ties) — the rule
+// PredictRow uses to reduce a Softmax probability vector to a class, shared
+// so serving code derives the identical scalar from PredictRowVector.
+func Argmax(xs []float64) int { return argmax(xs) }
+
+// argmax returns the index of the largest value (first on ties).
+func argmax(xs []float64) int {
+	best := 0
+	for i := 1; i < len(xs); i++ {
+		if xs[i] > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// softmaxInPlace turns raw scores into probabilities, max-shifted for
+// numerical stability.
+func softmaxInPlace(s []float64) {
+	mx := s[0]
+	for _, v := range s[1:] {
+		if v > mx {
+			mx = v
+		}
+	}
+	var sum float64
+	for i, v := range s {
+		e := math.Exp(v - mx)
+		s[i] = e
+		sum += e
+	}
+	for i := range s {
+		s[i] /= sum
+	}
 }
 
 // Predict scores column-major data and returns one prediction per row.

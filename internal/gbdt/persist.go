@@ -9,12 +9,14 @@ import (
 
 // modelJSON is the on-disk representation of a trained booster.
 type modelJSON struct {
-	Version   int       `json:"version"`
-	Objective Objective `json:"objective"`
-	BaseScore float64   `json:"base_score"`
-	NumFeat   int       `json:"num_feat"`
-	Names     []string  `json:"names,omitempty"`
-	Trees     [][]Node  `json:"trees"`
+	Version    int       `json:"version"`
+	Objective  Objective `json:"objective"`
+	BaseScore  float64   `json:"base_score"`
+	NumFeat    int       `json:"num_feat"`
+	Names      []string  `json:"names,omitempty"`
+	NumClass   int       `json:"num_class,omitempty"`
+	BaseScores []float64 `json:"base_scores,omitempty"`
+	Trees      [][]Node  `json:"trees"`
 }
 
 const modelVersion = 1
@@ -23,11 +25,13 @@ const modelVersion = 1
 // booster trained offline can be loaded for serving.
 func (m *Model) MarshalJSON() ([]byte, error) {
 	out := modelJSON{
-		Version:   modelVersion,
-		Objective: m.Config.Objective,
-		BaseScore: m.BaseScore,
-		NumFeat:   m.NumFeat,
-		Names:     m.Names,
+		Version:    modelVersion,
+		Objective:  m.Config.Objective,
+		BaseScore:  m.BaseScore,
+		NumFeat:    m.NumFeat,
+		Names:      m.Names,
+		NumClass:   m.Config.NumClass,
+		BaseScores: m.BaseScores,
 	}
 	for _, t := range m.Trees {
 		out.Trees = append(out.Trees, t.Nodes)
@@ -49,10 +53,22 @@ func (m *Model) UnmarshalJSON(data []byte) error {
 	if in.NumFeat <= 0 {
 		return fmt.Errorf("gbdt: model has invalid feature count %d", in.NumFeat)
 	}
-	m.Config = Config{Objective: in.Objective}
+	if in.Objective == Softmax {
+		if in.NumClass < 2 {
+			return fmt.Errorf("gbdt: softmax model has invalid class count %d", in.NumClass)
+		}
+		if len(in.BaseScores) != in.NumClass {
+			return fmt.Errorf("gbdt: softmax model has %d base scores for %d classes", len(in.BaseScores), in.NumClass)
+		}
+		if len(in.Trees)%in.NumClass != 0 {
+			return fmt.Errorf("gbdt: softmax model has %d trees, not a multiple of %d classes", len(in.Trees), in.NumClass)
+		}
+	}
+	m.Config = Config{Objective: in.Objective, NumClass: in.NumClass}
 	m.BaseScore = in.BaseScore
 	m.NumFeat = in.NumFeat
 	m.Names = in.Names
+	m.BaseScores = in.BaseScores
 	m.Trees = m.Trees[:0]
 	for ti, nodes := range in.Trees {
 		if err := validateTree(nodes, in.NumFeat); err != nil {

@@ -68,6 +68,36 @@ func Accuracy(scores, labels []float64) float64 {
 	return float64(ok) / float64(len(scores))
 }
 
+// ClassAccuracy returns the exact-match accuracy of predicted class indices
+// against class-index labels (both rounded to the nearest integer), the
+// multiclass counterpart of Accuracy.
+func ClassAccuracy(pred, labels []float64) float64 {
+	if len(pred) == 0 {
+		return 0
+	}
+	ok := 0
+	for i, p := range pred {
+		if math.Round(p) == math.Round(labels[i]) {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(pred))
+}
+
+// RMSE returns the root mean squared error of predictions against a
+// continuous target.
+func RMSE(pred, target []float64) float64 {
+	if len(pred) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i, p := range pred {
+		d := p - target[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(pred)))
+}
+
 // LogLoss returns the mean negative log-likelihood of the predictions,
 // clipping probabilities to [eps, 1-eps].
 func LogLoss(scores, labels []float64) float64 {

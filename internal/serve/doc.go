@@ -16,6 +16,10 @@
 //     POST /predict are batched: the whole request batch is evaluated in one
 //     columnar pass via core.Pipeline.TransformBatch, amortising per-row
 //     dispatch. POST /score keeps the original single-row contract.
+//     Predictions follow the pipeline's task (core.Task): scalar scores for
+//     binary probabilities and regression values, plus per-row
+//     class-probability vectors for multiclass pipelines; registration
+//     rejects task/model mismatches so a version's shape is fixed.
 //     GET /pipelines, /schema, /stats and /healthz cover introspection and
 //     operations; POST /admin/activate hot-swaps versions remotely.
 //

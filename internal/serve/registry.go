@@ -61,9 +61,30 @@ func validateEntry(name, version string, p *core.Pipeline, m *gbdt.Model) error 
 	if p == nil {
 		return fmt.Errorf("serve: nil pipeline for %s@%s", name, version)
 	}
-	if m != nil && m.NumFeat != p.NumFeatures() {
+	if m == nil {
+		return nil
+	}
+	if m.NumFeat != p.NumFeatures() {
 		return fmt.Errorf("serve: %s@%s: model expects %d features, pipeline emits %d",
 			name, version, m.NumFeat, p.NumFeatures())
+	}
+	// The model's objective must fit the pipeline's task, or /predict would
+	// emit the wrong prediction shape. A binary pipeline accepts Logistic
+	// and Squared models (raw-score scoring predates the task field).
+	switch p.Task.Kind {
+	case core.TaskMulticlass:
+		if m.Config.Objective != gbdt.Softmax || m.Config.NumClass != p.Task.Classes {
+			return fmt.Errorf("serve: %s@%s: %s pipeline needs a softmax model with %d classes",
+				name, version, p.Task, p.Task.Classes)
+		}
+	case core.TaskRegression:
+		if m.Config.Objective != gbdt.Squared {
+			return fmt.Errorf("serve: %s@%s: %s pipeline needs a squared-error model", name, version, p.Task)
+		}
+	default:
+		if m.Config.Objective == gbdt.Softmax {
+			return fmt.Errorf("serve: %s@%s: softmax model attached to a %s pipeline", name, version, p.Task)
+		}
 	}
 	return nil
 }
@@ -173,6 +194,7 @@ type PipelineInfo struct {
 	Name     string   `json:"name"`
 	Versions []string `json:"versions"`
 	Active   string   `json:"active"`
+	Task     string   `json:"task,omitempty"`
 	Inputs   int      `json:"inputs"`
 	Outputs  int      `json:"outputs"`
 	HasModel bool     `json:"has_model"`
@@ -195,6 +217,7 @@ func (r *Registry) Snapshot() []PipelineInfo {
 		g.mu.Unlock()
 		if e := g.active.Load(); e != nil {
 			info.Active = e.Version
+			info.Task = e.Pipeline.Task.String()
 			info.Inputs = len(e.Pipeline.OriginalNames)
 			info.Outputs = e.Pipeline.NumFeatures()
 			info.HasModel = e.Model != nil

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 	"time"
+
+	"repro/internal/gbdt"
 )
 
 // DefaultMaxBatch caps how many rows a single /transform or /predict request
@@ -95,13 +97,19 @@ type BatchRequest struct {
 	ReturnFeatures bool `json:"return_features,omitempty"`
 }
 
-// BatchResponse is the JSON body returned by /transform and /predict.
+// BatchResponse is the JSON body returned by /transform and /predict. The
+// shape of a prediction follows the pipeline's task: Scores always carries
+// one scalar per row (the positive-class probability for binary models, the
+// raw prediction for regression, the argmax class index for multiclass),
+// and Probs additionally carries the per-row class-probability vector for
+// multiclass models.
 type BatchResponse struct {
 	Pipeline string      `json:"pipeline"`
 	Version  string      `json:"version"`
 	Names    []string    `json:"names,omitempty"`
 	Features [][]float64 `json:"features,omitempty"`
 	Scores   []float64   `json:"scores,omitempty"`
+	Probs    [][]float64 `json:"probs,omitempty"`
 }
 
 // ScoreRequest is the JSON body of POST /score (single-row endpoint):
@@ -113,11 +121,13 @@ type ScoreRequest struct {
 	Values   map[string]float64 `json:"values,omitempty"`
 }
 
-// ScoreResponse is the JSON body returned by /score.
+// ScoreResponse is the JSON body returned by /score. Probs is set for
+// multiclass models only (Score then carries the argmax class index).
 type ScoreResponse struct {
 	Features []float64 `json:"features"`
 	Names    []string  `json:"names,omitempty"`
 	Score    *float64  `json:"score,omitempty"`
+	Probs    []float64 `json:"probs,omitempty"`
 }
 
 // activateRequest is the JSON body of POST /admin/activate.
@@ -163,6 +173,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 type schemaResponse struct {
 	Pipeline string   `json:"pipeline"`
 	Version  string   `json:"version"`
+	Task     string   `json:"task"`
 	Inputs   []string `json:"inputs"`
 	Outputs  []string `json:"outputs"`
 	HasModel bool     `json:"has_model"`
@@ -178,6 +189,7 @@ func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, schemaResponse{
 		Pipeline: e.Name,
 		Version:  e.Version,
+		Task:     e.Pipeline.Task.String(),
 		Inputs:   e.Pipeline.OriginalNames,
 		Outputs:  e.Pipeline.Output,
 		HasModel: e.Model != nil,
@@ -234,13 +246,14 @@ func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request, predict bool
 		}
 	}
 
-	features, scores, err := s.runBatch(e, req.Rows, predict)
+	features, scores, probs, err := s.runBatch(e, req.Rows, predict)
 	if err != nil {
 		return 0, writeError(w, http.StatusBadRequest, err.Error())
 	}
 	resp := BatchResponse{Pipeline: e.Name, Version: e.Version}
 	if predict {
 		resp.Scores = scores
+		resp.Probs = probs
 		if req.ReturnFeatures {
 			resp.Names, resp.Features = e.Pipeline.Output, features
 		}
@@ -252,13 +265,33 @@ func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request, predict bool
 }
 
 // runBatch evaluates rows through e, consulting the feature cache per row
-// and transforming only the misses in one columnar pass.
-func (s *Server) runBatch(e *Entry, rows [][]float64, predict bool) ([][]float64, []float64, error) {
+// and transforming only the misses in one columnar pass. For multiclass
+// models probs carries the per-row class-probability vectors and the scalar
+// score is the argmax class index; probs is nil otherwise.
+func (s *Server) runBatch(e *Entry, rows [][]float64, predict bool) ([][]float64, []float64, [][]float64, error) {
 	n := len(rows)
 	features := make([][]float64, n)
 	var scores []float64
+	var probs [][]float64
+	multi := predict && e.Model.NumGroups() > 1
 	if predict {
 		scores = make([]float64, n)
+		if multi {
+			probs = make([][]float64, n)
+		}
+	}
+	// score fills scores[i] (and probs[i]) from features[i], returning a
+	// cacheable scalar (nil for multiclass: the cache stores one scalar per
+	// row, so vector predictions are recomputed from cached features).
+	score := func(i int) *float64 {
+		if multi {
+			v := e.Model.PredictRowVector(features[i])
+			probs[i] = v
+			scores[i] = float64(gbdt.Argmax(v))
+			return nil
+		}
+		scores[i] = e.Model.PredictRow(features[i])
+		return &scores[i]
 	}
 
 	var keys []uint64
@@ -274,11 +307,10 @@ func (s *Server) runBatch(e *Entry, rows [][]float64, predict bool) ([][]float64
 			}
 			features[i] = ent.features
 			if predict {
-				if ent.hasScore {
+				if ent.hasScore && !multi {
 					scores[i] = ent.score
-				} else {
-					scores[i] = e.Model.PredictRow(ent.features)
-					s.cache.Put(keys[i], row, ent.features, &scores[i])
+				} else if sc := score(i); sc != nil {
+					s.cache.Put(keys[i], row, ent.features, sc)
 				}
 			}
 		}
@@ -295,21 +327,20 @@ func (s *Server) runBatch(e *Entry, rows [][]float64, predict bool) ([][]float64
 		}
 		out, err := e.Pipeline.TransformBatch(missRows)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		for k, i := range missIdx {
 			features[i] = out[k]
-			var score *float64
+			var sc *float64
 			if predict {
-				scores[i] = e.Model.PredictRow(out[k])
-				score = &scores[i]
+				sc = score(i)
 			}
 			if s.cache != nil {
-				s.cache.Put(keys[i], rows[i], out[k], score)
+				s.cache.Put(keys[i], rows[i], out[k], sc)
 			}
 		}
 	}
-	return features, scores, nil
+	return features, scores, probs, nil
 }
 
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
@@ -346,13 +377,16 @@ func (s *Server) serveScore(w http.ResponseWriter, r *http.Request) int {
 		return writeError(w, http.StatusBadRequest,
 			fmt.Sprintf("bad request: got %d values, want %d", len(row), len(e.Pipeline.OriginalNames)))
 	}
-	features, scores, err := s.runBatch(e, [][]float64{row}, e.Model != nil)
+	features, scores, probs, err := s.runBatch(e, [][]float64{row}, e.Model != nil)
 	if err != nil {
 		return writeError(w, http.StatusBadRequest, "bad request: "+err.Error())
 	}
 	resp := ScoreResponse{Features: features[0], Names: e.Pipeline.Output}
 	if e.Model != nil {
 		resp.Score = &scores[0]
+		if probs != nil {
+			resp.Probs = probs[0]
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 	return http.StatusOK

@@ -102,13 +102,23 @@ func (f *fitter) passLiveCodes(live []*liveFeat) error {
 	})
 }
 
-// scoreCombos fills every combination's gain ratio from label-count
-// contingency tables accumulated over one streaming pass — count-space
-// arithmetic identical to the in-memory scorer (stats.GainRatioFromCounts),
-// so given the same mined combinations the scores match bit-for-bit.
+// scoreCombos fills every combination's gain ratio from contingency
+// statistics accumulated over one streaming pass, dispatching on the task:
+// binary positive/total counts, K-class cell counts, or per-cell target
+// moments. Each combination's accumulator is touched by exactly one worker
+// per chunk and chunks stream in order, so the statistics accumulate in
+// global row order — count-space (and moment-space) arithmetic identical to
+// the in-memory scorer, so given the same mined combinations the scores
+// match bit-for-bit.
 func (f *fitter) scoreCombos(combos []core.Combo) error {
 	if len(combos) == 0 {
 		return nil
+	}
+	switch f.cfg.Task.Kind {
+	case core.TaskMulticlass:
+		return f.scoreCombosClasses(combos, f.cfg.Task.Classes)
+	case core.TaskRegression:
+		return f.scoreCombosMoments(combos)
 	}
 	cells := make([]*core.ComboCells, len(combos))
 	pos := make([][]int, len(combos))
@@ -156,6 +166,116 @@ func (f *fitter) scoreCombos(combos []core.Combo) error {
 			continue
 		}
 		combos[i].GainRatio = stats.GainRatioFromCounts(pos[i], tot[i])
+	}
+	return nil
+}
+
+// scoreCombosClasses is scoreCombos for the multiclass task: per-cell
+// K-class counts folded through stats.GainRatioFromClassCounts, exactly as
+// the in-memory stats.GainRatioClasses accumulates them.
+func (f *fitter) scoreCombosClasses(combos []core.Combo, k int) error {
+	cells := make([]*core.ComboCells, len(combos))
+	cnt := make([][]float64, len(combos))
+	for i := range combos {
+		cells[i] = core.NewComboCells(&combos[i])
+		if nc := cells[i].NumCells(); nc > 1 {
+			cnt[i] = make([]float64, nc*k)
+		}
+	}
+	ev := f.newEvaluator()
+	err := f.forEachChunk(func(c *frame.Chunk) error {
+		cols := ev.liveCols(c)
+		rows := c.NumRows()
+		labels := f.labels[c.Start : c.Start+rows]
+		f.pool.ForChunks(len(combos), 1, func(lo, hi int) {
+			var vals [3]float64
+			for ci := lo; ci < hi; ci++ {
+				if cnt[ci] == nil {
+					continue
+				}
+				cc := cells[ci]
+				feats := cc.Features()
+				for r := 0; r < rows; r++ {
+					for j, fi := range feats {
+						vals[j] = cols[fi][r]
+					}
+					id := cc.CellOf(vals[:len(feats)])
+					cls := int(labels[r])
+					if cls >= 0 && cls < k {
+						cnt[ci][id*k+cls]++
+					}
+				}
+			}
+		})
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for i := range combos {
+		if cnt[i] == nil {
+			combos[i].GainRatio = 0
+			continue
+		}
+		combos[i].GainRatio = stats.GainRatioFromClassCounts(cnt[i], cells[i].NumCells(), k)
+	}
+	return nil
+}
+
+// scoreCombosMoments is scoreCombos for the regression task: per-cell
+// target moments folded through stats.VarGainRatioFromMoments. The moments
+// accumulate in global row order (one worker per combination, chunks in
+// order), the same order the in-memory stats.VarGainRatio adds them in, so
+// the float sums are bit-identical.
+func (f *fitter) scoreCombosMoments(combos []core.Combo) error {
+	cells := make([]*core.ComboCells, len(combos))
+	cnt := make([][]float64, len(combos))
+	sum := make([][]float64, len(combos))
+	sumsq := make([][]float64, len(combos))
+	for i := range combos {
+		cells[i] = core.NewComboCells(&combos[i])
+		if nc := cells[i].NumCells(); nc > 1 {
+			cnt[i] = make([]float64, nc)
+			sum[i] = make([]float64, nc)
+			sumsq[i] = make([]float64, nc)
+		}
+	}
+	ev := f.newEvaluator()
+	err := f.forEachChunk(func(c *frame.Chunk) error {
+		cols := ev.liveCols(c)
+		rows := c.NumRows()
+		labels := f.labels[c.Start : c.Start+rows]
+		f.pool.ForChunks(len(combos), 1, func(lo, hi int) {
+			var vals [3]float64
+			for ci := lo; ci < hi; ci++ {
+				if cnt[ci] == nil {
+					continue
+				}
+				cc := cells[ci]
+				feats := cc.Features()
+				for r := 0; r < rows; r++ {
+					for j, fi := range feats {
+						vals[j] = cols[fi][r]
+					}
+					id := cc.CellOf(vals[:len(feats)])
+					y := labels[r]
+					cnt[ci][id]++
+					sum[ci][id] += y
+					sumsq[ci][id] += y * y
+				}
+			}
+		})
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for i := range combos {
+		if cnt[i] == nil {
+			combos[i].GainRatio = 0
+			continue
+		}
+		combos[i].GainRatio = stats.VarGainRatioFromMoments(cnt[i], sum[i], sumsq[i])
 	}
 	return nil
 }
@@ -308,12 +428,30 @@ func (f *fitter) refineCandidates(entries []*candidate) error {
 	})
 }
 
+// newCriterionHist builds the task's mergeable relevance accumulator over
+// the given cut points: binary label counts, K-class counts, or target
+// moments.
+func (f *fitter) newCriterionHist(cuts []float64) sketch.CriterionHist {
+	switch f.cfg.Task.Kind {
+	case core.TaskMulticlass:
+		return sketch.NewClassHist(cuts, f.cfg.Task.Classes)
+	case core.TaskRegression:
+		return sketch.NewMomentHist(cuts)
+	default:
+		return sketch.NewLabelHist(cuts)
+	}
+}
+
 // passCandidateCounts streams one pass accumulating every candidate's
-// binned label histogram (per-partition histograms merged exactly), from
-// which Information Values follow.
+// binned criterion histogram, from which the task's relevance criterion
+// (IV, multiclass IV, or η²) follows. Each candidate's histogram is touched
+// by exactly one worker per chunk and chunks stream in order, so the
+// statistics accumulate in global row order — for the regression moment
+// histogram that keeps the float sums bit-identical to the in-memory
+// single-pass accumulation (counts merge exactly regardless of order).
 func (f *fitter) passCandidateCounts(entries []*candidate) error {
 	for _, en := range entries {
-		en.hist = sketch.NewLabelHist(en.ivCuts)
+		en.hist = f.newCriterionHist(en.ivCuts)
 	}
 	ev := f.newEvaluator()
 	return f.forEachChunk(func(c *frame.Chunk) error {
@@ -340,11 +478,7 @@ func (f *fitter) passCandidateCounts(entries []*candidate) error {
 					core.Sanitize(buf)
 					col = buf
 				}
-				part := sketch.NewLabelHist(en.ivCuts)
-				part.AddCol(col, labels)
-				if err := en.hist.Merge(part); err != nil {
-					panic(err) // cuts are identical by construction
-				}
+				en.hist.AddCol(col, labels)
 			}
 		})
 		return nil

@@ -123,7 +123,7 @@ type candidate struct {
 	sk      *sketch.Quantile
 	ref     *sketch.Refiner
 	mom     *sketch.Moments
-	hist    *sketch.LabelHist
+	hist    sketch.CriterionHist
 	iv      float64
 	ivCuts  []float64
 	rgCuts  []float64 // ranker binner cuts
@@ -242,6 +242,9 @@ func (f *fitter) fit() (*core.Pipeline, *core.Report, error) {
 	if f.n == 0 {
 		return nil, nil, errors.New("shard: source has no rows")
 	}
+	if err := cfg.Task.ValidateLabels(f.labels); err != nil {
+		return nil, nil, err
+	}
 
 	budget := cfg.MaxFeatures
 	if budget <= 0 {
@@ -338,7 +341,7 @@ func (f *fitter) fit() (*core.Pipeline, *core.Report, error) {
 		}
 		ivs := make([]float64, len(entries))
 		for i, en := range entries {
-			en.iv = en.hist.IV()
+			en.iv = en.hist.Criterion()
 			ivs[i] = en.iv
 		}
 
@@ -417,7 +420,7 @@ func (f *fitter) fit() (*core.Pipeline, *core.Report, error) {
 		report.Iterations = append(report.Iterations, ir)
 	}
 
-	p := &core.Pipeline{OriginalNames: append([]string(nil), f.names...), Nodes: f.nodes}
+	p := &core.Pipeline{OriginalNames: append([]string(nil), f.names...), Nodes: f.nodes, Task: cfg.Task}
 	for _, lf := range f.live {
 		p.Output = append(p.Output, lf.name)
 	}

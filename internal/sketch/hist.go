@@ -84,6 +84,18 @@ func (h *LabelHist) Merge(o *LabelHist) error {
 // Counts returns the per-bin positive and negative counts (not copies).
 func (h *LabelHist) Counts() (pos, neg []float64) { return h.pos, h.neg }
 
+// MergeHist implements CriterionHist.
+func (h *LabelHist) MergeHist(o CriterionHist) error {
+	oh, ok := o.(*LabelHist)
+	if !ok {
+		return fmt.Errorf("sketch: merge %T into *LabelHist", o)
+	}
+	return h.Merge(oh)
+}
+
+// Criterion implements CriterionHist: the binary Information Value.
+func (h *LabelHist) Criterion() float64 { return h.IV() }
+
 // IV returns the Information Value of the binned feature, reproducing
 // stats.InformationValue's Laplace smoothing exactly given the same cuts: a
 // histogram with no cuts (a single bin, e.g. an all-NaN column) scores 0.

@@ -1,0 +1,205 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// CriterionHist is the mergeable binned relevance accumulator behind the
+// sharded selection stage's task-aware criterion: per-partition histograms
+// accumulate (value, label) observations over fixed cut points, merge
+// exactly, and fold into the same count-/moment-space criterion the
+// in-memory fit computes. Implementations: LabelHist (binary Information
+// Value), ClassHist (multiclass IV), MomentHist (regression correlation
+// ratio η²).
+type CriterionHist interface {
+	// AddCol observes a column of feature values against parallel labels
+	// (class indices or regression targets, per implementation).
+	AddCol(vals, labels []float64)
+	// MergeHist folds another histogram of the same concrete type and cut
+	// points into the receiver.
+	MergeHist(o CriterionHist) error
+	// Criterion returns the accumulated relevance score.
+	Criterion() float64
+}
+
+// ClassHist is LabelHist generalised to K classes: bin b of class c counts
+// the rows of class c whose value falls in (cuts[b-1], cuts[b]]. NaN values
+// (and out-of-range class labels) are counted separately and excluded from
+// bins. Counts are integers stored in float64, so Merge is exact and exactly
+// order-invariant.
+type ClassHist struct {
+	cuts   []float64
+	k      int
+	counts [][]float64 // class-major: counts[c][b]
+	flat   []float64
+	nan    []float64 // per-class NaN count
+	ix     stats.CutIndexer
+}
+
+// NewClassHist creates a K-class histogram over ascending cut points
+// (len(cuts)+1 bins; nil cuts yield a single bin). The cuts slice is
+// retained and must not be modified.
+func NewClassHist(cuts []float64, k int) *ClassHist {
+	nb := len(cuts) + 1
+	h := &ClassHist{
+		cuts: cuts,
+		k:    k,
+		flat: make([]float64, k*nb),
+		nan:  make([]float64, k),
+	}
+	h.counts = make([][]float64, k)
+	for c := 0; c < k; c++ {
+		h.counts[c] = h.flat[c*nb : (c+1)*nb]
+	}
+	h.ix.Reset(cuts)
+	return h
+}
+
+// Add observes one (value, class-index) observation.
+func (h *ClassHist) Add(v, label float64) {
+	c := int(label)
+	if c < 0 || c >= h.k {
+		return
+	}
+	if math.IsNaN(v) {
+		h.nan[c]++
+		return
+	}
+	h.counts[c][h.ix.Find(v)]++
+}
+
+// AddCol observes a column of values against parallel class labels.
+func (h *ClassHist) AddCol(vals, labels []float64) {
+	for i, v := range vals {
+		h.Add(v, labels[i])
+	}
+}
+
+// Merge folds another histogram into h. Cut points and class counts must be
+// identical.
+func (h *ClassHist) Merge(o *ClassHist) error {
+	if o.k != h.k {
+		return fmt.Errorf("sketch: merge class hists with %d vs %d classes", o.k, h.k)
+	}
+	if len(o.cuts) != len(h.cuts) {
+		return fmt.Errorf("sketch: merge class hists with %d vs %d cuts", len(o.cuts), len(h.cuts))
+	}
+	for i := range h.cuts {
+		if h.cuts[i] != o.cuts[i] {
+			return fmt.Errorf("sketch: merge class hists with different cut %d", i)
+		}
+	}
+	for i := range h.flat {
+		h.flat[i] += o.flat[i]
+	}
+	for c := range h.nan {
+		h.nan[c] += o.nan[c]
+	}
+	return nil
+}
+
+// MergeHist implements CriterionHist.
+func (h *ClassHist) MergeHist(o CriterionHist) error {
+	oh, ok := o.(*ClassHist)
+	if !ok {
+		return fmt.Errorf("sketch: merge %T into *ClassHist", o)
+	}
+	return h.Merge(oh)
+}
+
+// Criterion returns the multiclass Information Value of the binned feature,
+// reproducing stats.CritScratch.MulticlassIV exactly given the same cuts.
+func (h *ClassHist) Criterion() float64 {
+	if len(h.cuts) == 0 {
+		return 0
+	}
+	return stats.MulticlassIVFromCounts(h.counts)
+}
+
+// MomentHist accumulates per-bin moments (count, Σy, Σy²) of a continuous
+// target over fixed cut points — the regression counterpart of LabelHist.
+// NaN feature values are counted separately and excluded from bins. Moments
+// are plain sums, so per-partition histograms added together reproduce a
+// single pass that visits the same rows in the same order.
+type MomentHist struct {
+	cuts  []float64
+	cnt   []float64
+	sum   []float64
+	sumsq []float64
+	nanN  float64
+	ix    stats.CutIndexer
+}
+
+// NewMomentHist creates a moment histogram over ascending cut points
+// (len(cuts)+1 bins). The cuts slice is retained and must not be modified.
+func NewMomentHist(cuts []float64) *MomentHist {
+	nb := len(cuts) + 1
+	h := &MomentHist{
+		cuts:  cuts,
+		cnt:   make([]float64, nb),
+		sum:   make([]float64, nb),
+		sumsq: make([]float64, nb),
+	}
+	h.ix.Reset(cuts)
+	return h
+}
+
+// Add observes one (value, target) observation.
+func (h *MomentHist) Add(v, y float64) {
+	if math.IsNaN(v) {
+		h.nanN++
+		return
+	}
+	b := h.ix.Find(v)
+	h.cnt[b]++
+	h.sum[b] += y
+	h.sumsq[b] += y * y
+}
+
+// AddCol observes a column of values against parallel targets.
+func (h *MomentHist) AddCol(vals, targets []float64) {
+	for i, v := range vals {
+		h.Add(v, targets[i])
+	}
+}
+
+// Merge folds another histogram into h. The cut arrays must be identical.
+func (h *MomentHist) Merge(o *MomentHist) error {
+	if len(o.cuts) != len(h.cuts) {
+		return fmt.Errorf("sketch: merge moment hists with %d vs %d cuts", len(o.cuts), len(h.cuts))
+	}
+	for i := range h.cuts {
+		if h.cuts[i] != o.cuts[i] {
+			return fmt.Errorf("sketch: merge moment hists with different cut %d", i)
+		}
+	}
+	for b := range h.cnt {
+		h.cnt[b] += o.cnt[b]
+		h.sum[b] += o.sum[b]
+		h.sumsq[b] += o.sumsq[b]
+	}
+	h.nanN += o.nanN
+	return nil
+}
+
+// MergeHist implements CriterionHist.
+func (h *MomentHist) MergeHist(o CriterionHist) error {
+	oh, ok := o.(*MomentHist)
+	if !ok {
+		return fmt.Errorf("sketch: merge %T into *MomentHist", o)
+	}
+	return h.Merge(oh)
+}
+
+// Criterion returns the correlation ratio η² of the binned target,
+// reproducing stats.CritScratch.CorrelationRatio exactly given the same
+// cuts and row order.
+func (h *MomentHist) Criterion() float64 {
+	if len(h.cuts) == 0 {
+		return 0
+	}
+	return stats.CorrelationRatioFromMoments(h.cnt, h.sum, h.sumsq)
+}

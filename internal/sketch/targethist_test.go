@@ -1,0 +1,141 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func targetData(n int, seed int64) (vals, classes, targets []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	vals = make([]float64, n)
+	classes = make([]float64, n)
+	targets = make([]float64, n)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+		classes[i] = float64(rng.Intn(3))
+		targets[i] = 2*vals[i] + rng.NormFloat64()
+	}
+	for i := 0; i < n; i += 41 {
+		vals[i] = math.NaN()
+	}
+	return vals, classes, targets
+}
+
+// TestClassHistMatchesScratch: a ClassHist over the same cuts reproduces
+// the in-memory CritScratch criterion exactly, merged in any partition
+// order.
+func TestClassHistMatchesScratch(t *testing.T) {
+	vals, classes, _ := targetData(3000, 1)
+	cuts := stats.Quantiles(vals, 10)
+
+	var s stats.CritScratch
+	want := s.MulticlassIV(vals, classes, 3, 10)
+
+	whole := NewClassHist(cuts, 3)
+	whole.AddCol(vals, classes)
+	if got := whole.Criterion(); got != want {
+		t.Fatalf("single-pass ClassHist: %g, scratch %g", got, want)
+	}
+
+	// Three partitions merged in both orders.
+	for _, order := range [][]int{{0, 1, 2}, {2, 0, 1}} {
+		parts := make([]*ClassHist, 3)
+		bounds := []int{0, 1000, 2100, 3000}
+		for p := 0; p < 3; p++ {
+			parts[p] = NewClassHist(cuts, 3)
+			parts[p].AddCol(vals[bounds[p]:bounds[p+1]], classes[bounds[p]:bounds[p+1]])
+		}
+		merged := NewClassHist(cuts, 3)
+		for _, p := range order {
+			if err := merged.MergeHist(parts[p]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := merged.Criterion(); got != want {
+			t.Fatalf("merge order %v: %g, scratch %g", order, got, want)
+		}
+	}
+}
+
+// TestMomentHistMatchesScratch: a MomentHist accumulated in row order
+// reproduces the in-memory correlation ratio bit-for-bit; partition merges
+// reproduce it exactly when the partials preserve row order.
+func TestMomentHistMatchesScratch(t *testing.T) {
+	vals, _, targets := targetData(3000, 2)
+	cuts := stats.Quantiles(vals, 10)
+
+	var s stats.CritScratch
+	want := s.CorrelationRatio(vals, targets, 10)
+	if want <= 0.5 {
+		t.Fatalf("test data carries no signal: η² = %g", want)
+	}
+
+	whole := NewMomentHist(cuts)
+	whole.AddCol(vals, targets)
+	if got := whole.Criterion(); got != want {
+		t.Fatalf("single-pass MomentHist: %g, scratch %g", got, want)
+	}
+
+	merged := NewMomentHist(cuts)
+	bounds := []int{0, 700, 1600, 3000}
+	for p := 0; p < 3; p++ {
+		part := NewMomentHist(cuts)
+		part.AddCol(vals[bounds[p]:bounds[p+1]], targets[bounds[p]:bounds[p+1]])
+		if err := merged.MergeHist(part); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := merged.Criterion(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("merged MomentHist: %g, scratch %g", got, want)
+	}
+}
+
+// TestClassHistAbsentClass: a partition that never sees one class merges
+// cleanly (zero counts) and the merged criterion equals the single pass.
+func TestClassHistAbsentClass(t *testing.T) {
+	vals, classes, _ := targetData(2000, 3)
+	// Class 2 only occurs in the first half.
+	for i := 1000; i < 2000; i++ {
+		if classes[i] == 2 {
+			classes[i] = float64(i % 2)
+		}
+	}
+	cuts := stats.Quantiles(vals, 10)
+	whole := NewClassHist(cuts, 3)
+	whole.AddCol(vals, classes)
+
+	merged := NewClassHist(cuts, 3)
+	for _, b := range [][2]int{{0, 1000}, {1000, 2000}} {
+		part := NewClassHist(cuts, 3)
+		part.AddCol(vals[b[0]:b[1]], classes[b[0]:b[1]])
+		if err := merged.Merge(part); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := merged.Criterion(), whole.Criterion(); got != want {
+		t.Fatalf("absent-class merge: %g vs %g", got, want)
+	}
+}
+
+func TestTargetHistMergeErrors(t *testing.T) {
+	cuts := []float64{0, 1}
+	other := []float64{0, 2}
+	if err := NewClassHist(cuts, 3).MergeHist(NewClassHist(other, 3)); err == nil {
+		t.Error("ClassHist merged different cuts")
+	}
+	if err := NewClassHist(cuts, 3).MergeHist(NewClassHist(cuts, 4)); err == nil {
+		t.Error("ClassHist merged different class counts")
+	}
+	if err := NewMomentHist(cuts).MergeHist(NewMomentHist(other)); err == nil {
+		t.Error("MomentHist merged different cuts")
+	}
+	if err := NewMomentHist(cuts).MergeHist(NewClassHist(cuts, 2)); err == nil {
+		t.Error("MomentHist merged a ClassHist")
+	}
+	if err := NewLabelHist(cuts).MergeHist(NewMomentHist(cuts)); err == nil {
+		t.Error("LabelHist merged a MomentHist")
+	}
+}

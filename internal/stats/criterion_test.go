@@ -1,0 +1,181 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestMulticlassIVMatchesBinaryAtK2: the mean one-vs-rest IV over two
+// classes is the binary IV (the two one-vs-rest terms are the same quantity
+// with pos/neg swapped), so the K=2 multiclass criterion agrees with the
+// binary path.
+func TestMulticlassIVMatchesBinaryAtK2(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 5000
+	feature := make([]float64, n)
+	labels := make([]float64, n)
+	for i := range feature {
+		feature[i] = rng.NormFloat64()
+		p := 1 / (1 + math.Exp(-feature[i]))
+		if rng.Float64() < p {
+			labels[i] = 1
+		}
+	}
+	// Sprinkle NaNs: both criteria must exclude the same rows.
+	for i := 0; i < n; i += 97 {
+		feature[i] = math.NaN()
+	}
+	var iv IVScratch
+	var crit CritScratch
+	want := iv.InformationValue(feature, labels, 10)
+	got := crit.MulticlassIV(feature, labels, 2, 10)
+	if want <= 0 {
+		t.Fatalf("binary IV %g, want positive on signal data", want)
+	}
+	if math.Abs(got-want) > 1e-12*math.Max(1, want) {
+		t.Fatalf("K=2 multiclass IV %g != binary IV %g", got, want)
+	}
+}
+
+// TestGainRatioClassesMatchesBinaryAtK2: the K-class gain ratio over 2
+// classes agrees with the binary gain ratio.
+func TestGainRatioClassesMatchesBinaryAtK2(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 2000
+	labels := make([]float64, n)
+	parts := make([]int, n)
+	for i := range labels {
+		parts[i] = rng.Intn(6)
+		if rng.Float64() < 0.2+0.1*float64(parts[i]) {
+			labels[i] = 1
+		}
+	}
+	want := GainRatio(labels, parts, 6)
+	got := GainRatioClasses(labels, parts, 6, 2)
+	if want <= 0 {
+		t.Fatalf("binary gain ratio %g, want positive", want)
+	}
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("K=2 class gain ratio %g != binary %g", got, want)
+	}
+}
+
+func TestMulticlassIVDiscriminates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 4000
+	signal := make([]float64, n)
+	noise := make([]float64, n)
+	labels := make([]float64, n)
+	for i := range signal {
+		cls := rng.Intn(3)
+		labels[i] = float64(cls)
+		signal[i] = float64(cls) + 0.3*rng.NormFloat64()
+		noise[i] = rng.NormFloat64()
+	}
+	var s CritScratch
+	ivSig := s.MulticlassIV(signal, labels, 3, 10)
+	ivNoise := s.MulticlassIV(noise, labels, 3, 10)
+	if ivSig < 10*ivNoise || ivSig < 0.5 {
+		t.Fatalf("multiclass IV fails to discriminate: signal %g noise %g", ivSig, ivNoise)
+	}
+}
+
+func TestCorrelationRatioProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 4000
+	feature := make([]float64, n)
+	exact := make([]float64, n) // target fully determined by the bin
+	noisy := make([]float64, n)
+	constant := make([]float64, n)
+	for i := range feature {
+		feature[i] = rng.NormFloat64()
+		exact[i] = math.Floor(feature[i])
+		noisy[i] = feature[i] + 0.5*rng.NormFloat64()
+		constant[i] = 3.25
+	}
+	var s CritScratch
+	if eta := s.CorrelationRatio(feature, constant, 10); eta != 0 {
+		t.Fatalf("constant target: η² = %g, want 0", eta)
+	}
+	etaExact := s.CorrelationRatio(feature, exact, 64)
+	if etaExact < 0.9 {
+		t.Fatalf("near-deterministic relation: η² = %g, want >= 0.9", etaExact)
+	}
+	etaNoisy := s.CorrelationRatio(feature, noisy, 10)
+	if etaNoisy <= 0.3 || etaNoisy >= etaExact {
+		t.Fatalf("noisy relation: η² = %g (exact %g)", etaNoisy, etaExact)
+	}
+	indep := make([]float64, n)
+	for i := range indep {
+		indep[i] = rng.NormFloat64()
+	}
+	if eta := s.CorrelationRatio(feature, indep, 10); eta > 0.05 {
+		t.Fatalf("independent target: η² = %g, want near 0", eta)
+	}
+	// Constant feature: a single bin carries no information.
+	if eta := s.CorrelationRatio(constant, noisy, 10); eta != 0 {
+		t.Fatalf("constant feature: η² = %g, want 0", eta)
+	}
+}
+
+// TestCriterionMergeAdditivity: counts and moments accumulated per partition
+// and summed reproduce the single-pass criterion — the property the sharded
+// engine's merges rely on.
+func TestCriterionMergeAdditivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cells, k := 8, 3
+	full := make([]float64, cells*k)
+	partA := make([]float64, cells*k)
+	partB := make([]float64, cells*k)
+	for i := range full {
+		a, b := float64(rng.Intn(50)), float64(rng.Intn(50))
+		partA[i], partB[i] = a, b
+		full[i] = a + b
+	}
+	merged := make([]float64, cells*k)
+	for i := range merged {
+		merged[i] = partA[i] + partB[i]
+	}
+	if got, want := GainRatioFromClassCounts(merged, cells, k), GainRatioFromClassCounts(full, cells, k); got != want {
+		t.Fatalf("class-count merge changed the gain ratio: %g vs %g", got, want)
+	}
+
+	cnt := []float64{10, 20, 30}
+	sum := []float64{1.5, -2.25, 4.75}
+	sumsq := []float64{12.5, 8.25, 20.125}
+	halfCnt := []float64{5, 10, 15}
+	halfSum := []float64{0.75, -1.125, 2.375}
+	halfSq := []float64{6.25, 4.125, 10.0625}
+	mergedCnt := make([]float64, 3)
+	mergedSum := make([]float64, 3)
+	mergedSq := make([]float64, 3)
+	for i := 0; i < 3; i++ {
+		mergedCnt[i] = halfCnt[i] + halfCnt[i]
+		mergedSum[i] = halfSum[i] + halfSum[i]
+		mergedSq[i] = halfSq[i] + halfSq[i]
+	}
+	if got, want := CorrelationRatioFromMoments(mergedCnt, mergedSum, mergedSq), CorrelationRatioFromMoments(cnt, sum, sumsq); got != want {
+		t.Fatalf("moment merge changed η²: %g vs %g", got, want)
+	}
+}
+
+func TestVarGainRatioDegenerate(t *testing.T) {
+	// One-cell partitions and empty input score 0.
+	if got := VarGainRatio([]float64{1, 2, 3}, []int{0, 0, 0}, 1); got != 0 {
+		t.Fatalf("degenerate partition: %g, want 0", got)
+	}
+	if got := VarGainRatio(nil, nil, 4); got != 0 {
+		t.Fatalf("empty input: %g, want 0", got)
+	}
+	// Constant target: no variance to explain.
+	if got := VarGainRatio([]float64{2, 2, 2, 2}, []int{0, 1, 0, 1}, 2); got != 0 {
+		t.Fatalf("constant target: %g, want 0", got)
+	}
+	// A partition that separates two target levels perfectly scores high.
+	target := []float64{0, 0, 0, 10, 10, 10}
+	parts := []int{0, 0, 0, 1, 1, 1}
+	if got := VarGainRatio(target, parts, 2); got < 1.0 {
+		t.Fatalf("perfect split: %g, want >= 1/ln2", got)
+	}
+}

@@ -1,0 +1,37 @@
+// Package stats implements the statistical primitives SAFE depends on:
+// relevance criteria, partition scores, discretisation, correlation, and
+// the divergences of the feature-stability protocol.
+//
+// # Relevance criteria (Algorithm 3's filter, per task)
+//
+//   - InformationValue / IVScratch — binary IV with equal-frequency binning
+//     (Eq. 6), Laplace-smoothed.
+//   - CritScratch.MulticlassIV — the K-class generalisation: mean
+//     one-vs-rest IV from per-class binned label counts; reduces to the
+//     binary IV at K=2.
+//   - CritScratch.CorrelationRatio — the regression criterion η²
+//     (one-way ANOVA between-group share of variance) over binned targets.
+//
+// # Partition scores (Algorithm 2's combination ranking, per task)
+//
+//   - GainRatio / InformationGain — binary information gain ratio.
+//   - GainRatioClasses — the K-class entropy gain ratio.
+//   - VarGainRatio — the regression variance-reduction ratio (η² over
+//     cells divided by split entropy).
+//
+// Every criterion has a count- or moment-space entry point
+// (IVFromCounts, MulticlassIVFromCounts, CorrelationRatioFromMoments,
+// GainRatioFromCounts, GainRatioFromClassCounts, VarGainRatioFromMoments)
+// operating on exactly the statistics the mergeable sketches of the
+// sharded fit engine accumulate — per-partition statistics summed and
+// folded through these functions reproduce the single-pass value, which is
+// what keeps the sharded selection feature-for-feature identical to the
+// in-memory one.
+//
+// The package also provides Pearson correlation (Algorithm 4, Eq. 7),
+// equal-frequency/equal-width binning and multi-rank quantile selection
+// (QuantileScratch, CutIndexer), ChiMerge discretisation, and the KL/JS
+// divergences of Eqs. 14-15. Scratch types (IVScratch, CritScratch,
+// QuantileScratch) amortise working buffers across column sweeps; each
+// instance is single-goroutine, hot paths keep one per worker.
+package stats

@@ -1,9 +1,3 @@
-// Package stats implements the statistical primitives SAFE depends on:
-// entropy and information gain ratio over multi-way partitions (Algorithm 2),
-// Information Value with equal-frequency binning (Algorithm 3, Eq. 6),
-// Pearson correlation (Algorithm 4, Eq. 7), discretisation, and the
-// KL / Jensen-Shannon divergences used for the feature-stability protocol
-// (Eqs. 14-15).
 package stats
 
 import (

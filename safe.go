@@ -69,6 +69,37 @@ const (
 	Ternary = operators.Ternary
 )
 
+// Task identifies the prediction task a fit engineers features for: binary
+// classification (the default), K-class classification, or regression. Set
+// Config.Task to steer the miner/ranker objectives and the selection
+// criterion; the learned Pipeline records its task and round-trips it
+// through Save/Load.
+type Task = core.Task
+
+// TaskKind enumerates the task families.
+type TaskKind = core.TaskKind
+
+// Task kinds.
+const (
+	TaskBinary     = core.TaskBinary
+	TaskMulticlass = core.TaskMulticlass
+	TaskRegression = core.TaskRegression
+)
+
+// BinaryTask returns the paper's binary classification task.
+func BinaryTask() Task { return core.BinaryTask() }
+
+// MulticlassTask returns a K-class classification task (labels are class
+// indices 0..k-1).
+func MulticlassTask(k int) Task { return core.MulticlassTask(k) }
+
+// RegressionTask returns the real-valued prediction task.
+func RegressionTask() Task { return core.RegressionTask() }
+
+// ParseTask parses "binary", "multiclass:K", or "regression" — the format
+// the CLI -task flags accept and Task.String produces.
+func ParseTask(s string) (Task, error) { return core.ParseTask(s) }
+
 // Engineer runs the SAFE algorithm.
 type Engineer struct {
 	inner *core.Engineer
@@ -205,6 +236,14 @@ func KS(scores, labels []float64) float64 { return metrics.KS(scores, labels) }
 // PRAUC computes the area under the precision-recall curve — often more
 // informative than ROC AUC on heavily imbalanced fraud data.
 func PRAUC(scores, labels []float64) float64 { return metrics.PRAUC(scores, labels) }
+
+// RMSE computes the root mean squared error of predictions against a
+// continuous target (the regression-task evaluation metric).
+func RMSE(pred, target []float64) float64 { return metrics.RMSE(pred, target) }
+
+// ClassAccuracy computes exact-match accuracy of predicted class indices
+// against class-index labels (the multiclass-task evaluation metric).
+func ClassAccuracy(pred, labels []float64) float64 { return metrics.ClassAccuracy(pred, labels) }
 
 func colsOf(f *Frame) [][]float64 {
 	cols := make([][]float64, f.NumCols())
