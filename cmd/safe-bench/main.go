@@ -32,6 +32,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -44,6 +45,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro"
 	"repro/internal/benchkit"
 	"repro/internal/buildinfo"
 	"repro/internal/core"
@@ -317,7 +319,8 @@ type servingResult struct {
 }
 
 // runServing stands up the serving layer in-process and drives concurrent
-// batched /predict load against it, reporting sustained throughput.
+// batched /predict load against it, reporting sustained throughput. The
+// pipeline trains through the public composable Fit API.
 func runServing(opts servingOptions, w io.Writer) (*servingResult, error) {
 	ds, err := datagen.Generate(datagen.Spec{
 		Name: "serving-bench", Train: 4000, Test: 1000, Dim: 12,
@@ -326,14 +329,11 @@ func runServing(opts servingOptions, w io.Writer) (*servingResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng, err := core.New(core.DefaultConfig())
+	fitRes, err := safe.Fit(context.Background(), safe.FromFrame(ds.Train), safe.WithSeed(opts.Seed))
 	if err != nil {
 		return nil, err
 	}
-	pipeline, _, err := eng.Fit(ds.Train)
-	if err != nil {
-		return nil, err
-	}
+	pipeline := fitRes.Pipeline
 	tr, err := pipeline.Transform(ds.Train)
 	if err != nil {
 		return nil, err

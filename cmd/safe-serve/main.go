@@ -20,15 +20,22 @@
 //	POST /admin/activate   {"pipeline":"risk","version":"v2"}
 //	GET  /pipelines /schema /stats /healthz
 //
-// See docs/serving.md for the full API contract.
+// SIGINT/SIGTERM shut the server down gracefully: the listener closes,
+// in-flight batched requests drain for up to -shutdown-timeout, then the
+// process exits cleanly. See docs/serving.md for the full API contract.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/gbdt"
@@ -46,6 +53,7 @@ func main() {
 		maxBatch     = flag.Int("max-batch", serve.DefaultMaxBatch, "max rows per /transform or /predict request")
 		maxBody      = flag.Int64("max-body", serve.DefaultMaxBodyBytes, "max request body size in bytes")
 		cacheSize    = flag.Int("cache", 0, "feature cache capacity in rows (0 disables)")
+		drainWait    = flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown deadline: how long in-flight requests may drain after SIGINT/SIGTERM")
 	)
 	flag.Parse()
 	if *modelsDir == "" && *pipelinePath == "" {
@@ -54,11 +62,17 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The signal context covers the whole lifecycle: a SIGINT/SIGTERM during
+	// the model-directory warm load aborts it promptly, and after startup
+	// the same signal begins the graceful drain below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	reg := serve.NewRegistry()
 	if *modelsDir != "" {
-		n, err := reg.LoadDir(*modelsDir)
+		n, err := reg.LoadDirContext(ctx, *modelsDir)
 		if err != nil {
-			log.Fatalf("safe-serve: %v", err)
+			log.Fatalf("safe-serve: %v (after %d version(s))", err, n)
 		}
 		log.Printf("safe-serve: loaded %d pipeline version(s) from %s", n, *modelsDir)
 	}
@@ -85,6 +99,32 @@ func main() {
 	s := serve.NewServer(reg, serve.Options{
 		MaxBatch: *maxBatch, MaxBodyBytes: *maxBody, CacheSize: *cacheSize,
 	})
-	log.Printf("safe-serve: listening on %s (max-batch %d, cache %d)", *addr, *maxBatch, *cacheSize)
-	log.Fatal(http.ListenAndServe(*addr, s))
+	srv := &http.Server{Addr: *addr, Handler: s}
+
+	// Graceful shutdown: SIGINT/SIGTERM stop accepting new connections and
+	// drain in-flight (batched) requests up to -shutdown-timeout, so a
+	// deploy or Ctrl-C never kills the process mid-request.
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("safe-serve: listening on %s (max-batch %d, cache %d)", *addr, *maxBatch, *cacheSize)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("safe-serve: %v", err)
+	case <-ctx.Done():
+		stop() // restore default signal behaviour: a second Ctrl-C kills
+		log.Printf("safe-serve: shutdown signal received; draining in-flight requests (up to %v)", *drainWait)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("safe-serve: drain deadline exceeded, closing: %v", err)
+			srv.Close() //nolint:errcheck // best-effort teardown after a failed drain
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("safe-serve: %v", err)
+		}
+		log.Printf("safe-serve: shutdown complete")
+	}
 }

@@ -7,23 +7,31 @@
 //	safe -train train.csv -label y [-test test.csv] [-out out.csv]
 //	     [-task binary|multiclass:K|regression]
 //	     [-ops add,sub,mul,div] [-iters 1] [-max-features 0] [-gamma 0]
-//	     [-seed 0] [-v]
+//	     [-seed 0] [-progress] [-v]
 //
 // Out-of-core fitting: -chunk-rows N streams the training CSV in N-row
 // chunks through the sharded fit engine (internal/shard), so files larger
 // than memory can be fitted; -shards K instead derives the chunk size from
 // a row-count pre-pass so the file splits into K partitions. With default
 // settings the sharded fit selects the same features as the in-memory fit.
+//
+// A multi-minute fit is observable and interruptible: -progress prints
+// each stage of each iteration live as the fit's event stream arrives, and
+// Ctrl-C (SIGINT) or SIGTERM cancels the fit promptly through its context
+// — the process exits cleanly instead of being killed mid-write.
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro"
 	"repro/internal/buildinfo"
@@ -41,7 +49,8 @@ func main() {
 		maxFeatures  = flag.Int("max-features", 0, "output feature budget (0 = 2x original count)")
 		gamma        = flag.Int("gamma", 0, "top feature combinations per iteration (0 = 2x original count)")
 		seed         = flag.Int64("seed", 0, "random seed")
-		verbose      = flag.Bool("v", false, "print per-iteration details")
+		progress     = flag.Bool("progress", false, "print live per-stage progress while fitting")
+		verbose      = flag.Bool("v", false, "print per-iteration details incl. stage wall-clock timings")
 		savePipeline = flag.String("save-pipeline", "", "write the learned pipeline Ψ as JSON")
 		loadPipeline = flag.String("load-pipeline", "", "skip fitting; load Ψ from a JSON file")
 		chunkRows    = flag.Int("chunk-rows", 0, "fit out-of-core, streaming the training CSV in chunks of this many rows")
@@ -63,10 +72,16 @@ func main() {
 		fatal(taskErr)
 	}
 
+	// Ctrl-C / SIGTERM cancel the fit through its context: the engines
+	// abort at the next stage, candidate, boosting round, or source chunk
+	// and Fit returns ctx.Err().
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var (
-		train    *safe.Frame
 		pipeline *safe.Pipeline
 		report   *safe.Report
+		train    *safe.Frame // in-memory fits keep the frame for -out
 		err      error
 	)
 	switch {
@@ -78,25 +93,53 @@ func main() {
 		fmt.Printf("loaded pipeline: task=%s, %d output features (%d derived)\n",
 			pipeline.Task, pipeline.NumFeatures(), pipeline.NumDerived())
 
-	case *chunkRows > 0 || *shards > 0:
-		// Sharded out-of-core fit: the training frame never materialises.
-		pipeline, report, err = fitSharded(*trainPath, *labelCol, *chunkRows, *shards, buildConfig(*opsFlag, *iters, *maxFeatures, *gamma, *seed, task))
-		if err != nil {
-			fatal(err)
-		}
-
 	default:
-		train, err = safe.ReadCSVFile(*trainPath, *labelCol)
+		opts := []safe.Option{
+			safe.WithTask(task),
+			safe.WithOperators(strings.Split(*opsFlag, ",")...),
+			safe.WithIterations(*iters),
+			safe.WithBudget(*maxFeatures),
+			safe.WithGamma(*gamma),
+			safe.WithSeed(*seed),
+		}
+		if *progress {
+			opts = append(opts, safe.WithEvents(printProgress))
+		}
+		// Sharded out-of-core fits stream the CSV (the training frame
+		// never materialises); in-memory fits read it once and keep the
+		// frame so -out can transform it without a second parse. When only
+		// a shard count is given, a cheap row-count pre-pass sizes the
+		// chunks.
+		source := safe.FromCSVFile(*trainPath, *labelCol)
+		if *chunkRows > 0 || *shards > 0 {
+			rows := *chunkRows
+			if rows <= 0 {
+				rows, err = chunkRowsForShards(*trainPath, *shards)
+				if err != nil {
+					fatal(err)
+				}
+			}
+			opts = append(opts, safe.WithSharding(rows))
+		} else {
+			train, err = safe.ReadCSVFile(*trainPath, *labelCol)
+			if err != nil {
+				fatal(err)
+			}
+			source = safe.FromFrame(train)
+		}
+		var res *safe.Result
+		res, err = safe.Fit(ctx, source, opts...)
 		if err != nil {
+			if ctx.Err() != nil {
+				fmt.Fprintln(os.Stderr, "safe: fit cancelled:", err)
+				os.Exit(130)
+			}
 			fatal(err)
 		}
-		eng, err := safe.New(buildConfig(*opsFlag, *iters, *maxFeatures, *gamma, *seed, task))
-		if err != nil {
-			fatal(err)
-		}
-		pipeline, report, err = eng.Fit(train)
-		if err != nil {
-			fatal(err)
+		pipeline, report = res.Pipeline, res.Report
+		if st := res.Shard; st != nil {
+			fmt.Printf("sharded fit: %d rows in %d partitions, %d streaming passes (%d rows streamed)\n",
+				st.Rows, st.Partitions, st.Passes, st.RowsStreamed)
 		}
 	}
 
@@ -104,13 +147,18 @@ func main() {
 		inCols := len(pipeline.OriginalNames)
 		fmt.Printf("SAFE fit complete in %v (task=%s seed=%d): %d input features -> %d output features (%d generated)\n",
 			report.Total.Round(1e6), pipeline.Task, *seed, inCols, pipeline.NumFeatures(), pipeline.NumDerived())
-		if *verbose {
+		if *verbose || *progress {
 			for _, ir := range report.Iterations {
 				fmt.Printf("  round %d: mined %d combos (vs %d exhaustive), kept %d, generated %d, "+
 					"IV-> %d, Pearson-> %d, selected %d (%v)\n",
 					ir.Round, ir.CombosMined, ir.SearchSpaceAll, ir.CombosKept, ir.Generated,
 					ir.AfterIV, ir.AfterPearson, ir.Selected, ir.Elapsed.Round(1e6))
+				fmt.Printf("    stage times: mine=%v score=%v generate=%v iv=%v pearson=%v rank=%v\n",
+					ir.MineTime.Round(1e6), ir.ScoreTime.Round(1e6), ir.GenerateTime.Round(1e6),
+					ir.IVTime.Round(1e6), ir.PearsonTime.Round(1e6), ir.RankTime.Round(1e6))
 			}
+		}
+		if *verbose {
 			fmt.Println("selected features:")
 			for _, f := range pipeline.Formulas() {
 				fmt.Printf("  %s\n", f)
@@ -124,12 +172,17 @@ func main() {
 		}
 	}
 
-	target := train
-	if *testPath != "" {
+	var target *safe.Frame
+	switch {
+	case *testPath != "":
 		target, err = safe.ReadCSVFile(*testPath, *labelCol)
 		if err != nil {
 			fatal(err)
 		}
+	case *outPath != "":
+		// The in-memory fit path transforms its own (already-read)
+		// training frame; train is nil for out-of-core and loaded runs.
+		target = train
 	}
 	if target == nil {
 		if *outPath != "" && (*chunkRows > 0 || *shards > 0) {
@@ -150,49 +203,35 @@ func main() {
 	}
 }
 
-func buildConfig(ops string, iters, maxFeatures, gamma int, seed int64, task safe.Task) safe.Config {
-	cfg := safe.DefaultConfig()
-	cfg.Task = task
-	cfg.Operators = strings.Split(ops, ",")
-	cfg.Iterations = iters
-	cfg.MaxFeatures = maxFeatures
-	cfg.Gamma = gamma
-	cfg.Seed = seed
-	return cfg
+// printProgress renders the fit's event stream as live stage lines on
+// stderr (stdout stays machine-consumable for -out summaries).
+func printProgress(ev safe.FitEvent) {
+	switch ev.Kind {
+	case safe.EventIterationStart:
+		fmt.Fprintf(os.Stderr, "round %d: %d live features\n", ev.Round, ev.Candidates)
+	case safe.EventStageEnd:
+		fmt.Fprintf(os.Stderr, "  %-9s %6d -> %-6d %8v  (%d rows processed)\n",
+			ev.Stage, ev.Candidates, ev.Survivors, ev.Elapsed.Round(1e6), ev.Rows)
+	case safe.EventIterationEnd:
+		fmt.Fprintf(os.Stderr, "round %d done: %d features selected in %v\n",
+			ev.Round, ev.Survivors, ev.Elapsed.Round(1e6))
+	}
 }
 
-// fitSharded runs the out-of-core fit over a chunked CSV source. When only
-// a shard count is given, a counting pre-pass sizes the chunks so the file
-// splits into that many partitions.
-func fitSharded(path, label string, chunkRows, shards int, cfg safe.Config) (*safe.Pipeline, *safe.Report, error) {
-	if chunkRows <= 0 {
-		rows, err := countCSVRows(path)
-		if err != nil {
-			return nil, nil, err
-		}
-		if rows == 0 {
-			return nil, nil, errors.New("safe: training CSV has no rows")
-		}
-		chunkRows = (rows + shards - 1) / shards
-	}
-	src, err := safe.OpenCSVChunks(path, label, chunkRows)
+// chunkRowsForShards sizes chunks so the file splits into the requested
+// number of partitions, from one cheap pass counting data records — no
+// per-cell float decoding, so the pre-pass costs a fraction of a real pass.
+func chunkRowsForShards(path string, shards int) (int, error) {
+	rows, err := countCSVRows(path)
 	if err != nil {
-		return nil, nil, err
+		return 0, err
 	}
-	defer src.Close()
-	shardCfg := safe.DefaultShardConfig()
-	shardCfg.Core = cfg
-	pipeline, report, stats, err := safe.FitSharded(src, shardCfg)
-	if err != nil {
-		return nil, nil, err
+	if rows == 0 {
+		return 0, errors.New("safe: training CSV has no rows")
 	}
-	fmt.Printf("sharded fit: %d rows in %d partitions of %d rows, %d streaming passes (%d rows streamed)\n",
-		stats.Rows, stats.Partitions, chunkRows, stats.Passes, stats.RowsStreamed)
-	return pipeline, report, nil
+	return (rows + shards - 1) / shards, nil
 }
 
-// countCSVRows makes one cheap pass counting data records — no per-cell
-// float decoding, so the -shards pre-pass costs a fraction of a real pass.
 func countCSVRows(path string) (int, error) {
 	fh, err := os.Open(path)
 	if err != nil {

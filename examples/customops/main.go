@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -62,24 +63,19 @@ func main() {
 	reg := safe.NewRegistry()
 	reg.Register("pct_change", func() safe.Operator { return pctChange{} })
 
-	cfg := safe.DefaultConfig()
-	cfg.Registry = reg
-	cfg.Operators = []string{
-		"add", "sub", "mul", "div", // the paper's basic set
-		"pct_change",  // our domain operator
-		"groupby_avg", // SQL-style aggregate from the paper's catalogue
-		"log", "sqrt", // unary transforms
-	}
-	cfg.Seed = 3
-
-	eng, err := safe.New(cfg)
+	res, err := safe.Fit(context.Background(), safe.FromFrame(ds.Train),
+		safe.WithRegistry(reg),
+		safe.WithOperators(
+			"add", "sub", "mul", "div", // the paper's basic set
+			"pct_change",  // our domain operator
+			"groupby_avg", // SQL-style aggregate from the paper's catalogue
+			"log", "sqrt", // unary transforms
+		),
+		safe.WithSeed(3))
 	if err != nil {
 		log.Fatal(err)
 	}
-	pipeline, _, err := eng.Fit(ds.Train)
-	if err != nil {
-		log.Fatal(err)
-	}
+	pipeline := res.Pipeline
 
 	fmt.Printf("selected %d features (%d generated):\n",
 		pipeline.NumFeatures(), pipeline.NumDerived())

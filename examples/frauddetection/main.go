@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -22,20 +23,20 @@ func main() {
 	fmt.Printf("fraud dataset: %d train / %d test rows, %d features, %.2f%% fraud\n",
 		ds.Train.NumRows(), ds.Test.NumRows(), ds.Train.NumCols(), 100*ds.Train.PositiveRate())
 
-	// Feature engineering with a time budget, as an online system would run
-	// it (Algorithm 1 accepts nIter or tIter).
-	cfg := safe.DefaultConfig()
-	cfg.TimeBudget = 2 * time.Minute
-	cfg.Seed = 42
-	eng, err := safe.New(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
+	// Feature engineering with both budget styles an online system uses:
+	// the soft per-iteration budget (tIter of Algorithm 1, WithTimeBudget)
+	// plus a hard wall-clock deadline on the context — past it, the fit
+	// aborts promptly with ctx.Err() instead of overshooting its slot.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
 	start := time.Now()
-	pipeline, _, err := eng.Fit(ds.Train)
+	res, err := safe.Fit(ctx, safe.FromFrame(ds.Train),
+		safe.WithTimeBudget(2*time.Minute),
+		safe.WithSeed(42))
 	if err != nil {
 		log.Fatal(err)
 	}
+	pipeline := res.Pipeline
 	fmt.Printf("SAFE fit in %v: %d -> %d features\n",
 		time.Since(start).Round(time.Millisecond), ds.Train.NumCols(), pipeline.NumFeatures())
 

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,17 +25,13 @@ func main() {
 		var train, test = ds.Train, ds.Test
 		nFeatures := ds.Train.NumCols()
 		if rounds > 0 {
-			cfg := safe.DefaultConfig()
-			cfg.Iterations = rounds
-			cfg.Seed = 5
-			eng, err := safe.New(cfg)
+			res, err := safe.Fit(context.Background(), safe.FromFrame(ds.Train),
+				safe.WithIterations(rounds),
+				safe.WithSeed(5))
 			if err != nil {
 				log.Fatal(err)
 			}
-			pipeline, _, err := eng.Fit(ds.Train)
-			if err != nil {
-				log.Fatal(err)
-			}
+			pipeline := res.Pipeline
 			train, err = pipeline.Transform(ds.Train)
 			if err != nil {
 				log.Fatal(err)

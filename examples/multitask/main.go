@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -54,29 +55,25 @@ func main() {
 			log.Fatal(err)
 		}
 
-		cfg := safe.DefaultConfig()
-		cfg.Task = c.task
-		cfg.Seed = 1
-		eng, err := safe.New(cfg)
+		ctx := context.Background()
+		taskOpts := []safe.Option{safe.WithTask(c.task), safe.WithSeed(1)}
+		res, err := safe.Fit(ctx, safe.FromFrame(ds.Train), taskOpts...)
 		if err != nil {
 			log.Fatal(err)
 		}
-		pipeline, report, err := eng.Fit(ds.Train)
-		if err != nil {
-			log.Fatal(err)
-		}
+		pipeline, report := res.Pipeline, res.Report
 		last := report.Iterations[len(report.Iterations)-1]
 		fmt.Printf("in-memory fit: %d candidates -> IV %d -> Pearson %d -> selected %d (%v)\n",
 			last.Candidates, last.AfterIV, last.AfterPearson, last.Selected, report.Total.Round(1e6))
 
-		// The sharded engine must reach the identical selection from 4
-		// partitions of the same rows.
-		shardCfg := safe.DefaultShardConfig()
-		shardCfg.Core = cfg
-		shardedP, _, st, err := safe.FitSharded(safe.NewFrameChunks(ds.Train, ds.Train.NumRows()/4), shardCfg)
+		// The sharded engine — the same Fit call plus WithSharding — must
+		// reach the identical selection from 4 partitions of the same rows.
+		shRes, err := safe.Fit(ctx, safe.FromFrame(ds.Train),
+			append(taskOpts, safe.WithSharding(ds.Train.NumRows()/4))...)
 		if err != nil {
 			log.Fatal(err)
 		}
+		shardedP, st := shRes.Pipeline, shRes.Shard
 		if fmt.Sprint(shardedP.Output) != fmt.Sprint(pipeline.Output) {
 			log.Fatalf("sharded selection diverged:\n in-memory: %v\n sharded:   %v",
 				pipeline.Output, shardedP.Output)

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,15 +22,14 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 2. Fit SAFE with the paper's defaults ({+,-,x,÷}, alpha=0.1, theta=0.8).
-	eng, err := safe.New(safe.DefaultConfig())
+	// 2. Fit SAFE with the paper's defaults ({+,-,x,÷}, alpha=0.1, theta=0.8):
+	//    one composable call — the context cancels/deadlines the fit, the
+	//    source picks the engine, options tune the run (none needed here).
+	res, err := safe.Fit(context.Background(), safe.FromFrame(ds.Train))
 	if err != nil {
 		log.Fatal(err)
 	}
-	pipeline, report, err := eng.Fit(ds.Train)
-	if err != nil {
-		log.Fatal(err)
-	}
+	pipeline, report := res.Pipeline, res.Report
 	fmt.Printf("SAFE: %d -> %d features in %v (%d generated)\n",
 		ds.Train.NumCols(), pipeline.NumFeatures(), report.Total.Round(1e6), pipeline.NumDerived())
 	fmt.Println("engineered features (interpretable formulas):")

@@ -8,6 +8,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"log"
@@ -41,16 +42,12 @@ func main() {
 	defer os.RemoveAll(dir)
 
 	train := func(version string, ops []string) *safe.Pipeline {
-		cfg := safe.DefaultConfig()
-		cfg.Operators = ops
-		eng, err := safe.New(cfg)
+		res, err := safe.Fit(context.Background(), safe.FromFrame(ds.Train),
+			safe.WithOperators(ops...))
 		if err != nil {
 			log.Fatal(err)
 		}
-		pipeline, _, err := eng.Fit(ds.Train)
-		if err != nil {
-			log.Fatal(err)
-		}
+		pipeline := res.Pipeline
 		vdir := filepath.Join(dir, "risk", version)
 		if err := os.MkdirAll(vdir, 0o755); err != nil {
 			log.Fatal(err)

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -41,37 +42,30 @@ func main() {
 	fmt.Printf("training file: %s (%.1f MB, %d rows x %d features)\n",
 		path, float64(fi.Size())/(1<<20), ds.Train.NumRows(), ds.Train.NumCols())
 
-	cfg := safe.DefaultConfig()
-	cfg.Seed = 1
+	ctx := context.Background()
 
 	// 2. Reference: the in-memory fit.
-	eng, err := safe.New(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
 	t0 := time.Now()
-	memPipeline, _, err := eng.Fit(ds.Train)
+	memRes, err := safe.Fit(ctx, safe.FromFrame(ds.Train), safe.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}
+	memPipeline := memRes.Pipeline
 	fmt.Printf("\nin-memory fit:  %7v  -> %d features\n", time.Since(t0).Round(time.Millisecond), memPipeline.NumFeatures())
 
-	// 3. Sharded: stream the CSV in 5k-row chunks (8 partitions). Raw
-	//    columns never materialise; the engine makes a few passes over the
-	//    file, merging quantile sketches, label histograms and co-moment
-	//    matrices per partition.
-	src, err := safe.OpenCSVChunks(path, "label", 5000)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer src.Close()
-	shardCfg := safe.DefaultShardConfig()
-	shardCfg.Core = cfg
+	// 3. Sharded: the same Fit call, but the CSV source plus WithSharding
+	//    selects the out-of-core engine, streaming the file in 5k-row
+	//    chunks (8 partitions). Raw columns never materialise; the engine
+	//    makes a few passes over the file, merging quantile sketches, label
+	//    histograms and co-moment matrices per partition.
 	t1 := time.Now()
-	shPipeline, _, stats, err := safe.FitSharded(src, shardCfg)
+	shRes, err := safe.Fit(ctx, safe.FromCSVFile(path, "label"),
+		safe.WithSeed(1),
+		safe.WithSharding(5000))
 	if err != nil {
 		log.Fatal(err)
 	}
+	shPipeline, stats := shRes.Pipeline, shRes.Shard
 	fmt.Printf("sharded fit:    %7v  -> %d features (%d partitions, %d passes, %d rows streamed)\n",
 		time.Since(t1).Round(time.Millisecond), shPipeline.NumFeatures(),
 		stats.Partitions, stats.Passes, stats.RowsStreamed)
@@ -91,18 +85,19 @@ func main() {
 		fmt.Printf("  %s\n", f)
 	}
 
-	// 5. Approx mode: skip the exact cut-refinement passes and bin at the
-	//    sketches' approximate cuts — fewer passes, near-identical output,
-	//    for when pass count over a slow medium dominates.
-	if err := src.Reset(); err != nil {
-		log.Fatal(err)
-	}
-	shardCfg.ApproxCuts = true
+	// 5. Approx mode (WithSketch): skip the exact cut-refinement passes and
+	//    bin at the sketches' approximate cuts — fewer passes,
+	//    near-identical output, for when pass count over a slow medium
+	//    dominates.
 	t2 := time.Now()
-	apPipeline, _, apStats, err := safe.FitSharded(src, shardCfg)
+	apRes, err := safe.Fit(ctx, safe.FromCSVFile(path, "label"),
+		safe.WithSeed(1),
+		safe.WithSharding(5000),
+		safe.WithSketch(2048, true))
 	if err != nil {
 		log.Fatal(err)
 	}
+	apPipeline, apStats := apRes.Pipeline, apRes.Shard
 	overlap := 0
 	memSet := map[string]bool{}
 	for _, name := range memPipeline.Output {

@@ -1,0 +1,467 @@
+package safe_test
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// workload generates the benchmark-shaped synthetic dataset the perf
+// harness fits (Interactions = Dim/3, dataset seed 11), per task family, so
+// the equivalence tests pin the benchmarked distribution.
+func workload(t *testing.T, rows, dim int, task safe.Task) *safe.Frame {
+	t.Helper()
+	target, classes := safe.TargetForTask(task)
+	ds, err := safe.GenerateDataset(safe.DatasetSpec{
+		Name: "fit-test", Train: rows, Test: 64, Dim: dim,
+		Interactions: dim / 3, SignalScale: 2.5, Seed: 11,
+		Target: target, Classes: classes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds.Train
+}
+
+func sameSelection(t *testing.T, label string, want, got *safe.Pipeline) {
+	t.Helper()
+	if strings.Join(want.Output, "|") != strings.Join(got.Output, "|") {
+		t.Fatalf("%s selection diverged:\nwant: %v\n got: %v", label, want.Output, got.Output)
+	}
+}
+
+// TestFitEquivalenceAcrossEntryPoints is the API-redesign pin: the
+// composable safe.Fit — in memory and sharded — selects identical features
+// in identical order to the deprecated Engineer.Fit and FitSharded shims,
+// for all three task families.
+func TestFitEquivalenceAcrossEntryPoints(t *testing.T) {
+	ctx := context.Background()
+	for _, tc := range []struct {
+		task      safe.Task
+		rows, dim int
+	}{
+		{safe.BinaryTask(), 12000, 16},
+		{safe.MulticlassTask(3), 6000, 10},
+		{safe.RegressionTask(), 6000, 10},
+	} {
+		t.Run(tc.task.String(), func(t *testing.T) {
+			train := workload(t, tc.rows, tc.dim, tc.task)
+
+			// Reference: the deprecated Engineer path.
+			cfg := safe.DefaultConfig()
+			cfg.Task = tc.task
+			cfg.Seed = 1
+			eng, err := safe.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _, err := eng.Fit(train)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// New API, in-memory engine.
+			res, err := safe.Fit(ctx, safe.FromFrame(train),
+				safe.WithTask(tc.task), safe.WithSeed(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameSelection(t, "Fit(FromFrame)", want, res.Pipeline)
+			if res.Shard != nil {
+				t.Error("in-memory fit reported shard stats")
+			}
+
+			// New API, sharded engine over 4 partitions.
+			shRes, err := safe.Fit(ctx, safe.FromFrame(train),
+				safe.WithTask(tc.task), safe.WithSeed(1),
+				safe.WithSharding(tc.rows/4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameSelection(t, "Fit(WithSharding)", want, shRes.Pipeline)
+			if shRes.Shard == nil || shRes.Shard.Partitions != 4 {
+				t.Fatalf("shard stats: %+v, want 4 partitions", shRes.Shard)
+			}
+
+			// Deprecated FitSharded shim.
+			shardCfg := safe.DefaultShardConfig()
+			shardCfg.Core = cfg
+			shimP, _, _, err := safe.FitSharded(safe.NewFrameChunks(train, tc.rows/4), shardCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameSelection(t, "FitSharded", want, shimP)
+		})
+	}
+}
+
+// TestFitEquivalence100k pins the acceptance workload: on the 100k×50
+// benchmark distribution the composable path matches the deprecated one
+// exactly for the binary task. Skipped under -short and -race like the
+// sharded engine's own 100k pin (the smaller always-on variant above covers
+// the same code).
+func TestFitEquivalence100k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k×50 equivalence runs only without -short (see the always-on variant)")
+	}
+	if raceEnabled {
+		t.Skip("100k×50 equivalence is minutes-long under the race detector")
+	}
+	train := workload(t, 100000, 50, safe.BinaryTask())
+	cfg := safe.DefaultConfig()
+	cfg.Seed = 1
+	eng, err := safe.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := eng.Fit(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := safe.Fit(context.Background(), safe.FromFrame(train), safe.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSelection(t, "Fit 100k", want, res.Pipeline)
+	shRes, err := safe.Fit(context.Background(), safe.FromFrame(train),
+		safe.WithSeed(1), safe.WithSharding(25000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSelection(t, "Fit sharded 100k", want, shRes.Pipeline)
+}
+
+// TestFitFromCSVFile: the CSV source fits through both engines and reaches
+// the same selection as the frame it round-trips.
+func TestFitFromCSVFile(t *testing.T) {
+	train := workload(t, 4000, 8, safe.BinaryTask())
+	path := filepath.Join(t.TempDir(), "train.csv")
+	if err := train.WriteCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	mem, err := safe.Fit(ctx, safe.FromCSVFile(path, "label"), safe.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := safe.Fit(ctx, safe.FromCSVFile(path, "label"),
+		safe.WithSeed(2), safe.WithSharding(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSelection(t, "csv sharded vs in-memory", mem.Pipeline, sh.Pipeline)
+	if sh.Shard == nil || sh.Shard.Rows != 4000 {
+		t.Fatalf("shard stats: %+v", sh.Shard)
+	}
+}
+
+// TestPlanValidation pins the option/source conflict surface.
+func TestPlanValidation(t *testing.T) {
+	train := workload(t, 500, 4, safe.BinaryTask())
+	cases := []struct {
+		name string
+		src  safe.Source
+		opts []safe.Option
+	}{
+		{"nil source", nil, nil},
+		{"sketch without sharding", safe.FromFrame(train), []safe.Option{safe.WithSketch(1024, false)}},
+		{"validation with sharding", safe.FromFrame(train), []safe.Option{safe.WithValidation(train), safe.WithSharding(100)}},
+		{"early stopping without validation", safe.FromFrame(train), []safe.Option{safe.WithEarlyStopping(2, 0.001)}},
+		{"zero iterations", safe.FromFrame(train), []safe.Option{safe.WithIterations(0)}},
+		{"empty operators", safe.FromFrame(train), []safe.Option{safe.WithOperators()}},
+		{"bad selection threshold", safe.FromFrame(train), []safe.Option{safe.WithSelection(0.1, 1.5)}},
+		{"nil frame", safe.FromFrame(nil), nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := safe.Fit(context.Background(), tc.src, tc.opts...); err == nil {
+				t.Error("invalid plan accepted")
+			}
+		})
+	}
+
+	plan, err := safe.NewPlan(safe.FromFrame(train), safe.WithSharding(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Sharded() || plan.Engine() != "sharded" {
+		t.Errorf("plan engine = %q, want sharded", plan.Engine())
+	}
+	plan, err = safe.NewPlan(safe.FromFrame(train))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Sharded() || plan.Engine() != "in-memory" {
+		t.Errorf("plan engine = %q, want in-memory", plan.Engine())
+	}
+	if plan.Config().Iterations != 1 {
+		t.Errorf("normalised config iterations = %d", plan.Config().Iterations)
+	}
+}
+
+// TestFitEvents pins the event-stream protocol: balanced spans in order,
+// monotone rows, and report stage timings fed by the same instrumentation.
+func TestFitEvents(t *testing.T) {
+	for _, sharded := range []bool{false, true} {
+		name := "in-memory"
+		if sharded {
+			name = "sharded"
+		}
+		t.Run(name, func(t *testing.T) {
+			train := workload(t, 3000, 8, safe.BinaryTask())
+			var events []safe.FitEvent
+			opts := []safe.Option{
+				safe.WithSeed(3),
+				safe.WithIterations(2),
+				safe.WithEvents(func(ev safe.FitEvent) { events = append(events, ev) }),
+			}
+			if sharded {
+				opts = append(opts, safe.WithSharding(1000))
+			}
+			res, err := safe.Fit(context.Background(), safe.FromFrame(train), opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(events) == 0 {
+				t.Fatal("no events emitted")
+			}
+			if events[0].Kind != safe.EventFitStart {
+				t.Errorf("first event %v, want fit-start", events[0].Kind)
+			}
+			last := events[len(events)-1]
+			if last.Kind != safe.EventFitEnd {
+				t.Errorf("last event %v, want fit-end", last.Kind)
+			}
+			if last.Survivors != len(res.Pipeline.Output) {
+				t.Errorf("fit-end survivors %d, want %d", last.Survivors, len(res.Pipeline.Output))
+			}
+
+			var openStages, iterations int
+			var rows int64
+			stageEnds := map[safe.FitStage]int{}
+			for _, ev := range events {
+				if ev.Rows < rows {
+					t.Fatalf("rows went backwards: %d after %d (%+v)", ev.Rows, rows, ev)
+				}
+				rows = ev.Rows
+				switch ev.Kind {
+				case safe.EventStageStart:
+					openStages++
+				case safe.EventStageEnd:
+					openStages--
+					stageEnds[ev.Stage]++
+				case safe.EventIterationEnd:
+					iterations++
+				}
+				if openStages < 0 || openStages > 1 {
+					t.Fatalf("unbalanced stage spans at %+v", ev)
+				}
+			}
+			if iterations != 2 {
+				t.Errorf("iteration-end count %d, want 2", iterations)
+			}
+			for _, st := range []safe.FitStage{safe.StageMine, safe.StageScore, safe.StageGenerate, safe.StageIVFilter, safe.StagePearson, safe.StageRank} {
+				if stageEnds[st] != 2 {
+					t.Errorf("stage %v ended %d times, want 2", st, stageEnds[st])
+				}
+			}
+			if rows == 0 {
+				t.Error("no rows-processed accounting in the event stream")
+			}
+			for _, ir := range res.Report.Iterations {
+				total := ir.MineTime + ir.ScoreTime + ir.GenerateTime + ir.IVTime + ir.PearsonTime + ir.RankTime
+				if total <= 0 {
+					t.Errorf("round %d has no stage timings: %+v", ir.Round, ir)
+				}
+				if total > ir.Elapsed+time.Millisecond {
+					t.Errorf("round %d stage timings %v exceed elapsed %v", ir.Round, total, ir.Elapsed)
+				}
+			}
+		})
+	}
+}
+
+// leakCheck snapshots the goroutine count and asserts the process returns
+// to it (pool workers are persistent by design, so the baseline is taken
+// after a warmup fit has populated the pools).
+func leakCheck(t *testing.T) func() {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if n := runtime.NumGoroutine(); n <= base {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("goroutine leak: %d > baseline %d\n%s", runtime.NumGoroutine(), base, buf[:n])
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// warmup runs one small fit so the shared worker pools exist before a leak
+// baseline is taken.
+func warmup(t *testing.T, train *safe.Frame) {
+	t.Helper()
+	if _, err := safe.Fit(context.Background(), safe.FromFrame(train), safe.WithSeed(9)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// cancelAt runs a fit that cancels its own context the first time the
+// event stream reaches the given stage's start, and asserts the fit
+// returns context.Canceled promptly (the < 1s abort bound, with slack for
+// loaded CI machines) without leaking goroutines.
+func cancelAt(t *testing.T, train *safe.Frame, stage safe.FitStage, extra ...safe.Option) {
+	t.Helper()
+	warmup(t, train)
+	check := leakCheck(t)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var cancelled atomic.Int64 // unix-nano timestamp of the cancel
+	opts := append([]safe.Option{
+		safe.WithSeed(9),
+		safe.WithEvents(func(ev safe.FitEvent) {
+			if ev.Kind == safe.EventStageStart && ev.Stage == stage && cancelled.Load() == 0 {
+				cancelled.Store(time.Now().UnixNano())
+				cancel()
+			}
+		}),
+	}, extra...)
+	_, err := safe.Fit(ctx, safe.FromFrame(train), opts...)
+	returned := time.Now()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled fit returned %v, want context.Canceled", err)
+	}
+	at := cancelled.Load()
+	if at == 0 {
+		t.Fatalf("stage %v never started", stage)
+	}
+	if latency := returned.Sub(time.Unix(0, at)); latency > time.Second {
+		t.Errorf("fit took %v to honour cancellation (want < 1s)", latency)
+	}
+	check()
+}
+
+func TestFitCancelMidGeneration(t *testing.T) {
+	cancelAt(t, workload(t, 8000, 12, safe.BinaryTask()), safe.StageGenerate)
+}
+
+func TestFitCancelMidSelection(t *testing.T) {
+	train := workload(t, 8000, 12, safe.BinaryTask())
+	cancelAt(t, train, safe.StagePearson)
+	cancelAt(t, train, safe.StageRank)
+}
+
+func TestFitCancelMidShardFit(t *testing.T) {
+	cancelAt(t, workload(t, 8000, 12, safe.BinaryTask()), safe.StageGenerate, safe.WithSharding(2000))
+}
+
+// cancellingChunks cancels a context as soon as the fit's streaming pass
+// reads its Nth chunk — cancellation strictly in the middle of a shard
+// pass, not at a stage boundary.
+type cancellingChunks struct {
+	safe.ChunkSource
+	cancel     context.CancelFunc
+	after      int
+	reads      atomic.Int64
+	firstFired atomic.Int64
+}
+
+func (c *cancellingChunks) Next() (*safe.Chunk, error) {
+	if c.reads.Add(1) == int64(c.after) {
+		c.firstFired.Store(time.Now().UnixNano())
+		c.cancel()
+	}
+	return c.ChunkSource.Next()
+}
+
+func TestFitCancelMidShardPass(t *testing.T) {
+	train := workload(t, 10000, 10, safe.BinaryTask())
+	warmup(t, train)
+	check := leakCheck(t)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	src := &cancellingChunks{
+		ChunkSource: safe.NewFrameChunks(train, 500),
+		cancel:      cancel,
+		after:       25, // mid-pass: beyond the first pass's 20 chunks
+	}
+	_, err := safe.Fit(ctx, safe.FromChunks(src), safe.WithSeed(9))
+	returned := time.Now()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sharded fit returned %v, want context.Canceled", err)
+	}
+	if at := src.firstFired.Load(); at != 0 {
+		if latency := returned.Sub(time.Unix(0, at)); latency > time.Second {
+			t.Errorf("sharded fit took %v to honour mid-pass cancellation (want < 1s)", latency)
+		}
+	}
+	check()
+}
+
+// TestFitDeadline: an already-expired deadline aborts before any real work.
+func TestFitDeadline(t *testing.T) {
+	train := workload(t, 2000, 8, safe.BinaryTask())
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := safe.Fit(ctx, safe.FromFrame(train)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired fit returned %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestFitChunkSourceAlwaysSharded: FromChunks selects the sharded engine
+// with no explicit option.
+func TestFitChunkSourceAlwaysSharded(t *testing.T) {
+	train := workload(t, 2000, 6, safe.BinaryTask())
+	res, err := safe.Fit(context.Background(), safe.FromChunks(safe.NewFrameChunks(train, 500)), safe.WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shard == nil || res.Shard.Partitions != 4 {
+		t.Fatalf("chunk source did not fit sharded: %+v", res.Shard)
+	}
+}
+
+// TestFitValidationEarlyStopping: the options path drives the in-memory
+// engine's validation tracking.
+func TestFitValidationEarlyStopping(t *testing.T) {
+	target, _ := safe.TargetForTask(safe.BinaryTask())
+	ds, err := safe.GenerateDataset(safe.DatasetSpec{
+		Name: "fit-valid", Train: 3000, Test: 1000, Dim: 8,
+		Interactions: 2, SignalScale: 2.5, Seed: 17, Target: target,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := safe.Fit(context.Background(), safe.FromFrame(ds.Train),
+		safe.WithSeed(5),
+		safe.WithIterations(4),
+		safe.WithValidation(ds.Test),
+		safe.WithEarlyStopping(1, 0.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Report.Iterations) == 0 {
+		t.Fatal("no iterations reported")
+	}
+	for _, ir := range res.Report.Iterations {
+		if ir.ValidAUC == 0 {
+			t.Errorf("round %d has no validation score", ir.Round)
+		}
+	}
+}

@@ -8,6 +8,7 @@
 package benchkit
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -297,7 +298,7 @@ func runFitOnce(w FitWorkload, ds *datagen.Dataset) (Result, error) {
 		chunkRows := (w.Rows + w.Shards - 1) / w.Shards
 		fit = func() (*core.Report, error) {
 			src := frame.NewFrameChunks(ds.Train, chunkRows)
-			_, report, _, err := shard.Fit(src, shard.Config{Core: cfg})
+			_, report, _, err := shard.Fit(context.Background(), src, shard.Config{Core: cfg})
 			return report, err
 		}
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/gbdt"
@@ -147,8 +148,10 @@ const maxPartitionCells = 1024
 // into prod_i (|V_i|+1) cells, scored with the task's criterion — binary
 // information gain ratio, its K-class generalisation, or the regression
 // variance-reduction ratio. Scoring is combo-parallel on the shared pool;
-// each chunk reuses one row-partition buffer across its combos.
-func scoreCombos(combos []Combo, cols [][]float64, labels []float64, task Task, pool *parallel.Pool) {
+// each chunk reuses one row-partition buffer across its combos. A cancelled
+// context stops further combos from being scored and returns ctx.Err() —
+// partially filled GainRatios must then be discarded by the caller.
+func scoreCombos(ctx context.Context, combos []Combo, cols [][]float64, labels []float64, task Task, pool *parallel.Pool) error {
 	ratio := func(parts []int, cells int) float64 {
 		switch task.Kind {
 		case TaskMulticlass:
@@ -177,7 +180,7 @@ func scoreCombos(combos []Combo, cols [][]float64, labels []float64, task Task, 
 		c.GainRatio = ratio(parts, cc.cells)
 	}
 
-	pool.ForChunks(len(combos), pool.Grain(len(combos)), func(lo, hi int) {
+	return pool.ForChunksCtx(ctx, len(combos), pool.Grain(len(combos)), func(lo, hi int) {
 		parts := make([]int, len(labels))
 		for i := lo; i < hi; i++ {
 			score(&combos[i], parts)

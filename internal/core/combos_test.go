@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -155,7 +156,7 @@ func TestScoreCombosXORPairWins(t *testing.T) {
 		}
 	}
 	combos := mineCombos(model, []int{2})
-	scoreCombos(combos, cols, labels, BinaryTask(), parallel.Get(1))
+	_ = scoreCombos(context.Background(), combos, cols, labels, BinaryTask(), parallel.Get(1))
 	combos = topCombos(combos, 0)
 	if len(combos) == 0 {
 		t.Fatal("no combos")
@@ -183,8 +184,8 @@ func TestScoreCombosParallelMatchesSerial(t *testing.T) {
 	}
 	a := mineCombos(model, []int{1, 2})
 	b := mineCombos(model, []int{1, 2})
-	scoreCombos(a, cols, labels, BinaryTask(), parallel.Get(1))
-	scoreCombos(b, cols, labels, BinaryTask(), parallel.Get(4))
+	_ = scoreCombos(context.Background(), a, cols, labels, BinaryTask(), parallel.Get(1))
+	_ = scoreCombos(context.Background(), b, cols, labels, BinaryTask(), parallel.Get(4))
 	for i := range a {
 		if a[i].GainRatio != b[i].GainRatio {
 			t.Fatalf("combo %v: serial %v != parallel %v", a[i].Features, a[i].GainRatio, b[i].GainRatio)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -73,6 +74,12 @@ type Config struct {
 	// MinDelta is the minimum validation-AUC improvement that resets the
 	// patience counter.
 	MinDelta float64
+	// Events, when non-nil, receives the fit's structured progress stream:
+	// iteration and stage boundaries with candidate/survivor counts, rows
+	// processed, and wall times. Both fit engines emit the same protocol;
+	// see FitEvent for the delivery contract. The callback runs on the
+	// fitting goroutine and must return quickly.
+	Events EventFunc
 	// Parallel enables worker-pool parallelism in mining, generation, IV
 	// and Pearson computations.
 	Parallel bool
@@ -119,6 +126,18 @@ type IterationReport struct {
 	Elapsed        time.Duration
 	BestGainRatio  float64
 	SearchSpaceAll int // exhaustive candidate count for this round (binary ops)
+	// Per-stage wall-clock timings for the round, populated from the same
+	// instrumentation that feeds the FitEvent stream: combination mining,
+	// gain-ratio scoring, feature generation (operator application),
+	// Information-Value scoring+filtering, Pearson redundancy removal, and
+	// gain ranking. Their sum is slightly below Elapsed (bookkeeping
+	// between stages is not attributed).
+	MineTime     time.Duration
+	ScoreTime    time.Duration
+	GenerateTime time.Duration
+	IVTime       time.Duration
+	PearsonTime  time.Duration
+	RankTime     time.Duration
 	// ValidAUC is the validation score of the round's selection, only set by
 	// FitWithValidation: AUC for the binary task, exact-match accuracy for
 	// multiclass, negative RMSE for regression (higher is better for all).
@@ -230,7 +249,16 @@ type liveFeature struct {
 // Fit learns the feature generation function Ψ from a labelled training
 // frame (Algorithm 1).
 func (e *Engineer) Fit(train *frame.Frame) (*Pipeline, *Report, error) {
-	return e.fit(train, nil)
+	return e.fit(context.Background(), train, nil)
+}
+
+// FitContext is Fit with cooperative cancellation: ctx is checked at every
+// stage boundary, between generated candidates, per Pearson scan, and per
+// boosting round inside the miner/ranker, so a cancelled or expired context
+// aborts the fit promptly with ctx.Err(). The shared worker pool drains its
+// in-flight chunks and stays reusable — no goroutines are leaked.
+func (e *Engineer) FitContext(ctx context.Context, train *frame.Frame) (*Pipeline, *Report, error) {
+	return e.fit(ctx, train, nil)
 }
 
 // FitWithValidation learns Ψ using a validation frame for per-round AUC
@@ -239,6 +267,12 @@ func (e *Engineer) Fit(train *frame.Frame) (*Pipeline, *Report, error) {
 // round's selection — the "performance keeps unchanged after some rounds"
 // behaviour of Fig. 4 without paying for the extra rounds.
 func (e *Engineer) FitWithValidation(train, valid *frame.Frame) (*Pipeline, *Report, error) {
+	return e.FitWithValidationContext(context.Background(), train, valid)
+}
+
+// FitWithValidationContext is FitWithValidation with the cancellation
+// contract of FitContext.
+func (e *Engineer) FitWithValidationContext(ctx context.Context, train, valid *frame.Frame) (*Pipeline, *Report, error) {
 	if valid == nil {
 		return nil, nil, errors.New("core: FitWithValidation requires a validation frame")
 	}
@@ -248,10 +282,10 @@ func (e *Engineer) FitWithValidation(train, valid *frame.Frame) (*Pipeline, *Rep
 	if valid.Label == nil {
 		return nil, nil, errors.New("core: validation frame has no label")
 	}
-	return e.fit(train, valid)
+	return e.fit(ctx, train, valid)
 }
 
-func (e *Engineer) fit(train, valid *frame.Frame) (*Pipeline, *Report, error) {
+func (e *Engineer) fit(ctx context.Context, train, valid *frame.Frame) (*Pipeline, *Report, error) {
 	if err := train.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -315,13 +349,22 @@ func (e *Engineer) fit(train, valid *frame.Frame) (*Pipeline, *Report, error) {
 	patienceLeft := cfg.Patience
 	arena := operators.NewArena(train.NumRows())
 	pool := e.pool
+	rows := int64(train.NumRows())
+	var rowsProcessed int64
+
+	cfg.Emit(FitEvent{Kind: EventFitStart, Candidates: m})
 
 	for round := 0; round < cfg.Iterations; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		if cfg.TimeBudget > 0 && time.Since(start) > cfg.TimeBudget {
 			break
 		}
 		iterStart := time.Now()
 		ir := IterationReport{Round: round + 1}
+		sc := NewStageClock(&cfg, &ir, &rowsProcessed)
+		cfg.Emit(FitEvent{Kind: EventIterationStart, Round: ir.Round, Candidates: len(live), Rows: rowsProcessed})
 
 		cols := make([][]float64, len(live))
 		names := make([]string, len(live))
@@ -331,29 +374,38 @@ func (e *Engineer) fit(train, valid *frame.Frame) (*Pipeline, *Report, error) {
 		}
 
 		// (1) Mine combination relations (Algorithm 1 lines 3-4).
+		sc.Begin(StageMine, len(live))
 		minerCfg := cfg.Miner
 		minerCfg.Seed = cfg.Seed + int64(round)*131
-		model, err := gbdt.Train(cols, labels, names, minerCfg)
+		model, err := gbdt.TrainCtx(ctx, cols, labels, names, minerCfg)
 		if err != nil {
-			return nil, nil, fmt.Errorf("core: miner: %w", err)
+			return nil, nil, WrapUnlessCancelled(ctx, err, "core: miner")
 		}
 		combos := mineCombos(model, arities)
 		ir.CombosMined = len(combos)
 		ir.SearchSpaceAll = exhaustiveBinaryCount(len(live), ops)
+		sc.AddRows(rows)
+		sc.End(len(combos))
 
 		// (2) Sort and filter combinations by gain ratio (Algorithm 2).
-		scoreCombos(combos, cols, labels, cfg.Task, pool)
+		sc.Begin(StageScore, len(combos))
+		if err := scoreCombos(ctx, combos, cols, labels, cfg.Task, pool); err != nil {
+			return nil, nil, err
+		}
 		combos = topCombos(combos, gamma)
 		ir.CombosKept = len(combos)
 		if len(combos) > 0 {
 			ir.BestGainRatio = combos[0].GainRatio
 		}
+		sc.AddRows(rows)
+		sc.End(len(combos))
 
 		// (3)-(5) Generate features and filter uninformative ones
 		// (Algorithm 1 lines 6-7, Algorithm 3), streamed: candidates are
 		// IV-scored chunk by chunk and rejected columns recycle through the
 		// arena instead of materialising the full candidate set X̂.
-		stream := newCandidateStream(&cfg, pool, arena, live, labels)
+		sc.Begin(StageGenerate, len(combos))
+		stream := newCandidateStream(ctx, &cfg, pool, arena, live, labels)
 		stream.addBase()
 		if err := e.enumerate(stream, combos, ops); err != nil {
 			return nil, nil, err
@@ -361,9 +413,17 @@ func (e *Engineer) fit(train, valid *frame.Frame) (*Pipeline, *Report, error) {
 		entries := stream.finish()
 		ir.Generated = stream.generated
 		ir.Candidates = len(entries)
+		sc.AddRows(rows)
+		sc.End(len(entries))
+		// The stream interleaves IV scoring with generation; attribute its
+		// criterion time to the IV stage so the report's split is honest.
+		ir.GenerateTime -= stream.ivTime
+		ir.IVTime += stream.ivTime
 
+		sc.Begin(StageIVFilter, len(entries))
 		keptA := stream.keptAfterIV(entries, cfg.MinKeepIV)
 		ir.AfterIV = len(keptA)
+		sc.End(len(keptA))
 
 		candCols := make([][]float64, len(entries))
 		ivs := make([]float64, len(entries))
@@ -373,20 +433,29 @@ func (e *Engineer) fit(train, valid *frame.Frame) (*Pipeline, *Report, error) {
 		}
 
 		// (6) Remove redundant features (Algorithm 4).
-		keptB := pearsonDedup(candCols, ivs, keptA, cfg.PearsonThreshold, pool)
+		sc.Begin(StagePearson, len(keptA))
+		keptB, err := pearsonDedup(ctx, candCols, ivs, keptA, cfg.PearsonThreshold, pool)
+		if err != nil {
+			return nil, nil, err
+		}
 		ir.AfterPearson = len(keptB)
+		sc.AddRows(rows)
+		sc.End(len(keptB))
 
 		// (7) Rank by XGBoost gain, keep top budget (line 10).
+		sc.Begin(StageRank, len(keptB))
 		rankerCfg := cfg.Ranker
 		rankerCfg.Seed = cfg.Seed + 7919 + int64(round)*131
-		ranked, err := rankByGain(candCols, labels, ivs, keptB, rankerCfg)
+		ranked, err := rankByGain(ctx, candCols, labels, ivs, keptB, rankerCfg)
 		if err != nil {
-			return nil, nil, fmt.Errorf("core: ranker: %w", err)
+			return nil, nil, WrapUnlessCancelled(ctx, err, "core: ranker")
 		}
 		if len(ranked) > budget {
 			ranked = ranked[:budget]
 		}
 		ir.Selected = len(ranked)
+		sc.AddRows(rows)
+		sc.End(len(ranked))
 
 		// Carry the selection to the next round and record new nodes.
 		next := make([]*liveFeature, 0, len(ranked))
@@ -434,7 +503,7 @@ func (e *Engineer) fit(train, valid *frame.Frame) (*Pipeline, *Report, error) {
 
 		// Validation tracking and early stopping.
 		if valid != nil {
-			auc, verr := e.validationScore(live, labels, valid.Label, cfg, round)
+			auc, verr := e.validationScore(ctx, live, labels, valid.Label, cfg, round)
 			if verr != nil {
 				return nil, nil, verr
 			}
@@ -452,6 +521,10 @@ func (e *Engineer) fit(train, valid *frame.Frame) (*Pipeline, *Report, error) {
 
 		ir.Elapsed = time.Since(iterStart)
 		report.Iterations = append(report.Iterations, ir)
+		cfg.Emit(FitEvent{
+			Kind: EventIterationEnd, Round: ir.Round, Candidates: ir.Candidates,
+			Survivors: ir.Selected, Rows: rowsProcessed, Elapsed: ir.Elapsed,
+		})
 
 		if valid != nil && cfg.Patience > 0 && patienceLeft <= 0 {
 			break
@@ -473,7 +546,23 @@ func (e *Engineer) fit(train, valid *frame.Frame) (*Pipeline, *Report, error) {
 	}
 	p.prune()
 	report.Total = time.Since(start)
+	cfg.Emit(FitEvent{
+		Kind: EventFitEnd, Survivors: len(p.Output),
+		Rows: rowsProcessed, Elapsed: report.Total,
+	})
 	return p, report, nil
+}
+
+// WrapUnlessCancelled wraps an engine error with a "<prefix>: " unless the
+// context was cancelled, in which case the bare ctx.Err() is returned:
+// callers and tests match cancelled fits with errors.Is against
+// context.Canceled/DeadlineExceeded, and the cancellation must not be
+// buried under stage-specific wrapping. Shared by both fit engines.
+func WrapUnlessCancelled(ctx context.Context, err error, prefix string) error {
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return fmt.Errorf("%s: %w", prefix, err)
 }
 
 // enumerate applies the operator set to the selected combinations
@@ -505,7 +594,7 @@ func (e *Engineer) enumerate(stream *candidateStream, combos []Combo, ops []oper
 // task's validation metric: AUC for binary, exact-match accuracy for
 // multiclass, negative RMSE for regression (all higher-is-better, so the
 // early-stopping comparison is task-agnostic).
-func (e *Engineer) validationScore(live []*liveFeature, trainLabels, validLabels []float64, cfg Config, round int) (float64, error) {
+func (e *Engineer) validationScore(ctx context.Context, live []*liveFeature, trainLabels, validLabels []float64, cfg Config, round int) (float64, error) {
 	cols := make([][]float64, len(live))
 	vcols := make([][]float64, len(live))
 	for i, lf := range live {
@@ -514,9 +603,9 @@ func (e *Engineer) validationScore(live []*liveFeature, trainLabels, validLabels
 	}
 	evalCfg := cfg.Ranker
 	evalCfg.Seed = cfg.Seed + 40009 + int64(round)
-	model, err := gbdt.Train(cols, trainLabels, nil, evalCfg)
+	model, err := gbdt.TrainCtx(ctx, cols, trainLabels, nil, evalCfg)
 	if err != nil {
-		return 0, fmt.Errorf("core: validation evaluator: %w", err)
+		return 0, WrapUnlessCancelled(ctx, err, "core: validation evaluator")
 	}
 	preds := model.Predict(vcols)
 	switch cfg.Task.Kind {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -405,7 +406,10 @@ func TestPearsonDedupKeepsHigherIV(t *testing.T) {
 	}
 	cols := [][]float64{a, b}
 	ivs := []float64{0.5, 0.2}
-	kept := pearsonDedup(cols, ivs, []int{0, 1}, 0.8, parallel.Get(1))
+	kept, err := pearsonDedup(context.Background(), cols, ivs, []int{0, 1}, 0.8, parallel.Get(1))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(kept) != 1 || kept[0] != 0 {
 		t.Errorf("kept %v, want [0]", kept)
 	}

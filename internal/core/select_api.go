@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -104,10 +105,14 @@ func Select(cols [][]float64, labels []float64, cfg SelectionConfig) ([]int, err
 
 	keptB := keptA
 	if !cfg.SkipPearson {
-		keptB = pearsonDedup(cols, ivs, keptA, cfg.PearsonThreshold, pool)
+		var err error
+		keptB, err = pearsonDedup(context.Background(), cols, ivs, keptA, cfg.PearsonThreshold, pool)
+		if err != nil {
+			return nil, err
+		}
 	}
 
-	ranked, err := rankByGain(cols, labels, ivs, keptB, cfg.Ranker)
+	ranked, err := rankByGain(context.Background(), cols, labels, ivs, keptB, cfg.Ranker)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sort"
 	"sync/atomic"
@@ -95,8 +96,9 @@ func ivFilter(ivs []float64, alpha float64, minKeep int) []int {
 //
 // Candidate columns are standardised once up front (column-parallel) so
 // each pairwise correlation is a single dot product (Pearson(x,y) = x̃·ỹ/n),
-// and the scans against the kept set run on the shared pool.
-func pearsonDedup(cols [][]float64, ivs []float64, candidates []int, theta float64, pool *parallel.Pool) []int {
+// and the scans against the kept set run on the shared pool. The context is
+// checked per candidate scan; a cancelled context returns ctx.Err().
+func pearsonDedup(ctx context.Context, cols [][]float64, ivs []float64, candidates []int, theta float64, pool *parallel.Pool) ([]int, error) {
 	order := append([]int(nil), candidates...)
 	sort.Slice(order, func(a, b int) bool {
 		if ivs[order[a]] != ivs[order[b]] {
@@ -107,9 +109,15 @@ func pearsonDedup(cols [][]float64, ivs []float64, candidates []int, theta float
 
 	// Standardise candidates (NaN -> 0 == the mean after standardisation).
 	stdByPos := make([][]float64, len(order))
-	pool.For(len(order), func(i int) {
-		stdByPos[i] = standardizeCol(cols[order[i]])
+	grain := len(order) / (4 * pool.Workers())
+	err := pool.ForChunksCtx(ctx, len(order), grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			stdByPos[i] = standardizeCol(cols[order[i]])
+		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	std := make(map[int][]float64, len(order))
 	for i, j := range order {
 		std[j] = stdByPos[i]
@@ -117,6 +125,9 @@ func pearsonDedup(cols [][]float64, ivs []float64, candidates []int, theta float
 
 	kept := make([]int, 0, len(order))
 	for _, j := range order {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if std[j] == nil {
 			// Constant column: correlates with nothing by convention
 			// (stats.Pearson returns 0); keep it — the ranker will bury it.
@@ -129,7 +140,7 @@ func pearsonDedup(cols [][]float64, ivs []float64, candidates []int, theta float
 		kept = append(kept, j)
 	}
 	sort.Ints(kept)
-	return kept
+	return kept, nil
 }
 
 // standardizeCol returns (x - mean)/std with NaNs mapped to 0, or nil for a
@@ -209,12 +220,12 @@ func corrAny(std map[int][]float64, j int, kept []int, theta float64, pool *para
 // them by average split gain (Section IV-C3), returning candidate indices in
 // descending importance. Features the model never splits on rank last, tie
 // broken by IV then index for determinism.
-func rankByGain(cols [][]float64, labels []float64, ivs []float64, candidates []int, cfg gbdt.Config) ([]int, error) {
+func rankByGain(ctx context.Context, cols [][]float64, labels []float64, ivs []float64, candidates []int, cfg gbdt.Config) ([]int, error) {
 	sub := make([][]float64, len(candidates))
 	for i, j := range candidates {
 		sub[i] = cols[j]
 	}
-	model, err := gbdt.Train(sub, labels, nil, cfg)
+	model, err := gbdt.TrainCtx(ctx, sub, labels, nil, cfg)
 	if err != nil {
 		return nil, err
 	}

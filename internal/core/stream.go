@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/operators"
 	"repro/internal/parallel"
@@ -41,6 +43,7 @@ const streamChunk = 32
 
 // candidateStream owns the per-round streaming state.
 type candidateStream struct {
+	ctx      context.Context
 	cfg      *Config
 	pool     *parallel.Pool
 	arena    *operators.Arena
@@ -53,10 +56,15 @@ type candidateStream struct {
 	ivBuf     []float64
 	colsBuf   [][]float64
 	generated int // total generated (post formula-dedup), including dropped
+	// ivTime accumulates the wall time spent inside the criterion
+	// computations the stream interleaves with generation, so the fit can
+	// attribute it to the IV stage rather than generation.
+	ivTime time.Duration
 }
 
-func newCandidateStream(cfg *Config, pool *parallel.Pool, arena *operators.Arena, live []*liveFeature, labels []float64) *candidateStream {
+func newCandidateStream(ctx context.Context, cfg *Config, pool *parallel.Pool, arena *operators.Arena, live []*liveFeature, labels []float64) *candidateStream {
 	st := &candidateStream{
+		ctx:      ctx,
 		cfg:      cfg,
 		pool:     pool,
 		arena:    arena,
@@ -80,7 +88,9 @@ func (st *candidateStream) addBase() {
 	for i, lf := range st.live {
 		cols[i] = lf.train
 	}
+	t0 := time.Now()
 	ivs := computeCriteria(cols, st.labels, st.cfg.Task, st.cfg.IVBins, st.cfg.IVEqualWidth, st.pool)
+	st.ivTime += time.Since(t0)
 	for i, lf := range st.live {
 		lf.iv = ivs[i]
 		st.entries = append(st.entries, &candEntry{lf: lf, iv: ivs[i]})
@@ -88,8 +98,13 @@ func (st *candidateStream) addBase() {
 }
 
 // generate applies op to the live features at feats, queueing the new
-// candidate for the next IV flush. Duplicate formulas are skipped.
+// candidate for the next IV flush. Duplicate formulas are skipped. The
+// context is checked per candidate, making generation the most finely
+// cancellable stage of a fit.
 func (st *candidateStream) generate(op operators.Operator, feats []int) error {
+	if err := st.ctx.Err(); err != nil {
+		return err
+	}
 	in := make([][]float64, len(feats))
 	names := make([]string, len(feats))
 	for i, f := range feats {
@@ -152,7 +167,9 @@ func (st *candidateStream) flush() {
 	for i, en := range pending {
 		cols[i] = en.lf.train
 	}
+	t0 := time.Now()
 	computeCriteriaInto(ivs, cols, st.labels, cfg.Task, cfg.IVBins, cfg.IVEqualWidth, st.pool)
+	st.ivTime += time.Since(t0)
 	for i, en := range pending {
 		en.iv = ivs[i]
 		en.lf.iv = ivs[i]

@@ -1,6 +1,7 @@
 package gbdt
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -186,7 +187,7 @@ func TrainWithValidation(cols [][]float64, labels []float64, vcols [][]float64, 
 	if len(vlabels) == 0 {
 		return nil, errors.New("gbdt: empty validation labels")
 	}
-	model, err := trainInternal(cols, labels, names, cfg, &validation{
+	model, err := trainInternal(context.Background(), cols, labels, names, cfg, &validation{
 		cols: vcols, labels: vlabels, patience: earlyStopRounds,
 	})
 	if err != nil {
@@ -212,7 +213,15 @@ type validation struct {
 // row i. labels are {0,1} for Logistic, arbitrary for Squared. names may be
 // nil. Train does not retain cols or labels.
 func Train(cols [][]float64, labels []float64, names []string, cfg Config) (*Model, error) {
-	return trainInternal(cols, labels, names, cfg, nil)
+	return trainInternal(context.Background(), cols, labels, names, cfg, nil)
+}
+
+// TrainCtx is Train with cooperative cancellation: the boosting loop checks
+// ctx between rounds and returns ctx.Err() once it is cancelled or past its
+// deadline, abandoning the partial model. A completed training run is never
+// failed retroactively.
+func TrainCtx(ctx context.Context, cols [][]float64, labels []float64, names []string, cfg Config) (*Model, error) {
+	return trainInternal(ctx, cols, labels, names, cfg, nil)
 }
 
 // Prebinned is a feature matrix already quantised to per-feature bin codes:
@@ -233,6 +242,12 @@ type Prebinned struct {
 // smaller than the raw float64 columns. The model's split thresholds are
 // real cut values, so Predict works on raw rows as usual.
 func TrainBinned(pb *Prebinned, labels []float64, names []string, cfg Config) (*Model, error) {
+	return TrainBinnedCtx(context.Background(), pb, labels, names, cfg)
+}
+
+// TrainBinnedCtx is TrainBinned with the per-round cancellation contract of
+// TrainCtx.
+func TrainBinnedCtx(ctx context.Context, pb *Prebinned, labels []float64, names []string, cfg Config) (*Model, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -262,10 +277,10 @@ func TrainBinned(pb *Prebinned, labels []float64, names []string, cfg Config) (*
 		}
 		b.numBins[j] = nb
 	}
-	return trainWithBinner(b, labels, names, cfg, nil)
+	return trainWithBinner(ctx, b, labels, names, cfg, nil)
 }
 
-func trainInternal(cols [][]float64, labels []float64, names []string, cfg Config, val *validation) (*Model, error) {
+func trainInternal(ctx context.Context, cols [][]float64, labels []float64, names []string, cfg Config, val *validation) (*Model, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -283,14 +298,16 @@ func trainInternal(cols [][]float64, labels []float64, names []string, cfg Confi
 		}
 	}
 	b := newBinner(cols, cfg.MaxBins, cfg.pool())
-	return trainWithBinner(b, labels, names, cfg, val)
+	return trainWithBinner(ctx, b, labels, names, cfg, val)
 }
 
 // trainWithBinner is the boosting loop proper, shared by the raw-column and
-// prebinned entry points.
-func trainWithBinner(b *binner, labels []float64, names []string, cfg Config, val *validation) (*Model, error) {
+// prebinned entry points. ctx is checked once per boosting round — the
+// granularity at which abandoning work stays cheap relative to the work
+// itself.
+func trainWithBinner(ctx context.Context, b *binner, labels []float64, names []string, cfg Config, val *validation) (*Model, error) {
 	if cfg.Objective == Softmax {
-		return trainSoftmaxWithBinner(b, labels, names, cfg, val)
+		return trainSoftmaxWithBinner(ctx, b, labels, names, cfg, val)
 	}
 	m := len(b.codes)
 	n := len(labels)
@@ -333,6 +350,9 @@ func trainWithBinner(b *binner, labels []float64, names []string, cfg Config, va
 	}
 
 	for t := 0; t < cfg.NumTrees; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		computeGradients(cfg.Objective, raw, labels, grad, hess)
 
 		// The row set is partitioned in place while the tree grows, so it

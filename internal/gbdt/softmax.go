@@ -1,6 +1,7 @@
 package gbdt
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -16,7 +17,7 @@ import (
 // for Softmax exactly as they are for Logistic and Squared. The row and
 // column subsamples are drawn once per round and shared by every class tree
 // (XGBoost's behaviour), keeping the per-round trees comparable.
-func trainSoftmaxWithBinner(b *binner, labels []float64, names []string, cfg Config, val *validation) (*Model, error) {
+func trainSoftmaxWithBinner(ctx context.Context, b *binner, labels []float64, names []string, cfg Config, val *validation) (*Model, error) {
 	if val != nil {
 		return nil, errors.New("gbdt: validation-based early stopping is not supported for the Softmax objective")
 	}
@@ -57,6 +58,9 @@ func trainSoftmaxWithBinner(b *binner, labels []float64, names []string, cfg Con
 	sample := make([]int, 0, n)
 
 	for t := 0; t < cfg.NumTrees; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		softmaxProbs(raw, prob, pool)
 
 		sample = sample[:0]

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -84,6 +85,22 @@ const minChunk = 64
 // ForChunks returns once every chunk has completed; a panic in fn is
 // re-raised on the calling goroutine.
 func (p *Pool) ForChunks(n, grain int, fn func(lo, hi int)) {
+	p.forChunks(nil, n, grain, fn)
+}
+
+// ForChunksCtx is ForChunks with cooperative cancellation: once ctx is
+// cancelled no further chunks are claimed and ctx.Err() is returned (nil on
+// a complete run). Chunks already executing finish, and the call returns
+// only after every participating worker has drained — pool workers outlive
+// the call by design, so cancellation never leaks goroutines mid-task.
+// On cancellation the per-index outputs are only partially written; callers
+// must discard them and propagate the error.
+func (p *Pool) ForChunksCtx(ctx context.Context, n, grain int, fn func(lo, hi int)) error {
+	p.forChunks(ctx, n, grain, fn)
+	return ctx.Err()
+}
+
+func (p *Pool) forChunks(ctx context.Context, n, grain int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
@@ -92,6 +109,9 @@ func (p *Pool) ForChunks(n, grain int, fn func(lo, hi int)) {
 	}
 	chunks := (n + grain - 1) / grain
 	if chunks <= 1 || p.workers == 1 {
+		if ctx != nil && ctx.Err() != nil {
+			return
+		}
 		fn(0, n)
 		return
 	}
@@ -111,6 +131,10 @@ func (p *Pool) ForChunks(n, grain int, fn func(lo, hi int)) {
 			}
 		}()
 		for {
+			if ctx != nil && ctx.Err() != nil {
+				next.Store(int64(chunks))
+				return
+			}
 			c := int(next.Add(1)) - 1
 			if c >= chunks {
 				return

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 )
@@ -103,5 +104,42 @@ func TestForChunksReusablePool(t *testing.T) {
 		if count.Load() != 200 {
 			t.Fatalf("round %d covered %d indices, want 200", round, count.Load())
 		}
+	}
+}
+
+func TestForChunksCtxCancellation(t *testing.T) {
+	p := New(4)
+	// A completed run returns nil.
+	if err := p.ForChunksCtx(context.Background(), 100, 10, func(lo, hi int) {}); err != nil {
+		t.Fatalf("uncancelled run returned %v", err)
+	}
+	// Cancelling from inside a chunk stops further chunks being claimed and
+	// returns ctx.Err(); the pool stays reusable afterwards.
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := p.ForChunksCtx(ctx, 100000, 1, func(lo, hi int) {
+		if ran.Add(int64(hi-lo)) > 100 {
+			cancel()
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+	if ran.Load() >= 100000 {
+		t.Fatal("cancellation did not stop chunk claims")
+	}
+	var count atomic.Int64
+	p.ForChunks(500, 7, func(lo, hi int) { count.Add(int64(hi - lo)) })
+	if count.Load() != 500 {
+		t.Fatalf("pool unusable after cancellation: covered %d of 500", count.Load())
+	}
+	// An already-cancelled context runs nothing, including the single-chunk
+	// fast path.
+	ran.Store(0)
+	if err := p.ForChunksCtx(ctx, 50, 100, func(lo, hi int) { ran.Add(1) }); err != context.Canceled {
+		t.Fatalf("pre-cancelled run returned %v", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatal("pre-cancelled context still executed chunks")
 	}
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io/fs"
@@ -237,6 +238,15 @@ func (r *Registry) Snapshot() []PipelineInfo {
 // use zero-padded or date-stamped versions. Returns the number of entries
 // registered.
 func (r *Registry) LoadDir(dir string) (int, error) {
+	return r.LoadDirContext(context.Background(), dir)
+}
+
+// LoadDirContext is LoadDir with cooperative cancellation: the warm load
+// checks ctx before each version, so a shutdown signal during a large
+// model-directory load aborts promptly with ctx.Err() instead of parsing
+// every remaining artefact first. Entries already registered stay
+// registered (the returned count says how many).
+func (r *Registry) LoadDirContext(ctx context.Context, dir string) (int, error) {
 	names, err := sortedSubdirs(dir)
 	if err != nil {
 		return 0, fmt.Errorf("serve: load dir: %w", err)
@@ -251,6 +261,9 @@ func (r *Registry) LoadDir(dir string) (int, error) {
 			continue
 		}
 		for _, version := range versions {
+			if err := ctx.Err(); err != nil {
+				return loaded, err
+			}
 			vdir := filepath.Join(dir, name, version)
 			p, err := core.LoadPipelineFile(filepath.Join(vdir, "pipeline.json"))
 			if err != nil {

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -56,8 +57,12 @@ type Stats struct {
 // pass plus the resident binned matrices. The selected features and
 // formulas match core.Fit on the same rows up to quantile-sketch tolerance
 // (see package doc); the returned report mirrors core's per-iteration
-// stage sizes.
-func Fit(src frame.ChunkSource, cfg Config) (*core.Pipeline, *core.Report, *Stats, error) {
+// stage sizes, including the per-stage wall-clock timings, and
+// cfg.Core.Events receives the same FitEvent protocol the in-memory engine
+// emits. ctx is checked before every source chunk and every boosting
+// round: a cancelled or expired context aborts the multi-pass coordinator
+// promptly with ctx.Err() and leaks no goroutines.
+func Fit(ctx context.Context, src frame.ChunkSource, cfg Config) (*core.Pipeline, *core.Report, *Stats, error) {
 	norm, err := core.NormalizeConfig(cfg.Core)
 	if err != nil {
 		return nil, nil, nil, err
@@ -81,6 +86,7 @@ func Fit(src frame.ChunkSource, cfg Config) (*core.Pipeline, *core.Report, *Stat
 		pool = parallel.Get(norm.Workers)
 	}
 	f := &fitter{
+		ctx:        ctx,
 		cfg:        norm,
 		sketchSize: cfg.SketchSize,
 		approxCuts: cfg.ApproxCuts,
@@ -131,6 +137,7 @@ type candidate struct {
 }
 
 type fitter struct {
+	ctx        context.Context
 	cfg        core.Config
 	sketchSize int
 	approxCuts bool
@@ -150,7 +157,9 @@ type fitter struct {
 }
 
 // forEachChunk makes one full pass over the source, tracking pass and row
-// statistics and validating that the source yields a stable shape.
+// statistics and validating that the source yields a stable shape. The
+// context is checked before every chunk, so a cancelled fit stops
+// mid-pass without finishing the stream.
 func (f *fitter) forEachChunk(fn func(c *frame.Chunk) error) error {
 	if err := f.src.Reset(); err != nil {
 		return err
@@ -158,6 +167,9 @@ func (f *fitter) forEachChunk(fn func(c *frame.Chunk) error) error {
 	f.stats.Passes++
 	rows, parts := 0, 0
 	for {
+		if err := f.ctx.Err(); err != nil {
+			return err
+		}
 		c, err := f.src.Next()
 		if errors.Is(err, io.EOF) {
 			break
@@ -213,6 +225,10 @@ func (f *fitter) fit() (*core.Pipeline, *core.Report, error) {
 		}
 		seen[name] = true
 	}
+	// FitStart precedes the pre-iteration streaming passes, so a consumer
+	// sees the fit open before the first (possibly long) pass over the
+	// source; Rows on later events reflects cumulative source consumption.
+	cfg.Emit(core.FitEvent{Kind: core.EventFitStart, Candidates: m})
 
 	// Pass 1: labels plus per-feature quantile sketches and moments.
 	f.live = make([]*liveFeat, m)
@@ -274,13 +290,24 @@ func (f *fitter) fit() (*core.Pipeline, *core.Report, error) {
 	report := &core.Report{}
 	start := time.Now()
 	for round := 0; round < cfg.Iterations; round++ {
+		if err := f.ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		if cfg.TimeBudget > 0 && time.Since(start) > cfg.TimeBudget {
 			break
 		}
 		iterStart := time.Now()
 		ir := core.IterationReport{Round: round + 1}
+		// The clock shares the streamed-rows counter forEachChunk maintains,
+		// so event Rows reflect actual source consumption per stage.
+		sc := core.NewStageClock(&cfg, &ir, &f.stats.RowsStreamed)
+		cfg.Emit(core.FitEvent{
+			Kind: core.EventIterationStart, Round: ir.Round,
+			Candidates: len(f.live), Rows: f.stats.RowsStreamed,
+		})
 
 		// (1) Mine combination relations from the binned miner model.
+		sc.Begin(core.StageMine, len(f.live))
 		minerCfg := cfg.Miner
 		minerCfg.Seed = cfg.Seed + int64(round)*131
 		pb := &gbdt.Prebinned{Codes: make([][]uint8, len(f.live)), Cuts: make([][]float64, len(f.live))}
@@ -290,15 +317,17 @@ func (f *fitter) fit() (*core.Pipeline, *core.Report, error) {
 			pb.Cuts[i] = lf.minerCuts
 			liveNames[i] = lf.name
 		}
-		model, err := gbdt.TrainBinned(pb, f.labels, liveNames, minerCfg)
+		model, err := gbdt.TrainBinnedCtx(f.ctx, pb, f.labels, liveNames, minerCfg)
 		if err != nil {
-			return nil, nil, fmt.Errorf("shard: miner: %w", err)
+			return nil, nil, core.WrapUnlessCancelled(f.ctx, err, "shard: miner")
 		}
 		combos := core.MineCombos(model, f.arities)
 		ir.CombosMined = len(combos)
 		ir.SearchSpaceAll = core.ExhaustiveCandidateCount(len(f.live), f.ops)
+		sc.End(len(combos))
 
 		// (2) Score combinations from merged contingency tables.
+		sc.Begin(core.StageScore, len(combos))
 		if err := f.scoreCombos(combos); err != nil {
 			return nil, nil, err
 		}
@@ -307,9 +336,13 @@ func (f *fitter) fit() (*core.Pipeline, *core.Report, error) {
 		if len(combos) > 0 {
 			ir.BestGainRatio = combos[0].GainRatio
 		}
+		sc.End(len(combos))
 
 		// (3) Enumerate candidates: base features first, then generated, in
-		// the in-memory stream's order with the same formula dedup.
+		// the in-memory stream's order with the same formula dedup; then
+		// sketch and refine the generated columns — the sharded equivalent
+		// of materialising them.
+		sc.Begin(core.StageGenerate, len(combos))
 		entries, generated, err := f.enumerate(combos)
 		if err != nil {
 			return nil, nil, err
@@ -326,6 +359,9 @@ func (f *fitter) fit() (*core.Pipeline, *core.Report, error) {
 		if err := f.refineCandidates(entries); err != nil {
 			return nil, nil, err
 		}
+		sc.End(len(entries))
+
+		sc.Begin(core.StageIVFilter, len(entries))
 		for _, en := range entries {
 			en.ivCuts = sketch.ExactCuts(en.sk, en.ref, cfg.IVBins)
 			if en.isBase && cfg.Ranker.MaxBins == cfg.Miner.MaxBins {
@@ -347,16 +383,20 @@ func (f *fitter) fit() (*core.Pipeline, *core.Report, error) {
 
 		keptA := core.IVFilter(ivs, cfg.IVThreshold, cfg.MinKeepIV)
 		ir.AfterIV = len(keptA)
+		sc.End(len(keptA))
 
 		// (6) Redundancy removal from pairwise co-moments; the same pass
 		// builds resident ranker codes for the surviving candidates.
+		sc.Begin(core.StagePearson, len(keptA))
 		keptB, err := f.pearsonDedup(entries, keptA, cfg.PearsonThreshold)
 		if err != nil {
 			return nil, nil, err
 		}
 		ir.AfterPearson = len(keptB)
+		sc.End(len(keptB))
 
 		// (7) Rank by binned-XGBoost gain, keep the budget.
+		sc.Begin(core.StageRank, len(keptB))
 		rankerCfg := cfg.Ranker
 		rankerCfg.Seed = cfg.Seed + 7919 + int64(round)*131
 		rpb := &gbdt.Prebinned{Codes: make([][]uint8, len(keptB)), Cuts: make([][]float64, len(keptB))}
@@ -364,15 +404,16 @@ func (f *fitter) fit() (*core.Pipeline, *core.Report, error) {
 			rpb.Codes[i] = entries[idx].codes
 			rpb.Cuts[i] = entries[idx].rgCuts
 		}
-		ranker, err := gbdt.TrainBinned(rpb, f.labels, nil, rankerCfg)
+		ranker, err := gbdt.TrainBinnedCtx(f.ctx, rpb, f.labels, nil, rankerCfg)
 		if err != nil {
-			return nil, nil, fmt.Errorf("shard: ranker: %w", err)
+			return nil, nil, core.WrapUnlessCancelled(f.ctx, err, "shard: ranker")
 		}
 		ranked := core.OrderByGain(ranker.GainImportance(), ivs, keptB)
 		if len(ranked) > budget {
 			ranked = ranked[:budget]
 		}
 		ir.Selected = len(ranked)
+		sc.End(len(ranked))
 
 		// Record every generated node (pipeline pruning trims the unused
 		// ones, as in the in-memory path) and carry the selection forward.
@@ -418,6 +459,10 @@ func (f *fitter) fit() (*core.Pipeline, *core.Report, error) {
 
 		ir.Elapsed = time.Since(iterStart)
 		report.Iterations = append(report.Iterations, ir)
+		cfg.Emit(core.FitEvent{
+			Kind: core.EventIterationEnd, Round: ir.Round, Candidates: ir.Candidates,
+			Survivors: ir.Selected, Rows: f.stats.RowsStreamed, Elapsed: ir.Elapsed,
+		})
 	}
 
 	p := &core.Pipeline{OriginalNames: append([]string(nil), f.names...), Nodes: f.nodes, Task: cfg.Task}
@@ -426,6 +471,10 @@ func (f *fitter) fit() (*core.Pipeline, *core.Report, error) {
 	}
 	p.Prune()
 	report.Total = time.Since(start)
+	cfg.Emit(core.FitEvent{
+		Kind: core.EventFitEnd, Survivors: len(p.Output),
+		Rows: f.stats.RowsStreamed, Elapsed: report.Total,
+	})
 	return p, report, nil
 }
 

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"math"
 	"path/filepath"
 	"strings"
@@ -69,7 +70,7 @@ func TestShardedFitMatchesInMemory100k(t *testing.T) {
 	want := fitInMemory(t, train, cfg)
 
 	src := frame.NewFrameChunks(train, 25000) // 4 partitions
-	got, report, st, err := Fit(src, Config{Core: cfg})
+	got, report, st, err := Fit(context.Background(), src, Config{Core: cfg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestShardedFitMatchesInMemory20k(t *testing.T) {
 	want := fitInMemory(t, train, cfg)
 
 	src := frame.NewFrameChunks(train, 4000) // 5 partitions
-	got, _, st, err := Fit(src, Config{Core: cfg})
+	got, _, st, err := Fit(context.Background(), src, Config{Core: cfg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestShardedFitTwoIterations(t *testing.T) {
 	cfg.Iterations = 2
 	want := fitInMemory(t, train, cfg)
 
-	got, report, _, err := Fit(frame.NewFrameChunks(train, 2000), Config{Core: cfg})
+	got, report, _, err := Fit(context.Background(), frame.NewFrameChunks(train, 2000), Config{Core: cfg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestShardedFitChunkedCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer src.Close()
-	got, _, st, err := Fit(src, Config{Core: cfg})
+	got, _, st, err := Fit(context.Background(), src, Config{Core: cfg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestShardedFitWithMissingValues(t *testing.T) {
 	cfg.Seed = 4
 	want := fitInMemory(t, train, cfg)
 
-	got, _, _, err := Fit(frame.NewFrameChunks(train, 2500), Config{Core: cfg})
+	got, _, _, err := Fit(context.Background(), frame.NewFrameChunks(train, 2500), Config{Core: cfg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +205,7 @@ func TestShardedFitWorkerCountInvariance(t *testing.T) {
 		cfg := core.DefaultConfig()
 		cfg.Seed = 2
 		cfg.Workers = workers
-		p, _, _, err := Fit(frame.NewFrameChunks(train, 1250), Config{Core: cfg})
+		p, _, _, err := Fit(context.Background(), frame.NewFrameChunks(train, 1250), Config{Core: cfg})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -221,11 +222,11 @@ func TestShardedFitApproxCuts(t *testing.T) {
 	train := workload(t, 20000, 10)
 	cfg := core.DefaultConfig()
 	cfg.Seed = 1
-	exactP, _, exactSt, err := Fit(frame.NewFrameChunks(train, 5000), Config{Core: cfg})
+	exactP, _, exactSt, err := Fit(context.Background(), frame.NewFrameChunks(train, 5000), Config{Core: cfg})
 	if err != nil {
 		t.Fatal(err)
 	}
-	approxP, _, approxSt, err := Fit(frame.NewFrameChunks(train, 5000), Config{Core: cfg, ApproxCuts: true, SketchSize: 2048})
+	approxP, _, approxSt, err := Fit(context.Background(), frame.NewFrameChunks(train, 5000), Config{Core: cfg, ApproxCuts: true, SketchSize: 2048})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,13 +247,13 @@ func TestShardedFitRejectsUnsupportedConfigs(t *testing.T) {
 
 	cfg := core.DefaultConfig()
 	cfg.Operators = []string{"add", "minmax"} // minmax fits parameters from data
-	if _, _, _, err := Fit(src, Config{Core: cfg}); err == nil || !strings.Contains(err.Error(), "minmax") {
+	if _, _, _, err := Fit(context.Background(), src, Config{Core: cfg}); err == nil || !strings.Contains(err.Error(), "minmax") {
 		t.Errorf("stateful operator accepted: %v", err)
 	}
 
 	cfg = core.DefaultConfig()
 	cfg.IVEqualWidth = true
-	if _, _, _, err := Fit(src, Config{Core: cfg}); err == nil {
+	if _, _, _, err := Fit(context.Background(), src, Config{Core: cfg}); err == nil {
 		t.Error("IVEqualWidth accepted")
 	}
 }
@@ -261,18 +262,18 @@ func TestShardedFitSourceValidation(t *testing.T) {
 	// Unlabelled source.
 	train := workload(t, 500, 4)
 	unlabelled := &frame.Frame{Columns: train.Columns}
-	if _, _, _, err := Fit(frame.NewFrameChunks(unlabelled, 100), DefaultConfig()); err == nil {
+	if _, _, _, err := Fit(context.Background(), frame.NewFrameChunks(unlabelled, 100), DefaultConfig()); err == nil {
 		t.Error("unlabelled source accepted")
 	}
 	// Empty source.
 	empty := frame.NewWithShape(0, 3)
-	if _, _, _, err := Fit(frame.NewFrameChunks(empty, 10), DefaultConfig()); err == nil {
+	if _, _, _, err := Fit(context.Background(), frame.NewFrameChunks(empty, 10), DefaultConfig()); err == nil {
 		t.Error("empty source accepted")
 	}
 	// Duplicate column names.
 	dup := frame.NewWithShape(50, 2)
 	dup.Columns[1].Name = dup.Columns[0].Name
-	if _, _, _, err := Fit(frame.NewFrameChunks(dup, 10), DefaultConfig()); err == nil {
+	if _, _, _, err := Fit(context.Background(), frame.NewFrameChunks(dup, 10), DefaultConfig()); err == nil {
 		t.Error("duplicate column names accepted")
 	}
 }
@@ -285,7 +286,7 @@ func TestShardedFitDeterministic(t *testing.T) {
 	cfg.Seed = 9
 	var prev []string
 	for run := 0; run < 2; run++ {
-		p, _, _, err := Fit(frame.NewFrameChunks(train, 1000), Config{Core: cfg})
+		p, _, _, err := Fit(context.Background(), frame.NewFrameChunks(train, 1000), Config{Core: cfg})
 		if err != nil {
 			t.Fatal(err)
 		}

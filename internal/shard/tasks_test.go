@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -54,7 +55,7 @@ func TestShardedFitMatchesInMemoryPerTask(t *testing.T) {
 			for _, workers := range []int{1, 3} {
 				wcfg := cfg
 				wcfg.Workers = workers
-				got, report, st, err := Fit(frame.NewFrameChunks(train, 1500), Config{Core: wcfg})
+				got, report, st, err := Fit(context.Background(), frame.NewFrameChunks(train, 1500), Config{Core: wcfg})
 				if err != nil {
 					t.Fatalf("workers=%d: %v", workers, err)
 				}
@@ -94,7 +95,7 @@ func TestShardedFitClassAbsentFromPartition(t *testing.T) {
 	cfg.Seed = 7
 	want := fitInMemory(t, train, cfg)
 
-	got, _, st, err := Fit(frame.NewFrameChunks(train, 1000), Config{Core: cfg})
+	got, _, st, err := Fit(context.Background(), frame.NewFrameChunks(train, 1000), Config{Core: cfg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,12 +111,12 @@ func TestShardedFitRejectsBadLabels(t *testing.T) {
 	train := taskWorkload(t, 400, 4, datagen.TargetMulticlass, 4) // classes in [0,4)
 	cfg := core.DefaultConfig()
 	cfg.Task = core.MulticlassTask(3) // class 3 is out of range
-	if _, _, _, err := Fit(frame.NewFrameChunks(train, 100), Config{Core: cfg}); err == nil {
+	if _, _, _, err := Fit(context.Background(), frame.NewFrameChunks(train, 100), Config{Core: cfg}); err == nil {
 		t.Error("out-of-range class labels accepted")
 	}
 
 	cfg = core.DefaultConfig() // binary task, multiclass labels
-	if _, _, _, err := Fit(frame.NewFrameChunks(train, 100), Config{Core: cfg}); err == nil {
+	if _, _, _, err := Fit(context.Background(), frame.NewFrameChunks(train, 100), Config{Core: cfg}); err == nil {
 		t.Error("non-binary labels accepted by the binary task")
 	}
 }

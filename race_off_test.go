@@ -1,0 +1,5 @@
+//go:build !race
+
+package safe_test
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package safe_test
+
+// raceEnabled gates the minutes-long 100k×50 equivalence pin off under the
+// race detector; the smaller always-on variants cover the same code.
+const raceEnabled = true

@@ -5,19 +5,34 @@
 // generation, then a three-stage selection pipeline (Information Value
 // filter, Pearson redundancy removal, XGBoost gain ranking).
 //
-// Quickstart:
+// Quickstart — one composable entrypoint:
 //
-//	train, _ := safe.ReadCSVFile("train.csv", "label")
-//	eng, _ := safe.New(safe.DefaultConfig())
-//	pipeline, report, _ := eng.Fit(train)
-//	transformed, _ := pipeline.Transform(train)      // batch
-//	features, _ := pipeline.TransformRow(rawRow)     // real-time inference
+//	res, _ := safe.Fit(ctx, safe.FromCSVFile("train.csv", "label"))
+//	transformed, _ := res.Pipeline.Transform(train)      // batch
+//	features, _ := res.Pipeline.TransformRow(rawRow)     // real-time inference
+//
+// Fit composes from a Source and functional options; the engine (in-memory
+// vs sharded out-of-core) is picked from the source and options:
+//
+//	res, _ := safe.Fit(ctx, safe.FromCSVFile("huge.csv", "label"),
+//	    safe.WithTask(safe.RegressionTask()),
+//	    safe.WithSharding(100_000),              // stream in 100k-row chunks
+//	    safe.WithEvents(func(ev safe.FitEvent) { // live progress
+//	        log.Printf("%s %s", ev.Kind, ev.Stage)
+//	    }))
+//
+// Cancellation and deadlines propagate through every layer: cancel ctx and
+// the fit aborts promptly with ctx.Err(), leaking nothing. NewPlan
+// validates the same source+options into an inspectable, reusable Plan.
 //
 // Every generated feature carries an interpretable formula (e.g.
 // "(x3 * x7)"), and new operators can be plugged in through a Registry.
+// See docs/api.md for the full Plan/options model and the migration table
+// from the deprecated Engineer/FitSharded entry points.
 package safe
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/clf"
@@ -101,8 +116,14 @@ func RegressionTask() Task { return core.RegressionTask() }
 func ParseTask(s string) (Task, error) { return core.ParseTask(s) }
 
 // Engineer runs the SAFE algorithm.
+//
+// Deprecated: Engineer is the pre-Plan entry point, kept as a thin shim
+// over the composable path — New + Engineer.Fit behaves exactly like
+// Fit(ctx, FromFrame(train), WithConfig(cfg)) and selects identical
+// features. New code should call Fit (or NewPlan) directly, which adds
+// context cancellation, engine selection, and the progress-event stream.
 type Engineer struct {
-	inner *core.Engineer
+	cfg Config
 }
 
 // DefaultConfig returns the paper's experimental configuration: operators
@@ -113,17 +134,26 @@ func DefaultConfig() Config { return core.DefaultConfig() }
 func DefaultSelectionConfig() SelectionConfig { return core.DefaultSelectionConfig() }
 
 // New validates the configuration and constructs an Engineer.
+//
+// Deprecated: see Engineer; call Fit with options instead.
 func New(cfg Config) (*Engineer, error) {
-	inner, err := core.New(cfg)
+	norm, err := core.NormalizeConfig(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Engineer{inner: inner}, nil
+	return &Engineer{cfg: norm}, nil
 }
 
 // Fit learns Ψ from a labelled training frame.
+//
+// Deprecated: see Engineer; this shim routes through the composable Fit
+// path with a background context.
 func (e *Engineer) Fit(train *Frame) (*Pipeline, *Report, error) {
-	return e.inner.Fit(train)
+	res, err := Fit(context.Background(), FromFrame(train), WithConfig(e.cfg))
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Pipeline, res.Report, nil
 }
 
 // NewRegistry returns an operator registry pre-populated with the paper's
@@ -149,6 +179,9 @@ func Select(cols [][]float64, labels []float64, cfg SelectionConfig) ([]int, err
 // substrate of the sharded out-of-core fit path.
 type ChunkSource = frame.ChunkSource
 
+// Chunk is one row-range of a chunked dataset, as yielded by a ChunkSource.
+type Chunk = frame.Chunk
+
 // ShardConfig configures FitSharded; see shard.Config.
 type ShardConfig = shard.Config
 
@@ -163,9 +196,21 @@ func DefaultShardConfig() ShardConfig { return shard.DefaultConfig() }
 // never coexist in memory: statistics are computed as mergeable sketches
 // per partition and merged, and the XGBoost stages train on a resident
 // binned (1 byte/value) matrix. With default settings the selected features
-// are identical to Fit on the same rows; see docs/sharding.md.
+// are identical to the in-memory engine on the same rows; see
+// docs/sharding.md.
+//
+// Deprecated: FitSharded is kept as a thin shim over the composable path —
+// it behaves exactly like Fit(ctx, FromChunks(src), WithConfig(cfg.Core),
+// WithSketch(cfg.SketchSize, cfg.ApproxCuts)) and selects identical
+// features. New code should call Fit, which adds context cancellation and
+// the progress-event stream.
 func FitSharded(src ChunkSource, cfg ShardConfig) (*Pipeline, *Report, *ShardStats, error) {
-	return shard.Fit(src, cfg)
+	res, err := Fit(context.Background(), FromChunks(src),
+		WithConfig(cfg.Core), WithSketch(cfg.SketchSize, cfg.ApproxCuts))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return res.Pipeline, res.Report, res.Shard, nil
 }
 
 // OpenCSVChunks opens a CSV file as a streaming chunk source for FitSharded:

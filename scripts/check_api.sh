@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# check_api.sh — the API-surface half of CI's lint job: the exported
+# surface of the root `safe` package is a reviewed artefact, snapshotted in
+# docs/api_surface.txt. Any change to exported names or signatures that is
+# not accompanied by a snapshot update fails the build, so public-API drift
+# is always a deliberate, visible diff instead of an accident.
+#
+#   bash scripts/check_api.sh            # verify (CI mode)
+#   bash scripts/check_api.sh -update    # regenerate the snapshot
+#
+# The snapshot is `go doc -all .` normalised down to declarations: doc
+# comments (4-space-indented prose and the package header) are stripped so
+# wording edits never trip the gate — only names, signatures, fields and
+# constants do.
+set -euo pipefail
+
+snapshot="docs/api_surface.txt"
+
+normalize() {
+  go doc -all . | awk '
+    /^(CONSTANTS|VARIABLES|FUNCTIONS|TYPES)$/ { in_body = 1; next }
+    !in_body { next }   # package header prose
+    /^    /  { next }   # doc-comment prose
+    /^$/     { next }
+    { print }
+  '
+}
+
+if [ "${1:-}" = "-update" ]; then
+  normalize > "$snapshot"
+  echo "api surface snapshot updated: $snapshot"
+  exit 0
+fi
+
+if [ ! -f "$snapshot" ]; then
+  echo "missing $snapshot — run: bash scripts/check_api.sh -update" >&2
+  exit 1
+fi
+
+if ! diff -u "$snapshot" <(normalize); then
+  cat >&2 <<'EOF'
+
+api surface check failed: the exported API of the root package differs
+from the reviewed snapshot in docs/api_surface.txt. If the change is
+intentional, regenerate the snapshot and commit it alongside the code:
+
+    bash scripts/check_api.sh -update
+
+EOF
+  exit 1
+fi
+echo "api surface ok: exported API matches docs/api_surface.txt"

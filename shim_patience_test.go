@@ -1,0 +1,35 @@
+package safe_test
+
+import (
+	"testing"
+
+	"repro"
+)
+
+// TestShimPatienceWithoutValidation: a Config with Patience > 0 but no
+// validation frame has always fitted (the engines ignore Patience without
+// one); the deprecated shims routing through the Plan path must not start
+// rejecting it. Only the explicit WithEarlyStopping option demands
+// WithValidation.
+func TestShimPatienceWithoutValidation(t *testing.T) {
+	ds, err := safe.GenerateDataset(safe.DatasetSpec{
+		Name: "pat", Train: 800, Test: 100, Dim: 6, Interactions: 2, SignalScale: 2.5, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := safe.DefaultConfig()
+	cfg.Patience = 2
+	eng, err := safe.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng.Fit(ds.Train); err != nil {
+		t.Fatalf("shim with Patience>0 and no validation frame failed: %v", err)
+	}
+	shardCfg := safe.DefaultShardConfig()
+	shardCfg.Core = cfg
+	if _, _, _, err := safe.FitSharded(safe.NewFrameChunks(ds.Train, 200), shardCfg); err != nil {
+		t.Fatalf("FitSharded with Patience>0 failed: %v", err)
+	}
+}
