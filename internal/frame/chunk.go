@@ -106,6 +106,11 @@ func (s *FrameChunks) Next() (*Chunk, error) {
 	return c, nil
 }
 
+// StableChunks implements StableSource: chunk values are views of the
+// resident frame and stay valid across Next and Reset (only the Chunk
+// struct and its Cols header slice are reused).
+func (s *FrameChunks) StableChunks() bool { return true }
+
 // NumChunks returns how many chunks a full pass yields.
 func (s *FrameChunks) NumChunks() int {
 	n := s.f.NumRows()

@@ -1,0 +1,191 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/frame"
+)
+
+// hookSource wraps a ChunkSource and runs a hook before every Next call —
+// the lever for cancelling a fit mid-pass or injecting a read fault at an
+// exact chunk ordinal, counted across the whole fit (all passes).
+type hookSource struct {
+	frame.ChunkSource
+	calls int
+	hook  func(call int) error
+}
+
+func (h *hookSource) Next() (*frame.Chunk, error) {
+	call := h.calls
+	h.calls++
+	if err := h.hook(call); err != nil {
+		return nil, err
+	}
+	return h.ChunkSource.Next()
+}
+
+// shardLeakCheck snapshots the goroutine count and asserts the process
+// returns to it (pool workers are persistent by design, so callers take the
+// baseline after a warmup fit has populated the pools).
+func shardLeakCheck(t *testing.T) func() {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if n := runtime.NumGoroutine(); n <= base {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("goroutine leak: %d > baseline %d\n%s", runtime.NumGoroutine(), base, buf[:n])
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// shardWarmup runs one small parallel fit so the shared worker pool and the
+// prefetch machinery exist before a leak baseline is taken.
+func shardWarmup(t *testing.T, train *frame.Frame, workers int) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Seed = 1
+	cfg.Workers = workers
+	if _, _, _, err := Fit(context.Background(), frame.NewFrameChunks(train, 1000), Config{Core: cfg}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedFitCancelMidPass pins prompt multi-worker abort: the context is
+// cancelled while a streaming pass is mid-flight (several chunks already
+// handed to workers, the prefetcher reading ahead), and the fit must return
+// ctx.Err() without leaking the reader or any pool goroutine.
+func TestShardedFitCancelMidPass(t *testing.T) {
+	train := workload(t, 4000, 8)
+	shardWarmup(t, train, 4)
+	check := shardLeakCheck(t)
+
+	// Cancel at increasing depths into the fit: mid-first-pass (sketch
+	// accumulation), and deep enough to land in a later refinement or
+	// candidate pass (16 chunks/pass).
+	for _, cancelAt := range []int{3, 20, 45} {
+		ctx, cancel := context.WithCancel(context.Background())
+		src := &hookSource{
+			ChunkSource: frame.NewFrameChunks(train, 250), // 16 partitions
+			hook: func(call int) error {
+				if call == cancelAt {
+					cancel()
+				}
+				return nil
+			},
+		}
+		cfg := core.DefaultConfig()
+		cfg.Seed = 1
+		cfg.Workers = 4
+		start := time.Now()
+		_, _, _, err := Fit(ctx, src, Config{Core: cfg})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelAt=%d: got %v, want context.Canceled", cancelAt, err)
+		}
+		if d := time.Since(start); d > 5*time.Second {
+			t.Fatalf("cancelAt=%d: abort took %v", cancelAt, d)
+		}
+		cancel()
+		check()
+	}
+}
+
+// TestShardedFitDeadlineExpires: an already-expired deadline aborts before
+// any source chunk is consumed.
+func TestShardedFitDeadlineExpires(t *testing.T) {
+	train := workload(t, 2000, 6)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	src := &hookSource{ChunkSource: frame.NewFrameChunks(train, 500), hook: func(int) error { return nil }}
+	cfg := core.DefaultConfig()
+	cfg.Seed = 1
+	cfg.Workers = 2
+	if _, _, _, err := Fit(ctx, src, Config{Core: cfg}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+	if src.calls > 1 {
+		t.Fatalf("expired fit still consumed %d chunks", src.calls)
+	}
+}
+
+// TestShardedFitSourceErrorAborts pins fault propagation through the
+// prefetcher and the parallel pass: a read error at any chunk ordinal
+// surfaces as the fit error (not swallowed, not wrapped into a hang), with
+// all goroutines reclaimed.
+func TestShardedFitSourceErrorAborts(t *testing.T) {
+	train := workload(t, 4000, 8)
+	shardWarmup(t, train, 4)
+	check := shardLeakCheck(t)
+
+	boom := errors.New("chunk 7: simulated read failure")
+	for _, failAt := range []int{0, 7, 40} {
+		src := &hookSource{
+			ChunkSource: frame.NewFrameChunks(train, 250), // 16 partitions
+			hook: func(call int) error {
+				if call == failAt {
+					return boom
+				}
+				return nil
+			},
+		}
+		cfg := core.DefaultConfig()
+		cfg.Seed = 1
+		cfg.Workers = 4
+		_, _, _, err := Fit(context.Background(), src, Config{Core: cfg})
+		if !errors.Is(err, boom) {
+			t.Fatalf("failAt=%d: got %v, want the injected read error", failAt, err)
+		}
+		check()
+	}
+}
+
+// TestShardedFitSequentialCancelAndError covers the same abort paths on the
+// single-worker loop, which bypasses the prefetcher entirely.
+func TestShardedFitSequentialCancelAndError(t *testing.T) {
+	train := workload(t, 3000, 6)
+	cfg := core.DefaultConfig()
+	cfg.Seed = 1
+	cfg.Workers = 1
+
+	ctx, cancel := context.WithCancel(context.Background())
+	src := &hookSource{
+		ChunkSource: frame.NewFrameChunks(train, 500),
+		hook: func(call int) error {
+			if call == 4 {
+				cancel()
+			}
+			return nil
+		},
+	}
+	if _, _, _, err := Fit(ctx, src, Config{Core: cfg}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("sequential cancel: got %v, want context.Canceled", err)
+	}
+	cancel()
+
+	boom := errors.New("sequential read failure")
+	src = &hookSource{
+		ChunkSource: frame.NewFrameChunks(train, 500),
+		hook: func(call int) error {
+			if call == 4 {
+				return boom
+			}
+			return nil
+		},
+	}
+	if _, _, _, err := Fit(context.Background(), src, Config{Core: cfg}); !errors.Is(err, boom) {
+		t.Fatalf("sequential read error: got %v, want the injected error", err)
+	}
+}

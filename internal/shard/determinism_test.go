@@ -1,0 +1,67 @@
+package shard
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/frame"
+)
+
+// fingerprint reduces a fitted pipeline to the string the determinism matrix
+// compares: the selected feature names in selection order. Any divergence in
+// merge order, worker scheduling or partition folding shows up here.
+func fingerprint(p *core.Pipeline) string { return strings.Join(p.Output, "|") }
+
+// TestShardedFitDeterminismMatrix is the tentpole's determinism pin: for
+// every task family, every worker count in {1,2,4,8} and every partitioning
+// in {1,3,4} produces a fingerprint identical to the in-memory core.Fit on
+// the same rows. The parallel coordinator folds partition deltas in index
+// order regardless of completion order, so this must hold exactly — also
+// under the race detector, where scheduling is deliberately perturbed.
+func TestShardedFitDeterminismMatrix(t *testing.T) {
+	const rows = 3000
+	families := []struct {
+		name    string
+		task    core.Task
+		target  datagen.TargetKind
+		classes int
+	}{
+		{"binary", core.BinaryTask(), datagen.TargetBinary, 0},
+		{"multiclass3", core.MulticlassTask(3), datagen.TargetMulticlass, 3},
+		{"regression", core.RegressionTask(), datagen.TargetRegression, 0},
+	}
+	for _, fam := range families {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			train := taskWorkload(t, rows, 9, fam.target, fam.classes)
+			cfg := core.DefaultConfig()
+			cfg.Task = fam.task
+			cfg.Seed = 1
+			want := fingerprint(fitInMemory(t, train, cfg))
+
+			for _, partitions := range []int{1, 3, 4} {
+				chunkRows := (rows + partitions - 1) / partitions
+				for _, workers := range []int{1, 2, 4, 8} {
+					wcfg := cfg
+					wcfg.Workers = workers
+					got, _, st, err := Fit(context.Background(),
+						frame.NewFrameChunks(train, chunkRows), Config{Core: wcfg})
+					if err != nil {
+						t.Fatalf("partitions=%d workers=%d: %v", partitions, workers, err)
+					}
+					if st.Partitions != partitions {
+						t.Fatalf("partitions=%d workers=%d: source split into %d partitions",
+							partitions, workers, st.Partitions)
+					}
+					if fp := fingerprint(got); fp != want {
+						t.Fatalf("partitions=%d workers=%d diverged from core.Fit:\n got: %s\nwant: %s",
+							partitions, workers, fp, want)
+					}
+				}
+			}
+		})
+	}
+}

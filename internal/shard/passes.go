@@ -13,11 +13,18 @@ import (
 // evaluator materialises the current live feature columns for one chunk:
 // originals are zero-copy views of the chunk; derived features replay their
 // pipeline nodes (in dependency order) with the same post-generation
-// sanitisation the in-memory fit applies to candidate columns.
+// sanitisation the in-memory fit applies to candidate columns. Each pass
+// worker owns one evaluator; its scratch (the name map, derived-column
+// buffers) recycles across chunks through the fitter's arena.
 type evaluator struct {
 	names []string
 	nodes []core.FeatureNode
 	live  []*liveFeat
+	arena *sketch.Arena
+
+	vals  map[string][]float64
+	out   [][]float64
+	owned [][]float64 // arena buffers to return on release
 }
 
 // newEvaluator selects, from every node generated so far, the dependency-
@@ -38,7 +45,7 @@ func (f *fitter) newEvaluator() *evaluator {
 			}
 		}
 	}
-	ev := &evaluator{names: f.names, live: f.live}
+	ev := &evaluator{names: f.names, live: f.live, arena: f.arena}
 	for i := range f.nodes {
 		if keep[i] {
 			ev.nodes = append(ev.nodes, f.nodes[i])
@@ -47,29 +54,49 @@ func (f *fitter) newEvaluator() *evaluator {
 	return ev
 }
 
-// liveCols returns the live columns for a chunk, in live order.
+// liveCols returns the live columns for a chunk, in live order. The result
+// (and any derived columns behind it) is valid until release.
 func (e *evaluator) liveCols(c *frame.Chunk) [][]float64 {
-	vals := make(map[string][]float64, len(e.names)+len(e.nodes))
+	if e.vals == nil {
+		e.vals = make(map[string][]float64, len(e.names)+len(e.nodes))
+	}
 	for j, name := range e.names {
-		vals[name] = c.Cols[j]
+		e.vals[name] = c.Cols[j]
 	}
 	rows := c.NumRows()
 	for i := range e.nodes {
 		nd := &e.nodes[i]
 		in := make([][]float64, len(nd.Inputs))
 		for k, dep := range nd.Inputs {
-			in[k] = vals[dep]
+			in[k] = e.vals[dep]
 		}
-		out := make([]float64, rows)
+		out := e.arena.Floats(rows)
+		e.owned = append(e.owned, out)
 		operators.TransformColumn(nd.Applier, in, out)
 		core.Sanitize(out)
-		vals[nd.Name] = out
+		e.vals[nd.Name] = out
 	}
-	out := make([][]float64, len(e.live))
+	if cap(e.out) < len(e.live) {
+		e.out = make([][]float64, len(e.live))
+	}
+	out := e.out[:len(e.live)]
 	for i, lf := range e.live {
-		out[i] = vals[lf.name]
+		out[i] = e.vals[lf.name]
 	}
 	return out
+}
+
+// release returns the evaluator's derived-column buffers to the arena and
+// drops references into the chunk, which may be recycled right after.
+func (e *evaluator) release() {
+	for i, b := range e.owned {
+		e.arena.PutFloats(b)
+		e.owned[i] = nil
+	}
+	e.owned = e.owned[:0]
+	for k := range e.vals {
+		delete(e.vals, k)
+	}
 }
 
 // fillCodes bins one column slice into GBDT codes: 0 for NaN, 1+bin
@@ -86,30 +113,27 @@ func fillCodes(dst []uint8, vals, cuts []float64, ix *stats.CutIndexer) {
 }
 
 // passLiveCodes streams one pass building the resident miner codes of the
-// given live features from their miner cuts, column-parallel per chunk.
+// given live features from their miner cuts. Codes land in disjoint global
+// row ranges, so partitions proceed fully in parallel with nothing to fold.
 func (f *fitter) passLiveCodes(live []*liveFeat) error {
-	ev := f.newEvaluator()
-	return f.forEachChunk(func(c *frame.Chunk) error {
-		cols := ev.liveCols(c)
+	return f.runPass(func(c *frame.Chunk, w *passWorker) (func() error, error) {
+		cols := w.ev.liveCols(c)
 		rows := c.NumRows()
-		f.pool.ForChunks(len(live), 1, func(lo, hi int) {
-			var ix stats.CutIndexer
-			for i := lo; i < hi; i++ {
-				fillCodes(live[i].codes[c.Start:c.Start+rows], cols[i], live[i].minerCuts, &ix)
-			}
-		})
-		return nil
+		for i := range live {
+			fillCodes(live[i].codes[c.Start:c.Start+rows], cols[i], live[i].minerCuts, &w.ix)
+		}
+		w.ev.release()
+		return nil, nil
 	})
 }
 
 // scoreCombos fills every combination's gain ratio from contingency
 // statistics accumulated over one streaming pass, dispatching on the task:
 // binary positive/total counts, K-class cell counts, or per-cell target
-// moments. Each combination's accumulator is touched by exactly one worker
-// per chunk and chunks stream in order, so the statistics accumulate in
-// global row order — count-space (and moment-space) arithmetic identical to
-// the in-memory scorer, so given the same mined combinations the scores
-// match bit-for-bit.
+// moments. Partitions accumulate partial statistics concurrently and fold
+// in partition order; for the count-valued families the fold is exact
+// integer addition, so the scores match the in-memory scorer bit-for-bit
+// given the same mined combinations.
 func (f *fitter) scoreCombos(combos []core.Combo) error {
 	if len(combos) == 0 {
 		return nil
@@ -121,151 +145,196 @@ func (f *fitter) scoreCombos(combos []core.Combo) error {
 		return f.scoreCombosMoments(combos)
 	}
 	cells := make([]*core.ComboCells, len(combos))
-	pos := make([][]int, len(combos))
-	tot := make([][]int, len(combos))
+	// One flat accumulator block per statistic; combos whose cell grids
+	// degenerate (a single cell) get zero width and score 0, as in-memory.
+	off := make([]int, len(combos)+1)
 	for i := range combos {
 		cells[i] = core.NewComboCells(&combos[i])
+		width := 0
 		if nc := cells[i].NumCells(); nc > 1 {
-			pos[i] = make([]int, nc)
-			tot[i] = make([]int, nc)
+			width = nc
 		}
+		off[i+1] = off[i] + width
 	}
-	ev := f.newEvaluator()
-	err := f.forEachChunk(func(c *frame.Chunk) error {
-		cols := ev.liveCols(c)
+	total := off[len(combos)]
+	pos := make([]int, total)
+	tot := make([]int, total)
+	err := f.runPass(func(c *frame.Chunk, w *passWorker) (func() error, error) {
+		cols := w.ev.liveCols(c)
 		rows := c.NumRows()
 		labels := f.labels[c.Start : c.Start+rows]
-		f.pool.ForChunks(len(combos), 1, func(lo, hi int) {
-			var vals [3]float64
-			for ci := lo; ci < hi; ci++ {
-				if tot[ci] == nil {
-					continue
+		slab := f.arena.Int32sZeroed(2 * total)
+		var vals [3]float64
+		for ci := range combos {
+			if off[ci+1] == off[ci] {
+				continue
+			}
+			cc := cells[ci]
+			feats := cc.Features()
+			ppos := slab[off[ci]:off[ci+1]]
+			ptot := slab[total+off[ci] : total+off[ci+1]]
+			for r := 0; r < rows; r++ {
+				for k, fi := range feats {
+					vals[k] = cols[fi][r]
 				}
-				cc := cells[ci]
-				feats := cc.Features()
-				for r := 0; r < rows; r++ {
-					for k, fi := range feats {
-						vals[k] = cols[fi][r]
-					}
-					id := cc.CellOf(vals[:len(feats)])
-					tot[ci][id]++
-					if labels[r] > 0.5 {
-						pos[ci][id]++
-					}
+				id := cc.CellOf(vals[:len(feats)])
+				ptot[id]++
+				if labels[r] > 0.5 {
+					ppos[id]++
 				}
 			}
-		})
-		return nil
+		}
+		w.ev.release()
+		return func() error {
+			for g := 0; g < total; g++ {
+				pos[g] += int(slab[g])
+				tot[g] += int(slab[total+g])
+			}
+			f.arena.PutInt32s(slab)
+			return nil
+		}, nil
 	})
 	if err != nil {
 		return err
 	}
 	for i := range combos {
-		if tot[i] == nil {
+		if off[i+1] == off[i] {
 			combos[i].GainRatio = 0
 			continue
 		}
-		combos[i].GainRatio = stats.GainRatioFromCounts(pos[i], tot[i])
+		combos[i].GainRatio = stats.GainRatioFromCounts(pos[off[i]:off[i+1]], tot[off[i]:off[i+1]])
 	}
 	return nil
 }
 
 // scoreCombosClasses is scoreCombos for the multiclass task: per-cell
-// K-class counts folded through stats.GainRatioFromClassCounts, exactly as
-// the in-memory stats.GainRatioClasses accumulates them.
+// K-class counts folded through stats.GainRatioFromClassCounts. Counts are
+// integral, so the partition-ordered fold reproduces the in-memory
+// stats.GainRatioClasses accumulation exactly.
 func (f *fitter) scoreCombosClasses(combos []core.Combo, k int) error {
 	cells := make([]*core.ComboCells, len(combos))
-	cnt := make([][]float64, len(combos))
+	off := make([]int, len(combos)+1)
 	for i := range combos {
 		cells[i] = core.NewComboCells(&combos[i])
+		width := 0
 		if nc := cells[i].NumCells(); nc > 1 {
-			cnt[i] = make([]float64, nc*k)
+			width = nc * k
 		}
+		off[i+1] = off[i] + width
 	}
-	ev := f.newEvaluator()
-	err := f.forEachChunk(func(c *frame.Chunk) error {
-		cols := ev.liveCols(c)
+	total := off[len(combos)]
+	cnt := make([]float64, total)
+	err := f.runPass(func(c *frame.Chunk, w *passWorker) (func() error, error) {
+		cols := w.ev.liveCols(c)
 		rows := c.NumRows()
 		labels := f.labels[c.Start : c.Start+rows]
-		f.pool.ForChunks(len(combos), 1, func(lo, hi int) {
-			var vals [3]float64
-			for ci := lo; ci < hi; ci++ {
-				if cnt[ci] == nil {
-					continue
+		slab := f.arena.Int32sZeroed(total)
+		var vals [3]float64
+		for ci := range combos {
+			if off[ci+1] == off[ci] {
+				continue
+			}
+			cc := cells[ci]
+			feats := cc.Features()
+			pcnt := slab[off[ci]:off[ci+1]]
+			for r := 0; r < rows; r++ {
+				for j, fi := range feats {
+					vals[j] = cols[fi][r]
 				}
-				cc := cells[ci]
-				feats := cc.Features()
-				for r := 0; r < rows; r++ {
-					for j, fi := range feats {
-						vals[j] = cols[fi][r]
-					}
-					id := cc.CellOf(vals[:len(feats)])
-					cls := int(labels[r])
-					if cls >= 0 && cls < k {
-						cnt[ci][id*k+cls]++
-					}
+				id := cc.CellOf(vals[:len(feats)])
+				cls := int(labels[r])
+				if cls >= 0 && cls < k {
+					pcnt[id*k+cls]++
 				}
 			}
-		})
-		return nil
+		}
+		w.ev.release()
+		return func() error {
+			for g := 0; g < total; g++ {
+				cnt[g] += float64(slab[g])
+			}
+			f.arena.PutInt32s(slab)
+			return nil
+		}, nil
 	})
 	if err != nil {
 		return err
 	}
 	for i := range combos {
-		if cnt[i] == nil {
+		if off[i+1] == off[i] {
 			combos[i].GainRatio = 0
 			continue
 		}
-		combos[i].GainRatio = stats.GainRatioFromClassCounts(cnt[i], cells[i].NumCells(), k)
+		combos[i].GainRatio = stats.GainRatioFromClassCounts(cnt[off[i]:off[i+1]], cells[i].NumCells(), k)
 	}
 	return nil
 }
 
-// scoreCombosMoments is scoreCombos for the regression task: per-cell
-// target moments folded through stats.VarGainRatioFromMoments. The moments
-// accumulate in global row order (one worker per combination, chunks in
-// order), the same order the in-memory stats.VarGainRatio adds them in, so
-// the float sums are bit-identical.
+// scoreCombosMoments is scoreCombos for the regression task. Float moment
+// sums are order-sensitive, so partitions compute only each row's cell id
+// in parallel; the fold then accumulates targets into the per-cell moments
+// in global row order — the exact float addition sequence of the in-memory
+// stats.VarGainRatio, bit-identical for any worker count.
 func (f *fitter) scoreCombosMoments(combos []core.Combo) error {
 	cells := make([]*core.ComboCells, len(combos))
 	cnt := make([][]float64, len(combos))
 	sum := make([][]float64, len(combos))
 	sumsq := make([][]float64, len(combos))
+	active := 0
 	for i := range combos {
 		cells[i] = core.NewComboCells(&combos[i])
 		if nc := cells[i].NumCells(); nc > 1 {
 			cnt[i] = make([]float64, nc)
 			sum[i] = make([]float64, nc)
 			sumsq[i] = make([]float64, nc)
+			active++
 		}
 	}
-	ev := f.newEvaluator()
-	err := f.forEachChunk(func(c *frame.Chunk) error {
-		cols := ev.liveCols(c)
+	nActive := active
+	err := f.runPass(func(c *frame.Chunk, w *passWorker) (func() error, error) {
+		cols := w.ev.liveCols(c)
 		rows := c.NumRows()
-		labels := f.labels[c.Start : c.Start+rows]
-		f.pool.ForChunks(len(combos), 1, func(lo, hi int) {
-			var vals [3]float64
-			for ci := lo; ci < hi; ci++ {
+		start := c.Start
+		slab := f.arena.Int32s(nActive * rows)
+		var vals [3]float64
+		pos := 0
+		for ci := range combos {
+			if cnt[ci] == nil {
+				continue
+			}
+			cc := cells[ci]
+			feats := cc.Features()
+			ids := slab[pos : pos+rows]
+			pos += rows
+			for r := 0; r < rows; r++ {
+				for j, fi := range feats {
+					vals[j] = cols[fi][r]
+				}
+				ids[r] = int32(cc.CellOf(vals[:len(feats)]))
+			}
+		}
+		w.ev.release()
+		return func() error {
+			labels := f.labels[start : start+rows]
+			pos := 0
+			for ci := range combos {
 				if cnt[ci] == nil {
 					continue
 				}
-				cc := cells[ci]
-				feats := cc.Features()
+				ids := slab[pos : pos+rows]
+				pos += rows
+				ccnt, csum, csumsq := cnt[ci], sum[ci], sumsq[ci]
 				for r := 0; r < rows; r++ {
-					for j, fi := range feats {
-						vals[j] = cols[fi][r]
-					}
-					id := cc.CellOf(vals[:len(feats)])
+					id := ids[r]
 					y := labels[r]
-					cnt[ci][id]++
-					sum[ci][id] += y
-					sumsq[ci][id] += y * y
+					ccnt[id]++
+					csum[id] += y
+					csumsq[id] += y * y
 				}
 			}
-		})
-		return nil
+			f.arena.PutInt32s(slab)
+			return nil
+		}, nil
 	})
 	if err != nil {
 		return err
@@ -281,8 +350,10 @@ func (f *fitter) scoreCombosMoments(combos []core.Combo) error {
 }
 
 // passCandidateSketches streams one pass sketching every generated
-// candidate column (quantile summary + moments), candidate-parallel per
-// chunk; per-partition sketches merge into each candidate's running sketch.
+// candidate column (quantile summary + moments): partitions summarise
+// concurrently with arena-recycled partials, and the fold merges them into
+// each candidate's running sketch in partition order — the same merge
+// sequence the sequential pass performed.
 func (f *fitter) passCandidateSketches(entries []*candidate) error {
 	var gen []*candidate
 	for _, en := range entries {
@@ -293,30 +364,36 @@ func (f *fitter) passCandidateSketches(entries []*candidate) error {
 	if len(gen) == 0 {
 		return nil
 	}
-	ev := f.newEvaluator()
-	return f.forEachChunk(func(c *frame.Chunk) error {
-		cols := ev.liveCols(c)
+	return f.runPass(func(c *frame.Chunk, w *passWorker) (func() error, error) {
+		cols := w.ev.liveCols(c)
 		rows := c.NumRows()
-		f.pool.ForChunks(len(gen), 1, func(lo, hi int) {
-			buf := make([]float64, rows)
-			var in [3][]float64
-			for i := lo; i < hi; i++ {
-				en := gen[i]
-				iv := in[:len(en.feats)]
-				for k, fi := range en.feats {
-					iv[k] = cols[fi]
-				}
-				operators.TransformColumn(en.applier, iv, buf)
-				core.Sanitize(buf)
-				part := sketch.NewQuantile(f.sketchSize)
-				part.AddAll(buf)
-				en.sk.Merge(part)
-				var pm sketch.Moments
-				pm.AddAll(buf)
-				en.mom.Merge(&pm)
+		buf := f.arena.Floats(rows)
+		parts := make([]*sketch.Quantile, len(gen))
+		moms := make([]sketch.Moments, len(gen))
+		var in [3][]float64
+		for i, en := range gen {
+			iv := in[:len(en.feats)]
+			for k, fi := range en.feats {
+				iv[k] = cols[fi]
 			}
-		})
-		return nil
+			operators.TransformColumn(en.applier, iv, buf)
+			core.Sanitize(buf)
+			sorted, nan := sketch.SortNonNaN(buf, &w.srt)
+			part := f.arena.Quantile(f.sketchSize)
+			part.AddSortedScratch(sorted, nan, &w.srt)
+			parts[i] = part
+			moms[i].AddAll(buf)
+		}
+		f.arena.PutFloats(buf)
+		w.ev.release()
+		return func() error {
+			for i, en := range gen {
+				en.sk.Merge(parts[i])
+				f.arena.PutQuantile(parts[i])
+				en.mom.Merge(&moms[i])
+			}
+			return nil
+		}, nil
 	})
 }
 
@@ -357,33 +434,45 @@ func cutRankUnion(n int64, cfg *core.Config) []int64 {
 }
 
 // refineLive brackets the live sketches' cut targets and, when any bracket
-// is still open, streams one gather pass to resolve them exactly. Approx
+// is still open, streams one gather pass to resolve them exactly: each
+// partition gathers into shadow refiners, folded back in partition order
+// (order-invariant counts; gathered values are sorted at finalize). Approx
 // mode skips refinement entirely (cuts then come straight off the
-// sketches).
+// sketches). refineLive runs before any feature generation, so columns are
+// read straight off the chunk.
 func (f *fitter) refineLive() error {
 	if f.approxCuts {
 		return nil
 	}
-	need := false
-	for _, lf := range f.live {
+	type openRef struct {
+		ref *sketch.Refiner
+		col int
+	}
+	var open []openRef
+	for j, lf := range f.live {
 		lf.ref = sketch.NewRefiner(lf.sk, cutRankUnion(lf.sk.Count(), &f.cfg))
+		lf.sk.TrimScratch() // merge phase over; the refiner carries the pass
 		if lf.ref.NeedsPass() {
-			need = true
+			open = append(open, openRef{ref: lf.ref, col: j})
 		}
 	}
-	if !need {
+	if len(open) == 0 {
 		return nil
 	}
-	live := f.live
-	return f.forEachChunk(func(c *frame.Chunk) error {
-		f.pool.ForChunks(len(live), 1, func(lo, hi int) {
-			for j := lo; j < hi; j++ {
-				if live[j].ref.NeedsPass() {
-					live[j].ref.AddChunk(c.Cols[j])
-				}
+	return f.runPass(func(c *frame.Chunk, w *passWorker) (func() error, error) {
+		shs := make([]*sketch.Refiner, len(open))
+		for i, o := range open {
+			sorted, _ := sketch.SortNonNaN(c.Cols[o.col], &w.srt)
+			sh := o.ref.Shadow()
+			sh.AddSorted(sorted)
+			shs[i] = sh
+		}
+		return func() error {
+			for i, o := range open {
+				o.ref.Merge(shs[i])
 			}
-		})
-		return nil
+			return nil
+		}, nil
 	})
 }
 
@@ -399,6 +488,7 @@ func (f *fitter) refineCandidates(entries []*candidate) error {
 			continue // base refiners carry over from the live set
 		}
 		en.ref = sketch.NewRefiner(en.sk, cutRankUnion(en.sk.Count(), &f.cfg))
+		en.sk.TrimScratch() // merge phase over; the refiner carries the pass
 		if en.ref.NeedsPass() {
 			open = append(open, en)
 		}
@@ -406,25 +496,32 @@ func (f *fitter) refineCandidates(entries []*candidate) error {
 	if len(open) == 0 {
 		return nil
 	}
-	ev := f.newEvaluator()
-	return f.forEachChunk(func(c *frame.Chunk) error {
-		cols := ev.liveCols(c)
+	return f.runPass(func(c *frame.Chunk, w *passWorker) (func() error, error) {
+		cols := w.ev.liveCols(c)
 		rows := c.NumRows()
-		f.pool.ForChunks(len(open), 1, func(lo, hi int) {
-			buf := make([]float64, rows)
-			var in [3][]float64
-			for i := lo; i < hi; i++ {
-				en := open[i]
-				iv := in[:len(en.feats)]
-				for k, fi := range en.feats {
-					iv[k] = cols[fi]
-				}
-				operators.TransformColumn(en.applier, iv, buf)
-				core.Sanitize(buf)
-				en.ref.AddChunk(buf)
+		buf := f.arena.Floats(rows)
+		shs := make([]*sketch.Refiner, len(open))
+		var in [3][]float64
+		for i, en := range open {
+			iv := in[:len(en.feats)]
+			for k, fi := range en.feats {
+				iv[k] = cols[fi]
 			}
-		})
-		return nil
+			operators.TransformColumn(en.applier, iv, buf)
+			core.Sanitize(buf)
+			sorted, _ := sketch.SortNonNaN(buf, &w.srt)
+			sh := en.ref.Shadow()
+			sh.AddSorted(sorted)
+			shs[i] = sh
+		}
+		f.arena.PutFloats(buf)
+		w.ev.release()
+		return func() error {
+			for i, en := range open {
+				en.ref.Merge(shs[i])
+			}
+			return nil
+		}, nil
 	})
 }
 
@@ -444,51 +541,82 @@ func (f *fitter) newCriterionHist(cuts []float64) sketch.CriterionHist {
 
 // passCandidateCounts streams one pass accumulating every candidate's
 // binned criterion histogram, from which the task's relevance criterion
-// (IV, multiclass IV, or η²) follows. Each candidate's histogram is touched
-// by exactly one worker per chunk and chunks stream in order, so the
-// statistics accumulate in global row order — for the regression moment
-// histogram that keeps the float sums bit-identical to the in-memory
-// single-pass accumulation (counts merge exactly regardless of order).
+// (IV, multiclass IV, or η²) follows. The count-valued families (binary,
+// multiclass) accumulate per-partition shadow histograms folded exactly in
+// partition order; the regression moment histogram computes bin ids in
+// parallel and replays the target sums in global row order, keeping the
+// float arithmetic bit-identical to the in-memory single-pass accumulation.
 func (f *fitter) passCandidateCounts(entries []*candidate) error {
 	for _, en := range entries {
 		en.hist = f.newCriterionHist(en.ivCuts)
 	}
-	ev := f.newEvaluator()
-	return f.forEachChunk(func(c *frame.Chunk) error {
-		cols := ev.liveCols(c)
+	regression := f.cfg.Task.Kind == core.TaskRegression
+	return f.runPass(func(c *frame.Chunk, w *passWorker) (func() error, error) {
+		cols := w.ev.liveCols(c)
 		rows := c.NumRows()
-		labels := f.labels[c.Start : c.Start+rows]
-		f.pool.ForChunks(len(entries), 1, func(lo, hi int) {
-			var buf []float64
-			var in [3][]float64
-			for i := lo; i < hi; i++ {
-				en := entries[i]
-				var col []float64
-				if en.isBase {
-					col = cols[en.baseIdx]
-				} else {
-					if buf == nil {
-						buf = make([]float64, rows)
-					}
-					iv := in[:len(en.feats)]
-					for k, fi := range en.feats {
-						iv[k] = cols[fi]
-					}
-					operators.TransformColumn(en.applier, iv, buf)
-					core.Sanitize(buf)
-					col = buf
-				}
-				en.hist.AddCol(col, labels)
+		start := c.Start
+		labels := f.labels[start : start+rows]
+		var buf []float64
+		colFor := func(en *candidate) []float64 {
+			if en.isBase {
+				return cols[en.baseIdx]
 			}
-		})
-		return nil
+			if buf == nil {
+				buf = f.arena.Floats(rows)
+			}
+			var in [3][]float64
+			iv := in[:len(en.feats)]
+			for k, fi := range en.feats {
+				iv[k] = cols[fi]
+			}
+			operators.TransformColumn(en.applier, iv, buf)
+			core.Sanitize(buf)
+			return buf
+		}
+		if regression {
+			slab := f.arena.Int32s(len(entries) * rows)
+			for i, en := range entries {
+				en.hist.(*sketch.MomentHist).BinIDs(colFor(en), slab[i*rows:(i+1)*rows])
+			}
+			if buf != nil {
+				f.arena.PutFloats(buf)
+			}
+			w.ev.release()
+			return func() error {
+				targets := f.labels[start : start+rows]
+				for i, en := range entries {
+					en.hist.(*sketch.MomentHist).AddBinned(slab[i*rows:(i+1)*rows], targets)
+				}
+				f.arena.PutInt32s(slab)
+				return nil
+			}, nil
+		}
+		shadows := make([]sketch.CriterionHist, len(entries))
+		for i, en := range entries {
+			sh := shadowHist(en.hist)
+			sh.AddCol(colFor(en), labels)
+			shadows[i] = sh
+		}
+		if buf != nil {
+			f.arena.PutFloats(buf)
+		}
+		w.ev.release()
+		return func() error {
+			for i, en := range entries {
+				if err := en.hist.MergeHist(shadows[i]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, nil
 	})
 }
 
 // passGramAndCodes streams one pass over the IV survivors, accumulating the
-// pairwise co-moment Gram matrix (pair-parallel, merged by addition in
-// chunk order) and materialising resident ranker codes for survivors that
-// do not already alias live codes.
+// pairwise co-moment Gram matrix (per-partition partials merged by addition
+// in partition order — the identical float sums of the sequential pass,
+// since each chunk's dot products add once either way) and materialising
+// resident ranker codes for survivors that do not already alias live codes.
 func (f *fitter) passGramAndCodes(entries []*candidate, keptA []int) error {
 	needCodes := make([]bool, len(keptA))
 	for gi, idx := range keptA {
@@ -498,41 +626,44 @@ func (f *fitter) passGramAndCodes(entries []*candidate, keptA []int) error {
 		}
 	}
 	f.gram = sketch.NewGram(len(keptA))
-	ev := f.newEvaluator()
-	return f.forEachChunk(func(c *frame.Chunk) error {
-		cols := ev.liveCols(c)
+	return f.runPass(func(c *frame.Chunk, w *passWorker) (func() error, error) {
+		cols := w.ev.liveCols(c)
 		rows := c.NumRows()
 		mat := make([][]float64, len(keptA))
-		f.pool.ForChunks(len(keptA), 1, func(lo, hi int) {
-			var ix stats.CutIndexer
-			var in [3][]float64
-			for gi := lo; gi < hi; gi++ {
-				en := entries[keptA[gi]]
-				var col []float64
-				if en.isBase {
-					col = cols[en.baseIdx]
-				} else {
-					col = make([]float64, rows)
-					iv := in[:len(en.feats)]
-					for k, fi := range en.feats {
-						iv[k] = cols[fi]
-					}
-					operators.TransformColumn(en.applier, iv, col)
-					core.Sanitize(col)
+		var owned [][]float64
+		var in [3][]float64
+		for gi, idx := range keptA {
+			en := entries[idx]
+			var col []float64
+			if en.isBase {
+				col = cols[en.baseIdx]
+			} else {
+				col = f.arena.Floats(rows)
+				owned = append(owned, col)
+				iv := in[:len(en.feats)]
+				for k, fi := range en.feats {
+					iv[k] = cols[fi]
 				}
-				mat[gi] = col
-				if needCodes[gi] {
-					fillCodes(en.codes[c.Start:c.Start+rows], col, en.rgCuts, &ix)
-				}
+				operators.TransformColumn(en.applier, iv, col)
+				core.Sanitize(col)
 			}
-		})
-		g := f.gram
-		g.AddRows(rows)
-		prep := sketch.PrepChunk(mat)
-		f.pool.ForChunks(len(keptA), 1, func(jlo, jhi int) {
-			g.AddPrepared(mat, prep, jlo, jhi)
-		})
-		return nil
+			mat[gi] = col
+			if needCodes[gi] {
+				fillCodes(en.codes[c.Start:c.Start+rows], col, en.rgCuts, &w.ix)
+			}
+		}
+		pg := f.arena.Gram(len(keptA))
+		pg.AddRows(rows)
+		pg.AddPrepared(mat, sketch.PrepChunk(mat), 0, len(keptA))
+		for _, b := range owned {
+			f.arena.PutFloats(b)
+		}
+		w.ev.release()
+		return func() error {
+			f.gram.Merge(pg)
+			f.arena.PutGram(pg)
+			return nil
+		}, nil
 	})
 }
 

@@ -1,0 +1,245 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/frame"
+	"repro/internal/sketch"
+	"repro/internal/stats"
+)
+
+// passWorker is one worker's scratch for a streaming pass: a dependency-
+// ordered evaluator over the current live set and a reusable cut indexer.
+// The heavyweight recycling (sketch partials, scratch columns, Gram
+// partials) lives in the fitter's shared arena, because deltas built by one
+// worker are returned to the pool by whichever worker folds them.
+type passWorker struct {
+	ev  *evaluator
+	ix  stats.CutIndexer
+	srt sketch.SortScratch
+}
+
+// passDelta is one partition's deposited result awaiting its ordered fold.
+type passDelta struct {
+	fold func() error
+	rows int
+}
+
+// runPass makes one full streaming pass over the source. compute runs once
+// per chunk — concurrently on the worker pool when it has more than one
+// worker — and returns a fold closure (nil when the chunk's effect is
+// written in place, e.g. resident codes). Folds execute serially in
+// partition index order regardless of completion order, so every merged
+// statistic accumulates exactly as in the single-worker pass: the fit's
+// selected features are bit-identical across worker counts.
+//
+// Contract for compute: it may read the chunk and write per-chunk or
+// disjoint per-row state; the fold closure must not reference chunk memory
+// (the chunk's lease is recycled before the fold can run). The context is
+// checked before every chunk, and pass/row statistics are validated exactly
+// as the sequential engine always did.
+func (f *fitter) runPass(compute func(c *frame.Chunk, w *passWorker) (func() error, error)) error {
+	if err := f.src.Reset(); err != nil {
+		return err
+	}
+	f.stats.Passes++
+	if f.pool.Workers() <= 1 {
+		return f.runPassSeq(compute)
+	}
+	r := &passRun{f: f, compute: compute, pending: make(map[int]passDelta)}
+	// Each pool slot runs one worker loop; the pool's caller participation
+	// guarantees progress even when every helper is busy elsewhere.
+	cerr := f.pool.ForChunksCtx(f.ctx, f.pool.Workers(), 1, func(lo, hi int) {
+		for slot := lo; slot < hi; slot++ {
+			r.worker(&passWorker{ev: f.newEvaluator()})
+		}
+	})
+	if r.err != nil {
+		return r.err
+	}
+	if cerr != nil {
+		return cerr
+	}
+	return f.finishPass(r.rows, r.parts)
+}
+
+// runPassSeq is the single-worker pass loop: compute and fold inline, chunk
+// by chunk, with no copies and no extra goroutines.
+func (f *fitter) runPassSeq(compute func(c *frame.Chunk, w *passWorker) (func() error, error)) error {
+	w := &passWorker{ev: f.newEvaluator()}
+	rows, parts := 0, 0
+	for {
+		if err := f.ctx.Err(); err != nil {
+			return err
+		}
+		c, err := f.src.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if err := f.checkShape(c); err != nil {
+			return err
+		}
+		nr := c.NumRows()
+		fold, err := compute(c, w)
+		f.recycle(c)
+		if err != nil {
+			return err
+		}
+		if fold != nil {
+			if err := fold(); err != nil {
+				return err
+			}
+		}
+		rows += nr
+		parts++
+	}
+	return f.finishPass(rows, parts)
+}
+
+// passRun coordinates one parallel pass: chunk handout order defines the
+// partition sequence, and deposits drain the pending map in that sequence.
+type passRun struct {
+	f       *fitter
+	compute func(c *frame.Chunk, w *passWorker) (func() error, error)
+
+	mu       sync.Mutex
+	nextSeq  int // next partition index to hand out
+	nextFold int // next partition index to fold
+	pending  map[int]passDelta
+	rows     int
+	parts    int
+	eof      bool
+	err      error
+}
+
+// fail records the first error and stops further handouts.
+func (r *passRun) fail(err error) {
+	r.mu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.eof = true
+	r.mu.Unlock()
+}
+
+// worker pulls chunks until the stream ends: read (serialized, which pins
+// seq to source order), compute concurrently, then deposit and fold every
+// consecutively available partition. Each worker holds at most one chunk
+// lease and one undeposited delta, so pending stays bounded by the worker
+// count with no extra back-pressure machinery.
+func (r *passRun) worker(w *passWorker) {
+	f := r.f
+	for {
+		r.mu.Lock()
+		if r.err != nil || r.eof {
+			r.mu.Unlock()
+			return
+		}
+		if err := f.ctx.Err(); err != nil {
+			r.mu.Unlock()
+			r.fail(err)
+			return
+		}
+		c, err := f.src.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				r.eof = true
+				r.mu.Unlock()
+				return
+			}
+			r.mu.Unlock()
+			r.fail(err)
+			return
+		}
+		seq := r.nextSeq
+		r.nextSeq++
+		r.mu.Unlock()
+
+		if err := f.checkShape(c); err != nil {
+			f.recycle(c)
+			r.fail(err)
+			return
+		}
+		nr := c.NumRows()
+		fold, err := r.compute(c, w)
+		f.recycle(c)
+		if err != nil {
+			r.fail(err)
+			return
+		}
+
+		r.mu.Lock()
+		r.pending[seq] = passDelta{fold: fold, rows: nr}
+		for r.err == nil {
+			d, ok := r.pending[r.nextFold]
+			if !ok {
+				break
+			}
+			delete(r.pending, r.nextFold)
+			r.nextFold++
+			if d.fold != nil {
+				if err := d.fold(); err != nil {
+					r.err = err
+					r.eof = true
+					break
+				}
+			}
+			r.rows += d.rows
+			r.parts++
+		}
+		r.mu.Unlock()
+	}
+}
+
+// checkShape validates one chunk against the source schema.
+func (f *fitter) checkShape(c *frame.Chunk) error {
+	if len(c.Cols) != len(f.names) {
+		return fmt.Errorf("shard: chunk %d has %d columns, want %d", c.Index, len(c.Cols), len(f.names))
+	}
+	if c.Label != nil && len(c.Label) != c.NumRows() {
+		return fmt.Errorf("shard: chunk %d label covers %d of %d rows", c.Index, len(c.Label), c.NumRows())
+	}
+	return nil
+}
+
+// finishPass folds one completed pass into the fit statistics, validating
+// that the source yields a stable shape across passes.
+func (f *fitter) finishPass(rows, parts int) error {
+	f.stats.RowsStreamed += int64(rows)
+	if f.n == 0 {
+		f.n, f.stats.Rows, f.stats.Partitions = rows, rows, parts
+		return nil
+	}
+	if rows != f.n {
+		return fmt.Errorf("shard: source yielded %d rows on a later pass, want %d (unstable source)", rows, f.n)
+	}
+	return nil
+}
+
+// recycle returns a chunk lease to the prefetcher, when one is active.
+func (f *fitter) recycle(c *frame.Chunk) {
+	if f.pf != nil {
+		f.pf.Recycle(c)
+	}
+}
+
+// shadowHist returns a fresh concurrent-accumulation shadow of a criterion
+// histogram for the integral-count families; the regression MomentHist
+// returns nil (its float sums are order-sensitive, so the pass uses
+// BinIDs/AddBinned instead of a mergeable shadow).
+func shadowHist(h sketch.CriterionHist) sketch.CriterionHist {
+	switch t := h.(type) {
+	case *sketch.LabelHist:
+		return t.Shadow()
+	case *sketch.ClassHist:
+		return t.Shadow()
+	default:
+		return nil
+	}
+}

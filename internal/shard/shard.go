@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"io"
 	"time"
 
 	"repro/internal/core"
@@ -32,6 +31,13 @@ type Config struct {
 	// stage; cut placement is then off by at most the sketches' rank error
 	// bound (Stats.MaxQuantileRankError).
 	ApproxCuts bool
+	// Prefetch bounds the chunk read-ahead of every streaming pass: the next
+	// Prefetch chunks are read and decoded in the background while the
+	// current ones are processed and folded. 0 picks the default (2 when the
+	// fit runs parallel workers, off for a single worker); < 0 disables
+	// read-ahead. Parallel fits always route chunks through the prefetcher's
+	// lease pool regardless, so each worker owns its chunk independently.
+	Prefetch int
 }
 
 // DefaultConfig returns the paper's configuration with default sketches.
@@ -94,6 +100,16 @@ func Fit(ctx context.Context, src frame.ChunkSource, cfg Config) (*core.Pipeline
 		pool:       pool,
 		ops:        ops,
 		arities:    core.DistinctArities(ops),
+		arena:      sketch.NewArena(),
+	}
+	// Parallel passes need the prefetcher's lease semantics (each worker owns
+	// its chunk until folded); a single-worker fit uses it only when read-
+	// ahead is requested, keeping the sequential path zero-copy by default.
+	if depth := prefetchDepth(cfg.Prefetch, pool.Workers()); depth > 0 {
+		pf := frame.NewPrefetch(src, depth, pool.Workers())
+		defer pf.Close()
+		f.pf = pf
+		f.src = pf
 	}
 	p, rep, err := f.fit()
 	if err != nil {
@@ -134,6 +150,7 @@ type candidate struct {
 	ivCuts  []float64
 	rgCuts  []float64 // ranker binner cuts
 	codes   []uint8   // ranker codes (aliases live codes for base entries)
+	kept    bool      // survived ranking into the next live set
 }
 
 type fitter struct {
@@ -142,9 +159,11 @@ type fitter struct {
 	sketchSize int
 	approxCuts bool
 	src        frame.ChunkSource
+	pf         *frame.Prefetch // non-nil when chunks are leased (parallel/read-ahead)
 	pool       *parallel.Pool
 	ops        []operators.Operator
 	arities    []int
+	arena      *sketch.Arena // recycles pass-transient sketches and scratch
 
 	names  []string
 	labels []float64
@@ -156,49 +175,20 @@ type fitter struct {
 	stats Stats
 }
 
-// forEachChunk makes one full pass over the source, tracking pass and row
-// statistics and validating that the source yields a stable shape. The
-// context is checked before every chunk, so a cancelled fit stops
-// mid-pass without finishing the stream.
-func (f *fitter) forEachChunk(fn func(c *frame.Chunk) error) error {
-	if err := f.src.Reset(); err != nil {
-		return err
+// prefetchDepth resolves the Config.Prefetch knob: explicit depth wins, 0 is
+// auto (read-ahead 2 for parallel fits), negative disables read-ahead but a
+// parallel fit still gets a depth-1 lease stream for chunk ownership.
+func prefetchDepth(pref, workers int) int {
+	switch {
+	case pref > 0:
+		return pref
+	case pref == 0 && workers > 1:
+		return 2
+	case pref < 0 && workers > 1:
+		return 1
+	default:
+		return 0
 	}
-	f.stats.Passes++
-	rows, parts := 0, 0
-	for {
-		if err := f.ctx.Err(); err != nil {
-			return err
-		}
-		c, err := f.src.Next()
-		if errors.Is(err, io.EOF) {
-			break
-		}
-		if err != nil {
-			return err
-		}
-		if len(c.Cols) != len(f.names) {
-			return fmt.Errorf("shard: chunk %d has %d columns, want %d", c.Index, len(c.Cols), len(f.names))
-		}
-		nr := c.NumRows()
-		if c.Label != nil && len(c.Label) != nr {
-			return fmt.Errorf("shard: chunk %d label covers %d of %d rows", c.Index, len(c.Label), nr)
-		}
-		if err := fn(c); err != nil {
-			return err
-		}
-		rows += nr
-		parts++
-	}
-	f.stats.RowsStreamed += int64(rows)
-	if f.n == 0 {
-		f.n, f.stats.Rows, f.stats.Partitions = rows, rows, parts
-		return nil
-	}
-	if rows != f.n {
-		return fmt.Errorf("shard: source yielded %d rows on a later pass, want %d (unstable source)", rows, f.n)
-	}
-	return nil
 }
 
 // trackSketch folds a sketch's error bound into the fit statistics.
@@ -230,27 +220,37 @@ func (f *fitter) fit() (*core.Pipeline, *core.Report, error) {
 	// source; Rows on later events reflects cumulative source consumption.
 	cfg.Emit(core.FitEvent{Kind: core.EventFitStart, Candidates: m})
 
-	// Pass 1: labels plus per-feature quantile sketches and moments.
+	// Pass 1: labels plus per-feature quantile sketches and moments. Each
+	// partition summarises independently (arena-recycled partials); the fold
+	// merges partition summaries in partition order, exactly the sequence the
+	// sequential engine accumulated in.
 	f.live = make([]*liveFeat, m)
 	for j, name := range f.names {
 		f.live[j] = &liveFeat{name: name, sk: sketch.NewQuantile(f.sketchSize), mom: &sketch.Moments{}}
 	}
-	err := f.forEachChunk(func(c *frame.Chunk) error {
+	err := f.runPass(func(c *frame.Chunk, w *passWorker) (func() error, error) {
 		if c.Label == nil {
-			return errors.New("shard: source has no label column")
+			return nil, errors.New("shard: source has no label column")
 		}
-		f.labels = append(f.labels, c.Label...)
-		f.pool.ForChunks(m, 1, func(lo, hi int) {
-			for j := lo; j < hi; j++ {
-				part := sketch.NewQuantile(f.sketchSize)
-				part.AddAll(c.Cols[j])
-				f.live[j].sk.Merge(part)
-				var pm sketch.Moments
-				pm.AddAll(c.Cols[j])
-				f.live[j].mom.Merge(&pm)
+		labels := append([]float64(nil), c.Label...)
+		parts := make([]*sketch.Quantile, m)
+		moms := make([]sketch.Moments, m)
+		for j := 0; j < m; j++ {
+			sorted, nan := sketch.SortNonNaN(c.Cols[j], &w.srt)
+			part := f.arena.Quantile(f.sketchSize)
+			part.AddSortedScratch(sorted, nan, &w.srt)
+			parts[j] = part
+			moms[j].AddAll(c.Cols[j])
+		}
+		return func() error {
+			f.labels = append(f.labels, labels...)
+			for j := 0; j < m; j++ {
+				f.live[j].sk.Merge(parts[j])
+				f.arena.PutQuantile(parts[j])
+				f.live[j].mom.Merge(&moms[j])
 			}
-		})
-		return nil
+			return nil
+		}, nil
 	})
 	if err != nil {
 		return nil, nil, err
@@ -425,6 +425,7 @@ func (f *fitter) fit() (*core.Pipeline, *core.Report, error) {
 		next := make([]*liveFeat, 0, len(ranked))
 		for _, idx := range ranked {
 			en := entries[idx]
+			en.kept = true
 			lf := &liveFeat{
 				name: en.name,
 				sk:   en.sk,
@@ -448,6 +449,19 @@ func (f *fitter) fit() (*core.Pipeline, *core.Report, error) {
 			next = append(next, lf)
 		}
 		f.live = next
+		// Sketches of candidates that did not survive ranking recycle into
+		// the arena — the next round's enumerate draws warm sketches instead
+		// of allocating hundreds of fresh ones. Trim first: pooled sketches
+		// should not pin their old cascade backings for the whole fit.
+		for _, en := range entries {
+			if !en.isBase && !en.kept {
+				// Reset retires the levels into the free list; trim after so
+				// the pooled sketch carries no backings at all.
+				en.sk.Reset()
+				en.sk.TrimScratch()
+				f.arena.PutQuantile(en.sk)
+			}
+		}
 		if cfg.Miner.MaxBins != cfg.Ranker.MaxBins && round+1 < cfg.Iterations {
 			for _, lf := range f.live {
 				lf.codes = make([]uint8, f.n)
@@ -517,7 +531,7 @@ func (f *fitter) enumerate(combos []core.Combo) ([]*candidate, int, error) {
 			applier: applier,
 			feats:   append([]int(nil), feats...),
 			node:    &core.FeatureNode{Name: name, Inputs: names, Applier: applier},
-			sk:      sketch.NewQuantile(f.sketchSize),
+			sk:      f.arena.Quantile(f.sketchSize),
 			mom:     &sketch.Moments{},
 		})
 		return nil

@@ -45,6 +45,17 @@ func (g *Gram) pairIndex(i, j int) int {
 // K returns the number of columns the accumulator tracks.
 func (g *Gram) K() int { return g.k }
 
+// Reset zeroes the accumulator for reuse over the same k columns.
+func (g *Gram) Reset() {
+	g.rows = 0
+	for p := range g.sxy {
+		g.sxy[p] = 0
+		g.sx[p] = 0
+		g.sy[p] = 0
+		g.cnt[p] = 0
+	}
+}
+
 // Rows returns the total rows observed.
 func (g *Gram) Rows() int64 { return g.rows }
 

@@ -37,6 +37,20 @@ func NewLabelHist(cuts []float64) *LabelHist {
 // Cuts returns the histogram's cut points (not a copy).
 func (h *LabelHist) Cuts() []float64 { return h.cuts }
 
+// Shadow returns a histogram sharing h's cut points and bucket index
+// (read-only) with fresh counts, so partitions can accumulate concurrently
+// and fold back with Merge — counts are integral, so the fold is exact. A
+// shadow must not outlive h.
+func (h *LabelHist) Shadow() *LabelHist {
+	sh := &LabelHist{
+		cuts: h.cuts,
+		pos:  make([]float64, len(h.pos)),
+		neg:  make([]float64, len(h.neg)),
+	}
+	sh.ix = h.ix
+	return sh
+}
+
 // Add observes one (value, binary label) observation.
 func (h *LabelHist) Add(v, label float64) {
 	if math.IsNaN(v) {

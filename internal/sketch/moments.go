@@ -27,11 +27,24 @@ func (m *Moments) Add(v float64) {
 	m.M2 += d * (v - m.Mean)
 }
 
-// AddAll observes a column of values.
+// AddAll observes a column of values. The accumulation is the exact
+// per-value Add sequence with the fields held in locals — same float
+// operations in the same order, without the per-value store/reload.
 func (m *Moments) AddAll(vs []float64) {
+	rows, n, nans := m.Rows, m.N, m.NaNs
+	mean, m2 := m.Mean, m.M2
 	for _, v := range vs {
-		m.Add(v)
+		rows++
+		if math.IsNaN(v) {
+			nans++
+			continue
+		}
+		n++
+		d := v - mean
+		mean += d / float64(n)
+		m2 += d * (v - mean)
 	}
+	m.Rows, m.N, m.NaNs, m.Mean, m.M2 = rows, n, nans, mean, m2
 }
 
 // Merge folds another accumulator into m (Chan et al. parallel update).

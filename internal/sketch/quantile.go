@@ -31,6 +31,12 @@ type wpoint struct {
 // absorbing a run of at most W = ceil(weight/size) original values — the
 // single source of rank error, accumulated per summary in errs. No step is
 // randomised.
+//
+// Retired point-slice backings recycle through an internal free list and the
+// full merged summary is memoised between mutations, so a sketch that is
+// queried repeatedly (or Reset and refilled through an Arena) allocates only
+// during warm-up. None of the reuse changes any computed summary: the
+// arithmetic is identical to a freshly allocated sketch.
 type Quantile struct {
 	size     int
 	count    int64 // non-NaN values observed
@@ -39,7 +45,17 @@ type Quantile struct {
 	buf      []float64
 	levels   [][]wpoint
 	errs     []int64
+
+	free [][]wpoint // retired level backings, reused by mergeInto/flush
+	bulk []float64  // AddAll bulk-load sort scratch
+
+	mcache      []wpoint // memoised merged(); may alias a level slice
+	mcacheOwned bool     // mcache backing is scratch (not a level alias)
+	mvalid      bool
 }
+
+// maxFree bounds the retained free-list backings per sketch.
+const maxFree = 8
 
 // NewQuantile creates a quantile sketch with the given per-level summary
 // size; size <= 0 selects DefaultSize.
@@ -50,6 +66,91 @@ func NewQuantile(size int) *Quantile {
 	return &Quantile{size: size, min: math.Inf(1), max: math.Inf(-1)}
 }
 
+// Size returns the per-level summary size the sketch was built with.
+func (q *Quantile) Size() int { return q.size }
+
+// Reset clears the sketch for reuse with the same size, keeping its internal
+// buffers so a recycled sketch allocates nothing in steady state. A reset
+// sketch behaves exactly like a fresh NewQuantile(Size()).
+func (q *Quantile) Reset() {
+	q.count, q.nan = 0, 0
+	q.min, q.max = math.Inf(1), math.Inf(-1)
+	q.buf = q.buf[:0]
+	q.dirty()
+	for i := range q.levels {
+		q.putFree(q.levels[i])
+		q.levels[i] = nil
+		q.errs[i] = 0
+	}
+	q.levels = q.levels[:0]
+	q.errs = q.errs[:0]
+}
+
+// TrimScratch releases the sketch's reusable scratch — retired free-list
+// backings, the bulk-load buffer, and the memoised merged summary — keeping
+// the logical content intact. Call it on a sketch that has finished its
+// merge phase: hundreds of candidate sketches each holding cascade scratch
+// is what dominated the sharded fit's resident heap, and queries after a
+// trim simply rebuild what they need.
+func (q *Quantile) TrimScratch() {
+	q.mcache, q.mcacheOwned, q.mvalid = nil, false, false
+	q.free = nil
+	q.bulk = nil
+}
+
+// dirty invalidates the memoised merged summary, retiring an owned backing.
+func (q *Quantile) dirty() {
+	if q.mcache == nil {
+		return
+	}
+	if q.mcacheOwned {
+		q.putFree(q.mcache)
+	}
+	q.mcache, q.mcacheOwned, q.mvalid = nil, false, false
+}
+
+// takeFree returns a zero-length point slice with capacity at least n,
+// reusing the best-fitting retired backing when one fits.
+func (q *Quantile) takeFree(n int) []wpoint {
+	best := -1
+	for i, s := range q.free {
+		if cap(s) >= n && (best < 0 || cap(s) < cap(q.free[best])) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		s := q.free[best]
+		last := len(q.free) - 1
+		q.free[best] = q.free[last]
+		q.free[last] = nil
+		q.free = q.free[:last]
+		return s[:0]
+	}
+	return make([]wpoint, 0, n)
+}
+
+// putFree retires a point-slice backing for reuse. A full list evicts its
+// smallest backing — the merge cascade reuses the large ones, and keeping
+// only early small retirees was measurably re-allocating the big buffers.
+func (q *Quantile) putFree(s []wpoint) {
+	if cap(s) == 0 {
+		return
+	}
+	if len(q.free) < maxFree {
+		q.free = append(q.free, s[:0])
+		return
+	}
+	small := 0
+	for i := 1; i < len(q.free); i++ {
+		if cap(q.free[i]) < cap(q.free[small]) {
+			small = i
+		}
+	}
+	if cap(s) > cap(q.free[small]) {
+		q.free[small] = s[:0]
+	}
+}
+
 // Add observes one value. NaNs are counted separately and never contribute
 // to ranks, matching stats.Quantiles' NaN handling.
 func (q *Quantile) Add(v float64) {
@@ -57,6 +158,7 @@ func (q *Quantile) Add(v float64) {
 		q.nan++
 		return
 	}
+	q.dirty()
 	q.count++
 	if v < q.min {
 		q.min = v
@@ -73,11 +175,97 @@ func (q *Quantile) Add(v float64) {
 	}
 }
 
-// AddAll observes a column of values.
+// bulkMin is the AddAll input length above which the bulk load path runs.
+const bulkMin = 512
+
+// AddAll observes a column of values. Large inputs take a bulk path — sort
+// once, build the weighted summary run directly, compact once — instead of
+// streaming through the flush buffer. The resulting summary satisfies the
+// same invariants and (being a single lossless run compacted at most once)
+// a rank-error bound at least as tight as the streamed equivalent.
 func (q *Quantile) AddAll(vs []float64) {
-	for _, v := range vs {
-		q.Add(v)
+	if len(vs) < bulkMin {
+		for _, v := range vs {
+			q.Add(v)
+		}
+		return
 	}
+	if cap(q.bulk) < len(vs) {
+		q.bulk = make([]float64, 0, len(vs))
+	}
+	b := q.bulk[:0]
+	nan := 0
+	for _, v := range vs {
+		if math.IsNaN(v) {
+			nan++
+			continue
+		}
+		b = append(b, v)
+	}
+	q.bulk = b
+	sort.Float64s(b)
+	q.AddSorted(b, nan)
+}
+
+// AddSorted observes a pre-sorted ascending NaN-free run of values plus the
+// NaN count stripped from it (the shape SortNonNaN produces), building the
+// summary run directly: dedup in one linear walk, at most one compaction,
+// one push. The fast path of the sharded engine's sketch passes.
+func (q *Quantile) AddSorted(sorted []float64, nan int) {
+	q.addSorted(sorted, nan, nil)
+}
+
+// AddSortedScratch is AddSorted with the dedup walk run in caller-owned
+// scratch: only the final summary run — at most size+1 points after the
+// compaction — is copied into sketch-owned memory. Recycled partials
+// therefore retain compact backings instead of chunk-length ones, which is
+// what keeps a pool of hundreds of candidate partials cheap to hold.
+func (q *Quantile) AddSortedScratch(sorted []float64, nan int, s *SortScratch) {
+	q.addSorted(sorted, nan, s)
+}
+
+func (q *Quantile) addSorted(sorted []float64, nan int, s *SortScratch) {
+	q.nan += int64(nan)
+	if len(sorted) == 0 {
+		return
+	}
+	q.flush() // pending buffered values become their own summary first
+	q.dirty()
+	q.count += int64(len(sorted))
+	if sorted[0] < q.min {
+		q.min = sorted[0]
+	}
+	if sorted[len(sorted)-1] > q.max {
+		q.max = sorted[len(sorted)-1]
+	}
+	var pts []wpoint
+	if s != nil {
+		if cap(s.pts) < len(sorted) {
+			s.pts = make([]wpoint, 0, len(sorted))
+		}
+		pts = s.pts[:0]
+	} else {
+		pts = q.takeFree(len(sorted))
+	}
+	for _, v := range sorted {
+		if n := len(pts); n > 0 && pts[n-1].v == v {
+			pts[n-1].w++
+			continue
+		}
+		pts = append(pts, wpoint{v: v, w: 1})
+	}
+	if s != nil {
+		s.pts = pts // retain the grown scratch for the next call
+	}
+	var err int64
+	if len(pts) > q.size {
+		pts, err = compactPoints(pts, q.size)
+	}
+	if s != nil {
+		own := q.takeFree(len(pts))
+		pts = append(own, pts...)
+	}
+	q.push(0, pts, err)
 }
 
 // Count returns the exact number of non-NaN values observed.
@@ -111,6 +299,7 @@ func (q *Quantile) Merge(o *Quantile) {
 	}
 	o.flush()
 	q.flush()
+	q.dirty()
 	q.count += o.count
 	q.nan += o.nan
 	if o.min < q.min {
@@ -123,7 +312,10 @@ func (q *Quantile) Merge(o *Quantile) {
 		if len(pts) == 0 {
 			continue
 		}
-		q.push(level, append([]wpoint(nil), pts...), o.errs[level])
+		cp := q.takeFree(len(pts))
+		cp = cp[:len(pts)]
+		copy(cp, pts)
+		q.push(level, cp, o.errs[level])
 	}
 }
 
@@ -132,8 +324,9 @@ func (q *Quantile) flush() {
 	if len(q.buf) == 0 {
 		return
 	}
+	q.dirty()
 	sort.Float64s(q.buf)
-	pts := make([]wpoint, 0, len(q.buf))
+	pts := q.takeFree(len(q.buf))
 	for _, v := range q.buf {
 		if n := len(pts); n > 0 && pts[n-1].v == v {
 			pts[n-1].w++
@@ -159,9 +352,14 @@ func (q *Quantile) push(level int, pts []wpoint, err int64) {
 			q.errs[level] = err
 			return
 		}
-		pts, err = mergePoints(q.levels[level], pts), q.errs[level]+err
+		old := q.levels[level]
+		merged := q.mergeInto(old, pts)
+		err += q.errs[level]
 		q.levels[level] = nil
 		q.errs[level] = 0
+		q.putFree(old)
+		q.putFree(pts)
+		pts = merged
 		if len(pts) > q.size {
 			var addErr int64
 			pts, addErr = compactPoints(pts, q.size)
@@ -171,10 +369,17 @@ func (q *Quantile) push(level int, pts []wpoint, err int64) {
 	}
 }
 
-// mergePoints merge-joins two sorted weighted point lists exactly, summing
-// weights of equal values.
-func mergePoints(a, b []wpoint) []wpoint {
-	out := make([]wpoint, 0, len(a)+len(b))
+// mergeInto merge-joins two sorted weighted point lists exactly into a
+// free-list backing, summing weights of equal values. The result never
+// aliases a or b.
+func (q *Quantile) mergeInto(a, b []wpoint) []wpoint {
+	out := q.takeFree(len(a) + len(b))
+	return mergePointsInto(out, a, b)
+}
+
+// mergePointsInto appends the exact merge of a and b to out, which must be
+// empty and alias neither input.
+func mergePointsInto(out, a, b []wpoint) []wpoint {
 	i, j := 0, 0
 	for i < len(a) || j < len(b) {
 		var p wpoint
@@ -204,7 +409,8 @@ func mergePoints(a, b []wpoint) []wpoint {
 // compactPoints reduces a sorted weighted list to at most size points by
 // absorbing runs of at most W = ceil(weight/size) values into their weighted
 // median point. Every surviving rank estimate moves by less than W, the
-// returned error bound.
+// returned error bound. Compaction is in place: the output reuses pts'
+// backing (safe because the write index never passes the read index).
 func compactPoints(pts []wpoint, size int) ([]wpoint, int64) {
 	var total int64
 	for _, p := range pts {
@@ -214,7 +420,7 @@ func compactPoints(pts []wpoint, size int) ([]wpoint, int64) {
 	if w < 1 {
 		w = 1
 	}
-	out := make([]wpoint, 0, size+1)
+	out := pts[:0]
 	i := 0
 	for i < len(pts) {
 		// Absorb a run of up to w weight starting at i.
@@ -244,9 +450,15 @@ func compactPoints(pts []wpoint, size int) ([]wpoint, int64) {
 }
 
 // merged returns the sketch's full summary as one sorted weighted list,
-// including pending buffered values, without mutating the sketch.
+// including pending buffered values, without mutating the sketch's logical
+// content. The result is memoised until the next mutation and must not be
+// retained across one.
 func (q *Quantile) merged() []wpoint {
+	if q.mvalid {
+		return q.mcache
+	}
 	var all []wpoint
+	owned := false
 	for _, pts := range q.levels {
 		if len(pts) == 0 {
 			continue
@@ -255,12 +467,16 @@ func (q *Quantile) merged() []wpoint {
 			all = pts
 			continue
 		}
-		all = mergePoints(all, pts)
+		m := q.mergeInto(all, pts)
+		if owned {
+			q.putFree(all)
+		}
+		all, owned = m, true
 	}
 	if len(q.buf) > 0 {
 		tmp := append([]float64(nil), q.buf...)
 		sort.Float64s(tmp)
-		pts := make([]wpoint, 0, len(tmp))
+		pts := q.takeFree(len(tmp))
 		for _, v := range tmp {
 			if n := len(pts); n > 0 && pts[n-1].v == v {
 				pts[n-1].w++
@@ -269,11 +485,17 @@ func (q *Quantile) merged() []wpoint {
 			pts = append(pts, wpoint{v: v, w: 1})
 		}
 		if all == nil {
-			all = pts
+			all, owned = pts, true
 		} else {
-			all = mergePoints(all, pts)
+			m := q.mergeInto(all, pts)
+			if owned {
+				q.putFree(all)
+			}
+			q.putFree(pts)
+			all, owned = m, true
 		}
 	}
+	q.mcache, q.mcacheOwned, q.mvalid = all, owned, true
 	return all
 }
 

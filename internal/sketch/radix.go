@@ -1,0 +1,164 @@
+package sketch
+
+import (
+	"math"
+	"sort"
+)
+
+// SortScratch is reusable scratch for SortNonNaN — one float buffer for the
+// filtered values and two uint64 ping-pong buffers for the radix passes —
+// plus the weighted-point dedup buffer Quantile.AddSortedScratch walks
+// before copying the compacted run out. A zero SortScratch is ready to use;
+// buffers grow to the largest input seen.
+type SortScratch struct {
+	f    []float64
+	a, b []uint64
+	pts  []wpoint
+}
+
+// radixMinN is the input length below which comparison sorting wins.
+const radixMinN = 256
+
+// SortNonNaN copies vs's non-NaN values into the scratch, sorts them
+// ascending, and returns the sorted slice together with the stripped NaN
+// count. Large inputs take an LSD radix sort over the order-preserving
+// integer mapping of float64 — several times faster than comparison
+// sorting at summary-build block sizes — and the resulting order equals
+// sort.Float64s on the same NaN-free data. The returned slice aliases the
+// scratch and is valid until the next call.
+func SortNonNaN(vs []float64, s *SortScratch) ([]float64, int) {
+	const sign = uint64(1) << 63
+	if cap(s.a) < len(vs) {
+		s.a = make([]uint64, 0, len(vs))
+	}
+	// Filter NaNs and apply the order-preserving mapping in one walk:
+	// negative floats reverse (complement), non-negative floats shift above
+	// them (set the sign bit). Note -0.0 orders just below +0.0; both
+	// compare equal everywhere they are used.
+	conv := s.a[:0]
+	for _, v := range vs {
+		if math.IsNaN(v) {
+			continue
+		}
+		u := math.Float64bits(v)
+		if u&sign != 0 {
+			u = ^u
+		} else {
+			u |= sign
+		}
+		conv = append(conv, u)
+	}
+	s.a = conv
+	nan := len(vs) - len(conv)
+	n := len(conv)
+	if cap(s.f) < n {
+		s.f = make([]float64, n)
+	}
+	out := s.f[:n]
+	if n < radixMinN {
+		i := 0
+		for _, v := range vs {
+			if !math.IsNaN(v) {
+				out[i] = v
+				i++
+			}
+		}
+		sort.Float64s(out)
+		return out, nan
+	}
+
+	if cap(s.b) < n {
+		s.b = make([]uint64, n)
+	}
+	a, b := conv, s.b[:n]
+	// Eight byte-wide digits: the 1KB per-pass histograms stay resident in
+	// L1 through the scatter, which measured faster here than fewer, wider
+	// passes with larger tables. All histograms build in one pre-pass, split
+	// into two interleaved sets: float exponent bytes are heavily skewed
+	// (most values share one top byte), and a single counter array would
+	// serialize those increments on a store-forward dependency chain.
+	var hist, hist2 [8][256]int32
+	for i := 0; i+1 < n; i += 2 {
+		u, u2 := a[i], a[i+1]
+		hist[0][u&0xff]++
+		hist[1][(u>>8)&0xff]++
+		hist[2][(u>>16)&0xff]++
+		hist[3][(u>>24)&0xff]++
+		hist[4][(u>>32)&0xff]++
+		hist[5][(u>>40)&0xff]++
+		hist[6][(u>>48)&0xff]++
+		hist[7][(u>>56)&0xff]++
+		hist2[0][u2&0xff]++
+		hist2[1][(u2>>8)&0xff]++
+		hist2[2][(u2>>16)&0xff]++
+		hist2[3][(u2>>24)&0xff]++
+		hist2[4][(u2>>32)&0xff]++
+		hist2[5][(u2>>40)&0xff]++
+		hist2[6][(u2>>48)&0xff]++
+		hist2[7][(u2>>56)&0xff]++
+	}
+	if n%2 != 0 {
+		u := a[n-1]
+		hist[0][u&0xff]++
+		hist[1][(u>>8)&0xff]++
+		hist[2][(u>>16)&0xff]++
+		hist[3][(u>>24)&0xff]++
+		hist[4][(u>>32)&0xff]++
+		hist[5][(u>>40)&0xff]++
+		hist[6][(u>>48)&0xff]++
+		hist[7][(u>>56)&0xff]++
+	}
+	for pass := 0; pass < 8; pass++ {
+		h := &hist[pass]
+		shift := uint(pass * 8)
+		// Fold the split histograms and find the dominant byte while
+		// prefix-summing.
+		dom, domCount := 0, int32(0)
+		var sum int32
+		for i := range h {
+			c := h[i] + hist2[pass][i]
+			if c > domCount {
+				dom, domCount = i, c
+			}
+			h[i] = sum
+			sum += c
+		}
+		// A pass whose byte is constant across the input is a no-op.
+		if domCount == int32(n) {
+			continue
+		}
+		if domCount*4 >= int32(n)*3 {
+			// Skewed pass (exponent bytes): keep the dominant byte's output
+			// cursor in a register so its stores don't chain through memory,
+			// and let the branch predict the common case.
+			ud := uint64(dom)
+			pd := h[dom]
+			for _, u := range a {
+				byt := (u >> shift) & 0xff
+				if byt == ud {
+					b[pd] = u
+					pd++
+					continue
+				}
+				b[h[byt]] = u
+				h[byt]++
+			}
+		} else {
+			for _, u := range a {
+				byt := (u >> shift) & 0xff
+				b[h[byt]] = u
+				h[byt]++
+			}
+		}
+		a, b = b, a
+	}
+	for i, u := range a {
+		if u&sign != 0 {
+			u &^= sign
+		} else {
+			u = ^u
+		}
+		out[i] = math.Float64frombits(u)
+	}
+	return out, nan
+}

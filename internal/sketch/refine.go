@@ -32,6 +32,7 @@ type Refiner struct {
 
 	finalized bool
 	lowCount  []int64
+	below     []int // AddSorted scratch: per-target below-bracket counts
 }
 
 // NewRefiner brackets the given target ranks (ascending, in [0, Count))
@@ -50,9 +51,11 @@ func NewRefiner(q *Quantile, ranks []int64) *Refiner {
 	}
 	e := 2 * q.ErrorBound()
 	pts := q.merged()
-	for t, rank := range r.ranks {
-		r.lo[t] = valueAtRank(pts, rank-e)
-		r.hi[t] = valueAtRank(pts, rank+e)
+	// Both bracket edges are values at ascending ranks, so each fills in one
+	// cumulative walk of the merged list instead of one walk per target.
+	fillValuesAtRanks(pts, r.ranks, -e, r.lo)
+	fillValuesAtRanks(pts, r.ranks, +e, r.hi)
+	for t := range r.ranks {
 		if r.lo[t] == r.hi[t] {
 			// The bracket pinches to one value, which must be the answer.
 			r.resolved[t] = true
@@ -61,23 +64,51 @@ func NewRefiner(q *Quantile, ranks []int64) *Refiner {
 	return r
 }
 
-// valueAtRank walks a merged weighted list to the value covering the given
-// rank (clamped).
-func valueAtRank(pts []wpoint, rank int64) float64 {
+// fillValuesAtRanks sets dst[t] to the value covering rank ranks[t]+off
+// (clamped) in the merged weighted list — valueAtRank for every target in a
+// single walk, valid because ranks is ascending.
+func fillValuesAtRanks(pts []wpoint, ranks []int64, off int64, dst []float64) {
 	if len(pts) == 0 {
-		return math.NaN()
+		for t := range dst {
+			dst[t] = math.NaN()
+		}
+		return
 	}
-	if rank < 0 {
-		rank = 0
-	}
-	var cum int64
-	for _, p := range pts {
-		cum += p.w
-		if rank < cum {
-			return p.v
+	pi := 0
+	cum := pts[0].w
+	for t, rk := range ranks {
+		rank := rk + off
+		if rank < 0 {
+			rank = 0
+		}
+		for pi < len(pts) && rank >= cum {
+			pi++
+			if pi < len(pts) {
+				cum += pts[pi].w
+			}
+		}
+		if pi < len(pts) {
+			dst[t] = pts[pi].v
+		} else {
+			dst[t] = pts[len(pts)-1].v
 		}
 	}
-	return pts[len(pts)-1].v
+}
+
+// Shadow returns a refiner sharing r's targets and brackets (read-only) with
+// fresh accumulators, so partitions can gather concurrently and fold back in
+// order with r.Merge. A shadow must not outlive r.
+func (r *Refiner) Shadow() *Refiner {
+	return &Refiner{
+		ranks:    r.ranks,
+		lo:       r.lo,
+		hi:       r.hi,
+		resolved: r.resolved,
+		lowDelta: make([]int64, len(r.ranks)+1),
+		loEq:     make([]int64, len(r.ranks)),
+		hiEq:     make([]int64, len(r.ranks)),
+		mid:      make([][]float64, len(r.ranks)),
+	}
 }
 
 // NeedsPass reports whether any target still needs gathered values.
@@ -96,16 +127,41 @@ func (r *Refiner) AddChunk(vals []float64) {
 	if nt == 0 {
 		return
 	}
+	lo, hi := r.lo, r.hi
 	for _, v := range vals {
 		if math.IsNaN(v) {
 			continue
 		}
-		// Targets with lo > v form a suffix; record one delta at its start.
-		idx := sort.Search(nt, func(t int) bool { return r.lo[t] > v })
-		r.lowDelta[idx]++
-		// Gather into the run of brackets containing v.
-		t := sort.Search(nt, func(t int) bool { return r.hi[t] >= v })
-		for ; t < nt && r.lo[t] <= v; t++ {
+		// Targets with lo > v form a suffix; record one delta at its start
+		// (inlined binary searches: this loop is the refinement pass's whole
+		// cost, and the closure-based sort.Search showed up in profiles).
+		a, b := 0, nt
+		for a < b {
+			m := int(uint(a+b) >> 1)
+			if lo[m] > v {
+				b = m
+			} else {
+				a = m + 1
+			}
+		}
+		r.lowDelta[a]++
+		// Brackets containing v are the run [t, a): lo ascending limits it
+		// to t < a, hi ascending starts it at the first hi >= v. Most values
+		// fall outside every bracket — one compare against hi[a-1] rejects
+		// them without the second binary search.
+		if a == 0 || hi[a-1] < v {
+			continue
+		}
+		t, y := 0, a
+		for t < y {
+			m := int(uint(t+y) >> 1)
+			if hi[m] >= v {
+				y = m
+			} else {
+				t = m + 1
+			}
+		}
+		for ; t < a && lo[t] <= v; t++ {
 			if r.resolved[t] {
 				continue
 			}
@@ -118,6 +174,88 @@ func (r *Refiner) AddChunk(vals []float64) {
 				r.mid[t] = append(r.mid[t], v)
 			}
 		}
+	}
+}
+
+// AddSorted ingests one chunk of the column as an ascending NaN-free run
+// (the shape SortNonNaN produces) — the same accumulation as AddChunk but
+// by binary searches over the values: O(targets · log n) plus wholesale
+// copies of the in-bracket runs, instead of per-value searches.
+func (r *Refiner) AddSorted(sorted []float64) {
+	nt := len(r.ranks)
+	n := len(sorted)
+	if nt == 0 || n == 0 {
+		return
+	}
+	if cap(r.below) < nt {
+		r.below = make([]int, nt)
+	}
+	below := r.below[:nt]
+	// below[t] = #values < lo[t]; lo ascending lets each search resume
+	// where the previous one ended.
+	prev := 0
+	for t, edge := range r.lo {
+		a, b := prev, n
+		for a < b {
+			m := int(uint(a+b) >> 1)
+			if sorted[m] < edge {
+				a = m + 1
+			} else {
+				b = m
+			}
+		}
+		below[t] = a
+		prev = a
+	}
+	// A value v lands in lowDelta bucket a when a edges satisfy lo <= v,
+	// i.e. values in [lo[a-1], lo[a]) — consecutive differences of below.
+	r.lowDelta[0] += int64(below[0])
+	for t := 1; t < nt; t++ {
+		r.lowDelta[t] += int64(below[t] - below[t-1])
+	}
+	r.lowDelta[nt] += int64(n - below[nt-1])
+	for t := 0; t < nt; t++ {
+		if r.resolved[t] {
+			continue
+		}
+		lo, hi := r.lo[t], r.hi[t]
+		if below[t] >= n || sorted[n-1] < lo {
+			continue
+		}
+		// The bracket [lo, hi] covers the contiguous run starting at
+		// below[t]; split it into ==lo, strictly-inside, and ==hi spans.
+		a, b := below[t], n
+		for a < b { // first value > lo
+			m := int(uint(a+b) >> 1)
+			if sorted[m] <= lo {
+				a = m + 1
+			} else {
+				b = m
+			}
+		}
+		loEnd := a
+		a, b = loEnd, n
+		for a < b { // first value >= hi
+			m := int(uint(a+b) >> 1)
+			if sorted[m] < hi {
+				a = m + 1
+			} else {
+				b = m
+			}
+		}
+		midEnd := a
+		a, b = midEnd, n
+		for a < b { // first value > hi
+			m := int(uint(a+b) >> 1)
+			if sorted[m] <= hi {
+				a = m + 1
+			} else {
+				b = m
+			}
+		}
+		r.loEq[t] += int64(loEnd - below[t])
+		r.mid[t] = append(r.mid[t], sorted[loEnd:midEnd]...)
+		r.hiEq[t] += int64(a - midEnd)
 	}
 }
 

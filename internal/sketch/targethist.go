@@ -58,6 +58,26 @@ func NewClassHist(cuts []float64, k int) *ClassHist {
 	return h
 }
 
+// Shadow returns a histogram sharing h's cut points and bucket index
+// (read-only) with fresh counts, so partitions can accumulate concurrently
+// and fold back with Merge — counts are integral, so the fold is exact. A
+// shadow must not outlive h.
+func (h *ClassHist) Shadow() *ClassHist {
+	nb := len(h.cuts) + 1
+	sh := &ClassHist{
+		cuts: h.cuts,
+		k:    h.k,
+		flat: make([]float64, h.k*nb),
+		nan:  make([]float64, h.k),
+	}
+	sh.counts = make([][]float64, h.k)
+	for c := 0; c < h.k; c++ {
+		sh.counts[c] = sh.flat[c*nb : (c+1)*nb]
+	}
+	sh.ix = h.ix
+	return sh
+}
+
 // Add observes one (value, class-index) observation.
 func (h *ClassHist) Add(v, label float64) {
 	c := int(label)
@@ -163,6 +183,39 @@ func (h *MomentHist) Add(v, y float64) {
 func (h *MomentHist) AddCol(vals, targets []float64) {
 	for i, v := range vals {
 		h.Add(v, targets[i])
+	}
+}
+
+// BinIDs fills dst (len(vals)) with each value's bin index, -1 for NaN,
+// without touching the accumulators. It only reads the cut index, so
+// concurrent BinIDs calls on one histogram are safe — this is how partitions
+// bin in parallel while AddBinned keeps the float sums in row order.
+func (h *MomentHist) BinIDs(vals []float64, dst []int32) {
+	for i, v := range vals {
+		if math.IsNaN(v) {
+			dst[i] = -1
+			continue
+		}
+		dst[i] = int32(h.ix.Find(v))
+	}
+}
+
+// AddBinned replays precomputed bin ids against parallel targets in row
+// order — the exact float additions AddCol(vals, targets) would perform, so
+// a partition-parallel binning pass folded through AddBinned in partition
+// order stays bit-identical to a single sequential pass. (Merging per-
+// partition MomentHists instead would regroup the sums and change the
+// lowest-order float bits.)
+func (h *MomentHist) AddBinned(ids []int32, targets []float64) {
+	for i, b := range ids {
+		if b < 0 {
+			h.nanN++
+			continue
+		}
+		y := targets[i]
+		h.cnt[b]++
+		h.sum[b] += y
+		h.sumsq[b] += y * y
 	}
 }
 

@@ -1,6 +1,7 @@
 package safe_test
 
 import (
+	"context"
 	"testing"
 
 	"repro"
@@ -31,5 +32,34 @@ func TestShimPatienceWithoutValidation(t *testing.T) {
 	shardCfg.Core = cfg
 	if _, _, _, err := safe.FitSharded(safe.NewFrameChunks(ds.Train, 200), shardCfg); err != nil {
 		t.Fatalf("FitSharded with Patience>0 failed: %v", err)
+	}
+}
+
+// TestFitOptionPatienceWithoutValidation: the same tolerance holds on the
+// Fit option path — a stray Patience ported through WithConfig must fit on
+// both engines (only the explicit WithEarlyStopping option demands
+// WithValidation).
+func TestFitOptionPatienceWithoutValidation(t *testing.T) {
+	ds, err := safe.GenerateDataset(safe.DatasetSpec{
+		Name: "pat-opt", Train: 800, Test: 100, Dim: 6, Interactions: 2, SignalScale: 2.5, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := safe.DefaultConfig()
+	cfg.Patience = 2
+
+	ctx := context.Background()
+	if _, err := safe.Fit(ctx, safe.FromFrame(ds.Train), safe.WithConfig(cfg)); err != nil {
+		t.Fatalf("Fit (in-memory) with Patience>0 via WithConfig failed: %v", err)
+	}
+	// The sharded engine ignores Patience without a validation frame too —
+	// chunked sources route to it implicitly.
+	if _, err := safe.Fit(ctx, safe.FromChunks(safe.NewFrameChunks(ds.Train, 200)), safe.WithConfig(cfg)); err != nil {
+		t.Fatalf("Fit (sharded) with Patience>0 via WithConfig failed: %v", err)
+	}
+	// The explicit early-stopping option still demands a validation frame.
+	if _, err := safe.Fit(ctx, safe.FromFrame(ds.Train), safe.WithEarlyStopping(2, 0)); err == nil {
+		t.Fatal("WithEarlyStopping without WithValidation accepted")
 	}
 }
