@@ -12,6 +12,7 @@
 //	safe-bench -experiment serving -serve-clients 8 -serve-batch 128
 //	safe-bench -experiment fit                  # full fit workload matrix
 //	safe-bench -experiment fit -task regression # one task's cells only
+//	safe-bench -experiment shardfit -source colstore   # one chunk source's cells only
 //	safe-bench -experiment fit -quick -bench-compare   # the CI smoke gate
 //
 // Experiments: table3, table5, table6, table8, fig3, fig4, searchspace,
@@ -80,6 +81,7 @@ func main() {
 		benchTol      = flag.Float64("bench-tolerance", 0.20, "fit experiment: allowed fractional throughput regression")
 		benchRepeats  = flag.Int("bench-repeats", 3, "fit experiment: measurements per cell; the fastest is kept")
 		benchTask     = flag.String("task", "", "fit experiment: run only cells of this task (binary, multiclass:K, regression; default all)")
+		benchSource   = flag.String("source", "", "fit experiment: run only cells of this chunk source (frame, csv, colstore; default all)")
 		version       = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -171,6 +173,7 @@ func main() {
 			ShardFit:  run["shardfit"],
 			Quick:     *quick,
 			Task:      *benchTask,
+			Source:    *benchSource,
 			File:      *benchFile,
 			Label:     *benchLabel,
 			Append:    *benchAppend,
@@ -189,6 +192,7 @@ type fitBenchOptions struct {
 	ShardFit  bool // include the sharded out-of-core fit matrix
 	Quick     bool
 	Task      string // restrict to cells of one task ("" = all)
+	Source    string // restrict to cells of one chunk source ("" = all; "frame" = in-memory chunks)
 	File      string
 	Label     string
 	Append    bool
@@ -235,6 +239,24 @@ func runFitBench(opts fitBenchOptions, w io.Writer) (*benchkit.Run, error) {
 		}
 		if len(filtered) == 0 {
 			return nil, fmt.Errorf("no workload cells match -task %s; measuring nothing would pass the gate vacuously", want)
+		}
+		matrix = filtered
+	}
+	if opts.Source != "" {
+		want := opts.Source
+		if want == "frame" { // the in-memory chunk source is the empty Source
+			want = ""
+		} else if want != "csv" && want != "colstore" {
+			return nil, fmt.Errorf("unknown -source %q (want frame, csv, or colstore)", opts.Source)
+		}
+		var filtered []benchkit.FitWorkload
+		for _, cell := range matrix {
+			if cell.Source == want {
+				filtered = append(filtered, cell)
+			}
+		}
+		if len(filtered) == 0 {
+			return nil, fmt.Errorf("no workload cells match -source %s; measuring nothing would pass the gate vacuously", opts.Source)
 		}
 		matrix = filtered
 	}

@@ -1,0 +1,86 @@
+// Command safe-convert moves datasets between CSV and the colstore binary
+// columnar format (internal/colstore), and inspects colstore files.
+//
+// Usage:
+//
+//	safe-convert -in train.csv -out train.col [-label label] [-group-rows 8192]
+//	safe-convert -in train.col -out train.csv
+//	safe-convert -describe train.col
+//
+// The direction follows the file extensions: a .csv input with a .col (or
+// .colstore) output converts CSV→colstore, sniffing each column's type from
+// the data (any non-numeric cell makes a column a dictionary-encoded string
+// column; empty cells are nulls). The reverse emits CSV with the same cell
+// conventions the rest of the toolchain writes (shortest round-trip floats,
+// empty cells for NaN/null), so converting back and forth is lossless.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/buildinfo"
+	"repro/internal/colstore"
+)
+
+func main() {
+	var (
+		in        = flag.String("in", "", "input file (.csv or .col)")
+		out       = flag.String("out", "", "output file (.csv or .col)")
+		label     = flag.String("label", "label", "label column name (CSV input)")
+		groupRows = flag.Int("group-rows", 0, "rows per colstore row group (0 = default)")
+		describe  = flag.String("describe", "", "print the layout of a colstore file and exit")
+		version   = flag.Bool("version", false, "print the build version and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String())
+		return
+	}
+	if *describe != "" {
+		if err := colstore.Describe(*describe, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *in == "" || *out == "" {
+		fatal(fmt.Errorf("need -in and -out (or -describe); see -help"))
+	}
+
+	switch {
+	case isCSV(*in) && isCol(*out):
+		schema, err := colstore.SniffCSV(*in, *label)
+		if err != nil {
+			fatal(err)
+		}
+		rows, err := colstore.ConvertCSV(*in, *out, schema, colstore.WriterOptions{GroupRows: *groupRows})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d rows, %d columns)\n", *out, rows, len(schema))
+	case isCol(*in) && isCSV(*out):
+		tab, err := colstore.ReadTable(*in)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tab.WriteCSVFile(*out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d rows, %d columns)\n", *out, tab.Rows, len(tab.Schema))
+	default:
+		fatal(fmt.Errorf("cannot infer direction from %q -> %q: want .csv<->.col", *in, *out))
+	}
+}
+
+func isCSV(path string) bool { return strings.HasSuffix(path, ".csv") }
+
+func isCol(path string) bool {
+	return strings.HasSuffix(path, ".col") || strings.HasSuffix(path, ".colstore")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "safe-convert:", err)
+	os.Exit(1)
+}

@@ -15,6 +15,12 @@
 // a row-count pre-pass so the file splits into K partitions. With default
 // settings the sharded fit selects the same features as the in-memory fit.
 //
+// A -train file ending in .col or .colstore (written by safe-convert or
+// safe-datagen -format colstore) is opened as a colstore binary columnar
+// file and always fits sharded: its row groups are the partitions, float
+// columns are served zero-copy via mmap, and per-block statistics let
+// refinement passes skip blocks that cannot matter.
+//
 // A multi-minute fit is observable and interruptible: -progress prints
 // each stage of each iteration live as the fit's event stream arrives, and
 // Ctrl-C (SIGINT) or SIGTERM cancels the fit promptly through its context
@@ -111,7 +117,14 @@ func main() {
 		// a shard count is given, a cheap row-count pre-pass sizes the
 		// chunks.
 		source := safe.FromCSVFile(*trainPath, *labelCol)
-		if *chunkRows > 0 || *shards > 0 {
+		switch {
+		case isColstorePath(*trainPath):
+			// Binary columnar input (safe-convert / safe-datagen -format
+			// colstore): inherently chunked by its row groups, fits
+			// sharded with mmap column views and block-stat pass skipping;
+			// -chunk-rows/-shards do not apply.
+			source = safe.FromColumnFile(*trainPath)
+		case *chunkRows > 0 || *shards > 0:
 			rows := *chunkRows
 			if rows <= 0 {
 				rows, err = chunkRowsForShards(*trainPath, *shards)
@@ -120,7 +133,7 @@ func main() {
 				}
 			}
 			opts = append(opts, safe.WithSharding(rows))
-		} else {
+		default:
 			train, err = safe.ReadCSVFile(*trainPath, *labelCol)
 			if err != nil {
 				fatal(err)
@@ -140,6 +153,10 @@ func main() {
 		if st := res.Shard; st != nil {
 			fmt.Printf("sharded fit: %d rows in %d partitions, %d streaming passes (%d rows streamed)\n",
 				st.Rows, st.Partitions, st.Passes, st.RowsStreamed)
+			if st.BlocksSkipped > 0 {
+				fmt.Printf("  block stats skipped %d blocks (%d rows never read)\n",
+					st.BlocksSkipped, st.RowsSkipped)
+			}
 		}
 	}
 
@@ -260,4 +277,10 @@ func countCSVRows(path string) (int, error) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "safe:", err)
 	os.Exit(1)
+}
+
+// isColstorePath reports whether the training file is a colstore binary
+// columnar file, selected by extension like every other format here.
+func isColstorePath(path string) bool {
+	return strings.HasSuffix(path, ".col") || strings.HasSuffix(path, ".colstore")
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/colstore"
 	"repro/internal/core"
 	"repro/internal/frame"
 	"repro/internal/shard"
@@ -126,6 +127,26 @@ func (s csvSource) open(p *Plan) (*openedSource, error) {
 		return nil, err
 	}
 	return &openedSource{chunks: cs, close: cs.Close}, nil
+}
+
+type colFileSource struct{ path string }
+
+// FromColumnFile names a colstore binary columnar file (written by
+// safe-convert, safe-datagen -format colstore, or a colstore writer) as a
+// Source. Column files always fit through the sharded out-of-core engine,
+// with the file's own row groups as the stream's partitions (WithSharding's
+// chunkRows does not apply). Float columns decode bit-exactly — zero-copy
+// via mmap where the platform supports it — string columns stream as their
+// dictionary codes (nulls as NaN), and the engine's refinement passes skip
+// row groups whose footer block statistics prove them irrelevant.
+func FromColumnFile(path string) Source { return colFileSource{path: path} }
+
+func (s colFileSource) open(*Plan) (*openedSource, error) {
+	src, err := colstore.OpenSource(s.path)
+	if err != nil {
+		return nil, err
+	}
+	return &openedSource{chunks: src, close: src.Close}, nil
 }
 
 // planOpts is the mutable state the functional options act on; NewPlan
@@ -356,7 +377,8 @@ func NewPlan(source Source, opts ...Option) (*Plan, error) {
 			return nil, err
 		}
 	}
-	if _, isChunks := source.(chunkSource); isChunks {
+	switch source.(type) {
+	case chunkSource, colFileSource:
 		o.sharded = true
 	}
 	if o.hasSketch && !o.sharded {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/colstore"
 )
 
 // workload generates the benchmark-shaped synthetic dataset the perf
@@ -159,6 +160,30 @@ func TestFitFromCSVFile(t *testing.T) {
 	sameSelection(t, "csv sharded vs in-memory", mem.Pipeline, sh.Pipeline)
 	if sh.Shard == nil || sh.Shard.Rows != 4000 {
 		t.Fatalf("shard stats: %+v", sh.Shard)
+	}
+}
+
+// TestFitFromColumnFile: the colstore source — inherently sharded, served
+// through the mmap or streaming reader — selects exactly what the in-memory
+// engine selects on the same rows.
+func TestFitFromColumnFile(t *testing.T) {
+	train := workload(t, 4000, 8, safe.BinaryTask())
+	path := filepath.Join(t.TempDir(), "train.col")
+	if err := colstore.WriteFrame(path, train, colstore.WriterOptions{GroupRows: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	mem, err := safe.Fit(ctx, safe.FromFrame(train), safe.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := safe.Fit(ctx, safe.FromColumnFile(path), safe.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSelection(t, "colstore vs in-memory", mem.Pipeline, col.Pipeline)
+	if col.Shard == nil || col.Shard.Rows != 4000 {
+		t.Fatalf("shard stats: %+v, want sharded fit over 4000 rows", col.Shard)
 	}
 }
 

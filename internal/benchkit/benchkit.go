@@ -12,11 +12,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
 	"repro"
 	"repro/internal/buildinfo"
+	"repro/internal/colstore"
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/frame"
@@ -41,6 +43,12 @@ type FitWorkload struct {
 	// "multiclass:K", or "regression"); empty means binary. The dataset's
 	// label type follows the task while the planted signal stays fixed.
 	Task string `json:"task,omitempty"`
+	// Source selects the chunk source container for sharded cells: ""
+	// streams in-memory frame chunks, "csv" parses a CSV file, "colstore"
+	// reads a colstore binary columnar file (mmap where available). The
+	// file is written once per measurement outside the timed region; only
+	// the fit itself is measured.
+	Source string `json:"source,omitempty"`
 }
 
 // FitMatrix is the fixed workload matrix. The quick subset is small enough
@@ -73,6 +81,12 @@ func ShardFitMatrix() []FitWorkload {
 		{Name: "shardfit-100k-50", Rows: 100000, Dim: 50, Iterations: 1, Shards: 4},
 		{Name: "shardfit-20k-20-mc3", Rows: 20000, Dim: 20, Iterations: 1, Quick: true, Shards: 4, Task: "multiclass:3"},
 		{Name: "shardfit-20k-20-reg", Rows: 20000, Dim: 20, Iterations: 1, Quick: true, Shards: 4, Task: "regression"},
+		{Name: "shardfit-20k-20-csv", Rows: 20000, Dim: 20, Iterations: 1, Quick: true, Shards: 4, Source: "csv"},
+		{Name: "shardfit-20k-20-colstore", Rows: 20000, Dim: 20, Iterations: 1, Quick: true, Shards: 4, Source: "colstore"},
+		{Name: "shardfit-100k-50-csv", Rows: 100000, Dim: 50, Iterations: 1, Shards: 4, Source: "csv"},
+		{Name: "shardfit-100k-50-colstore", Rows: 100000, Dim: 50, Iterations: 1, Shards: 4, Source: "colstore"},
+		{Name: "shardfit-20k-20-mc3-colstore", Rows: 20000, Dim: 20, Iterations: 1, Shards: 4, Task: "multiclass:3", Source: "colstore"},
+		{Name: "shardfit-20k-20-reg-colstore", Rows: 20000, Dim: 20, Iterations: 1, Shards: 4, Task: "regression", Source: "colstore"},
 	}
 }
 
@@ -296,11 +310,48 @@ func runFitOnce(w FitWorkload, ds *datagen.Dataset) (Result, error) {
 	}
 	if w.Shards > 0 {
 		chunkRows := (w.Rows + w.Shards - 1) / w.Shards
-		fit = func() (*core.Report, error) {
-			src := frame.NewFrameChunks(ds.Train, chunkRows)
-			_, report, _, err := shard.Fit(context.Background(), src, shard.Config{Core: cfg})
-			return report, err
+		switch w.Source {
+		case "":
+			fit = func() (*core.Report, error) {
+				src := frame.NewFrameChunks(ds.Train, chunkRows)
+				_, report, _, err := shard.Fit(context.Background(), src, shard.Config{Core: cfg})
+				return report, err
+			}
+		case "csv":
+			path := filepath.Join(os.TempDir(), fmt.Sprintf("benchkit-%s.csv", w.Name))
+			if err := ds.Train.WriteCSVFile(path); err != nil {
+				return Result{}, err
+			}
+			defer os.Remove(path)
+			fit = func() (*core.Report, error) {
+				src, err := frame.OpenCSVChunks(path, "label", chunkRows)
+				if err != nil {
+					return nil, err
+				}
+				defer src.Close()
+				_, report, _, err := shard.Fit(context.Background(), src, shard.Config{Core: cfg})
+				return report, err
+			}
+		case "colstore":
+			path := filepath.Join(os.TempDir(), fmt.Sprintf("benchkit-%s.col", w.Name))
+			if err := colstore.WriteFrame(path, ds.Train, colstore.WriterOptions{GroupRows: chunkRows}); err != nil {
+				return Result{}, err
+			}
+			defer os.Remove(path)
+			fit = func() (*core.Report, error) {
+				src, err := colstore.OpenSource(path)
+				if err != nil {
+					return nil, err
+				}
+				defer src.Close()
+				_, report, _, err := shard.Fit(context.Background(), src, shard.Config{Core: cfg})
+				return report, err
+			}
+		default:
+			return Result{}, fmt.Errorf("benchkit: %s: unknown source %q (want csv or colstore)", w.Name, w.Source)
 		}
+	} else if w.Source != "" {
+		return Result{}, fmt.Errorf("benchkit: %s: Source requires Shards > 0", w.Name)
 	}
 	runtime.GC()
 	var before, after runtime.MemStats

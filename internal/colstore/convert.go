@@ -1,0 +1,351 @@
+package colstore
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+
+	"repro/internal/frame"
+)
+
+// Table is a colstore file fully decoded in its typed, columnar form — the
+// representation conversions and roundtrip tests work on. Slices are indexed
+// by schema position: Floats[j] for Float64 columns, Strs[j]/Nulls[j] for
+// String columns (the other representation is nil).
+type Table struct {
+	Schema Schema
+	Rows   int
+	Floats [][]float64
+	Strs   [][]string
+	Nulls  [][]bool
+}
+
+// ReadTable decodes a whole colstore file typed: float columns bit-exactly,
+// string columns back to their dictionary values with nulls preserved.
+func ReadTable(path string) (*Table, error) {
+	r, err := Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	t := &Table{
+		Schema: r.Schema(),
+		Rows:   r.NumRows(),
+		Floats: make([][]float64, len(r.meta.schema)),
+		Strs:   make([][]string, len(r.meta.schema)),
+		Nulls:  make([][]bool, len(r.meta.schema)),
+	}
+	buf := make([]float64, 0)
+	for j, spec := range t.Schema {
+		if spec.Type == Float64 {
+			t.Floats[j] = make([]float64, 0, t.Rows)
+		} else {
+			t.Strs[j] = make([]string, 0, t.Rows)
+			t.Nulls[j] = make([]bool, 0, t.Rows)
+		}
+		dict := r.Dict(j)
+		for gi := range r.meta.groups {
+			rows := int(r.meta.groups[gi].rows)
+			if cap(buf) < rows {
+				buf = make([]float64, rows)
+			}
+			buf = buf[:rows]
+			if err := r.decodeBlock(gi, j, buf); err != nil {
+				return nil, err
+			}
+			if spec.Type == Float64 {
+				t.Floats[j] = append(t.Floats[j], buf...)
+				continue
+			}
+			for _, code := range buf {
+				if math.IsNaN(code) {
+					t.Strs[j] = append(t.Strs[j], "")
+					t.Nulls[j] = append(t.Nulls[j], true)
+				} else {
+					t.Strs[j] = append(t.Strs[j], dict[int(code)])
+					t.Nulls[j] = append(t.Nulls[j], false)
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+// ReadFrame drains a colstore file into an in-memory frame, string columns
+// served as their dictionary codes (the same float representation the chunk
+// readers stream).
+func ReadFrame(path string) (*frame.Frame, error) {
+	src, err := Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer src.Close()
+	return frame.ReadAll(src)
+}
+
+// WriteCSV writes a decoded table as CSV with a header row: floats in Go's
+// shortest round-trip form (NaN cells empty), strings verbatim (null cells
+// empty) — the inverse of ConvertCSV's parse.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, len(t.Schema))
+	for j, c := range t.Schema {
+		header[j] = c.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("colstore: write csv header: %w", err)
+	}
+	rec := make([]string, len(t.Schema))
+	for i := 0; i < t.Rows; i++ {
+		for j, c := range t.Schema {
+			if c.Type == Float64 {
+				v := t.Floats[j][i]
+				if math.IsNaN(v) {
+					rec[j] = ""
+				} else {
+					rec[j] = strconv.FormatFloat(v, 'g', -1, 64)
+				}
+				continue
+			}
+			if t.Nulls[j][i] {
+				rec[j] = ""
+			} else {
+				rec[j] = t.Strs[j][i]
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("colstore: write csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes the table to a CSV file; see WriteCSV.
+func (t *Table) WriteCSVFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("colstore: %w", err)
+	}
+	defer f.Close()
+	if err := t.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// SniffCSV scans a CSV file and infers the colstore schema ConvertCSV will
+// write: columns where every non-empty cell parses as a float64 become
+// Float64 (empty cells are NaN), anything else becomes a dictionary-encoded
+// String column (empty cells are nulls). labelCol, which must be numeric,
+// is marked as the label ("" for an unlabelled file).
+func SniffCSV(path, labelCol string) (Schema, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("colstore: %w", err)
+	}
+	defer f.Close()
+	cr := csv.NewReader(f)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("colstore: read csv header: %w", err)
+	}
+	schema := make(Schema, len(header))
+	labelIdx := -1
+	for j, name := range header {
+		schema[j] = ColumnSpec{Name: name, Type: Float64}
+		if labelCol != "" && name == labelCol {
+			schema[j].Label = true
+			labelIdx = j
+		}
+	}
+	if labelCol != "" && labelIdx < 0 {
+		return nil, fmt.Errorf("colstore: label column %q not in csv header", labelCol)
+	}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("colstore: scan csv: %w", err)
+		}
+		for j, cell := range rec {
+			if j >= len(schema) || cell == "" || schema[j].Type == String {
+				continue
+			}
+			if _, perr := strconv.ParseFloat(cell, 64); perr != nil {
+				if j == labelIdx {
+					return nil, fmt.Errorf("colstore: label column %q has non-numeric cell %q", labelCol, cell)
+				}
+				schema[j].Type = String
+			}
+		}
+	}
+	return schema, schema.Validate()
+}
+
+// ConvertCSV converts a CSV file to colstore under the given (usually
+// sniffed) schema, streaming groupRows rows at a time: float cells decode
+// with strconv.ParseFloat (bit-exact for the shortest round-trip form CSV
+// writers here emit, empty/unparsable cells NaN), string cells intern into
+// the column dictionary (empty cells null).
+func ConvertCSV(csvPath, colPath string, schema Schema, opt WriterOptions) (rows int, err error) {
+	f, err := os.Open(csvPath)
+	if err != nil {
+		return 0, fmt.Errorf("colstore: %w", err)
+	}
+	defer f.Close()
+	cr := csv.NewReader(f)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return 0, fmt.Errorf("colstore: read csv header: %w", err)
+	}
+	if len(header) != len(schema) {
+		return 0, fmt.Errorf("colstore: csv has %d columns, schema has %d", len(header), len(schema))
+	}
+	for j, name := range header {
+		if schema[j].Name != name {
+			return 0, fmt.Errorf("colstore: csv column %d is %q, schema says %q", j, name, schema[j].Name)
+		}
+	}
+	w, err := Create(colPath, schema, opt)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		if cerr := w.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
+	}()
+	batchRows := w.opt.GroupRows
+	cols := make([]Col, len(schema))
+	reset := func() {
+		for j := range cols {
+			if schema[j].Type == Float64 {
+				if cols[j].Floats == nil {
+					cols[j].Floats = make([]float64, 0, batchRows)
+				}
+				cols[j].Floats = cols[j].Floats[:0]
+			} else {
+				if cols[j].Strs == nil {
+					cols[j].Strs = make([]string, 0, batchRows)
+					cols[j].Nulls = make([]bool, 0, batchRows)
+				}
+				cols[j].Strs = cols[j].Strs[:0]
+				cols[j].Nulls = cols[j].Nulls[:0]
+			}
+		}
+	}
+	reset()
+	buffered := 0
+	for {
+		rec, rerr := cr.Read()
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return rows, fmt.Errorf("colstore: scan csv: %w", rerr)
+		}
+		if len(rec) != len(schema) {
+			return rows, fmt.Errorf("colstore: csv row %d has %d fields, want %d", rows+1, len(rec), len(schema))
+		}
+		for j, cell := range rec {
+			if schema[j].Type == Float64 {
+				v, perr := strconv.ParseFloat(cell, 64)
+				if perr != nil {
+					v = math.NaN()
+				}
+				cols[j].Floats = append(cols[j].Floats, v)
+				continue
+			}
+			cols[j].Strs = append(cols[j].Strs, cell)
+			cols[j].Nulls = append(cols[j].Nulls, cell == "")
+		}
+		rows++
+		buffered++
+		if buffered == batchRows {
+			if err := w.Append(cols); err != nil {
+				return rows, err
+			}
+			reset()
+			buffered = 0
+		}
+	}
+	if buffered > 0 {
+		if err := w.Append(cols); err != nil {
+			return rows, err
+		}
+	}
+	return rows, nil
+}
+
+// Describe summarises a colstore file for tooling: schema, sizes, and the
+// per-group block statistics behind pass skipping.
+func Describe(path string, w io.Writer) error {
+	r, err := Open(path)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	m := r.meta
+	fmt.Fprintf(w, "colstore v%d: %s\n", FormatVersion, path)
+	fmt.Fprintf(w, "rows: %d  row groups: %d (target %d rows/group)\n",
+		m.rows, len(m.groups), m.groupRows)
+	fmt.Fprintf(w, "columns (%d):\n", len(m.schema))
+	for j, c := range m.schema {
+		extra := ""
+		if c.Type == String {
+			extra = fmt.Sprintf("  dict=%d", len(m.dicts[j]))
+		}
+		if c.Label {
+			extra += "  label"
+		}
+		fmt.Fprintf(w, "  %-3d %-24s %s%s\n", j, c.Name, c.Type, extra)
+	}
+	for gi := range m.groups {
+		g := &m.groups[gi]
+		var bytes uint64
+		for j := range g.blocks {
+			bytes += pad8(g.blocks[j].length)
+		}
+		fmt.Fprintf(w, "group %d: rows [%d, %d)  %d bytes\n",
+			gi, g.start, g.start+uint64(g.rows), bytes)
+	}
+	return nil
+}
+
+// Equal reports whether two tables hold the same schema and bit-identical
+// data (float columns compared by IEEE-754 bits, so NaNs compare equal).
+func (t *Table) Equal(o *Table) bool {
+	if t.Rows != o.Rows || len(t.Schema) != len(o.Schema) {
+		return false
+	}
+	for j := range t.Schema {
+		if t.Schema[j] != o.Schema[j] {
+			return false
+		}
+		if t.Schema[j].Type == Float64 {
+			for i := range t.Floats[j] {
+				if math.Float64bits(t.Floats[j][i]) != math.Float64bits(o.Floats[j][i]) {
+					return false
+				}
+			}
+			continue
+		}
+		for i := range t.Strs[j] {
+			if t.Nulls[j][i] != o.Nulls[j][i] {
+				return false
+			}
+			if !t.Nulls[j][i] && t.Strs[j][i] != o.Strs[j][i] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,197 @@
+package colstore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/frame"
+)
+
+// writeSample writes a small two-group file and returns its path and bytes.
+func writeSample(t *testing.T) (string, []byte) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "s.col")
+	f := testFrame(20, 3)
+	if err := WriteFrame(path, f, WriterOptions{GroupRows: 10}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, raw
+}
+
+// openBoth tries both readers and returns their errors (mmap first). A full
+// drain follows a successful open, so block-level faults surface too.
+func openBoth(path string) []error {
+	var errs []error
+	if r, err := OpenMmap(path); err != nil {
+		errs = append(errs, err)
+	} else {
+		_, err := frame.ReadAll(r)
+		r.Close()
+		errs = append(errs, err)
+	}
+	if r, err := Open(path); err != nil {
+		errs = append(errs, err)
+	} else {
+		_, err := frame.ReadAll(r)
+		r.Close()
+		errs = append(errs, err)
+	}
+	return errs
+}
+
+// TestTruncatedFile pins that truncation at every prefix length yields a
+// typed error — FormatError wrapping ErrTruncated (or ErrBadMagic for
+// sub-header prefixes), never a panic and never silent success.
+func TestTruncatedFile(t *testing.T) {
+	_, raw := writeSample(t)
+	dir := t.TempDir()
+	for cut := 0; cut < len(raw); cut += 7 {
+		path := filepath.Join(dir, "trunc.col")
+		if err := os.WriteFile(path, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		for _, err := range openBoth(path) {
+			if err == nil {
+				t.Fatalf("cut=%d: truncated file opened and drained cleanly", cut)
+			}
+			var fe *FormatError
+			if !errors.As(err, &fe) {
+				t.Fatalf("cut=%d: error not a FormatError: %v", cut, err)
+			}
+			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrVersion) {
+				t.Fatalf("cut=%d: untyped cause: %v", cut, err)
+			}
+		}
+	}
+}
+
+// TestCorruptBlockChecksum pins block corruption: flipping one payload byte
+// surfaces a ChecksumError naming the row-group ordinal and column, from
+// both readers.
+func TestCorruptBlockChecksum(t *testing.T) {
+	path, raw := writeSample(t)
+	// Locate group 1 / column "f1"'s block via the reader's own index.
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := r.meta.groups[1].blocks[1]
+	colName := r.meta.schema[1].Name
+	r.Close()
+
+	bad := append([]byte(nil), raw...)
+	bad[blk.off+3] ^= 0xFF
+	badPath := filepath.Join(t.TempDir(), "bad.col")
+	if err := os.WriteFile(badPath, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for i, err := range openBoth(badPath) {
+		var ce *ChecksumError
+		if !errors.As(err, &ce) {
+			t.Fatalf("reader %d: got %v, want ChecksumError", i, err)
+		}
+		if ce.Block != 1 || ce.Column != colName {
+			t.Fatalf("reader %d: checksum error at group %d column %q, want group 1 column %q",
+				i, ce.Block, ce.Column, colName)
+		}
+		if !strings.Contains(err.Error(), badPath) || !strings.Contains(err.Error(), colName) {
+			t.Fatalf("reader %d: error not positioned: %v", i, err)
+		}
+	}
+}
+
+// TestCorruptFooterChecksum pins footer corruption: a flipped footer byte is
+// a ChecksumError with Block -1 (the footer), not a misparse.
+func TestCorruptFooterChecksum(t *testing.T) {
+	path, raw := writeSample(t)
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	footerOff := r.meta.dataEnd
+	r.Close()
+
+	bad := append([]byte(nil), raw...)
+	bad[footerOff+2] ^= 0x01
+	badPath := filepath.Join(t.TempDir(), "badfooter.col")
+	if err := os.WriteFile(badPath, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for i, err := range openBoth(badPath) {
+		var ce *ChecksumError
+		if !errors.As(err, &ce) {
+			t.Fatalf("reader %d: got %v, want ChecksumError", i, err)
+		}
+		if ce.Block != -1 {
+			t.Fatalf("reader %d: footer checksum error reports block %d", i, ce.Block)
+		}
+	}
+	_ = path
+}
+
+// TestNotAColstoreFile pins the magic check on arbitrary non-colstore bytes.
+func TestNotAColstoreFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.col")
+	if err := writeFileForTest(path, strings.Repeat("definitely,a,csv\n1,2,3\n", 20)); err != nil {
+		t.Fatal(err)
+	}
+	for i, err := range openBoth(path) {
+		if !errors.Is(err, ErrBadMagic) {
+			t.Fatalf("reader %d: got %v, want ErrBadMagic", i, err)
+		}
+	}
+}
+
+// TestUnsupportedVersion pins forward compatibility: a bumped version field
+// is refused with ErrVersion (the header CRC-free fields re-checksum via the
+// trailer-independent header, so only the version changes).
+func TestUnsupportedVersion(t *testing.T) {
+	_, raw := writeSample(t)
+	bad := append([]byte(nil), raw...)
+	bad[4] = 2 // version u16 little-endian low byte
+	path := filepath.Join(t.TempDir(), "v2.col")
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for i, err := range openBoth(path) {
+		if !errors.Is(err, ErrVersion) {
+			t.Fatalf("reader %d: got %v, want ErrVersion", i, err)
+		}
+	}
+}
+
+// TestShortReadMidBlock pins a file cut inside the data region but with a
+// rebuilt valid footer: impossible through the writer, so simulate by
+// truncating mid-block — the footer is gone too, which TestTruncatedFile
+// covers; here instead corrupt the trailer's footer offset to point past
+// EOF and require a positioned trailer error.
+func TestShortReadMidBlock(t *testing.T) {
+	_, raw := writeSample(t)
+	bad := append([]byte(nil), raw...)
+	off := len(bad) - trailerSize
+	// footerOff u64: point it beyond EOF.
+	for i := 0; i < 8; i++ {
+		bad[off+i] = 0xFF
+	}
+	bad[off+7] = 0x00
+	path := filepath.Join(t.TempDir(), "badtrailer.col")
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for i, err := range openBoth(path) {
+		var fe *FormatError
+		if !errors.As(err, &fe) {
+			t.Fatalf("reader %d: got %v, want FormatError", i, err)
+		}
+		if fe.Section != "trailer" {
+			t.Fatalf("reader %d: error in section %q, want trailer", i, fe.Section)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package colstore
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/frame"
+)
+
+// fuzzSeedBytes builds a small valid file entirely in memory for the seed
+// corpus. Errors are impossible for this fixed input; panic keeps the
+// helper usable from Fuzz (which has no *testing.T).
+func fuzzSeedBytes() []byte {
+	schema := Schema{
+		{Name: "x", Type: Float64},
+		{Name: "cat", Type: String},
+		{Name: "label", Type: Float64, Label: true},
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(bufio.NewWriter(&buf), schema, WriterOptions{GroupRows: 3})
+	if err != nil {
+		panic(err)
+	}
+	err = w.Append([]Col{
+		{Floats: []float64{1, math.NaN(), 3, 4, 5, 6, 7}},
+		{Strs: []string{"a", "b", "", "a", "c", "b", "a"}, Nulls: []bool{false, false, true, false, false, false, false}},
+		{Floats: []float64{0, 1, 0, 1, 0, 1, 0}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	if err := w.Close(); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzColstoreFooter feeds arbitrary bytes through the full open path
+// (header, trailer, footer decode, block validation) and, when the metadata
+// parses, drains every chunk. The property under test: no input may panic
+// or allocate unboundedly — corrupt files must fail with typed errors.
+func FuzzColstoreFooter(f *testing.F) {
+	seed := fuzzSeedBytes()
+	f.Add(seed)
+	f.Add(seed[:len(seed)-trailerSize]) // trailer gone
+	f.Add(seed[:headerSize])            // header only
+	f.Add([]byte("SCOL"))
+	f.Add([]byte{})
+	// A flipped footer byte and a flipped block byte.
+	for _, off := range []int{len(seed) - trailerSize - 4, headerSize + 2} {
+		mut := append([]byte(nil), seed...)
+		mut[off] ^= 0xFF
+		f.Add(mut)
+	}
+
+	requireTyped := func(t *testing.T, stage string, err error) {
+		t.Helper()
+		var fe *FormatError
+		var ce *ChecksumError
+		if !errors.As(err, &fe) && !errors.As(err, &ce) {
+			t.Fatalf("untyped %s error: %v", stage, err)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Metadata parse runs in memory — this is the hot path and the
+		// main attack surface (attacker-controlled lengths and offsets).
+		_, err := readMeta("fuzz", bytesAt(data), int64(len(data)))
+		if err != nil {
+			requireTyped(t, "meta", err)
+			return
+		}
+		// Metadata parsed: exercise the full reader over the actual file
+		// API, draining every block. Rare under fuzzing, so disk IO here
+		// does not throttle throughput.
+		path := filepath.Join(t.TempDir(), "fuzz.col")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		r, err := Open(path)
+		if err != nil {
+			requireTyped(t, "open", err)
+			return
+		}
+		defer r.Close()
+		if _, err := frame.ReadAll(r); err != nil && !errors.Is(err, io.EOF) {
+			requireTyped(t, "read", err)
+		}
+	})
+}

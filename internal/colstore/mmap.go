@@ -1,0 +1,289 @@
+package colstore
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"unsafe"
+
+	"repro/internal/frame"
+)
+
+// errMmapUnavailable marks hosts where the mmap reader cannot serve
+// zero-copy views (no mmap shim, or a big-endian host where raw
+// little-endian payloads are not the in-memory representation). OpenSource
+// falls back to the streaming Reader on it.
+var errMmapUnavailable = errors.New("colstore: mmap reader unavailable on this platform")
+
+// hostLittleEndian reports whether float views over little-endian payloads
+// are the host representation.
+func hostLittleEndian() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}
+
+// MmapReader serves a colstore file as a frame.ChunkSource over one shared
+// read-only mapping: float blocks become zero-copy []float64 views (the
+// format 8-aligns float payloads, so views are always aligned), making every
+// pass of a multi-pass fit a pointer walk instead of a decode. Chunks are
+// stable — views stay valid across Next and Reset, like FrameChunks.
+//
+// String columns have no zero-copy float representation; they materialise
+// once at open into resident code columns (NaN for nulls). Block CRCs are
+// verified lazily, once per row group on first delivery.
+type MmapReader struct {
+	path string
+	data []byte
+	meta *fileMeta
+
+	feat     []int
+	labelIdx int
+	names    []string
+
+	g        int
+	skip     []bool
+	verified []bool
+	resident [][]float64 // per schema column: materialised codes (string cols)
+	chunk    frame.Chunk
+}
+
+// OpenMmap maps a colstore file. It returns an error wrapping
+// errMmapUnavailable where the platform cannot serve views (use OpenSource
+// to fall back to the streaming Reader transparently).
+func OpenMmap(path string) (*MmapReader, error) {
+	if !hostLittleEndian() {
+		return nil, errMmapUnavailable
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("colstore: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("colstore: %w", err)
+	}
+	if st.Size() < headerSize+trailerSize {
+		return nil, &FormatError{Path: path, Section: "trailer", Block: -1, Err: ErrTruncated}
+	}
+	data, err := mmapFile(f, st.Size())
+	if err != nil {
+		return nil, err
+	}
+	meta, err := readMeta(path, bytesAt(data), int64(len(data)))
+	if err != nil {
+		munmapFile(data)
+		return nil, err
+	}
+	r := &MmapReader{path: path, data: data, meta: meta}
+	r.bind()
+	if err := r.materializeStrings(); err != nil {
+		munmapFile(data)
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *MmapReader) bind() {
+	r.labelIdx = r.meta.schema.LabelIndex()
+	r.names = r.meta.schema.FeatureNames()
+	r.feat = r.feat[:0]
+	for j := range r.meta.schema {
+		if j != r.labelIdx {
+			r.feat = append(r.feat, j)
+		}
+	}
+	r.verified = make([]bool, len(r.meta.groups))
+	r.chunk = frame.Chunk{Cols: make([][]float64, len(r.feat))}
+}
+
+// materializeStrings decodes every string column once into resident float
+// code columns (verifying their block CRCs eagerly — they are read now).
+func (r *MmapReader) materializeStrings() error {
+	for j, spec := range r.meta.schema {
+		if spec.Type != String {
+			continue
+		}
+		if r.resident == nil {
+			r.resident = make([][]float64, len(r.meta.schema))
+		}
+		col := make([]float64, r.meta.rows)
+		for gi := range r.meta.groups {
+			g := &r.meta.groups[gi]
+			buf, err := r.block(gi, j, true)
+			if err != nil {
+				return err
+			}
+			dst := col[g.start : g.start+uint64(g.rows)]
+			if err := decodeStringBlock(r.path, gi, j, &r.meta.schema[j], r.meta.dicts[j], buf, dst); err != nil {
+				return err
+			}
+		}
+		r.resident[j] = col
+	}
+	return nil
+}
+
+// block returns group gi / column j's payload view, CRC-checking it when
+// asked (the per-group lazy verification checks all blocks at once instead).
+func (r *MmapReader) block(gi, j int, check bool) ([]byte, error) {
+	blk := &r.meta.groups[gi].blocks[j]
+	buf := r.data[blk.off : blk.off+blk.length]
+	if check {
+		if got := crc32.Checksum(buf, castagnoli); got != blk.crc {
+			return nil, &ChecksumError{
+				Path: r.path, Block: gi, Column: r.meta.schema[j].Name,
+				Want: blk.crc, Got: got,
+			}
+		}
+	}
+	return buf, nil
+}
+
+// verifyGroup CRC-checks every block of a group once per mapping lifetime.
+func (r *MmapReader) verifyGroup(gi int) error {
+	if r.verified[gi] {
+		return nil
+	}
+	for j := range r.meta.schema {
+		if _, err := r.block(gi, j, true); err != nil {
+			return err
+		}
+	}
+	r.verified[gi] = true
+	return nil
+}
+
+// floatView reinterprets a float block payload as []float64 without copying.
+func floatView(b []byte) []float64 {
+	if len(b) < 8 {
+		return nil
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+// Names implements frame.ChunkSource.
+func (r *MmapReader) Names() []string { return r.names }
+
+// NumCols implements frame.ChunkSource.
+func (r *MmapReader) NumCols() int { return len(r.feat) }
+
+// NumRows implements Source.
+func (r *MmapReader) NumRows() int { return int(r.meta.rows) }
+
+// Schema implements Source.
+func (r *MmapReader) Schema() Schema { return append(Schema(nil), r.meta.schema...) }
+
+// Dict returns the dictionary of the string column at schema index j; see
+// Reader.Dict.
+func (r *MmapReader) Dict(j int) []string { return r.meta.dicts[j] }
+
+// Reset implements frame.ChunkSource, remapping the file if it was closed.
+func (r *MmapReader) Reset() error {
+	if r.data == nil {
+		nr, err := OpenMmap(r.path)
+		if err != nil {
+			return err
+		}
+		*r = *nr
+		return nil
+	}
+	r.g = 0
+	return nil
+}
+
+// Next implements frame.ChunkSource, serving zero-copy views.
+func (r *MmapReader) Next() (*frame.Chunk, error) {
+	for r.g < len(r.meta.groups) && r.g < len(r.skip) && r.skip[r.g] {
+		r.g++
+	}
+	if r.g >= len(r.meta.groups) {
+		return nil, io.EOF
+	}
+	if r.data == nil {
+		return nil, &FormatError{Path: r.path, Section: "block", Block: r.g, Err: os.ErrClosed}
+	}
+	gi := r.g
+	if err := r.verifyGroup(gi); err != nil {
+		return nil, err
+	}
+	g := &r.meta.groups[gi]
+	c := &r.chunk
+	c.Index = gi
+	c.Start = int(g.start)
+	for i, j := range r.feat {
+		if r.meta.schema[j].Type == Float64 {
+			buf, _ := r.block(gi, j, false)
+			c.Cols[i] = floatView(buf)[:g.rows:g.rows]
+		} else {
+			c.Cols[i] = r.resident[j][g.start : g.start+uint64(g.rows)]
+		}
+	}
+	if r.labelIdx >= 0 {
+		buf, _ := r.block(gi, r.labelIdx, false)
+		c.Label = floatView(buf)[:g.rows:g.rows]
+	} else {
+		c.Label = nil
+	}
+	r.g++
+	return c, nil
+}
+
+// StableChunks implements frame.StableSource: every served slice is a view
+// of the mapping or a resident column, valid until Close.
+func (r *MmapReader) StableChunks() bool { return true }
+
+// NumChunks implements frame.SkippableSource.
+func (r *MmapReader) NumChunks() int { return len(r.meta.groups) }
+
+// ChunkStats implements frame.SkippableSource; see Reader.ChunkStats.
+func (r *MmapReader) ChunkStats(i int) []frame.ColStats {
+	return chunkStats(r.meta, r.feat, i)
+}
+
+// SetSkip implements frame.SkippableSource.
+func (r *MmapReader) SetSkip(skip []bool) { r.skip = skip }
+
+// Close unmaps the file. Views served earlier become invalid; Reset remaps.
+func (r *MmapReader) Close() error {
+	if r.data == nil {
+		return nil
+	}
+	err := munmapFile(r.data)
+	r.data = nil
+	return err
+}
+
+// bytesAt adapts a byte slice to io.ReaderAt for the shared footer parser.
+type bytesAt []byte
+
+func (b bytesAt) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 || off > int64(len(b)) {
+		return 0, io.EOF
+	}
+	n := copy(p, b[off:])
+	if n < len(p) {
+		return n, io.ErrUnexpectedEOF
+	}
+	return n, nil
+}
+
+var _ Source = (*MmapReader)(nil)
+var _ frame.StableSource = (*MmapReader)(nil)
+
+// OpenSource opens a colstore file with the fastest reader the host
+// supports: the zero-copy MmapReader where available, the portable
+// streaming Reader otherwise. File and format errors are reported either
+// way; only mmap unavailability falls back.
+func OpenSource(path string) (Source, error) {
+	r, err := OpenMmap(path)
+	if err == nil {
+		return r, nil
+	}
+	if errors.Is(err, errMmapUnavailable) {
+		return Open(path)
+	}
+	return nil, err
+}

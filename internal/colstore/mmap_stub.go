@@ -1,0 +1,11 @@
+//go:build !unix
+
+package colstore
+
+import "os"
+
+// mmapFile reports mmap as unavailable on platforms without a shim; callers
+// (OpenSource) fall back to the streaming Reader.
+func mmapFile(*os.File, int64) ([]byte, error) { return nil, errMmapUnavailable }
+
+func munmapFile([]byte) error { return nil }

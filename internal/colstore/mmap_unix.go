@@ -1,0 +1,23 @@
+//go:build unix
+
+package colstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only; the mapping outlives the file
+// descriptor, so callers may close f right after.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 || size != int64(int(size)) {
+		return nil, errMmapUnavailable
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, errMmapUnavailable
+	}
+	return data, nil
+}
+
+func munmapFile(data []byte) error { return syscall.Munmap(data) }

@@ -1,0 +1,348 @@
+package colstore
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/frame"
+)
+
+// contractFile writes a colstore file of testFrame content and returns its
+// path plus the backing frame for value checks.
+func contractFile(t *testing.T, rows, cols, groupRows int) (string, *frame.Frame) {
+	t.Helper()
+	f := testFrame(rows, cols)
+	path := filepath.Join(t.TempDir(), "contract.col")
+	if err := WriteFrame(path, f, WriterOptions{GroupRows: groupRows}); err != nil {
+		t.Fatal(err)
+	}
+	return path, f
+}
+
+// openReaders enumerates both chunk-source implementations. The streaming
+// Reader reuses its buffers across Next (an unstable source, like
+// CSVChunks); the mmap reader serves stable views.
+func openReaders() map[string]func(path string) (Source, error) {
+	return map[string]func(path string) (Source, error){
+		"stream": func(path string) (Source, error) { return Open(path) },
+		"mmap":   func(path string) (Source, error) { return OpenMmap(path) },
+	}
+}
+
+// drainChecked reads to EOF asserting order and values, mirroring the frame
+// package's prefetcher contract suite.
+func drainChecked(t *testing.T, p *frame.Prefetch, f *frame.Frame, recycle bool) int {
+	t.Helper()
+	want := 0
+	for {
+		c, err := p.Next()
+		if errors.Is(err, io.EOF) {
+			return want
+		}
+		if err != nil {
+			t.Fatalf("chunk %d: %v", want, err)
+		}
+		if c.Index != want {
+			t.Fatalf("chunk out of order: got index %d want %d", c.Index, want)
+		}
+		for j, col := range c.Cols {
+			for i, v := range col {
+				if exp := f.Columns[j].Values[c.Start+i]; math.Float64bits(v) != math.Float64bits(exp) {
+					t.Fatalf("chunk %d col %d row %d: got %v want %v", c.Index, j, i, v, exp)
+				}
+			}
+		}
+		for i, v := range c.Label {
+			if exp := f.Label[c.Start+i]; v != exp {
+				t.Fatalf("chunk %d label row %d: got %v want %v", c.Index, i, v, exp)
+			}
+		}
+		if recycle {
+			p.Recycle(c)
+		}
+		want++
+	}
+}
+
+// leakCheck snapshots the goroutine count and asserts the process returns
+// to it before the test ends.
+func leakCheck(t *testing.T) func() {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if n := runtime.NumGoroutine(); n <= base {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("goroutine leak: %d > baseline %d\n%s", runtime.NumGoroutine(), base, buf[:n])
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// TestColstorePrefetchDeliveryOrder pins the ChunkSource contract under
+// frame.Prefetch for both colstore readers: in-order delivery with exact
+// values across read-ahead depths and repeated Reset passes, EOF sticky
+// until Reset.
+func TestColstorePrefetchDeliveryOrder(t *testing.T) {
+	path, f := contractFile(t, 100, 3, 9) // 12 groups
+	for _, depth := range []int{1, 2, 7, 100} {
+		for name, open := range openReaders() {
+			t.Run(fmt.Sprintf("depth=%d/%s", depth, name), func(t *testing.T) {
+				src, err := open(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer src.Close()
+				p := frame.NewPrefetch(src, depth, 2)
+				defer p.Close()
+				for pass := 0; pass < 3; pass++ {
+					if pass > 0 {
+						if err := p.Reset(); err != nil {
+							t.Fatal(err)
+						}
+					}
+					if got := drainChecked(t, p, f, pass%2 == 0); got != 12 {
+						t.Fatalf("pass %d delivered %d chunks, want 12", pass, got)
+					}
+					if _, err := p.Next(); !errors.Is(err, io.EOF) {
+						t.Fatalf("post-EOF Next: %v", err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestColstorePrefetchLeases pins the lease contract over the streaming
+// Reader (which reuses decode buffers, the worst case): chunks held across
+// later Next calls and a Reset stay intact until recycled.
+func TestColstorePrefetchLeases(t *testing.T) {
+	path, f := contractFile(t, 60, 2, 10) // 6 groups
+	src, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	p := frame.NewPrefetch(src, 2, 6)
+	defer p.Close()
+
+	var held []*frame.Chunk
+	for {
+		c, err := p.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		held = append(held, c)
+	}
+	if err := p.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range held {
+		for j, col := range c.Cols {
+			for i, v := range col {
+				if exp := f.Columns[j].Values[c.Start+i]; math.Float64bits(v) != math.Float64bits(exp) {
+					t.Fatalf("lease %d col %d row %d corrupted after Reset", c.Index, j, i)
+				}
+			}
+		}
+		p.Recycle(c)
+	}
+	if got := drainChecked(t, p, f, true); got != 6 {
+		t.Fatalf("post-Reset pass delivered %d chunks, want 6", got)
+	}
+}
+
+// TestColstorePrefetchStickyError pins error flow through the prefetcher:
+// a corrupt block surfaces as a positioned ChecksumError after the
+// preceding good chunks, sticks across Next calls, and Reset re-arms the
+// stream (the same fault then recurs in order — the file is still corrupt).
+func TestColstorePrefetchStickyError(t *testing.T) {
+	path, _ := contractFile(t, 50, 2, 10) // 5 groups
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := r.meta.groups[3].blocks[0]
+	r.Close()
+	raw[blk.off+1] ^= 0x55
+	badPath := filepath.Join(t.TempDir(), "sticky.col")
+	if err := os.WriteFile(badPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, open := range openReaders() {
+		t.Run(name, func(t *testing.T) {
+			src, err := open(badPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer src.Close()
+			p := frame.NewPrefetch(src, 2, 2)
+			defer p.Close()
+			for pass := 0; pass < 2; pass++ {
+				if pass > 0 {
+					if err := p.Reset(); err != nil {
+						t.Fatal(err)
+					}
+				}
+				for i := 0; i < 3; i++ {
+					c, err := p.Next()
+					if err != nil {
+						t.Fatalf("pass %d chunk %d: %v", pass, i, err)
+					}
+					if c.Index != i {
+						t.Fatalf("pass %d: chunk index %d, want %d", pass, c.Index, i)
+					}
+					p.Recycle(c)
+				}
+				var ce *ChecksumError
+				_, err := p.Next()
+				if !errors.As(err, &ce) {
+					t.Fatalf("pass %d: got %v, want ChecksumError", pass, err)
+				}
+				if ce.Block != 3 {
+					t.Fatalf("pass %d: error at block %d, want 3", pass, ce.Block)
+				}
+				// Sticky: retries keep returning the same failure.
+				for i := 0; i < 3; i++ {
+					if _, err := p.Next(); !errors.As(err, &ce) {
+						t.Fatalf("pass %d: sticky error lost on retry %d: %v", pass, i, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestColstorePrefetchCloseMidStream pins shutdown: abandoning a stream
+// with chunks in flight must stop the reader goroutine, for both readers,
+// and closing the source afterwards must release the file cleanly.
+func TestColstorePrefetchCloseMidStream(t *testing.T) {
+	path, _ := contractFile(t, 200, 2, 10) // 20 groups
+	for name, open := range openReaders() {
+		t.Run(name, func(t *testing.T) {
+			check := leakCheck(t)
+			src, err := open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := frame.NewPrefetch(src, 3, 2)
+			c, err := p.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.Recycle(c)
+			p.Close()
+			if err := src.Close(); err != nil {
+				t.Fatal(err)
+			}
+			check()
+		})
+	}
+}
+
+// TestChunkStatsAndSkip pins the SkippableSource surface: per-block min/max
+// and NaN counts match the data, and SetSkip suppresses exactly the flagged
+// groups while the survivors keep their true global Index and Start.
+func TestChunkStatsAndSkip(t *testing.T) {
+	path, f := contractFile(t, 40, 2, 10) // 4 groups
+	for name, open := range openReaders() {
+		t.Run(name, func(t *testing.T) {
+			src, err := open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer src.Close()
+			if src.NumChunks() != 4 {
+				t.Fatalf("NumChunks = %d", src.NumChunks())
+			}
+			for gi := 0; gi < 4; gi++ {
+				st := src.ChunkStats(gi)
+				if len(st) != 2 {
+					t.Fatalf("group %d: %d column stats, want 2", gi, len(st))
+				}
+				for j, s := range st {
+					if !s.Known {
+						t.Fatalf("group %d col %d: stats not known for a float column", gi, j)
+					}
+					mn, mx, nan := math.Inf(1), math.Inf(-1), 0
+					for i := gi * 10; i < (gi+1)*10; i++ {
+						v := f.Columns[j].Values[i]
+						if math.IsNaN(v) {
+							nan++
+							continue
+						}
+						mn, mx = math.Min(mn, v), math.Max(mx, v)
+					}
+					if s.Rows != 10 || s.NaNs != nan || s.Min != mn || s.Max != mx {
+						t.Fatalf("group %d col %d: stats {rows %d nan %d min %v max %v}, want {10 %d %v %v}",
+							gi, j, s.Rows, s.NaNs, s.Min, s.Max, nan, mn, mx)
+					}
+				}
+			}
+
+			src.SetSkip([]bool{false, true, false, true})
+			var got []int
+			if err := src.Reset(); err != nil {
+				t.Fatal(err)
+			}
+			for {
+				c, err := src.Next()
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, c.Index)
+				if c.Start != c.Index*10 {
+					t.Fatalf("chunk %d: Start %d, want %d", c.Index, c.Start, c.Index*10)
+				}
+			}
+			if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+				t.Fatalf("skip pass delivered chunks %v, want [0 2]", got)
+			}
+
+			// nil restores full passes.
+			src.SetSkip(nil)
+			if err := src.Reset(); err != nil {
+				t.Fatal(err)
+			}
+			n := 0
+			for {
+				_, err := src.Next()
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				n++
+			}
+			if n != 4 {
+				t.Fatalf("full pass after SetSkip(nil) delivered %d chunks, want 4", n)
+			}
+		})
+	}
+}

@@ -1,0 +1,269 @@
+package colstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/frame"
+)
+
+// Source is what both colstore readers are: a re-iterable chunk source with
+// per-block statistics and pass skipping, plus a Close releasing the file.
+// The file's own row groups are the stream's chunks.
+type Source interface {
+	frame.SkippableSource
+	io.Closer
+	// NumRows returns the file's total row count.
+	NumRows() int
+	// Schema returns the file's column declaration.
+	Schema() Schema
+}
+
+// Reader streams a colstore file as a frame.ChunkSource through buffered
+// positioned reads: one row group per chunk, every block CRC-verified as it
+// is read, decoded portably (any host endianness) into reused buffers — a
+// chunk is only valid until the next Next or Reset, like frame.CSVChunks.
+// String columns are served as their dictionary codes cast to float64, with
+// null rows as NaN. The file handle stays open across Reset (multi-pass
+// fits reuse it); Close releases it and Reset reopens.
+type Reader struct {
+	path string
+	f    *os.File
+	meta *fileMeta
+
+	feat     []int // schema indices of feature columns, in Names order
+	labelIdx int   // schema index of the label column, -1 for none
+	names    []string
+
+	g    int
+	skip []bool
+
+	raw   []byte
+	cols  [][]float64
+	label []float64
+	chunk frame.Chunk
+}
+
+// Open opens a colstore file as a streaming Source, decoding and validating
+// its footer eagerly so schema and block index errors surface here.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("colstore: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("colstore: %w", err)
+	}
+	meta, err := readMeta(path, f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r := &Reader{path: path, f: f, meta: meta}
+	r.bind()
+	return r, nil
+}
+
+// bind derives the reader's feature/label view of the schema.
+func (r *Reader) bind() {
+	r.labelIdx = r.meta.schema.LabelIndex()
+	r.names = r.meta.schema.FeatureNames()
+	r.feat = r.feat[:0]
+	for j := range r.meta.schema {
+		if j != r.labelIdx {
+			r.feat = append(r.feat, j)
+		}
+	}
+	r.cols = make([][]float64, len(r.feat))
+	r.chunk = frame.Chunk{Cols: make([][]float64, len(r.feat))}
+}
+
+// Names implements frame.ChunkSource.
+func (r *Reader) Names() []string { return r.names }
+
+// NumCols implements frame.ChunkSource.
+func (r *Reader) NumCols() int { return len(r.feat) }
+
+// NumRows implements Source.
+func (r *Reader) NumRows() int { return int(r.meta.rows) }
+
+// Schema implements Source.
+func (r *Reader) Schema() Schema { return append(Schema(nil), r.meta.schema...) }
+
+// Dict returns the dictionary of the string column at schema index j (nil
+// for float columns): the served float code c decodes to Dict(j)[int(c)].
+func (r *Reader) Dict(j int) []string { return r.meta.dicts[j] }
+
+// Reset implements frame.ChunkSource, reopening the file if it was closed.
+func (r *Reader) Reset() error {
+	if r.f == nil {
+		f, err := os.Open(r.path)
+		if err != nil {
+			return fmt.Errorf("colstore: %w", err)
+		}
+		r.f = f
+	}
+	r.g = 0
+	return nil
+}
+
+// Next implements frame.ChunkSource. Chunks are reused-buffer views, valid
+// until the following Next or Reset.
+func (r *Reader) Next() (*frame.Chunk, error) {
+	for r.g < len(r.meta.groups) && r.g < len(r.skip) && r.skip[r.g] {
+		r.g++
+	}
+	if r.g >= len(r.meta.groups) {
+		return nil, io.EOF
+	}
+	if r.f == nil {
+		return nil, &FormatError{Path: r.path, Section: "block", Block: r.g, Err: os.ErrClosed}
+	}
+	gi := r.g
+	g := &r.meta.groups[gi]
+	rows := int(g.rows)
+	for i, j := range r.feat {
+		if cap(r.cols[i]) < rows {
+			r.cols[i] = make([]float64, rows)
+		}
+		r.cols[i] = r.cols[i][:rows]
+		if err := r.decodeBlock(gi, j, r.cols[i]); err != nil {
+			return nil, err
+		}
+	}
+	if r.labelIdx >= 0 {
+		if cap(r.label) < rows {
+			r.label = make([]float64, rows)
+		}
+		r.label = r.label[:rows]
+		if err := r.decodeBlock(gi, r.labelIdx, r.label); err != nil {
+			return nil, err
+		}
+	}
+	c := &r.chunk
+	c.Index = gi
+	c.Start = int(g.start)
+	copy(c.Cols, r.cols)
+	if r.labelIdx >= 0 {
+		c.Label = r.label
+	}
+	r.g++
+	return c, nil
+}
+
+// readBlock reads and CRC-verifies one block's payload into r.raw.
+func (r *Reader) readBlock(gi, j int) ([]byte, error) {
+	blk := &r.meta.groups[gi].blocks[j]
+	n := int(blk.length)
+	if cap(r.raw) < n {
+		r.raw = make([]byte, n)
+	}
+	buf := r.raw[:n]
+	if _, err := r.f.ReadAt(buf, int64(blk.off)); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			err = ErrTruncated
+		}
+		return nil, &FormatError{
+			Path: r.path, Section: "block", Block: gi,
+			Column: r.meta.schema[j].Name, Err: err,
+		}
+	}
+	if got := crc32.Checksum(buf, castagnoli); got != blk.crc {
+		return nil, &ChecksumError{
+			Path: r.path, Block: gi, Column: r.meta.schema[j].Name,
+			Want: blk.crc, Got: got,
+		}
+	}
+	return buf, nil
+}
+
+// decodeBlock decodes group gi's block of schema column j into dst.
+func (r *Reader) decodeBlock(gi, j int, dst []float64) error {
+	buf, err := r.readBlock(gi, j)
+	if err != nil {
+		return err
+	}
+	if r.meta.schema[j].Type == Float64 {
+		for i := range dst {
+			dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+		}
+		return nil
+	}
+	return decodeStringBlock(r.path, gi, j, &r.meta.schema[j], r.meta.dicts[j], buf, dst)
+}
+
+// decodeStringBlock decodes a string block (null bitmap + dictionary codes)
+// into its served float representation: float64(code), NaN for nulls.
+func decodeStringBlock(path string, gi, j int, spec *ColumnSpec, dict []string, buf []byte, dst []float64) error {
+	bm := buf[:bitmapLen(len(dst))]
+	codes := buf[len(bm):]
+	for i := range dst {
+		if bm[i/8]&(1<<(i%8)) != 0 {
+			dst[i] = math.NaN()
+			continue
+		}
+		code := binary.LittleEndian.Uint32(codes[i*4:])
+		if int(code) >= len(dict) {
+			return &FormatError{
+				Path: path, Section: "block", Block: gi, Column: spec.Name,
+				Err: fmt.Errorf("dictionary code %d out of range (%d entries)", code, len(dict)),
+			}
+		}
+		dst[i] = float64(code)
+	}
+	return nil
+}
+
+// NumChunks implements frame.SkippableSource.
+func (r *Reader) NumChunks() int { return len(r.meta.groups) }
+
+// ChunkStats implements frame.SkippableSource, serving the footer's block
+// statistics for the feature columns in Names order. Float columns carry
+// trustworthy min/max bounds (Known); string columns expose only counts —
+// their served codes are not value-ordered, so they are never skippable on
+// range.
+func (r *Reader) ChunkStats(i int) []frame.ColStats {
+	return chunkStats(r.meta, r.feat, i)
+}
+
+// SetSkip implements frame.SkippableSource.
+func (r *Reader) SetSkip(skip []bool) { r.skip = skip }
+
+// Close implements io.Closer; Reset reopens the file.
+func (r *Reader) Close() error {
+	if r.f == nil {
+		return nil
+	}
+	err := r.f.Close()
+	r.f = nil
+	return err
+}
+
+// chunkStats is the block-stat view both readers share.
+func chunkStats(m *fileMeta, feat []int, i int) []frame.ColStats {
+	if i < 0 || i >= len(m.groups) {
+		return nil
+	}
+	g := &m.groups[i]
+	out := make([]frame.ColStats, len(feat))
+	for k, j := range feat {
+		blk := &g.blocks[j]
+		out[k] = frame.ColStats{
+			Rows: int(g.rows),
+			NaNs: int(blk.nan),
+			Min:  blk.min,
+			Max:  blk.max,
+			// Only float columns' ranges order like the served values.
+			Known: m.schema[j].Type == Float64,
+		}
+	}
+	return out
+}
+
+var _ Source = (*Reader)(nil)

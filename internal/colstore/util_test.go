@@ -1,0 +1,7 @@
+package colstore
+
+import "os"
+
+func writeFileForTest(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

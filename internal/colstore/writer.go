@@ -1,0 +1,384 @@
+package colstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+
+	"repro/internal/frame"
+)
+
+// Col is one column's slice of an appended row run, in the representation
+// its schema type requires: Floats for Float64 columns, Strs (with Nulls
+// marking missing rows, nil for none) for String columns.
+type Col struct {
+	Floats []float64
+	Strs   []string
+	Nulls  []bool
+}
+
+func (c *Col) rows(t Type) int {
+	if t == Float64 {
+		return len(c.Floats)
+	}
+	return len(c.Strs)
+}
+
+// WriterOptions tunes a Writer.
+type WriterOptions struct {
+	// GroupRows is the row-group size (DefaultGroupRows when <= 0). Smaller
+	// groups mean finer-grained block statistics — more skippable blocks —
+	// at more footer entries per file.
+	GroupRows int
+}
+
+// Writer streams rows into a colstore file: appended rows buffer per column
+// and flush as a row group every GroupRows rows, each block checksummed and
+// its statistics recorded for the footer's block index. Close writes the
+// final partial group, the footer and the trailer. The Writer owns no file
+// handle — it writes to the given io.Writer sequentially (see Create for
+// the file-backed convenience).
+type Writer struct {
+	w      *bufio.Writer
+	schema Schema
+	opt    WriterOptions
+
+	off  uint64
+	meta fileMeta
+
+	pending  []Col // per-column group accumulation, Writer-owned
+	buffered int
+	dictIdx  []map[string]uint32 // per string column: value -> code
+	scratch  []byte
+	closed   bool
+	err      error
+}
+
+// NewWriter starts a colstore stream on w (the header is written
+// immediately). The schema must satisfy Schema.Validate.
+func NewWriter(w *bufio.Writer, schema Schema, opt WriterOptions) (*Writer, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.GroupRows <= 0 {
+		opt.GroupRows = DefaultGroupRows
+	}
+	cw := &Writer{
+		w:       w,
+		schema:  append(Schema(nil), schema...),
+		opt:     opt,
+		pending: make([]Col, len(schema)),
+		dictIdx: make([]map[string]uint32, len(schema)),
+	}
+	cw.meta.schema = cw.schema
+	cw.meta.groupRows = uint32(opt.GroupRows)
+	cw.meta.dicts = make([][]string, len(schema))
+	for j, c := range schema {
+		if c.Type == String {
+			cw.dictIdx[j] = make(map[string]uint32)
+			cw.meta.dicts[j] = []string{}
+		}
+	}
+	var head [headerSize]byte
+	copy(head[:4], headerMagic[:])
+	binary.LittleEndian.PutUint16(head[4:6], FormatVersion)
+	if _, err := w.Write(head[:]); err != nil {
+		cw.err = err
+		return nil, fmt.Errorf("colstore: write header: %w", err)
+	}
+	cw.off = headerSize
+	return cw, nil
+}
+
+// Append buffers one run of rows, given as one Col per schema column (all
+// the same length), flushing full row groups as they fill. The slices are
+// copied; the caller keeps ownership.
+func (w *Writer) Append(cols []Col) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return errors.New("colstore: append after Close")
+	}
+	if len(cols) != len(w.schema) {
+		return fmt.Errorf("colstore: append with %d columns, schema has %d", len(cols), len(w.schema))
+	}
+	rows := -1
+	for j := range cols {
+		c := &cols[j]
+		r := c.rows(w.schema[j].Type)
+		if w.schema[j].Type == Float64 && c.Strs != nil {
+			return fmt.Errorf("colstore: column %q is float64 but got strings", w.schema[j].Name)
+		}
+		if w.schema[j].Type == String && c.Floats != nil {
+			return fmt.Errorf("colstore: column %q is string but got floats", w.schema[j].Name)
+		}
+		if c.Nulls != nil && len(c.Nulls) != r {
+			return fmt.Errorf("colstore: column %q has %d null flags for %d rows", w.schema[j].Name, len(c.Nulls), r)
+		}
+		if rows == -1 {
+			rows = r
+		} else if r != rows {
+			return fmt.Errorf("colstore: ragged append: column %q has %d rows, column %q has %d",
+				w.schema[j].Name, r, w.schema[0].Name, rows)
+		}
+	}
+	for start := 0; start < rows; {
+		take := w.opt.GroupRows - w.buffered
+		if take > rows-start {
+			take = rows - start
+		}
+		for j := range cols {
+			p := &w.pending[j]
+			if w.schema[j].Type == Float64 {
+				p.Floats = append(p.Floats, cols[j].Floats[start:start+take]...)
+				continue
+			}
+			p.Strs = append(p.Strs, cols[j].Strs[start:start+take]...)
+			if p.Nulls == nil {
+				p.Nulls = make([]bool, 0, w.opt.GroupRows)
+			}
+			if cols[j].Nulls != nil {
+				p.Nulls = append(p.Nulls, cols[j].Nulls[start:start+take]...)
+			} else {
+				p.Nulls = append(p.Nulls, make([]bool, take)...)
+			}
+		}
+		w.buffered += take
+		start += take
+		if w.buffered == w.opt.GroupRows {
+			if err := w.flushGroup(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// AppendChunk appends one frame chunk: all-float feature columns plus, when
+// the schema carries a label column, the chunk's label.
+func (w *Writer) AppendChunk(c *frame.Chunk) error {
+	cols := make([]Col, len(w.schema))
+	li := w.schema.LabelIndex()
+	fi := 0
+	for j := range w.schema {
+		if j == li {
+			if c.Label == nil {
+				return errors.New("colstore: schema has a label column but the chunk has no label")
+			}
+			cols[j] = Col{Floats: c.Label}
+			continue
+		}
+		if fi >= len(c.Cols) {
+			return fmt.Errorf("colstore: chunk has %d feature columns, schema needs %d", len(c.Cols), len(w.schema)-1)
+		}
+		cols[j] = Col{Floats: c.Cols[fi]}
+		fi++
+	}
+	if fi != len(c.Cols) {
+		return fmt.Errorf("colstore: chunk has %d feature columns, schema needs %d", len(c.Cols), fi)
+	}
+	return w.Append(cols)
+}
+
+// flushGroup writes the buffered rows as one row group, in schema order.
+func (w *Writer) flushGroup() error {
+	rows := w.buffered
+	if rows == 0 {
+		return nil
+	}
+	g := groupMeta{start: w.meta.rows, rows: uint32(rows), blocks: make([]blockMeta, len(w.schema))}
+	for j := range w.schema {
+		var err error
+		if w.schema[j].Type == Float64 {
+			g.blocks[j], err = w.writeFloatBlock(w.pending[j].Floats)
+		} else {
+			g.blocks[j], err = w.writeStringBlock(j, w.pending[j].Strs, w.pending[j].Nulls)
+		}
+		if err != nil {
+			w.err = fmt.Errorf("colstore: write group %d column %q: %w", len(w.meta.groups), w.schema[j].Name, err)
+			return w.err
+		}
+		w.pending[j] = Col{
+			Floats: w.pending[j].Floats[:0],
+			Strs:   w.pending[j].Strs[:0],
+			Nulls:  w.pending[j].Nulls[:0],
+		}
+	}
+	w.meta.groups = append(w.meta.groups, g)
+	w.meta.rows += uint64(rows)
+	w.buffered = 0
+	return nil
+}
+
+// writeBlock writes one padded, checksummed payload and returns its meta.
+func (w *Writer) writeBlock(payload []byte) (blockMeta, error) {
+	blk := blockMeta{off: w.off, length: uint64(len(payload)), crc: crc32.Checksum(payload, castagnoli)}
+	if _, err := w.w.Write(payload); err != nil {
+		return blk, err
+	}
+	var zero [blockAlign]byte
+	if pad := int(pad8(blk.length) - blk.length); pad > 0 {
+		if _, err := w.w.Write(zero[:pad]); err != nil {
+			return blk, err
+		}
+	}
+	w.off += pad8(blk.length)
+	return blk, nil
+}
+
+func (w *Writer) writeFloatBlock(vals []float64) (blockMeta, error) {
+	buf := w.scratch[:0]
+	min, max := math.NaN(), math.NaN()
+	nan := 0
+	for _, v := range vals {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		if math.IsNaN(v) {
+			nan++
+			continue
+		}
+		if math.IsNaN(min) || v < min {
+			min = v
+		}
+		if math.IsNaN(max) || v > max {
+			max = v
+		}
+	}
+	w.scratch = buf
+	blk, err := w.writeBlock(buf)
+	blk.min, blk.max, blk.nan = min, max, uint32(nan)
+	return blk, err
+}
+
+func (w *Writer) writeStringBlock(j int, vals []string, nulls []bool) (blockMeta, error) {
+	buf := w.scratch[:0]
+	bm := bitmapLen(len(vals))
+	buf = append(buf, make([]byte, bm)...)
+	nullCount := 0
+	for i, s := range vals {
+		var code uint32
+		if nulls[i] {
+			buf[i/8] |= 1 << (i % 8)
+			nullCount++
+		} else {
+			idx, ok := w.dictIdx[j][s]
+			if !ok {
+				idx = uint32(len(w.meta.dicts[j]))
+				w.dictIdx[j][s] = idx
+				w.meta.dicts[j] = append(w.meta.dicts[j], s)
+			}
+			code = idx
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, code)
+	}
+	w.scratch = buf
+	blk, err := w.writeBlock(buf)
+	// String blocks carry no value range: their served float representation
+	// is the dictionary code, which is not an order statistic of the data.
+	blk.min, blk.max, blk.nan = math.NaN(), math.NaN(), uint32(nullCount)
+	return blk, err
+}
+
+// Close flushes the final partial row group and writes the footer and
+// trailer. It does not close the underlying writer.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.flushGroup(); err != nil {
+		return err
+	}
+	footer := encodeFooter(&w.meta)
+	footerOff := w.off
+	if _, err := w.w.Write(footer); err != nil {
+		w.err = fmt.Errorf("colstore: write footer: %w", err)
+		return w.err
+	}
+	var tail [trailerSize]byte
+	binary.LittleEndian.PutUint64(tail[0:8], footerOff)
+	binary.LittleEndian.PutUint64(tail[8:16], uint64(len(footer)))
+	binary.LittleEndian.PutUint32(tail[16:20], crc32.Checksum(footer, castagnoli))
+	copy(tail[24:32], tailMagic[:])
+	if _, err := w.w.Write(tail[:]); err != nil {
+		w.err = fmt.Errorf("colstore: write trailer: %w", err)
+		return w.err
+	}
+	if err := w.w.Flush(); err != nil {
+		w.err = fmt.Errorf("colstore: flush: %w", err)
+		return w.err
+	}
+	return nil
+}
+
+// Rows returns the row count written so far (buffered rows included).
+func (w *Writer) Rows() int { return int(w.meta.rows) + w.buffered }
+
+// FileWriter is a Writer bound to a file it owns; Close finishes the format
+// and closes the file.
+type FileWriter struct {
+	*Writer
+	f *os.File
+}
+
+// Create creates (truncating) a colstore file and starts a Writer on it.
+func Create(path string, schema Schema, opt WriterOptions) (*FileWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("colstore: %w", err)
+	}
+	w, err := NewWriter(bufio.NewWriterSize(f, 1<<20), schema, opt)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &FileWriter{Writer: w, f: f}, nil
+}
+
+// Close finishes the format and closes the file.
+func (fw *FileWriter) Close() error {
+	werr := fw.Writer.Close()
+	var serr error
+	if werr == nil {
+		serr = fw.f.Sync()
+	}
+	cerr := fw.f.Close()
+	if werr != nil {
+		return werr
+	}
+	if serr != nil {
+		return fmt.Errorf("colstore: sync: %w", serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("colstore: close: %w", cerr)
+	}
+	return nil
+}
+
+// WriteFrame writes an in-memory frame (all-float features, plus its label
+// when present) as a colstore file.
+func WriteFrame(path string, f *frame.Frame, opt WriterOptions) error {
+	fw, err := Create(path, FrameSchema(f.Names(), f.Label != nil), opt)
+	if err != nil {
+		return err
+	}
+	cols := make([]Col, 0, len(f.Columns)+1)
+	for i := range f.Columns {
+		cols = append(cols, Col{Floats: f.Columns[i].Values})
+	}
+	if f.Label != nil {
+		cols = append(cols, Col{Floats: f.Label})
+	}
+	if err := fw.Append(cols); err != nil {
+		fw.Close()
+		return err
+	}
+	return fw.Close()
+}

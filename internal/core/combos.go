@@ -170,10 +170,15 @@ func scoreCombos(ctx context.Context, combos []Combo, cols [][]float64, labels [
 		}
 		for r := range parts {
 			// Inline CellOf over the row's combo features (avoids a
-			// per-row gather).
+			// per-row gather). NaN maps to index 0, as the binary search did.
 			id := 0
 			for i, f := range c.Features {
-				id = id*cc.radix[i] + searchFloats(cc.values[i], cols[f][r])
+				v := cols[f][r]
+				j := 0
+				if v == v {
+					j = cc.ix[i].Find(v)
+				}
+				id = id*cc.radix[i] + j
 			}
 			parts[r] = id
 		}
@@ -220,19 +225,6 @@ func thinValues(values [][]float64) [][]float64 {
 		out[argmax] = thinned
 	}
 	return out
-}
-
-func searchFloats(vs []float64, v float64) int {
-	lo, hi := 0, len(vs)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if vs[mid] < v {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo
 }
 
 // topCombos sorts combinations by gain ratio (descending, ties broken by

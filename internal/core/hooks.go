@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/gbdt"
 	"repro/internal/operators"
+	"repro/internal/stats"
 )
 
 // This file is the exported surface the sharded fit engine (internal/shard)
@@ -86,9 +87,11 @@ type ComboCells struct {
 	values [][]float64
 	radix  []int
 	cells  int
+	ix     []stats.CutIndexer // per-feature bucket index over values[i]
 }
 
-// NewComboCells prepares the cell mapping for one combination.
+// NewComboCells prepares the cell mapping for one combination. The prepared
+// mapping is read-only, so concurrent CellOf calls are safe.
 func NewComboCells(c *Combo) *ComboCells {
 	values := thinValues(c.Values)
 	radix := make([]int, len(values))
@@ -97,7 +100,12 @@ func NewComboCells(c *Combo) *ComboCells {
 		radix[i] = len(vs) + 1
 		cells *= radix[i]
 	}
-	return &ComboCells{feats: c.Features, values: values, radix: radix, cells: cells}
+	cc := &ComboCells{feats: c.Features, values: values, radix: radix, cells: cells}
+	cc.ix = make([]stats.CutIndexer, len(values))
+	for i, vs := range values {
+		cc.ix[i].Reset(vs)
+	}
+	return cc
 }
 
 // NumCells returns the partition size (1 for a degenerate combination).
@@ -107,11 +115,18 @@ func (cc *ComboCells) NumCells() int { return cc.cells }
 func (cc *ComboCells) Features() []int { return cc.feats }
 
 // CellOf returns the mixed-radix cell id for one row's combo-feature values
-// (vals[i] is the value of feature cc.Features()[i]).
+// (vals[i] is the value of feature cc.Features()[i]). The bucket index
+// reproduces the binary search exactly; NaN sorts below every split value
+// (index 0), matching the binary search's comparison behaviour.
 func (cc *ComboCells) CellOf(vals []float64) int {
 	id := 0
 	for i := range cc.feats {
-		id = id*cc.radix[i] + searchFloats(cc.values[i], vals[i])
+		v := vals[i]
+		j := 0
+		if v == v { // non-NaN
+			j = cc.ix[i].Find(v)
+		}
+		id = id*cc.radix[i] + j
 	}
 	return id
 }

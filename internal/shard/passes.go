@@ -162,7 +162,7 @@ func (f *fitter) scoreCombos(combos []core.Combo) error {
 	err := f.runPass(func(c *frame.Chunk, w *passWorker) (func() error, error) {
 		cols := w.ev.liveCols(c)
 		rows := c.NumRows()
-		labels := f.labels[c.Start : c.Start+rows]
+		bits := f.labelBits[c.Start : c.Start+rows]
 		slab := f.arena.Int32sZeroed(2 * total)
 		var vals [3]float64
 		for ci := range combos {
@@ -179,9 +179,7 @@ func (f *fitter) scoreCombos(combos []core.Combo) error {
 				}
 				id := cc.CellOf(vals[:len(feats)])
 				ptot[id]++
-				if labels[r] > 0.5 {
-					ppos[id]++
-				}
+				ppos[id] += int32(bits[r]) // branchless: bit = label > 0.5
 			}
 		}
 		w.ev.release()
@@ -227,7 +225,7 @@ func (f *fitter) scoreCombosClasses(combos []core.Combo, k int) error {
 	err := f.runPass(func(c *frame.Chunk, w *passWorker) (func() error, error) {
 		cols := w.ev.liveCols(c)
 		rows := c.NumRows()
-		labels := f.labels[c.Start : c.Start+rows]
+		cls := f.labelCls[c.Start : c.Start+rows]
 		slab := f.arena.Int32sZeroed(total)
 		var vals [3]float64
 		for ci := range combos {
@@ -242,9 +240,8 @@ func (f *fitter) scoreCombosClasses(combos []core.Combo, k int) error {
 					vals[j] = cols[fi][r]
 				}
 				id := cc.CellOf(vals[:len(feats)])
-				cls := int(labels[r])
-				if cls >= 0 && cls < k {
-					pcnt[id*k+cls]++
+				if cl := cls[r]; cl >= 0 {
+					pcnt[id*k+int(cl)]++
 				}
 			}
 		}
@@ -444,10 +441,6 @@ func (f *fitter) refineLive() error {
 	if f.approxCuts {
 		return nil
 	}
-	type openRef struct {
-		ref *sketch.Refiner
-		col int
-	}
 	var open []openRef
 	for j, lf := range f.live {
 		lf.ref = sketch.NewRefiner(lf.sk, cutRankUnion(lf.sk.Count(), &f.cfg))
@@ -459,12 +452,25 @@ func (f *fitter) refineLive() error {
 	if len(open) == 0 {
 		return nil
 	}
+	// The refinement pass reads original columns straight off the chunks, so
+	// a source with per-block statistics can prove blocks irrelevant up
+	// front: those chunks are never read, their exact contribution folded
+	// from the stats instead.
+	cleanup, done := f.planRefineSkip(open)
+	if cleanup != nil {
+		defer cleanup()
+	}
+	if done {
+		return nil
+	}
 	return f.runPass(func(c *frame.Chunk, w *passWorker) (func() error, error) {
 		shs := make([]*sketch.Refiner, len(open))
 		for i, o := range open {
-			sorted, _ := sketch.SortNonNaN(c.Cols[o.col], &w.srt)
+			// Per-value streaming beats sort+AddSorted here: the shared edge
+			// index classifies each value in O(1), and finalize sorts the few
+			// gathered in-bracket values, so the result is bit-identical.
 			sh := o.ref.Shadow()
-			sh.AddSorted(sorted)
+			sh.AddChunk(c.Cols[o.col])
 			shs[i] = sh
 		}
 		return func() error {
@@ -509,9 +515,8 @@ func (f *fitter) refineCandidates(entries []*candidate) error {
 			}
 			operators.TransformColumn(en.applier, iv, buf)
 			core.Sanitize(buf)
-			sorted, _ := sketch.SortNonNaN(buf, &w.srt)
 			sh := en.ref.Shadow()
-			sh.AddSorted(sorted)
+			sh.AddChunk(buf)
 			shs[i] = sh
 		}
 		f.arena.PutFloats(buf)
@@ -594,7 +599,16 @@ func (f *fitter) passCandidateCounts(entries []*candidate) error {
 		shadows := make([]sketch.CriterionHist, len(entries))
 		for i, en := range entries {
 			sh := shadowHist(en.hist)
-			sh.AddCol(colFor(en), labels)
+			// The pre-encoded label paths fold the same integer counts as
+			// AddCol without re-deriving the label per value per candidate.
+			switch h := sh.(type) {
+			case *sketch.LabelHist:
+				h.AddColBits(colFor(en), f.labelBits[start:start+rows])
+			case *sketch.ClassHist:
+				h.AddColCls(colFor(en), f.labelCls[start:start+rows])
+			default:
+				sh.AddCol(colFor(en), labels)
+			}
 			shadows[i] = sh
 		}
 		if buf != nil {

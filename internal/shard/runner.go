@@ -209,15 +209,21 @@ func (f *fitter) checkShape(c *frame.Chunk) error {
 }
 
 // finishPass folds one completed pass into the fit statistics, validating
-// that the source yields a stable shape across passes.
+// that the source yields a stable shape across passes. A planned partial
+// pass (block-stat skipping) announces its expected row count through
+// f.passExpect; any other shortfall is an unstable source.
 func (f *fitter) finishPass(rows, parts int) error {
 	f.stats.RowsStreamed += int64(rows)
 	if f.n == 0 {
 		f.n, f.stats.Rows, f.stats.Partitions = rows, rows, parts
 		return nil
 	}
-	if rows != f.n {
-		return fmt.Errorf("shard: source yielded %d rows on a later pass, want %d (unstable source)", rows, f.n)
+	expect := f.n
+	if f.passExpect > 0 {
+		expect = f.passExpect
+	}
+	if rows != expect {
+		return fmt.Errorf("shard: source yielded %d rows on a later pass, want %d (unstable source)", rows, expect)
 	}
 	return nil
 }

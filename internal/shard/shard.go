@@ -56,6 +56,12 @@ type Stats struct {
 	// quantile sketches — the "within quantile-sketch tolerance" of the
 	// fit's equivalence to the in-memory path, in ranks of Rows.
 	MaxQuantileRankError int64
+	// BlocksSkipped and RowsSkipped count source chunks (and their rows) the
+	// refinement pass proved irrelevant from block statistics and never read
+	// — non-zero only for frame.SkippableSource inputs (colstore files).
+	// Skipped rows do not count into RowsStreamed.
+	BlocksSkipped int64
+	RowsSkipped   int64
 }
 
 // Fit learns the SAFE feature generation function Ψ from a labelled chunked
@@ -97,6 +103,7 @@ func Fit(ctx context.Context, src frame.ChunkSource, cfg Config) (*core.Pipeline
 		sketchSize: cfg.SketchSize,
 		approxCuts: cfg.ApproxCuts,
 		src:        src,
+		base:       src,
 		pool:       pool,
 		ops:        ops,
 		arities:    core.DistinctArities(ops),
@@ -159,18 +166,22 @@ type fitter struct {
 	sketchSize int
 	approxCuts bool
 	src        frame.ChunkSource
-	pf         *frame.Prefetch // non-nil when chunks are leased (parallel/read-ahead)
+	base       frame.ChunkSource // unwrapped source, for SkippableSource planning
+	pf         *frame.Prefetch   // non-nil when chunks are leased (parallel/read-ahead)
 	pool       *parallel.Pool
 	ops        []operators.Operator
 	arities    []int
 	arena      *sketch.Arena // recycles pass-transient sketches and scratch
 
-	names  []string
-	labels []float64
-	n      int
-	live   []*liveFeat
-	nodes  []core.FeatureNode // all generated nodes, for pipeline assembly
-	gram   *sketch.Gram       // transient: current round's pairwise co-moments
+	names      []string
+	labels     []float64
+	labelBits  []uint8 // binary task: labels thresholded to 0/1 bits
+	labelCls   []int32 // multiclass task: labels as class ids, -1 invalid
+	n          int
+	passExpect int // expected rows of the current (possibly partial) pass; 0 = full
+	live       []*liveFeat
+	nodes      []core.FeatureNode // all generated nodes, for pipeline assembly
+	gram       *sketch.Gram       // transient: current round's pairwise co-moments
 
 	stats Stats
 }
@@ -260,6 +271,29 @@ func (f *fitter) fit() (*core.Pipeline, *core.Report, error) {
 	}
 	if err := cfg.Task.ValidateLabels(f.labels); err != nil {
 		return nil, nil, err
+	}
+	// Pre-encode the labels once for the count-valued passes: thresholding
+	// (binary) and float→class conversion (multiclass) are per-row costs
+	// those passes would otherwise repeat for every candidate column, and
+	// random binary labels make the threshold branch mispredict constantly.
+	switch cfg.Task.Kind {
+	case core.TaskMulticlass:
+		f.labelCls = make([]int32, len(f.labels))
+		for i, y := range f.labels {
+			if c := int(y); c >= 0 && c < cfg.Task.Classes {
+				f.labelCls[i] = int32(c)
+			} else {
+				f.labelCls[i] = -1
+			}
+		}
+	case core.TaskRegression:
+	default:
+		f.labelBits = make([]uint8, len(f.labels))
+		for i, y := range f.labels {
+			if y > 0.5 {
+				f.labelBits[i] = 1
+			}
+		}
 	}
 
 	budget := cfg.MaxFeatures

@@ -19,6 +19,7 @@ type LabelHist struct {
 	nanPos   float64
 	nanNeg   float64
 	ix       stats.CutIndexer
+	slab     []int32 // AddColBits scratch: interleaved neg/pos counts
 }
 
 // NewLabelHist creates a histogram over the given ascending cut points
@@ -74,6 +75,40 @@ func (h *LabelHist) AddCol(vals, labels []float64) {
 	for i, v := range vals {
 		h.Add(v, labels[i])
 	}
+}
+
+// AddColBits is AddCol with the labels pre-thresholded to 0/1 bits (bit =
+// 1 iff label > 0.5). Random binary labels make Add's label branch
+// mispredict on every other row, so the hot pass precomputes the bits once
+// and this path accumulates into an interleaved count slab with no
+// label-dependent branch. The counts folded into pos/neg are identical to
+// AddCol's — integer arithmetic, exactly order-invariant.
+func (h *LabelHist) AddColBits(vals []float64, bits []uint8) {
+	nb := len(h.pos)
+	if cap(h.slab) < 2*nb {
+		h.slab = make([]int32, 2*nb)
+	}
+	slab := h.slab[:2*nb]
+	for i := range slab {
+		slab[i] = 0
+	}
+	var nanPos, nanNeg int32
+	for i, v := range vals {
+		if math.IsNaN(v) {
+			bit := int32(bits[i])
+			nanPos += bit
+			nanNeg += 1 - bit
+			continue
+		}
+		b := h.ix.Find(v)
+		slab[2*b+int(bits[i])]++
+	}
+	for b := 0; b < nb; b++ {
+		h.neg[b] += float64(slab[2*b])
+		h.pos[b] += float64(slab[2*b+1])
+	}
+	h.nanPos += float64(nanPos)
+	h.nanNeg += float64(nanNeg)
 }
 
 // Merge folds another histogram into h. The cut arrays must be identical.

@@ -33,6 +33,92 @@ type Refiner struct {
 	finalized bool
 	lowCount  []int64
 	below     []int // AddSorted scratch: per-target below-bracket counts
+
+	idx *edgeIndex // shared bucket table over lo (nil: binary search)
+}
+
+// edgeIndex is a uniform bucket table over a refiner's ascending lo edges,
+// the CutIndexer trick specialised to AddChunk's upper-bound search: find(v)
+// returns the number of edges <= v with one multiply and a short corrective
+// scan, exact for every finite v regardless of rounding in the bucket
+// mapping. Built once per refiner and shared read-only by its shadows.
+type edgeIndex struct {
+	lo      []float64
+	base    float64
+	invStep float64
+	table   []int32
+}
+
+// newEdgeIndex builds the table, or returns nil when the layout defeats it
+// (too few edges, non-finite or zero span, or a bucket spanning so many
+// edges the corrective scan would approach binary-search cost).
+func newEdgeIndex(lo []float64) *edgeIndex {
+	nt := len(lo)
+	if nt < 4 {
+		return nil
+	}
+	span := lo[nt-1] - lo[0]
+	if !(span > 0) || math.IsInf(span, 0) {
+		return nil
+	}
+	k := 4 * nt
+	invStep := float64(k) / span
+	if math.IsInf(invStep, 0) {
+		return nil
+	}
+	e := &edgeIndex{lo: lo, base: lo[0], invStep: invStep, table: make([]int32, k)}
+	step := span / float64(k)
+	prev, widest := int32(0), int32(0)
+	for t := range e.table {
+		v := lo[0] + float64(t)*step
+		// Upper bound: first index with lo[j] > v.
+		a, b := 0, nt
+		for a < b {
+			m := int(uint(a+b) >> 1)
+			if lo[m] > v {
+				b = m
+			} else {
+				a = m + 1
+			}
+		}
+		j := int32(a)
+		e.table[t] = j
+		if t > 0 && j-prev > widest {
+			widest = j - prev
+		}
+		prev = j
+	}
+	if widest > maxEdgeBucketScan {
+		return nil
+	}
+	return e
+}
+
+// maxEdgeBucketScan bounds the corrective scan per lookup, mirroring
+// stats.CutIndexer's fallback for clustered layouts.
+const maxEdgeBucketScan = 16
+
+// find returns the number of edges <= v (the lowDelta bucket AddChunk's
+// inlined binary search computes). v must not be NaN.
+func (e *edgeIndex) find(v float64) int {
+	lo := e.lo
+	if v < e.base {
+		return 0
+	}
+	t := int((v - e.base) * e.invStep)
+	if t >= len(e.table) {
+		t = len(e.table) - 1
+	} else if t < 0 {
+		t = 0
+	}
+	j := int(e.table[t])
+	for j < len(lo) && lo[j] <= v {
+		j++
+	}
+	for j > 0 && lo[j-1] > v {
+		j--
+	}
+	return j
 }
 
 // NewRefiner brackets the given target ranks (ascending, in [0, Count))
@@ -61,6 +147,7 @@ func NewRefiner(q *Quantile, ranks []int64) *Refiner {
 			r.resolved[t] = true
 		}
 	}
+	r.idx = newEdgeIndex(r.lo)
 	return r
 }
 
@@ -108,6 +195,7 @@ func (r *Refiner) Shadow() *Refiner {
 		loEq:     make([]int64, len(r.ranks)),
 		hiEq:     make([]int64, len(r.ranks)),
 		mid:      make([][]float64, len(r.ranks)),
+		idx:      r.idx,
 	}
 }
 
@@ -128,20 +216,29 @@ func (r *Refiner) AddChunk(vals []float64) {
 		return
 	}
 	lo, hi := r.lo, r.hi
+	idx := r.idx
 	for _, v := range vals {
 		if math.IsNaN(v) {
 			continue
 		}
-		// Targets with lo > v form a suffix; record one delta at its start
-		// (inlined binary searches: this loop is the refinement pass's whole
-		// cost, and the closure-based sort.Search showed up in profiles).
-		a, b := 0, nt
-		for a < b {
-			m := int(uint(a+b) >> 1)
-			if lo[m] > v {
-				b = m
-			} else {
-				a = m + 1
+		// Targets with lo > v form a suffix; record one delta at its start.
+		// The shared bucket table answers the upper-bound search in O(1) for
+		// the overwhelmingly common outside-every-bracket case; skewed edge
+		// layouts fall back to the inlined binary search (closure-based
+		// sort.Search showed up in profiles).
+		var a int
+		if idx != nil {
+			a = idx.find(v)
+		} else {
+			var b int
+			a, b = 0, nt
+			for a < b {
+				m := int(uint(a+b) >> 1)
+				if lo[m] > v {
+					b = m
+				} else {
+					a = m + 1
+				}
 			}
 		}
 		r.lowDelta[a]++
@@ -257,6 +354,53 @@ func (r *Refiner) AddSorted(sorted []float64) {
 		r.mid[t] = append(r.mid[t], sorted[loEnd:midEnd]...)
 		r.hiEq[t] += int64(a - midEnd)
 	}
+}
+
+// SkipBucket reports whether a block of the column whose non-NaN values all
+// lie in [min, max] provably contributes nothing to any gather bracket, and
+// if so which single lowDelta bucket all of those values count into. The
+// conditions mirror AddChunk's accumulation exactly: every value must land
+// in the same bucket a (no lo edge inside (min, max]), and the run must
+// avoid every bracket (a == 0 means max < lo[0]; otherwise min > hi[a-1],
+// which with hi ascending clears all brackets t < a). When ok, the block's
+// entire effect on the refiner is AddOutside(bucket, nonNaNCount) — the
+// stat-only fold the sharded engine applies for skipped blocks.
+func (r *Refiner) SkipBucket(min, max float64) (bucket int, ok bool) {
+	if math.IsNaN(min) || math.IsNaN(max) {
+		return 0, false
+	}
+	nt := len(r.ranks)
+	if nt == 0 {
+		return 0, true
+	}
+	// a = #{t : lo[t] <= max}, b = #{t : lo[t] <= min}; one bucket iff a == b.
+	a := sort.SearchFloat64s(r.lo, max)
+	for a < nt && r.lo[a] == max {
+		a++
+	}
+	b := sort.SearchFloat64s(r.lo, min)
+	for b < nt && r.lo[b] == min {
+		b++
+	}
+	if a != b {
+		return 0, false
+	}
+	if a == 0 {
+		return 0, true // max < lo[0]: below every bracket
+	}
+	if min > r.hi[a-1] {
+		return a, true // above every bracket the bucket could touch
+	}
+	return 0, false
+}
+
+// AddOutside folds n values known (from block stats, via SkipBucket) to land
+// in the given lowDelta bucket without entering any bracket. It is the exact
+// contribution AddChunk would have accumulated for those values, so a pass
+// over the surviving blocks plus AddOutside for the skipped ones yields
+// bit-identical order statistics to a full pass.
+func (r *Refiner) AddOutside(bucket int, n int64) {
+	r.lowDelta[bucket] += n
 }
 
 // Merge folds a refiner built over another partition (with identical

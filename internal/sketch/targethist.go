@@ -37,6 +37,7 @@ type ClassHist struct {
 	flat   []float64
 	nan    []float64 // per-class NaN count
 	ix     stats.CutIndexer
+	slab   []int32 // AddColCls scratch: class-major integer counts
 }
 
 // NewClassHist creates a K-class histogram over ascending cut points
@@ -95,6 +96,37 @@ func (h *ClassHist) Add(v, label float64) {
 func (h *ClassHist) AddCol(vals, labels []float64) {
 	for i, v := range vals {
 		h.Add(v, labels[i])
+	}
+}
+
+// AddColCls is AddCol with the labels pre-converted to class indices
+// (cls[i] = int32(labels[i]), or -1 when out of [0,k)). The float→int
+// conversion and range check are per-label work that the hot candidate
+// pass would otherwise repeat for every generated column; precomputing
+// them once per chunk leaves only the bin lookup and an integer
+// increment per value. The folded counts are identical to AddCol's.
+func (h *ClassHist) AddColCls(vals []float64, cls []int32) {
+	nb := len(h.cuts) + 1
+	if cap(h.slab) < h.k*nb {
+		h.slab = make([]int32, h.k*nb)
+	}
+	slab := h.slab[:h.k*nb]
+	for i := range slab {
+		slab[i] = 0
+	}
+	for i, v := range vals {
+		c := cls[i]
+		if c < 0 {
+			continue
+		}
+		if math.IsNaN(v) {
+			h.nan[c]++
+			continue
+		}
+		slab[int(c)*nb+h.ix.Find(v)]++
+	}
+	for i, n := range slab {
+		h.flat[i] += float64(n)
 	}
 }
 
