@@ -14,6 +14,9 @@
 // than memory can be fitted; -shards K instead derives the chunk size from
 // a row-count pre-pass so the file splits into K partitions. With default
 // settings the sharded fit selects the same features as the in-memory fit.
+// On flaky storage, -retry N re-reads transiently failing chunks up to N
+// total attempts with -retry-backoff capped exponential backoff; a
+// recovered fit is bit-identical to a fault-free one.
 //
 // A -train file ending in .col or .colstore (written by safe-convert or
 // safe-datagen -format colstore) is opened as a colstore binary columnar
@@ -38,6 +41,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro"
 	"repro/internal/buildinfo"
@@ -61,6 +65,8 @@ func main() {
 		loadPipeline = flag.String("load-pipeline", "", "skip fitting; load Ψ from a JSON file")
 		chunkRows    = flag.Int("chunk-rows", 0, "fit out-of-core, streaming the training CSV in chunks of this many rows")
 		shards       = flag.Int("shards", 0, "fit out-of-core over this many partitions (chunk size from a row-count pre-pass)")
+		retry        = flag.Int("retry", 0, "retry transient chunk-read errors, up to this many total attempts per chunk (sharded fits; 0 = abort on first error)")
+		retryBackoff = flag.Duration("retry-backoff", 5*time.Millisecond, "base backoff before the first chunk-read retry, doubling per attempt up to 250ms (with -retry)")
 		version      = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -117,6 +123,13 @@ func main() {
 		// a shard count is given, a cheap row-count pre-pass sizes the
 		// chunks.
 		source := safe.FromCSVFile(*trainPath, *labelCol)
+		sharded := isColstorePath(*trainPath) || *chunkRows > 0 || *shards > 0
+		switch {
+		case *retry > 1 && !sharded:
+			fmt.Fprintln(os.Stderr, "safe: note: -retry applies to sharded fits only (combine with -chunk-rows/-shards or a .col file); ignoring")
+		case *retry > 1:
+			opts = append(opts, safe.WithRetry(safe.RetryPolicy{MaxAttempts: *retry, BaseDelay: *retryBackoff}))
+		}
 		switch {
 		case isColstorePath(*trainPath):
 			// Binary columnar input (safe-convert / safe-datagen -format
@@ -156,6 +169,9 @@ func main() {
 			if st.BlocksSkipped > 0 {
 				fmt.Printf("  block stats skipped %d blocks (%d rows never read)\n",
 					st.BlocksSkipped, st.RowsSkipped)
+			}
+			if st.Retries > 0 {
+				fmt.Printf("  %d transient chunk reads retried\n", st.Retries)
 			}
 		}
 	}

@@ -158,6 +158,7 @@ type planOpts struct {
 	sketchSize int
 	approxCuts bool
 	hasSketch  bool
+	retry      *RetryPolicy
 	earlyStop  bool // Patience set via WithEarlyStopping, not WithConfig
 	valid      *Frame
 }
@@ -319,6 +320,27 @@ func WithSketch(size int, approxCuts bool) Option {
 	}
 }
 
+// WithRetry makes the sharded engine retry transient chunk-read errors
+// (frame sources that implement the Transienter contract — flaky disks,
+// brief stalls) with capped exponential backoff instead of aborting; see
+// RetryPolicy and DefaultRetryPolicy. Retried reads re-run before the
+// chunk is folded, so a recovered fit selects features bit-identical to a
+// fault-free run; permanent errors still abort fast with a typed
+// PassError chain, and Result.Shard.Retries counts what was absorbed.
+// Only valid for plans that fit sharded.
+func WithRetry(p RetryPolicy) Option {
+	return func(o *planOpts) error {
+		if p.MaxAttempts < 1 {
+			return fmt.Errorf("safe: WithRetry requires MaxAttempts >= 1, got %d", p.MaxAttempts)
+		}
+		if p.BaseDelay < 0 || p.MaxDelay < 0 {
+			return errors.New("safe: WithRetry requires non-negative delays")
+		}
+		o.retry = &p
+		return nil
+	}
+}
+
 // WithValidation supplies a validation frame: each round's selection is
 // scored on it (Report.Iterations[i].ValidAUC) and, combined with
 // WithEarlyStopping, iteration halts once the score stops improving. Only
@@ -384,6 +406,9 @@ func NewPlan(source Source, opts ...Option) (*Plan, error) {
 	if o.hasSketch && !o.sharded {
 		return nil, errors.New("safe: WithSketch tunes the sharded engine; combine it with WithSharding or a chunked source")
 	}
+	if o.retry != nil && !o.sharded {
+		return nil, errors.New("safe: WithRetry tunes the sharded engine; combine it with WithSharding or a chunked source")
+	}
 	if o.valid != nil && o.sharded {
 		return nil, errors.New("safe: validation-tracked fits require the in-memory engine; drop WithSharding/WithValidation")
 	}
@@ -407,6 +432,9 @@ func NewPlan(source Source, opts ...Option) (*Plan, error) {
 	}
 	if o.sharded {
 		p.shardCfg = ShardConfig{Core: cfg, SketchSize: o.sketchSize, ApproxCuts: o.approxCuts}
+		if o.retry != nil {
+			p.shardCfg.Retry = *o.retry
+		}
 	}
 	return p, nil
 }

@@ -1,0 +1,230 @@
+// Package chaos is the deterministic fault-injection layer of the
+// out-of-core engine's test harness. It wraps frame.ChunkSource streams
+// with seeded, exactly-replayable failures — transient and permanent read
+// errors at chosen chunk ordinals, delayed delivery, early EOF — detects
+// consumers that mutate chunk memory they no longer own (MutationGuard),
+// and mutilates colstore images along their structural section boundaries
+// (Corruptions/Corrupt) so every corruption is provably detectable by the
+// format's checksums.
+//
+// Everything is driven by plain data (Plan, Corruption) with no hidden
+// randomness: a seed builds the plan once, and replaying the same plan
+// reproduces the same failures in the same order. The differential chaos
+// suite fits identical workloads through clean and fault-injected sources
+// and asserts the shard coordinator's retry path recovers bit-identically;
+// see docs/testing.md.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/frame"
+)
+
+// Kind enumerates the failure modes an injected fault can take.
+type Kind int
+
+// Fault kinds.
+const (
+	// Transient fails the read at the fault's chunk ordinal for Times
+	// consecutive attempts, then lets it succeed — the class a retry
+	// policy must absorb without changing the fit.
+	Transient Kind = iota
+	// Permanent fails the read at the fault's ordinal on every attempt:
+	// retrying must give up and surface the error typed.
+	Permanent
+	// Delay delivers the chunk after an extra Sleep, exercising ordering
+	// and timeout behaviour without failing anything.
+	Delay
+	// EarlyEOF ends the stream at the fault's ordinal, one pass short — an
+	// unstable source the coordinator must refuse, not mis-fit.
+	EarlyEOF
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Transient:
+		return "transient"
+	case Permanent:
+		return "permanent"
+	case Delay:
+		return "delay"
+	case EarlyEOF:
+		return "early-eof"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// ErrInjected is the default cause of injected faults; custom causes (e.g.
+// a colstore checksum error) go in Fault.Err.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// Fault is one planned failure, keyed by the cumulative ordinal of
+// successful chunk deliveries across the source's whole lifetime — passes
+// included — so a fault placed at ordinal N fires exactly once no matter
+// how many passes the consumer makes or how its Next calls interleave
+// with retries.
+type Fault struct {
+	Chunk int           // 0-based cumulative delivery ordinal the fault fires at
+	Kind  Kind          // failure mode
+	Times int           // Transient: consecutive failed attempts before success (min 1)
+	Sleep time.Duration // Delay: added latency
+	Err   error         // cause to inject; nil uses ErrInjected
+}
+
+// Plan is a replayable fault schedule. Build one by hand or seeded through
+// TransientPlan; the zero value injects nothing.
+type Plan struct {
+	Faults []Fault
+}
+
+// TransientPlan builds a seeded plan of n transient faults at distinct
+// chunk ordinals within [0, chunks), each failing one or two consecutive
+// attempts. The same seed always yields the same plan.
+func TransientPlan(seed int64, n, chunks int) *Plan {
+	if n > chunks {
+		n = chunks
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ords := rng.Perm(chunks)[:n]
+	sort.Ints(ords)
+	p := &Plan{Faults: make([]Fault, 0, n)}
+	for _, ord := range ords {
+		p.Faults = append(p.Faults, Fault{Chunk: ord, Kind: Transient, Times: 1 + rng.Intn(2)})
+	}
+	return p
+}
+
+// TransientError is the retryable error class the injectors produce: it
+// implements frame.Transienter, so the shard coordinator's retry policy
+// re-reads instead of aborting. Chunk is the delivery ordinal the fault
+// fired at, Attempt the 1-based failed attempt.
+type TransientError struct {
+	Chunk   int
+	Attempt int
+	Err     error
+}
+
+// Error implements error.
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("chaos: transient fault at chunk %d (attempt %d): %v", e.Chunk, e.Attempt, e.Err)
+}
+
+// Unwrap implements errors.Unwrap.
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// Transient implements frame.Transienter.
+func (e *TransientError) Transient() bool { return true }
+
+// faultState tracks one planned fault's consumption.
+type faultState struct {
+	Fault
+	failed int  // Transient: attempts failed so far
+	spent  bool // fired to completion; the fault is inert from here on
+}
+
+// Source wraps a frame.ChunkSource with a Plan's faults. It forwards the
+// full source contract (including StableChunks for stable sources) and is
+// safe wherever the wrapped source is — the injectors add no goroutines
+// and no locking, so they compose under the prefetcher and the shard
+// coordinator exactly like the real source would.
+type Source struct {
+	src       frame.ChunkSource
+	byChunk   map[int]*faultState
+	delivered int // successful deliveries across the whole lifetime
+	injected  int // faults fired (each transient attempt counts)
+}
+
+// Wrap builds a fault-injecting view of src. A nil or empty plan injects
+// nothing.
+func Wrap(src frame.ChunkSource, p *Plan) *Source {
+	s := &Source{src: src, byChunk: make(map[int]*faultState)}
+	if p != nil {
+		for _, f := range p.Faults {
+			if f.Kind == Transient && f.Times < 1 {
+				f.Times = 1
+			}
+			s.byChunk[f.Chunk] = &faultState{Fault: f}
+		}
+	}
+	return s
+}
+
+// Names implements frame.ChunkSource.
+func (s *Source) Names() []string { return s.src.Names() }
+
+// NumCols implements frame.ChunkSource.
+func (s *Source) NumCols() int { return s.src.NumCols() }
+
+// Reset implements frame.ChunkSource. Fault ordinals count across Reset:
+// a fault fires once per lifetime, not once per pass.
+func (s *Source) Reset() error { return s.src.Reset() }
+
+// StableChunks implements frame.StableSource by forwarding the wrapped
+// source's stability (false when it declares none).
+func (s *Source) StableChunks() bool {
+	if ss, ok := s.src.(frame.StableSource); ok {
+		return ss.StableChunks()
+	}
+	return false
+}
+
+// Next implements frame.ChunkSource, firing the plan's fault for the
+// current delivery ordinal first.
+func (s *Source) Next() (*frame.Chunk, error) {
+	ord := s.delivered
+	if st, ok := s.byChunk[ord]; ok && !st.spent {
+		switch st.Kind {
+		case Transient:
+			if st.failed < st.Times {
+				st.failed++
+				s.injected++
+				if st.failed == st.Times {
+					st.spent = true // the next attempt reads through
+				}
+				return nil, &TransientError{Chunk: ord, Attempt: st.failed, Err: st.cause()}
+			}
+		case Permanent:
+			s.injected++
+			return nil, fmt.Errorf("chaos: permanent fault at chunk %d: %w", ord, st.cause())
+		case Delay:
+			st.spent = true
+			s.injected++
+			time.Sleep(st.Sleep)
+		case EarlyEOF:
+			st.spent = true
+			s.injected++
+			return nil, io.EOF
+		}
+	}
+	c, err := s.src.Next()
+	if err != nil {
+		return nil, err
+	}
+	s.delivered++
+	return c, nil
+}
+
+// Injected returns how many faults have fired so far (each failed
+// transient attempt counts as one).
+func (s *Source) Injected() int { return s.injected }
+
+// Delivered returns the cumulative successful delivery count.
+func (s *Source) Delivered() int { return s.delivered }
+
+func (st *faultState) cause() error {
+	if st.Err != nil {
+		return st.Err
+	}
+	return ErrInjected
+}
+
+var _ frame.ChunkSource = (*Source)(nil)
+var _ frame.StableSource = (*Source)(nil)

@@ -1,0 +1,445 @@
+package chaos
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/colstore"
+	"repro/internal/frame"
+)
+
+// testSource builds a small in-memory chunk source: rows rows of cols
+// columns in chunks of chunkRows.
+func testSource(rows, cols, chunkRows int) *frame.FrameChunks {
+	f := frame.NewWithShape(rows, cols)
+	for j := range f.Columns {
+		for i := range f.Columns[j].Values {
+			f.Columns[j].Values[i] = float64(i*cols + j)
+		}
+	}
+	for i := range f.Label {
+		f.Label[i] = float64(i % 2)
+	}
+	return frame.NewFrameChunks(f, chunkRows)
+}
+
+// drain reads src to EOF and returns the number of chunks delivered.
+func drain(t *testing.T, src frame.ChunkSource) int {
+	t.Helper()
+	n := 0
+	for {
+		_, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			return n
+		}
+		if err != nil {
+			t.Fatalf("chunk %d: %v", n, err)
+		}
+		n++
+	}
+}
+
+// TestChaosTransientPlanDeterminism pins that the seeded plan builder is a
+// pure function of its arguments: same seed, same plan, distinct sorted
+// ordinals inside the requested range.
+func TestChaosTransientPlanDeterminism(t *testing.T) {
+	a := TransientPlan(7, 4, 24)
+	b := TransientPlan(7, 4, 24)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different plans:\n%+v\n%+v", a, b)
+	}
+	if len(a.Faults) != 4 {
+		t.Fatalf("got %d faults, want 4", len(a.Faults))
+	}
+	seen := map[int]bool{}
+	prev := -1
+	for _, f := range a.Faults {
+		if f.Kind != Transient {
+			t.Fatalf("fault at %d has kind %v, want transient", f.Chunk, f.Kind)
+		}
+		if f.Chunk < 0 || f.Chunk >= 24 {
+			t.Fatalf("fault ordinal %d outside [0,24)", f.Chunk)
+		}
+		if seen[f.Chunk] || f.Chunk <= prev {
+			t.Fatalf("ordinals not distinct ascending: %+v", a.Faults)
+		}
+		seen[f.Chunk] = true
+		prev = f.Chunk
+		if f.Times < 1 || f.Times > 2 {
+			t.Fatalf("fault at %d fails %d times, want 1 or 2", f.Chunk, f.Times)
+		}
+	}
+	if c := TransientPlan(7, 10, 3); len(c.Faults) != 3 {
+		t.Fatalf("plan wider than the stream: %d faults, want 3", len(c.Faults))
+	}
+}
+
+// TestChaosTransientFault pins the retryable failure mode: the read at the
+// fault's ordinal fails Times consecutive attempts with a
+// frame.IsTransient error, then succeeds, and the stream continues exactly
+// where it stopped.
+func TestChaosTransientFault(t *testing.T) {
+	src := Wrap(testSource(40, 2, 10), &Plan{Faults: []Fault{{Chunk: 1, Kind: Transient, Times: 2}}})
+	if c, err := src.Next(); err != nil || c.Index != 0 {
+		t.Fatalf("chunk 0: %v (index %v)", err, c)
+	}
+	for attempt := 1; attempt <= 2; attempt++ {
+		_, err := src.Next()
+		var te *TransientError
+		if !errors.As(err, &te) {
+			t.Fatalf("attempt %d: got %v, want TransientError", attempt, err)
+		}
+		if te.Chunk != 1 || te.Attempt != attempt {
+			t.Fatalf("attempt %d: error positioned at chunk %d attempt %d", attempt, te.Chunk, te.Attempt)
+		}
+		if !frame.IsTransient(err) {
+			t.Fatalf("attempt %d: transient fault not classified transient: %v", attempt, err)
+		}
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("attempt %d: cause not ErrInjected: %v", attempt, err)
+		}
+	}
+	c, err := src.Next()
+	if err != nil {
+		t.Fatalf("post-fault read: %v", err)
+	}
+	if c.Index != 1 {
+		t.Fatalf("post-fault read resumed at chunk %d, want 1", c.Index)
+	}
+	if src.Injected() != 2 {
+		t.Fatalf("injected %d faults, want 2", src.Injected())
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := src.Next(); err != nil {
+			t.Fatalf("tail chunk: %v", err)
+		}
+	}
+	if _, err := src.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("got %v, want io.EOF", err)
+	}
+	if src.Delivered() != 4 {
+		t.Fatalf("delivered %d chunks, want 4", src.Delivered())
+	}
+}
+
+// TestChaosOrdinalsSpanPasses pins the lifetime-ordinal contract: Reset
+// does not rewind fault ordinals, so a fault planned past the first pass
+// fires mid-second-pass and exactly once.
+func TestChaosOrdinalsSpanPasses(t *testing.T) {
+	// 4 chunks per pass; fault at lifetime ordinal 5 = second pass, chunk 1.
+	src := Wrap(testSource(40, 2, 10), &Plan{Faults: []Fault{{Chunk: 5, Kind: Transient, Times: 1}}})
+	if n := drain(t, src); n != 4 {
+		t.Fatalf("pass 1 delivered %d chunks, want 4", n)
+	}
+	if src.Injected() != 0 {
+		t.Fatalf("fault fired during pass 1")
+	}
+	if err := src.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Next(); err != nil {
+		t.Fatalf("pass 2 chunk 0: %v", err)
+	}
+	if _, err := src.Next(); !frame.IsTransient(err) {
+		t.Fatalf("pass 2 chunk 1: got %v, want transient fault", err)
+	}
+	c, err := src.Next()
+	if err != nil || c.Index != 1 {
+		t.Fatalf("pass 2 retry: %v (index %v)", err, c)
+	}
+	// A third pass sees nothing: the fault is spent.
+	if err := src.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := src.Next(); err != nil {
+			t.Fatalf("pass 3 chunk %d: %v", i, err)
+		}
+	}
+	if src.Injected() != 1 {
+		t.Fatalf("injected %d faults, want 1", src.Injected())
+	}
+}
+
+// TestChaosPermanentFault pins the non-retryable mode: the fault fires on
+// every attempt with the planned cause and is never transient.
+func TestChaosPermanentFault(t *testing.T) {
+	sentinel := errors.New("disk on fire")
+	src := Wrap(testSource(40, 2, 10), &Plan{Faults: []Fault{{Chunk: 2, Kind: Permanent, Err: sentinel}}})
+	for n := 0; n < 2; n++ {
+		if _, err := src.Next(); err != nil {
+			t.Fatalf("chunk %d: %v", n, err)
+		}
+	}
+	for attempt := 0; attempt < 3; attempt++ {
+		_, err := src.Next()
+		if err == nil {
+			t.Fatalf("attempt %d: permanent fault let the read through", attempt)
+		}
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("attempt %d: cause lost: %v", attempt, err)
+		}
+		if frame.IsTransient(err) {
+			t.Fatalf("attempt %d: permanent fault classified transient", attempt)
+		}
+	}
+	if src.Injected() != 3 {
+		t.Fatalf("injected %d, want 3", src.Injected())
+	}
+}
+
+// TestChaosDelayFault pins that a delay delivers the chunk late but intact,
+// once.
+func TestChaosDelayFault(t *testing.T) {
+	src := Wrap(testSource(40, 2, 10), &Plan{Faults: []Fault{{Chunk: 1, Kind: Delay, Sleep: 20 * time.Millisecond}}})
+	if _, err := src.Next(); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	c, err := src.Next()
+	if err != nil || c.Index != 1 {
+		t.Fatalf("delayed chunk: %v (index %v)", err, c)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("delay fault slept %v, want >= 20ms", d)
+	}
+	if src.Injected() != 1 {
+		t.Fatalf("injected %d, want 1", src.Injected())
+	}
+}
+
+// TestChaosEarlyEOF pins the truncated-stream mode: the pass ends one
+// chunk short, exactly once.
+func TestChaosEarlyEOF(t *testing.T) {
+	src := Wrap(testSource(40, 2, 10), &Plan{Faults: []Fault{{Chunk: 3, Kind: EarlyEOF}}})
+	if n := drain(t, src); n != 3 {
+		t.Fatalf("pass 1 delivered %d chunks, want 3 (early EOF)", n)
+	}
+	if err := src.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	// Lifetime ordinals continue at 3; the fault is spent, so pass 2 is full.
+	if n := drain(t, src); n != 4 {
+		t.Fatalf("pass 2 delivered %d chunks, want 4", n)
+	}
+}
+
+// TestChaosMutationGuard pins lease-violation detection: a clean drain
+// records nothing; writing into a delivered chunk after requesting the next
+// one is caught at the following Next.
+func TestChaosMutationGuard(t *testing.T) {
+	g := Guard(testSource(40, 3, 10))
+	drain(t, g)
+	if err := g.Err(); err != nil {
+		t.Fatalf("clean drain flagged a violation: %v", err)
+	}
+
+	g = Guard(testSource(40, 3, 10))
+	c, err := g.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Cols[1][2] = math.Pi // mutate the lease we are about to give up
+	if _, err := g.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Err() == nil {
+		t.Fatal("mutation after lease expiry not detected")
+	}
+
+	// Reset audits the outstanding chunk too.
+	g = Guard(testSource(40, 3, 10))
+	c, err = g.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Label[0] = 42
+	if err := g.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Err() == nil {
+		t.Fatal("label mutation before Reset not detected")
+	}
+}
+
+// corruptImage builds a small valid colstore image with float, string
+// (dictionary + null bitmap), and label columns, so the corruption
+// enumeration covers every block codec.
+func corruptImage(t *testing.T) []byte {
+	t.Helper()
+	schema := colstore.Schema{
+		{Name: "x", Type: colstore.Float64},
+		{Name: "cat", Type: colstore.String},
+		{Name: "label", Type: colstore.Float64, Label: true},
+	}
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	w, err := colstore.NewWriter(bw, schema, colstore.WriterOptions{GroupRows: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Append([]colstore.Col{
+		{Floats: []float64{1, math.NaN(), 3, 4, 5, 6, 7, 8, 9}},
+		{Strs: []string{"a", "b", "", "a", "c", "b", "a", "c", "b"},
+			Nulls: []bool{false, false, true, false, false, false, false, false, false}},
+		{Floats: []float64{0, 1, 0, 1, 0, 1, 0, 1, 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestChaosCorruptionsTargetOnlyValidatedBytes pins the enumeration's core
+// guarantee: every produced corruption changes the image, stays in bounds,
+// and never touches a byte no reader validates (block padding, the
+// header's reserved bytes [6,8), the trailer's reserved bytes [20,24)) —
+// so "corruption produced but no typed error" is always a real bug.
+func TestChaosCorruptionsTargetOnlyValidatedBytes(t *testing.T) {
+	raw := corruptImage(t)
+	secs, err := colstore.Layout(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unvalidated := func(off int) bool {
+		if off >= 6 && off < 8 { // header reserve
+			return true
+		}
+		for _, s := range secs {
+			switch s.Name {
+			case colstore.SectionPad:
+				if int64(off) >= s.Off && int64(off) < s.Off+s.Len {
+					return true
+				}
+			case colstore.SectionTrailer:
+				if int64(off) >= s.Off+20 && int64(off) < s.Off+24 { // trailer reserve
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	all, err := Corruptions(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 20 {
+		t.Fatalf("only %d corruptions enumerated; expected full structural coverage", len(all))
+	}
+	names := map[string]bool{}
+	sawTruncate, sawFlip, sawZero := false, false, false
+	for _, c := range all {
+		if names[c.Name] {
+			t.Fatalf("duplicate corruption name %q", c.Name)
+		}
+		names[c.Name] = true
+		switch {
+		case c.TruncateTo >= 0:
+			sawTruncate = true
+			if c.TruncateTo >= len(raw) {
+				t.Fatalf("%s: truncation to %d does not shorten a %d-byte image", c.Name, c.TruncateTo, len(raw))
+			}
+		case c.ZeroLen > 0:
+			sawZero = true
+			for i := 0; i < c.ZeroLen; i++ {
+				if unvalidated(c.Off + i) {
+					t.Fatalf("%s: zeroes unvalidated byte %d", c.Name, c.Off+i)
+				}
+			}
+		default:
+			sawFlip = true
+			if c.Off < 0 || c.Off >= len(raw) {
+				t.Fatalf("%s: flip offset %d out of bounds", c.Name, c.Off)
+			}
+			if c.XOR == 0 {
+				t.Fatalf("%s: flip with zero mask is a no-op", c.Name)
+			}
+			if unvalidated(c.Off) {
+				t.Fatalf("%s: flips unvalidated byte %d", c.Name, c.Off)
+			}
+		}
+		if got := Corrupt(raw, c); bytes.Equal(got, raw) && c.ZeroLen == 0 {
+			t.Fatalf("%s: corruption left the image unchanged", c.Name)
+		}
+	}
+	if !sawTruncate || !sawFlip || !sawZero {
+		t.Fatalf("enumeration missing a mode: truncate=%v flip=%v zero=%v", sawTruncate, sawFlip, sawZero)
+	}
+}
+
+// TestChaosCorruptIsPure pins that Corrupt never touches the input image.
+func TestChaosCorruptIsPure(t *testing.T) {
+	raw := corruptImage(t)
+	orig := append([]byte(nil), raw...)
+	for _, c := range []Corruption{
+		{Name: "t", TruncateTo: 10},
+		{Name: "f", TruncateTo: -1, Off: 5, XOR: 0xFF},
+		{Name: "z", TruncateTo: -1, Off: 9, ZeroLen: 8},
+		{Name: "oob", TruncateTo: -1, Off: len(raw) + 100, XOR: 0xFF},
+	} {
+		_ = Corrupt(raw, c)
+		if !bytes.Equal(raw, orig) {
+			t.Fatalf("%s: Corrupt mutated its input", c.Name)
+		}
+	}
+	if got := Corrupt(raw, Corruption{TruncateTo: 10}); len(got) != 10 {
+		t.Fatalf("truncate: got %d bytes, want 10", len(got))
+	}
+	if got := Corrupt(raw, Corruption{TruncateTo: -1, Off: 5, XOR: 0xFF}); got[5] != raw[5]^0xFF {
+		t.Fatalf("flip: byte 5 is %#x, want %#x", got[5], raw[5]^0xFF)
+	}
+}
+
+// TestChaosSampleCorruptionsDeterminism pins the seeded subset: replayable,
+// in enumeration order, and a strict subset of the full set.
+func TestChaosSampleCorruptionsDeterminism(t *testing.T) {
+	raw := corruptImage(t)
+	a, err := SampleCorruptions(raw, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SampleCorruptions(raw, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different samples:\n%+v\n%+v", a, b)
+	}
+	if len(a) != 5 {
+		t.Fatalf("sampled %d, want 5", len(a))
+	}
+	all, err := Corruptions(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := -1
+	for _, c := range a {
+		found := -1
+		for i, full := range all {
+			if reflect.DeepEqual(c, full) {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			t.Fatalf("sample %q not in the full enumeration", c.Name)
+		}
+		if found <= pos {
+			t.Fatalf("sample out of enumeration order at %q", c.Name)
+		}
+		pos = found
+	}
+	if big, err := SampleCorruptions(raw, 3, len(all)+10); err != nil || len(big) != len(all) {
+		t.Fatalf("oversized sample: %d corruptions (err %v), want %d", len(big), err, len(all))
+	}
+}

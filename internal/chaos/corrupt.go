@@ -1,0 +1,164 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/colstore"
+)
+
+// Corruption is one deterministic mutilation of a colstore image: a
+// truncation at a structural boundary, a bit flip inside a checksummed
+// section, or a zeroed checksum field. Corruptions are plain data — the
+// same Corruption applied to the same image always yields the same bytes.
+type Corruption struct {
+	// Name labels the corruption for test output, e.g.
+	// "flip:block[g0,x]@+0" or "truncate:footer-end".
+	Name string
+	// TruncateTo >= 0 cuts the image to that many bytes; -1 mutates in
+	// place via Off/XOR/ZeroLen instead.
+	TruncateTo int
+	// Off is the mutation's byte offset in the image.
+	Off int
+	// XOR is flipped into the byte at Off (when ZeroLen == 0).
+	XOR byte
+	// ZeroLen > 0 zeroes ZeroLen bytes starting at Off.
+	ZeroLen int
+}
+
+// Corrupt applies c to a copy of raw and returns the mutated image; raw is
+// never modified.
+func Corrupt(raw []byte, c Corruption) []byte {
+	if c.TruncateTo >= 0 {
+		n := c.TruncateTo
+		if n > len(raw) {
+			n = len(raw)
+		}
+		return append([]byte(nil), raw[:n]...)
+	}
+	out := append([]byte(nil), raw...)
+	if c.Off < 0 || c.Off >= len(out) {
+		return out
+	}
+	if c.ZeroLen > 0 {
+		for i := 0; i < c.ZeroLen && c.Off+i < len(out); i++ {
+			out[c.Off+i] = 0
+		}
+		return out
+	}
+	out[c.Off] ^= c.XOR
+	return out
+}
+
+// Corruptions enumerates every corruption the chaos writer produces for a
+// valid colstore image: a truncation at each structural section boundary
+// (plus the empty file), bit flips at the first, middle, and last byte of
+// every checksummed section (header magic and version bytes, each data
+// block, the footer, and the trailer's extent, checksum, and magic
+// fields), and a zeroed footer CRC. By construction the set excludes bytes
+// no reader validates — block alignment padding, the header's and
+// trailer's reserved bytes — so applying any returned corruption MUST
+// yield a typed error from both colstore readers; silence is a bug the
+// corruption matrix test and the block-corruption fuzz target exist to
+// catch.
+func Corruptions(raw []byte) ([]Corruption, error) {
+	secs, err := colstore.Layout(raw)
+	if err != nil {
+		return nil, err
+	}
+	size := len(raw)
+	var out []Corruption
+	truncated := map[int]bool{size: true} // a full-length "truncation" is not a corruption
+	truncate := func(name string, n int) {
+		if n < 0 || truncated[n] {
+			return
+		}
+		truncated[n] = true
+		out = append(out, Corruption{Name: "truncate:" + name, TruncateTo: n})
+	}
+	flip := func(name string, off int, mask byte) {
+		out = append(out, Corruption{
+			Name: fmt.Sprintf("flip:%s@%d", name, off), TruncateTo: -1, Off: off, XOR: mask,
+		})
+	}
+	// Flips at a section's first, middle, and last byte — enough to cover
+	// every distinct validation path (magic, lengths, payload CRCs) without
+	// an O(bytes) matrix on big images.
+	flipSpread := func(name string, off, length int) {
+		if length <= 0 {
+			return
+		}
+		offs := []int{off, off + length/2, off + length - 1}
+		seen := map[int]bool{}
+		for _, o := range offs {
+			if !seen[o] {
+				seen[o] = true
+				flip(name, o, 0x01)
+			}
+		}
+	}
+
+	truncate("empty", 0)
+	for _, sec := range secs {
+		end := int(sec.Off + sec.Len)
+		label := sec.Name
+		if sec.Group >= 0 {
+			label = fmt.Sprintf("%s[g%d,%s]", sec.Name, sec.Group, sec.Column)
+		}
+		truncate(label+"-end", end)
+		switch sec.Name {
+		case colstore.SectionHeader:
+			// Bytes [0,6): magic + version. [6,8) is unvalidated reserve —
+			// flipping it would be an undetectable (harmless) corruption,
+			// exactly what this enumeration must not produce.
+			flip(label+"-magic", int(sec.Off), 0x01)
+			flip(label+"-version", int(sec.Off)+4, 0x01)
+		case colstore.SectionBlock, colstore.SectionFooter:
+			flipSpread(label, int(sec.Off), int(sec.Len))
+		case colstore.SectionTrailer:
+			// footerOff u64 | footerLen u64 | footerCRC u32 | reserved
+			// [20,24) | tail magic [24,32). The reserve is unchecksummed.
+			flip(label+"-footer-off", int(sec.Off), 0xFF)
+			flip(label+"-footer-len", int(sec.Off)+8, 0xFF)
+			flip(label+"-footer-crc", int(sec.Off)+16, 0x01)
+			flip(label+"-magic", int(sec.Off)+24, 0x01)
+			flip(label+"-magic-last", int(sec.Off)+31, 0x01)
+			out = append(out, Corruption{
+				Name: "zero:" + label + "-footer-crc", TruncateTo: -1,
+				Off: int(sec.Off) + 16, ZeroLen: 4,
+			})
+		case colstore.SectionPad:
+			// Padding is not covered by any checksum; corrupting it is
+			// undetectable by design, so the writer never targets it.
+		}
+	}
+	return out, nil
+}
+
+// SampleCorruptions picks n seeded corruptions from the full enumeration —
+// the corruption-side analogue of TransientPlan. The same seed always
+// selects the same subset, in enumeration order.
+func SampleCorruptions(raw []byte, seed int64, n int) ([]Corruption, error) {
+	all, err := Corruptions(raw)
+	if err != nil {
+		return nil, err
+	}
+	if n >= len(all) {
+		return all, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pick := rng.Perm(len(all))[:n]
+	// Restore enumeration order so replays read naturally.
+	for i := 0; i < len(pick); i++ {
+		for j := i + 1; j < len(pick); j++ {
+			if pick[j] < pick[i] {
+				pick[i], pick[j] = pick[j], pick[i]
+			}
+		}
+	}
+	out := make([]Corruption, 0, n)
+	for _, i := range pick {
+		out = append(out, all[i])
+	}
+	return out, nil
+}

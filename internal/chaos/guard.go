@@ -1,0 +1,104 @@
+package chaos
+
+import (
+	"fmt"
+	"hash/maphash"
+	"math"
+
+	"repro/internal/frame"
+)
+
+// MutationGuard wraps a frame.ChunkSource and detects consumers that write
+// into chunk memory after its lease expired: the chunk a source returns is
+// the source's buffer (or, for stable sources, a view of resident data),
+// and the contract lets the consumer read it only until the following Next
+// or Reset. The guard fingerprints every chunk it hands out and re-checks
+// the fingerprint just before the source would reuse or invalidate the
+// memory — a mismatch means the consumer mutated a lease it did not own,
+// which for stable sources silently corrupts every later pass.
+//
+// The first violation is recorded and kept (Err); delivery continues so a
+// whole drain can be audited in one run.
+type MutationGuard struct {
+	src  frame.ChunkSource
+	seed maphash.Seed
+
+	last    *frame.Chunk
+	lastOrd int
+	lastSum uint64
+	err     error
+}
+
+// Guard wraps src with mutation-after-lease detection.
+func Guard(src frame.ChunkSource) *MutationGuard {
+	return &MutationGuard{src: src, seed: maphash.MakeSeed(), lastOrd: -1}
+}
+
+// Names implements frame.ChunkSource.
+func (g *MutationGuard) Names() []string { return g.src.Names() }
+
+// NumCols implements frame.ChunkSource.
+func (g *MutationGuard) NumCols() int { return g.src.NumCols() }
+
+// Reset implements frame.ChunkSource, auditing the outstanding chunk first.
+func (g *MutationGuard) Reset() error {
+	g.check()
+	return g.src.Reset()
+}
+
+// Next implements frame.ChunkSource, auditing the previous chunk before
+// the source reuses its buffers.
+func (g *MutationGuard) Next() (*frame.Chunk, error) {
+	g.check()
+	c, err := g.src.Next()
+	if err != nil {
+		return nil, err
+	}
+	g.last = c
+	g.lastOrd++
+	g.lastSum = g.fingerprint(c)
+	return c, nil
+}
+
+// Err returns the first recorded mutation violation, or nil.
+func (g *MutationGuard) Err() error { return g.err }
+
+// check re-fingerprints the outstanding chunk and records a violation on
+// mismatch.
+func (g *MutationGuard) check() {
+	if g.last == nil {
+		return
+	}
+	if sum := g.fingerprint(g.last); sum != g.lastSum && g.err == nil {
+		g.err = fmt.Errorf("chaos: chunk %d (delivery %d) was mutated after its lease expired",
+			g.last.Index, g.lastOrd)
+	}
+	g.last = nil
+}
+
+// fingerprint hashes a chunk's value memory (float bit patterns, NaN
+// payloads included) so any single-bit mutation is caught.
+func (g *MutationGuard) fingerprint(c *frame.Chunk) uint64 {
+	var h maphash.Hash
+	h.SetSeed(g.seed)
+	var buf [8]byte
+	put := func(v float64) {
+		bits := math.Float64bits(v)
+		for i := range buf {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:]) //nolint:errcheck // maphash writes cannot fail
+	}
+	for _, col := range c.Cols {
+		for _, v := range col {
+			put(v)
+		}
+		put(math.NaN()) // column separator
+	}
+	for _, v := range c.Label {
+		put(v)
+	}
+	return h.Sum64()
+}
+
+var _ frame.ChunkSource = (*MutationGuard)(nil)

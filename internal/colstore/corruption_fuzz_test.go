@@ -1,0 +1,128 @@
+package colstore_test
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/colstore"
+	"repro/internal/frame"
+)
+
+// fuzzImage builds the small mixed-schema image the block-corruption seeds
+// derive from. Errors are impossible for this fixed input; panic keeps the
+// helper usable from Fuzz (no *testing.T).
+func fuzzImage() []byte {
+	schema := colstore.Schema{
+		{Name: "x", Type: colstore.Float64},
+		{Name: "cat", Type: colstore.String},
+		{Name: "label", Type: colstore.Float64, Label: true},
+	}
+	var buf bytes.Buffer
+	w, err := colstore.NewWriter(bufio.NewWriter(&buf), schema, colstore.WriterOptions{GroupRows: 3})
+	if err != nil {
+		panic(err)
+	}
+	err = w.Append([]colstore.Col{
+		{Floats: []float64{1, math.NaN(), 3, 4, 5, 6, 7}},
+		{Strs: []string{"a", "b", "", "a", "c", "b", "a"}, Nulls: []bool{false, false, true, false, false, false, false}},
+		{Floats: []float64{0, 1, 0, 1, 0, 1, 0}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	if err := w.Close(); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// fuzzCorruptionSeeds is the seed set: the valid image plus every chaos
+// corruption of it (truncations at section boundaries, block and footer
+// bit flips, a zeroed CRC) — the checked-in corpus under
+// testdata/fuzz/FuzzColstoreBlockCorruption mirrors these.
+func fuzzCorruptionSeeds() [][]byte {
+	raw := fuzzImage()
+	seeds := [][]byte{raw}
+	all, err := chaos.Corruptions(raw)
+	if err != nil {
+		panic(err)
+	}
+	for _, c := range all {
+		seeds = append(seeds, chaos.Corrupt(raw, c))
+	}
+	return seeds
+}
+
+// FuzzColstoreBlockCorruption drives arbitrary images — seeded with every
+// structural corruption the chaos writer produces — through both readers'
+// full open-and-drain path. The safety property the format guarantees:
+// no input panics, and any failure is a typed *FormatError or
+// *ChecksumError; a corrupted image must never read cleanly when it was
+// derived from a chaos corruption (that stronger half is pinned by
+// TestChaosColstoreCorruptionMatrix — the fuzzer's random mutations may
+// legitimately cancel out).
+func FuzzColstoreBlockCorruption(f *testing.F) {
+	for _, seed := range fuzzCorruptionSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.col")
+		if err := os.WriteFile(path, data, 0o600); err != nil {
+			t.Skip("cannot stage input")
+		}
+		check := func(label string, err error) {
+			t.Helper()
+			if err == nil {
+				return
+			}
+			var fe *colstore.FormatError
+			var ce *colstore.ChecksumError
+			if !errors.As(err, &fe) && !errors.As(err, &ce) {
+				t.Fatalf("%s: untyped error: %v", label, err)
+			}
+		}
+		if r, err := colstore.Open(path); err != nil {
+			check("stream-open", err)
+		} else {
+			_, err := frame.ReadAll(r)
+			r.Close()
+			check("stream-drain", err)
+		}
+		if r, err := colstore.OpenMmap(path); err != nil {
+			check("mmap-open", err)
+		} else {
+			_, err := frame.ReadAll(r)
+			r.Close()
+			check("mmap-drain", err)
+		}
+	})
+}
+
+// TestRegenBlockCorruptionCorpus rewrites the checked-in seed corpus from
+// the current enumeration. Run with COLSTORE_REGEN_CORPUS=1 after changing
+// the chaos corruption writer or the sample schema.
+func TestRegenBlockCorruptionCorpus(t *testing.T) {
+	if os.Getenv("COLSTORE_REGEN_CORPUS") == "" {
+		t.Skip("set COLSTORE_REGEN_CORPUS=1 to rewrite testdata/fuzz/FuzzColstoreBlockCorruption")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzColstoreBlockCorruption")
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range fuzzCorruptionSeeds() {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("seed-%03d", i)), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

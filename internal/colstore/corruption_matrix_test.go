@@ -1,0 +1,113 @@
+// Corruption matrix: every corruption the chaos writer can produce for a
+// colstore image must surface a typed error (*FormatError or
+// *ChecksumError) from both readers — never a panic, never a silent
+// success. External test package: the chaos injectors import colstore, so
+// the matrix cannot live in package colstore itself.
+package colstore_test
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/colstore"
+	"repro/internal/frame"
+)
+
+// matrixImage builds a three-group image with float, string (dictionary +
+// null bitmap), and label columns.
+func matrixImage(t *testing.T) []byte {
+	t.Helper()
+	schema := colstore.Schema{
+		{Name: "x", Type: colstore.Float64},
+		{Name: "cat", Type: colstore.String},
+		{Name: "label", Type: colstore.Float64, Label: true},
+	}
+	var buf bytes.Buffer
+	w, err := colstore.NewWriter(bufio.NewWriter(&buf), schema, colstore.WriterOptions{GroupRows: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Append([]colstore.Col{
+		{Floats: []float64{1, math.NaN(), 3, 4, 5, 6, 7, 8, 9}},
+		{Strs: []string{"a", "b", "", "a", "c", "b", "a", "c", "b"},
+			Nulls: []bool{false, false, true, false, false, false, false, false, false}},
+		{Floats: []float64{0, 1, 0, 1, 0, 1, 0, 1, 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// requireTypedFailure opens and drains a corrupted image through both
+// readers, requiring a typed error from each.
+func requireTypedFailure(t *testing.T, dir, name string, bad []byte) {
+	t.Helper()
+	path := filepath.Join(dir, "bad.col")
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	drain := func(label string, open func(string) (frame.ChunkSource, error)) {
+		r, err := open(path)
+		if err == nil {
+			_, err = frame.ReadAll(r)
+			if c, ok := r.(interface{ Close() error }); ok {
+				c.Close() //nolint:errcheck // the drain error is what matters
+			}
+		}
+		if err == nil {
+			t.Fatalf("%s: %s read a corrupted image cleanly", name, label)
+		}
+		var fe *colstore.FormatError
+		var ce *colstore.ChecksumError
+		if !errors.As(err, &fe) && !errors.As(err, &ce) {
+			t.Fatalf("%s: %s surfaced an untyped error: %v", name, label, err)
+		}
+	}
+	drain("stream", func(p string) (frame.ChunkSource, error) { return colstore.Open(p) })
+	drain("mmap", func(p string) (frame.ChunkSource, error) { return colstore.OpenMmap(p) })
+}
+
+// corruptionMatrix runs the full enumeration for one valid image.
+func corruptionMatrix(t *testing.T, raw []byte) {
+	t.Helper()
+	all, err := chaos.Corruptions(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 20 {
+		t.Fatalf("only %d corruptions enumerated", len(all))
+	}
+	for _, c := range all {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			requireTypedFailure(t, t.TempDir(), c.Name, chaos.Corrupt(raw, c))
+		})
+	}
+}
+
+// TestChaosColstoreCorruptionMatrix runs the matrix over a freshly written
+// mixed-schema image.
+func TestChaosColstoreCorruptionMatrix(t *testing.T) {
+	corruptionMatrix(t, matrixImage(t))
+}
+
+// TestChaosColstoreCorruptionMatrixGolden is the acceptance pin on the
+// checked-in golden file: the on-disk v1 format stays corruptible only
+// into typed errors, for every corruption the chaos writer produces.
+func TestChaosColstoreCorruptionMatrixGolden(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "golden_v1.col"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptionMatrix(t, raw)
+}

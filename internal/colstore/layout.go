@@ -1,0 +1,67 @@
+package colstore
+
+import "sort"
+
+// Section names returned by Layout.
+const (
+	SectionHeader  = "header"
+	SectionBlock   = "block"
+	SectionPad     = "pad"
+	SectionFooter  = "footer"
+	SectionTrailer = "trailer"
+)
+
+// Section is one contiguous structural region of a colstore image, as
+// declared by its own footer: the fixed header, each row group's data
+// blocks (with their alignment padding as separate pad sections), the
+// footer, and the trailer. Layout exposes the geometry so tooling and the
+// chaos corruption writer can target exact on-disk structures — a bit flip
+// inside a block section must trip that block's CRC, one inside the footer
+// the footer CRC, and a truncation at any boundary the trailer checks.
+type Section struct {
+	// Name is one of the Section* constants.
+	Name string
+	// Group and Column identify block and pad sections (the row-group
+	// ordinal and schema column name); Group is -1 otherwise.
+	Group  int
+	Column string
+	// Off and Len are the section's byte extent in the image. Pad bytes
+	// (block alignment, and the trailer's reserved bytes) are not covered
+	// by any checksum; every non-pad byte is.
+	Off, Len int64
+}
+
+// Layout decodes the structural section list of a colstore image, in file
+// order. The image must be a valid file — Layout validates it exactly as
+// the readers do and returns their typed errors otherwise.
+func Layout(raw []byte) ([]Section, error) {
+	m, err := readMeta("(image)", bytesAt(raw), int64(len(raw)))
+	if err != nil {
+		return nil, err
+	}
+	size := int64(len(raw))
+	secs := []Section{{Name: SectionHeader, Group: -1, Off: 0, Len: headerSize}}
+	for gi := range m.groups {
+		g := &m.groups[gi]
+		for j := range g.blocks {
+			blk := &g.blocks[j]
+			secs = append(secs, Section{
+				Name: SectionBlock, Group: gi, Column: m.schema[j].Name,
+				Off: int64(blk.off), Len: int64(blk.length),
+			})
+			if pad := int64(pad8(blk.length) - blk.length); pad > 0 {
+				secs = append(secs, Section{
+					Name: SectionPad, Group: gi, Column: m.schema[j].Name,
+					Off: int64(blk.off + blk.length), Len: pad,
+				})
+			}
+		}
+	}
+	footerOff := int64(m.dataEnd)
+	secs = append(secs,
+		Section{Name: SectionFooter, Group: -1, Off: footerOff, Len: size - trailerSize - footerOff},
+		Section{Name: SectionTrailer, Group: -1, Off: size - trailerSize, Len: trailerSize},
+	)
+	sort.SliceStable(secs, func(i, k int) bool { return secs[i].Off < secs[k].Off })
+	return secs, nil
+}

@@ -1,0 +1,260 @@
+package colstore
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeMixedSample writes a file exercising every on-disk structure: float
+// blocks, string blocks (null bitmap + dictionary codes), a per-column
+// dictionary in the footer, and a multi-group block index.
+func writeMixedSample(t *testing.T) (string, []byte) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "mixed.col")
+	schema := Schema{
+		{Name: "x", Type: Float64},
+		{Name: "cat", Type: String},
+		{Name: "label", Type: Float64, Label: true},
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWriter(bufio.NewWriter(f), schema, WriterOptions{GroupRows: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Append([]Col{
+		{Floats: []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}},
+		{Strs: []string{"catval-a", "catval-b", "", "catval-a", "catval-c", "catval-b", "catval-a", "catval-c", "catval-b"},
+			Nulls: []bool{false, false, true, false, false, false, false, false, false}},
+		{Floats: []float64{0, 1, 0, 1, 0, 1, 0, 1, 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, raw
+}
+
+// TestSectionErrors is the per-section error-path table: one corruption in
+// every structural region of the format, each required to surface the
+// documented typed error from both readers — ChecksumError where a CRC
+// covers the bytes, FormatError (with its sentinel) where structure is
+// validated directly.
+func TestSectionErrors(t *testing.T) {
+	path, raw := writeMixedSample(t)
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floatBlk := r.meta.groups[0].blocks[0] // column "x", group 0
+	strBlk := r.meta.groups[0].blocks[1]   // column "cat", group 0
+	rows := int(r.meta.groups[0].rows)
+	dataEnd := int(r.meta.dataEnd)
+	r.Close()
+
+	footerEnd := len(raw) - trailerSize
+	// The dictionary strings live in the footer; locate one directly.
+	dictOff := bytes.Index(raw[dataEnd:], []byte("catval-a"))
+	if dictOff < 0 {
+		t.Fatal("dictionary string not found in footer")
+	}
+	dictOff += dataEnd
+
+	type wantErr int
+	const (
+		wantChecksum       wantErr = iota // *ChecksumError at Block/Column
+		wantFooterChecksum                // *ChecksumError with Block -1
+		wantTruncated                     // *FormatError wrapping ErrTruncated
+		wantBadMagic                      // ErrBadMagic
+	)
+	cases := []struct {
+		section string
+		off     int
+		cut     int // >= 0 truncates instead of flipping
+		want    wantErr
+		column  string
+	}{
+		{section: "header", off: 1, want: wantBadMagic},
+		{section: "float-block", off: int(floatBlk.off) + 8, want: wantChecksum, column: "x"},
+		{section: "null-bitmap", off: int(strBlk.off), want: wantChecksum, column: "cat"},
+		{section: "dict-codes", off: int(strBlk.off) + bitmapLen(rows) + 4, want: wantChecksum, column: "cat"},
+		{section: "footer-dictionary", off: dictOff, want: wantFooterChecksum},
+		{section: "footer-block-index", off: footerEnd - 5, want: wantFooterChecksum},
+		{section: "footer-truncated", cut: dataEnd + 3, want: wantTruncated},
+		{section: "trailer-magic", off: len(raw) - 1, want: wantTruncated},
+	}
+	for _, tc := range cases {
+		t.Run(tc.section, func(t *testing.T) {
+			bad := append([]byte(nil), raw...)
+			if tc.cut > 0 {
+				bad = bad[:tc.cut]
+			} else {
+				bad[tc.off] ^= 0x01
+			}
+			badPath := filepath.Join(t.TempDir(), "bad.col")
+			if err := os.WriteFile(badPath, bad, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			for i, err := range openBoth(badPath) {
+				if err == nil {
+					t.Fatalf("reader %d: corrupted %s read cleanly", i, tc.section)
+				}
+				switch tc.want {
+				case wantChecksum:
+					var ce *ChecksumError
+					if !errors.As(err, &ce) {
+						t.Fatalf("reader %d: got %v, want ChecksumError", i, err)
+					}
+					if ce.Column != tc.column {
+						t.Fatalf("reader %d: checksum error names column %q, want %q", i, ce.Column, tc.column)
+					}
+					if ce.Block != 0 {
+						t.Fatalf("reader %d: checksum error at group %d, want 0", i, ce.Block)
+					}
+				case wantFooterChecksum:
+					var ce *ChecksumError
+					if !errors.As(err, &ce) {
+						t.Fatalf("reader %d: got %v, want ChecksumError", i, err)
+					}
+					if ce.Block != -1 {
+						t.Fatalf("reader %d: footer checksum error reports block %d", i, ce.Block)
+					}
+				case wantTruncated:
+					var fe *FormatError
+					if !errors.As(err, &fe) {
+						t.Fatalf("reader %d: got %v, want FormatError", i, err)
+					}
+					if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrBadMagic) {
+						t.Fatalf("reader %d: untyped cause: %v", i, err)
+					}
+				case wantBadMagic:
+					if !errors.Is(err, ErrBadMagic) {
+						t.Fatalf("reader %d: got %v, want ErrBadMagic", i, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSectionErrorsStreamReaderMidDrain pins the streaming reader's
+// per-read CRC check: a block corruption in a LATER group is only reached
+// mid-drain — the reader must stop at that exact chunk with a positioned
+// error, after having returned earlier chunks intact.
+func TestSectionErrorsStreamReaderMidDrain(t *testing.T) {
+	path, raw := writeMixedSample(t)
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastGroup := len(r.meta.groups) - 1
+	blk := r.meta.groups[lastGroup].blocks[0]
+	r.Close()
+	if lastGroup == 0 {
+		t.Fatal("sample needs at least two groups")
+	}
+
+	bad := append([]byte(nil), raw...)
+	bad[int(blk.off)+2] ^= 0x01
+	badPath := filepath.Join(t.TempDir(), "late.col")
+	if err := os.WriteFile(badPath, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, err := Open(badPath)
+	if err != nil {
+		t.Fatalf("open must succeed (corruption is in a later block): %v", err)
+	}
+	defer r2.Close()
+	if err := r2.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	good := 0
+	for {
+		c, err := r2.Next()
+		if err != nil {
+			var ce *ChecksumError
+			if !errors.As(err, &ce) {
+				t.Fatalf("got %v, want ChecksumError", err)
+			}
+			if ce.Block != lastGroup {
+				t.Fatalf("failed at group %d, want %d", ce.Block, lastGroup)
+			}
+			break
+		}
+		if c.NumRows() == 0 {
+			t.Fatal("empty chunk before the fault")
+		}
+		good++
+	}
+	if good != lastGroup {
+		t.Fatalf("delivered %d clean chunks before failing, want %d", good, lastGroup)
+	}
+}
+
+// TestLayoutCoversImage pins the Layout view the chaos corruption writer
+// builds on: sections tile the entire image (no gaps, no overlaps), in
+// file order, with every block attributed to its group and column.
+func TestLayoutCoversImage(t *testing.T) {
+	_, raw := writeMixedSample(t)
+	secs, err := Layout(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pos int64
+	for _, s := range secs {
+		if s.Off != pos {
+			t.Fatalf("section %s[g%d,%s] starts at %d, want %d (gap or overlap)", s.Name, s.Group, s.Column, s.Off, pos)
+		}
+		if s.Len <= 0 {
+			t.Fatalf("section %s has length %d", s.Name, s.Len)
+		}
+		pos += s.Len
+	}
+	if pos != int64(len(raw)) {
+		t.Fatalf("sections cover %d of %d bytes", pos, len(raw))
+	}
+	if secs[0].Name != SectionHeader || secs[len(secs)-1].Name != SectionTrailer {
+		t.Fatalf("layout order wrong: %s ... %s", secs[0].Name, secs[len(secs)-1].Name)
+	}
+	blocks := 0
+	for _, s := range secs {
+		if s.Name == SectionBlock {
+			blocks++
+			if s.Group < 0 || s.Column == "" {
+				t.Fatalf("block section unattributed: %+v", s)
+			}
+		}
+	}
+	// 9 rows in groups of 4 → 3 groups × 3 columns.
+	if blocks != 9 {
+		t.Fatalf("layout found %d blocks, want 9", blocks)
+	}
+
+	// Layout validates like the readers: a corrupt image is refused typed.
+	bad := append([]byte(nil), raw...)
+	bad[len(bad)-1] ^= 0x01
+	if _, err := Layout(bad); err == nil {
+		t.Fatal("Layout accepted a corrupt trailer")
+	}
+	var fe *FormatError
+	var ce *ChecksumError
+	if err := func() error { _, e := Layout(bad); return e }(); !errors.As(err, &fe) && !errors.As(err, &ce) {
+		t.Fatalf("Layout error untyped: %v", err)
+	}
+}

@@ -1,0 +1,221 @@
+// Fault-injected extension of the prefetcher contract suite: the same
+// invariants the clean contract pins (in-order delivery, sticky errors,
+// lease independence, no goroutine leaks) must hold when the wrapped
+// source fails or stalls mid-stream. Lives in an external test package
+// because the injectors (internal/chaos) import frame.
+package frame_test
+
+import (
+	"errors"
+	"io"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/frame"
+)
+
+// pfTestFrame builds a small deterministic frame.
+func pfTestFrame(rows, cols int) *frame.Frame {
+	f := frame.NewWithShape(rows, cols)
+	for j := range f.Columns {
+		for i := range f.Columns[j].Values {
+			f.Columns[j].Values[i] = float64(i*cols + j)
+		}
+	}
+	for i := range f.Label {
+		f.Label[i] = float64(i % 2)
+	}
+	return f
+}
+
+// pfLeakCheck asserts the goroutine count returns to its baseline.
+func pfLeakCheck(t *testing.T) func() {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if n := runtime.NumGoroutine(); n <= base {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("goroutine leak: %d > baseline %d\n%s", runtime.NumGoroutine(), base, buf[:n])
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// TestChaosPrefetchStickyErrorAcrossReset pins error delivery through the
+// prefetcher over a failing source: the injected error arrives in stream
+// order, sticks across repeated Next calls, and each Reset re-arms the
+// stream — the prefetcher never retries on its own (one fault attempt per
+// pass), and once the fault's attempt budget is spent a full pass
+// completes.
+func TestChaosPrefetchStickyErrorAcrossReset(t *testing.T) {
+	defer pfLeakCheck(t)()
+	src := chaos.Wrap(frame.NewFrameChunks(pfTestFrame(40, 3), 10),
+		&chaos.Plan{Faults: []chaos.Fault{{Chunk: 2, Kind: chaos.Transient, Times: 2}}})
+	pf := frame.NewPrefetch(src, 2, 2)
+	defer pf.Close()
+
+	// stickyError asserts the stream is failed with the injected error and
+	// stays failed — one error object, repeated — until the next Reset.
+	stickyError := func(pass int) {
+		t.Helper()
+		var first error
+		for attempt := 0; attempt < 3; attempt++ {
+			_, err := pf.Next()
+			if !errors.Is(err, chaos.ErrInjected) {
+				t.Fatalf("pass %d attempt %d: got %v, want the injected error (sticky)", pass, attempt, err)
+			}
+			if attempt == 0 {
+				first = err
+			} else if err != first {
+				t.Fatalf("pass %d: sticky error changed between Next calls", pass)
+			}
+		}
+	}
+
+	// Pass 0: chunks 0 and 1 deliver, then the fault at lifetime ordinal 2
+	// fires (attempt 1 of 2) and the error sticks.
+	if err := pf.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		c, err := pf.Next()
+		if err != nil {
+			t.Fatalf("pass 0 chunk %d: %v", i, err)
+		}
+		if c.Index != i {
+			t.Fatalf("pass 0: chunk %d delivered out of order (index %d)", i, c.Index)
+		}
+		pf.Recycle(c)
+	}
+	stickyError(0)
+
+	// Pass 1: delivery never advanced past ordinal 2, so the re-armed
+	// stream fails again immediately (attempt 2 of 2) — the prefetcher
+	// itself never retried in between.
+	if err := pf.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	stickyError(1)
+	if src.Injected() != 2 {
+		t.Fatalf("the prefetcher retried on its own: %d fault attempts across 2 passes", src.Injected())
+	}
+
+	// The fault budget is spent: the next pass runs to completion.
+	if err := pf.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		c, err := pf.Next()
+		if err != nil {
+			t.Fatalf("recovered pass chunk %d: %v", i, err)
+		}
+		pf.Recycle(c)
+	}
+	if _, err := pf.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("got %v, want io.EOF", err)
+	}
+}
+
+// TestChaosPrefetchNoLeakOnMidStreamError pins teardown: when the source
+// errors mid-stream, closing the prefetcher (with leases still
+// outstanding) must wind down the reader goroutine completely.
+func TestChaosPrefetchNoLeakOnMidStreamError(t *testing.T) {
+	check := pfLeakCheck(t)
+	src := chaos.Wrap(frame.NewFrameChunks(pfTestFrame(80, 3), 10),
+		&chaos.Plan{Faults: []chaos.Fault{{Chunk: 4, Kind: chaos.Permanent}}})
+	pf := frame.NewPrefetch(src, 3, 4)
+	var held []*frame.Chunk
+	for {
+		c, err := pf.Next()
+		if err != nil {
+			if !errors.Is(err, chaos.ErrInjected) {
+				t.Fatalf("got %v, want the injected fault", err)
+			}
+			break
+		}
+		held = append(held, c) // keep every lease: Close must not need them back
+	}
+	if len(held) != 4 {
+		t.Fatalf("delivered %d chunks before the fault, want 4", len(held))
+	}
+	pf.Close()
+	check()
+}
+
+// TestChaosPrefetchDelayedDeliveryOrdering pins ordering under stalls: a
+// source that sleeps at arbitrary chunks must still deliver every chunk in
+// stream order through the read-ahead window, with EOF only after the
+// last.
+func TestChaosPrefetchDelayedDeliveryOrdering(t *testing.T) {
+	defer pfLeakCheck(t)()
+	src := chaos.Wrap(frame.NewFrameChunks(pfTestFrame(80, 3), 10), &chaos.Plan{Faults: []chaos.Fault{
+		{Chunk: 1, Kind: chaos.Delay, Sleep: 30 * time.Millisecond},
+		{Chunk: 5, Kind: chaos.Delay, Sleep: 15 * time.Millisecond},
+	}})
+	pf := frame.NewPrefetch(src, 3, 2)
+	defer pf.Close()
+	for i := 0; i < 8; i++ {
+		c, err := pf.Next()
+		if err != nil {
+			t.Fatalf("chunk %d: %v", i, err)
+		}
+		if c.Index != i || c.Start != i*10 {
+			t.Fatalf("chunk delivered out of order: index %d start %d, want %d/%d", c.Index, c.Start, i, i*10)
+		}
+		pf.Recycle(c)
+	}
+	if _, err := pf.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("got %v, want io.EOF after the last chunk", err)
+	}
+}
+
+// TestChaosPrefetchLeaseIsolation pins the lease contract with the
+// mutation guard underneath: the prefetcher copies unstable sources into
+// lease buffers, so a consumer writing into its lease must never reach the
+// source's memory.
+func TestChaosPrefetchLeaseIsolation(t *testing.T) {
+	defer pfLeakCheck(t)()
+	// unstableSource hides FrameChunks' StableChunks marker, forcing the
+	// prefetcher onto its copying path.
+	g := chaos.Guard(&unstableSource{frame.NewFrameChunks(pfTestFrame(60, 3), 10)})
+	pf := frame.NewPrefetch(g, 2, 2)
+	for {
+		c, err := pf.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range c.Cols {
+			for i := range c.Cols[j] {
+				c.Cols[j][i] = -1 // scribble over the lease we own
+			}
+		}
+		pf.Recycle(c)
+	}
+	pf.Close()
+	if err := g.Err(); err != nil {
+		t.Fatalf("consumer writes into leases reached source memory: %v", err)
+	}
+}
+
+// unstableSource strips the StableChunks marker from a wrapped source.
+type unstableSource struct {
+	src frame.ChunkSource
+}
+
+func (u *unstableSource) Names() []string             { return u.src.Names() }
+func (u *unstableSource) NumCols() int                { return u.src.NumCols() }
+func (u *unstableSource) Reset() error                { return u.src.Reset() }
+func (u *unstableSource) Next() (*frame.Chunk, error) { return u.src.Next() }

@@ -1,0 +1,36 @@
+package frame
+
+// Transienter marks an error as transient: the operation that produced it
+// may succeed if simply attempted again (a flaky read, a brief resource
+// stall). Error types implement it to opt a failure into retry policies —
+// the shard coordinator re-reads a chunk whose error is transient and
+// aborts fast otherwise.
+type Transienter interface {
+	Transient() bool
+}
+
+// IsTransient reports whether any error in err's chain marks itself
+// transient via the Transienter interface. It walks both single and
+// multi-error Unwrap forms, like errors.As. Errors that do not implement
+// Transienter are permanent: unknown failures must abort, not spin.
+func IsTransient(err error) bool {
+	for err != nil {
+		if t, ok := err.(Transienter); ok {
+			return t.Transient()
+		}
+		switch x := err.(type) {
+		case interface{ Unwrap() error }:
+			err = x.Unwrap()
+		case interface{ Unwrap() []error }:
+			for _, e := range x.Unwrap() {
+				if IsTransient(e) {
+					return true
+				}
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	return false
+}

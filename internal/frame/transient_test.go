@@ -1,0 +1,37 @@
+package frame
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+type transientErr struct{ ok bool }
+
+func (e *transientErr) Error() string   { return "flaky" }
+func (e *transientErr) Transient() bool { return e.ok }
+
+func TestIsTransient(t *testing.T) {
+	base := &transientErr{ok: true}
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"plain", errors.New("boom"), false},
+		{"direct", base, true},
+		{"direct-false", &transientErr{ok: false}, false},
+		{"wrapped", fmt.Errorf("read: %w", base), true},
+		{"double-wrapped", fmt.Errorf("outer: %w", fmt.Errorf("inner: %w", base)), true},
+		{"joined", errors.Join(errors.New("other"), base), true},
+		{"joined-none", errors.Join(errors.New("a"), errors.New("b")), false},
+		{"joined-nested", fmt.Errorf("ctx: %w", errors.Join(errors.New("a"), fmt.Errorf("b: %w", base))), true},
+		{"classification-stops-at-marker", fmt.Errorf("w: %w", &transientErr{ok: false}), false},
+	}
+	for _, tc := range cases {
+		if got := IsTransient(tc.err); got != tc.want {
+			t.Errorf("%s: IsTransient = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

@@ -80,7 +80,7 @@ func (f *fitter) runPassSeq(compute func(c *frame.Chunk, w *passWorker) (func() 
 			break
 		}
 		if err != nil {
-			return err
+			return f.passReadError(err, parts)
 		}
 		if err := f.checkShape(c); err != nil {
 			return err
@@ -153,8 +153,9 @@ func (r *passRun) worker(w *passWorker) {
 				r.mu.Unlock()
 				return
 			}
+			chunk := r.nextSeq
 			r.mu.Unlock()
-			r.fail(err)
+			r.fail(f.passReadError(err, chunk))
 			return
 		}
 		seq := r.nextSeq

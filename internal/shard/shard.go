@@ -38,6 +38,11 @@ type Config struct {
 	// read-ahead. Parallel fits always route chunks through the prefetcher's
 	// lease pool regardless, so each worker owns its chunk independently.
 	Prefetch int
+	// Retry bounds transient chunk-read retries (see RetryPolicy). The zero
+	// value disables retrying: every read error aborts the fit immediately.
+	// Retried reads re-run before the chunk is folded, so a recovered fit
+	// selects features bit-identical to a fault-free run.
+	Retry RetryPolicy
 }
 
 // DefaultConfig returns the paper's configuration with default sketches.
@@ -62,6 +67,9 @@ type Stats struct {
 	// Skipped rows do not count into RowsStreamed.
 	BlocksSkipped int64
 	RowsSkipped   int64
+	// Retries counts transient chunk-read errors absorbed by Config.Retry
+	// across all passes; zero for a fault-free fit or a zero retry policy.
+	Retries int64
 }
 
 // Fit learns the SAFE feature generation function Ψ from a labelled chunked
@@ -109,11 +117,18 @@ func Fit(ctx context.Context, src frame.ChunkSource, cfg Config) (*core.Pipeline
 		arities:    core.DistinctArities(ops),
 		arena:      sketch.NewArena(),
 	}
+	// Transient-read retries wrap the raw source BELOW the prefetcher: a
+	// retried read resolves inside one Next call, so it never becomes a
+	// sticky stream error and the fold order is untouched. f.base stays the
+	// raw source for SkippableSource pass planning.
+	if cfg.Retry.enabled() {
+		f.src = &retrySource{src: src, ctx: ctx, pol: cfg.Retry, retries: &f.stats.Retries}
+	}
 	// Parallel passes need the prefetcher's lease semantics (each worker owns
 	// its chunk until folded); a single-worker fit uses it only when read-
 	// ahead is requested, keeping the sequential path zero-copy by default.
 	if depth := prefetchDepth(cfg.Prefetch, pool.Workers()); depth > 0 {
-		pf := frame.NewPrefetch(src, depth, pool.Workers())
+		pf := frame.NewPrefetch(f.src, depth, pool.Workers())
 		defer pf.Close()
 		f.pf = pf
 		f.src = pf

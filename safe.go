@@ -36,6 +36,7 @@ import (
 	"io"
 
 	"repro/internal/clf"
+	"repro/internal/colstore"
 	"repro/internal/core"
 	"repro/internal/frame"
 	"repro/internal/metrics"
@@ -187,6 +188,36 @@ type ShardConfig = shard.Config
 
 // ShardStats reports how a sharded fit consumed its source.
 type ShardStats = shard.Stats
+
+// RetryPolicy bounds how the sharded engine retries transient chunk-read
+// errors; see WithRetry. The zero value disables retrying.
+type RetryPolicy = shard.RetryPolicy
+
+// DefaultRetryPolicy returns the standard transient-fault policy: 4 total
+// read attempts per chunk with 5ms → 250ms capped exponential backoff.
+func DefaultRetryPolicy() RetryPolicy { return shard.DefaultRetryPolicy() }
+
+// PassError positions a sharded fit's chunk-read failure: the streaming
+// pass, the chunk ordinal within it, and the read attempts made before
+// giving up. errors.As reaches it on any failed sharded read, and Unwrap
+// continues to the source's own error — e.g. a ColumnFormatError or
+// ColumnChecksumError for a corrupted column file.
+type PassError = shard.PassError
+
+// Transienter marks an error as retryable for WithRetry: custom
+// ChunkSource implementations return errors implementing it (Transient()
+// true) to opt individual read failures into the retry policy. Errors
+// that do not implement it are permanent and abort the fit.
+type Transienter = frame.Transienter
+
+// ColumnFormatError is a colstore file's structural decode failure,
+// positioned by section, row group, and column. It is permanent: corrupted
+// column files abort a fit with a typed error, never a wrong answer.
+type ColumnFormatError = colstore.FormatError
+
+// ColumnChecksumError is a colstore block or footer CRC-32C mismatch —
+// the typed error a torn or bit-flipped column file surfaces as.
+type ColumnChecksumError = colstore.ChecksumError
 
 // DefaultShardConfig returns the paper's configuration for the sharded
 // engine with default sketch settings.
