@@ -13,6 +13,7 @@
 //	safe-bench -experiment fit                  # full fit workload matrix
 //	safe-bench -experiment fit -task regression # one task's cells only
 //	safe-bench -experiment shardfit -source colstore   # one chunk source's cells only
+//	safe-bench -experiment distfit              # distributed fit over pipe + loopback TCP workers
 //	safe-bench -experiment fit -quick -bench-compare   # the CI smoke gate
 //
 // Experiments: table3, table5, table6, table8, fig3, fig4, searchspace,
@@ -108,7 +109,7 @@ func main() {
 		run[strings.TrimSpace(e)] = true
 	}
 	if run["all"] {
-		for _, e := range []string{"table3", "table5", "table6", "table8", "fig3", "fig4", "searchspace", "assumptions", "ablation", "serving", "fit", "shardfit"} {
+		for _, e := range []string{"table3", "table5", "table6", "table8", "fig3", "fig4", "searchspace", "assumptions", "ablation", "serving", "fit", "shardfit", "distfit"} {
 			run[e] = true
 		}
 	}
@@ -167,10 +168,11 @@ func main() {
 		}, w)
 		export("serving", res, err)
 	}
-	if run["fit"] || run["shardfit"] {
+	if run["fit"] || run["shardfit"] || run["distfit"] {
 		res, err := runFitBench(fitBenchOptions{
 			Fit:       run["fit"],
 			ShardFit:  run["shardfit"],
+			DistFit:   run["distfit"],
 			Quick:     *quick,
 			Task:      *benchTask,
 			Source:    *benchSource,
@@ -190,6 +192,7 @@ func main() {
 type fitBenchOptions struct {
 	Fit       bool // include the in-memory fit matrix
 	ShardFit  bool // include the sharded out-of-core fit matrix
+	DistFit   bool // include the distributed (wire-protocol) fit matrix
 	Quick     bool
 	Task      string // restrict to cells of one task ("" = all)
 	Source    string // restrict to cells of one chunk source ("" = all; "frame" = in-memory chunks)
@@ -220,6 +223,13 @@ func runFitBench(opts fitBenchOptions, w io.Writer) (*benchkit.Run, error) {
 			matrix = append(matrix, benchkit.QuickShardFitMatrix()...)
 		} else {
 			matrix = append(matrix, benchkit.ShardFitMatrix()...)
+		}
+	}
+	if opts.DistFit {
+		if opts.Quick {
+			matrix = append(matrix, benchkit.QuickDistFitMatrix()...)
+		} else {
+			matrix = append(matrix, benchkit.DistFitMatrix()...)
 		}
 	}
 	if opts.Task != "" {

@@ -1,0 +1,64 @@
+// Command safe-worker serves distributed fit sessions: it listens for
+// coordinator connections (safe -distribute, or safe.WithDistributed) and
+// computes per-partition pass partials over the internal/dist wire
+// protocol. The worker opens the training file itself — by the path the
+// coordinator names — so it must see the same file content, typically via
+// shared storage.
+//
+// Usage:
+//
+//	safe-worker [-listen :7070] [-v]
+//
+// One worker process serves any number of concurrent fits; each connection
+// gets its own dataset handle and pass state. SIGINT or SIGTERM drains
+// cleanly: in-flight sessions are cancelled through their context, the
+// listener closes, and the process exits once every session has unwound.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/buildinfo"
+	"repro/internal/dist"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", ":7070", "TCP address to listen on for coordinator connections")
+		verbose = flag.Bool("v", false, "log session starts and ends")
+		version = flag.Bool("version", false, "print the build version and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String())
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv, err := dist.NewServer(*listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "safe-worker:", err)
+		os.Exit(1)
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "safe-worker: listening on %s (protocol v%d)\n", srv.Addr(), dist.Version)
+	}
+	err = srv.Serve(ctx)
+	if ctx.Err() != nil {
+		if *verbose {
+			fmt.Fprintln(os.Stderr, "safe-worker: signal received, drained and exiting")
+		}
+		return
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "safe-worker:", err)
+		os.Exit(1)
+	}
+}

@@ -24,6 +24,12 @@
 // columns are served zero-copy via mmap, and per-block statistics let
 // refinement passes skip blocks that cannot matter.
 //
+// Distributed fitting: -distribute host:port[,host:port...] delegates the
+// sharded engine's per-partition pass compute to safe-worker processes at
+// those addresses. Every worker must be able to open the training file by
+// the same path (shared storage); the selection is bit-identical to a local
+// fit for any worker count.
+//
 // A multi-minute fit is observable and interruptible: -progress prints
 // each stage of each iteration live as the fit's event stream arrives, and
 // Ctrl-C (SIGINT) or SIGTERM cancels the fit promptly through its context
@@ -67,6 +73,7 @@ func main() {
 		shards       = flag.Int("shards", 0, "fit out-of-core over this many partitions (chunk size from a row-count pre-pass)")
 		retry        = flag.Int("retry", 0, "retry transient chunk-read errors, up to this many total attempts per chunk (sharded fits; 0 = abort on first error)")
 		retryBackoff = flag.Duration("retry-backoff", 5*time.Millisecond, "base backoff before the first chunk-read retry, doubling per attempt up to 250ms (with -retry)")
+		distribute   = flag.String("distribute", "", "comma-separated safe-worker addresses; delegate pass compute to these workers (train file must be reachable by all)")
 		version      = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -123,7 +130,7 @@ func main() {
 		// a shard count is given, a cheap row-count pre-pass sizes the
 		// chunks.
 		source := safe.FromCSVFile(*trainPath, *labelCol)
-		sharded := isColstorePath(*trainPath) || *chunkRows > 0 || *shards > 0
+		sharded := isColstorePath(*trainPath) || *chunkRows > 0 || *shards > 0 || *distribute != ""
 		switch {
 		case *retry > 1 && !sharded:
 			fmt.Fprintln(os.Stderr, "safe: note: -retry applies to sharded fits only (combine with -chunk-rows/-shards or a .col file); ignoring")
@@ -146,12 +153,18 @@ func main() {
 				}
 			}
 			opts = append(opts, safe.WithSharding(rows))
+		case *distribute != "":
+			// The CSV source stays file-backed so the workers can open it
+			// by path; partitioning uses the reader default.
 		default:
 			train, err = safe.ReadCSVFile(*trainPath, *labelCol)
 			if err != nil {
 				fatal(err)
 			}
 			source = safe.FromFrame(train)
+		}
+		if *distribute != "" {
+			opts = append(opts, safe.WithDistributed(strings.Split(*distribute, ",")...))
 		}
 		var res *safe.Result
 		res, err = safe.Fit(ctx, source, opts...)

@@ -1,0 +1,92 @@
+package safe
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/shard"
+)
+
+// WithDistributed delegates the sharded engine's per-partition pass compute
+// to worker processes (safe-worker) at the given TCP addresses, over the
+// internal/dist wire protocol. The coordinator keeps the selection loop;
+// workers stream the dataset themselves and ship per-partition partials,
+// which fold in partition-index order — so a distributed fit selects
+// features bit-identical to a local sharded or in-memory fit, for any
+// worker count.
+//
+// Requires a file-backed source every worker can open by path (FromCSVFile
+// or FromColumnFile on shared storage) and implies the sharded engine.
+// WithRetry applies on the workers' own chunk reads; transient transport
+// faults retry on the same schedule, and a worker lost mid-fit hands its
+// remaining partitions to the survivors.
+func WithDistributed(addrs ...string) Option {
+	return func(o *planOpts) error {
+		if len(addrs) == 0 {
+			return errors.New("safe: WithDistributed requires at least one worker address")
+		}
+		o.distAddrs = append([]string(nil), addrs...)
+		o.sharded = true
+		return nil
+	}
+}
+
+// distSource maps the plan's file-backed source to the spec workers open.
+func (p *Plan) distSource() (dist.SourceSpec, error) {
+	switch s := p.src.(type) {
+	case csvSource:
+		return dist.SourceSpec{Kind: dist.SourceCSV, Path: s.path, Label: s.label, ChunkRows: p.chunkRows}, nil
+	case colFileSource:
+		return dist.SourceSpec{Kind: dist.SourceColstore, Path: s.path}, nil
+	default:
+		return dist.SourceSpec{}, errors.New("safe: WithDistributed requires a file-backed source (FromCSVFile or FromColumnFile)")
+	}
+}
+
+// fitDistributed runs the plan with pass compute delegated to the worker
+// fleet: dial every worker, hand the connections to a dist.Coordinator, and
+// run the sharded fit loop with the coordinator as its pass executor. The
+// local source handle supplies only the schema; all row streaming happens
+// on the workers.
+func (p *Plan) fitDistributed(ctx context.Context) (*Result, error) {
+	spec, err := p.distSource()
+	if err != nil {
+		return nil, err
+	}
+	conns := make([]dist.Conn, 0, len(p.distAddrs))
+	closeConns := func() {
+		for _, c := range conns {
+			_ = c.Close()
+		}
+	}
+	for _, addr := range p.distAddrs {
+		nc, err := net.DialTimeout("tcp", addr, 10*time.Second)
+		if err != nil {
+			closeConns()
+			return nil, fmt.Errorf("safe: dial worker %s: %w", addr, err)
+		}
+		conns = append(conns, dist.NewConn(nc))
+	}
+	coord := dist.NewCoordinator(spec, conns...)
+	coord.SourceRetry = p.shardCfg.Retry
+	defer coord.Close()
+
+	src, err := p.src.open(p)
+	if err != nil {
+		return nil, err
+	}
+	if src.close != nil {
+		defer src.close() //nolint:errcheck // read-only source teardown
+	}
+	cfg := p.shardCfg
+	cfg.Exec = coord
+	pipeline, report, stats, err := shard.Fit(ctx, src.chunks, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Pipeline: pipeline, Report: report, Shard: stats}, nil
+}

@@ -161,6 +161,7 @@ type planOpts struct {
 	retry      *RetryPolicy
 	earlyStop  bool // Patience set via WithEarlyStopping, not WithConfig
 	valid      *Frame
+	distAddrs  []string
 }
 
 // Option configures a fit plan; see the With* constructors. Options are
@@ -381,6 +382,7 @@ type Plan struct {
 	chunkRows int
 	shardCfg  ShardConfig
 	valid     *Frame
+	distAddrs []string
 }
 
 // NewPlan validates a source and options into an immutable Plan without
@@ -412,6 +414,13 @@ func NewPlan(source Source, opts ...Option) (*Plan, error) {
 	if o.valid != nil && o.sharded {
 		return nil, errors.New("safe: validation-tracked fits require the in-memory engine; drop WithSharding/WithValidation")
 	}
+	if len(o.distAddrs) > 0 {
+		switch source.(type) {
+		case csvSource, colFileSource:
+		default:
+			return nil, errors.New("safe: WithDistributed requires a file-backed source (FromCSVFile or FromColumnFile) that workers can open by path")
+		}
+	}
 	// Patience only acts when a validation frame is present (the engines
 	// have always ignored it otherwise), so the pairing is enforced only
 	// when the caller asked for early stopping explicitly — a Config with a
@@ -429,6 +438,7 @@ func NewPlan(source Source, opts ...Option) (*Plan, error) {
 		sharded:   o.sharded,
 		chunkRows: o.chunkRows,
 		valid:     o.valid,
+		distAddrs: o.distAddrs,
 	}
 	if o.sharded {
 		p.shardCfg = ShardConfig{Core: cfg, SketchSize: o.sketchSize, ApproxCuts: o.approxCuts}
@@ -445,13 +455,21 @@ func (p *Plan) Config() Config { return p.cfg }
 // Sharded reports whether the plan runs the out-of-core engine.
 func (p *Plan) Sharded() bool { return p.sharded }
 
-// Engine names the engine the plan selected: "in-memory" or "sharded".
+// Engine names the engine the plan selected: "in-memory", "sharded", or
+// "distributed".
 func (p *Plan) Engine() string {
+	if len(p.distAddrs) > 0 {
+		return "distributed"
+	}
 	if p.sharded {
 		return "sharded"
 	}
 	return "in-memory"
 }
+
+// Distributed reports whether the plan delegates pass compute to a worker
+// fleet; see WithDistributed.
+func (p *Plan) Distributed() bool { return len(p.distAddrs) > 0 }
 
 // Result is the outcome of a fit: the learned pipeline Ψ, the per-iteration
 // report, and — for sharded fits — how the engine consumed its source.
@@ -474,6 +492,9 @@ type Result struct {
 func (p *Plan) Fit(ctx context.Context) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if len(p.distAddrs) > 0 {
+		return p.fitDistributed(ctx)
 	}
 	src, err := p.src.open(p)
 	if err != nil {

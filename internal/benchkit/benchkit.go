@@ -49,6 +49,16 @@ type FitWorkload struct {
 	// file is written once per measurement outside the timed region; only
 	// the fit itself is measured.
 	Source string `json:"source,omitempty"`
+	// DistWorkers > 0 delegates the cell's pass compute to that many
+	// internal/dist workers; Shards must be > 0 and the source file-backed
+	// ("" defaults to colstore so workers can open it by path). The timed
+	// region includes worker spawn and the wire round trips — the point of
+	// the cell is the protocol overhead relative to shardfit.
+	DistWorkers int `json:"dist_workers,omitempty"`
+	// Transport picks the distributed transport: "pipe" (in-process
+	// net.Pipe workers, serialization cost without a network) or "tcp"
+	// (loopback TCP to a worker server). Empty means pipe.
+	Transport string `json:"transport,omitempty"`
 }
 
 // FitMatrix is the fixed workload matrix. The quick subset is small enough
@@ -93,6 +103,30 @@ func ShardFitMatrix() []FitWorkload {
 // QuickShardFitMatrix returns the CI smoke subset of ShardFitMatrix.
 func QuickShardFitMatrix() []FitWorkload {
 	return quickSubset(ShardFitMatrix())
+}
+
+// DistFitMatrix is the distributed-fit workload matrix: the headline
+// 100k×50 shape with pass compute delegated over the wire protocol, across
+// both transports and worker counts {1, 2, 4} — the 1-worker cells price
+// the protocol itself against shardfit-100k-50-colstore, the others its
+// scaling. Quick 20k cells keep the CI smoke gate on the wire path. Cells
+// are append-only, like the other matrices.
+func DistFitMatrix() []FitWorkload {
+	return []FitWorkload{
+		{Name: "distfit-20k-20-pipe-2", Rows: 20000, Dim: 20, Iterations: 1, Quick: true, Shards: 4, DistWorkers: 2, Transport: "pipe"},
+		{Name: "distfit-20k-20-tcp-2", Rows: 20000, Dim: 20, Iterations: 1, Quick: true, Shards: 4, DistWorkers: 2, Transport: "tcp"},
+		{Name: "distfit-100k-50-pipe-1", Rows: 100000, Dim: 50, Iterations: 1, Shards: 4, DistWorkers: 1, Transport: "pipe"},
+		{Name: "distfit-100k-50-pipe-2", Rows: 100000, Dim: 50, Iterations: 1, Shards: 4, DistWorkers: 2, Transport: "pipe"},
+		{Name: "distfit-100k-50-pipe-4", Rows: 100000, Dim: 50, Iterations: 1, Shards: 4, DistWorkers: 4, Transport: "pipe"},
+		{Name: "distfit-100k-50-tcp-1", Rows: 100000, Dim: 50, Iterations: 1, Shards: 4, DistWorkers: 1, Transport: "tcp"},
+		{Name: "distfit-100k-50-tcp-2", Rows: 100000, Dim: 50, Iterations: 1, Shards: 4, DistWorkers: 2, Transport: "tcp"},
+		{Name: "distfit-100k-50-tcp-4", Rows: 100000, Dim: 50, Iterations: 1, Shards: 4, DistWorkers: 4, Transport: "tcp"},
+	}
+}
+
+// QuickDistFitMatrix returns the CI smoke subset of DistFitMatrix.
+func QuickDistFitMatrix() []FitWorkload {
+	return quickSubset(DistFitMatrix())
 }
 
 func quickSubset(all []FitWorkload) []FitWorkload {
@@ -308,7 +342,13 @@ func runFitOnce(w FitWorkload, ds *datagen.Dataset) (Result, error) {
 		_, report, err := eng.Fit(ds.Train)
 		return report, err
 	}
-	if w.Shards > 0 {
+	if w.DistWorkers > 0 {
+		fit, err = distFit(w, ds, cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		defer os.Remove(distPath(w))
+	} else if w.Shards > 0 {
 		chunkRows := (w.Rows + w.Shards - 1) / w.Shards
 		switch w.Source {
 		case "":

@@ -1,0 +1,119 @@
+package benchkit
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/colstore"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/dist"
+	"repro/internal/frame"
+	"repro/internal/shard"
+)
+
+// distPath is the temp file a distributed cell's workers open by path.
+func distPath(w FitWorkload) string {
+	ext := "col"
+	if w.Source == "csv" {
+		ext = "csv"
+	}
+	return filepath.Join(os.TempDir(), fmt.Sprintf("benchkit-%s.%s", w.Name, ext))
+}
+
+// distFit builds the fit closure for a distributed cell. The dataset is
+// written to a file-backed source once, outside the timed region; each
+// measurement then spawns the cell's worker fleet (in-process pipe workers
+// or a loopback TCP server), runs the sharded fit loop with a
+// dist.Coordinator as its pass executor, and tears the fleet down — fleet
+// lifecycle is part of what the cell prices.
+func distFit(w FitWorkload, ds *datagen.Dataset, cfg core.Config) (func() (*core.Report, error), error) {
+	if w.Shards <= 0 {
+		return nil, fmt.Errorf("benchkit: %s: DistWorkers requires Shards > 0", w.Name)
+	}
+	chunkRows := (w.Rows + w.Shards - 1) / w.Shards
+	path := distPath(w)
+	var spec dist.SourceSpec
+	switch w.Source {
+	case "", "colstore":
+		if err := colstore.WriteFrame(path, ds.Train, colstore.WriterOptions{GroupRows: chunkRows}); err != nil {
+			return nil, err
+		}
+		spec = dist.SourceSpec{Kind: dist.SourceColstore, Path: path}
+	case "csv":
+		if err := ds.Train.WriteCSVFile(path); err != nil {
+			return nil, err
+		}
+		spec = dist.SourceSpec{Kind: dist.SourceCSV, Path: path, Label: "label", ChunkRows: chunkRows}
+	default:
+		return nil, fmt.Errorf("benchkit: %s: unknown dist source %q (want csv or colstore)", w.Name, w.Source)
+	}
+	return func() (*core.Report, error) {
+		ctx, cancel := context.WithCancel(context.Background())
+		var wg sync.WaitGroup
+		defer wg.Wait() // after cancel: the fleet unwinds before the next measurement
+		defer cancel()
+		var conns []dist.Conn
+		switch w.Transport {
+		case "", "pipe":
+			for i := 0; i < w.DistWorkers; i++ {
+				coordEnd, workerEnd := dist.Pipe()
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					_ = dist.ServeConn(ctx, workerEnd)
+				}()
+				conns = append(conns, coordEnd)
+			}
+		case "tcp":
+			srv, err := dist.NewServer("127.0.0.1:0")
+			if err != nil {
+				return nil, err
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_ = srv.Serve(ctx)
+			}()
+			for i := 0; i < w.DistWorkers; i++ {
+				nc, err := net.Dial("tcp", srv.Addr())
+				if err != nil {
+					return nil, err
+				}
+				conns = append(conns, dist.NewConn(nc))
+			}
+		default:
+			return nil, fmt.Errorf("benchkit: %s: unknown transport %q (want pipe or tcp)", w.Name, w.Transport)
+		}
+		coord := dist.NewCoordinator(spec, conns...)
+		defer coord.Close()
+		src, closeSrc, err := openDistLocal(spec, chunkRows)
+		if err != nil {
+			return nil, err
+		}
+		defer closeSrc() //nolint:errcheck // read-only source teardown
+		_, report, _, err := shard.Fit(ctx, src, shard.Config{Core: cfg, Exec: coord})
+		return report, err
+	}, nil
+}
+
+// openDistLocal opens the coordinator's own handle on the cell's source
+// file (it only reads the schema; the workers stream the rows).
+func openDistLocal(spec dist.SourceSpec, chunkRows int) (frame.ChunkSource, func() error, error) {
+	if spec.Kind == dist.SourceColstore {
+		src, err := colstore.OpenSource(spec.Path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return src, src.Close, nil
+	}
+	src, err := frame.OpenCSVChunks(spec.Path, spec.Label, chunkRows)
+	if err != nil {
+		return nil, nil, err
+	}
+	return src, src.Close, nil
+}

@@ -1,0 +1,115 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+)
+
+// maxFramePayload bounds one frame's payload: large enough for any real
+// partial (a pass over a wide candidate set ships a few MB per chunk), small
+// enough that a corrupted length prefix cannot drive a runaway allocation.
+const maxFramePayload = 1 << 30
+
+// castagnoli is the CRC-32C table guarding every frame, the same polynomial
+// colstore uses for block checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Conn is one ordered, reliable message stream between coordinator and
+// worker. Send and Recv carry whole protocol messages (type byte +
+// payload); implementations add framing, checksums, and fault semantics.
+// A Conn is used from one goroutine per direction at a time.
+//
+// Errors that implement frame.Transienter with Transient() == true are
+// retryable in place — the next Recv may deliver the frame the failed call
+// did not. All other errors are permanent: the peer is gone.
+type Conn interface {
+	Send(msg []byte) error
+	Recv() ([]byte, error)
+	Close() error
+}
+
+// FrameError is a permanent framing violation on the wire: a CRC mismatch,
+// an oversized length prefix, or a short frame. Unlike a transient fault,
+// a broken frame means the stream can no longer be trusted.
+type FrameError struct {
+	Reason string
+}
+
+// Error implements error.
+func (e *FrameError) Error() string { return "dist: frame: " + e.Reason }
+
+// streamConn frames messages over any reliable byte stream as
+// [u32 payload length | payload | u32 CRC-32C(payload)], little-endian.
+type streamConn struct {
+	c  io.Closer
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+// NewConn frames protocol messages over a reliable byte stream — a TCP
+// connection or one end of a net.Pipe.
+func NewConn(c net.Conn) Conn {
+	return &streamConn{c: c, br: bufio.NewReaderSize(c, 1<<16), bw: bufio.NewWriterSize(c, 1<<16)}
+}
+
+// Send implements Conn.
+func (s *streamConn) Send(msg []byte) error {
+	if len(msg) == 0 {
+		return &FrameError{Reason: "empty message"}
+	}
+	if len(msg) > maxFramePayload {
+		return &FrameError{Reason: fmt.Sprintf("message of %d bytes exceeds frame cap", len(msg))}
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(msg)))
+	if _, err := s.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := s.bw.Write(msg); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(hdr[:], crc32.Checksum(msg, castagnoli))
+	if _, err := s.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	return s.bw.Flush()
+}
+
+// Recv implements Conn.
+func (s *streamConn) Recv() ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(s.br, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFramePayload {
+		return nil, &FrameError{Reason: fmt.Sprintf("bad frame length %d", n)}
+	}
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(s.br, msg); err != nil {
+		return nil, err
+	}
+	if _, err := io.ReadFull(s.br, hdr[:]); err != nil {
+		return nil, err
+	}
+	if got, want := crc32.Checksum(msg, castagnoli), binary.LittleEndian.Uint32(hdr[:]); got != want {
+		return nil, &FrameError{Reason: fmt.Sprintf("frame checksum mismatch: %08x != %08x", got, want)}
+	}
+	return msg, nil
+}
+
+// Close implements Conn.
+func (s *streamConn) Close() error { return s.c.Close() }
+
+// Pipe returns an in-process connection pair: the coordinator end and the
+// worker end of a net.Pipe, framed like any network transport — the
+// serialization path is identical to TCP, only the bytes never leave the
+// process.
+func Pipe() (coord, worker Conn) {
+	a, b := net.Pipe()
+	return NewConn(a), NewConn(b)
+}

@@ -1,0 +1,381 @@
+package dist
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/shard"
+)
+
+// --- message codec round trips ---
+
+func TestHelloRoundTrip(t *testing.T) {
+	msg := encodeHello()
+	if msgType(msg) != msgHello {
+		t.Fatalf("hello encodes as type %d", msgType(msg))
+	}
+	if err := decodeHello(msg); err != nil {
+		t.Fatalf("decode of a fresh hello: %v", err)
+	}
+	// Corrupt the magic: a stray client speaking length-prefixed frames must
+	// be rejected before anything is interpreted.
+	bad := append([]byte(nil), msg...)
+	bad[1] ^= 0xFF
+	var pe *ProtocolError
+	if err := decodeHello(bad); !errors.As(err, &pe) {
+		t.Fatalf("bad magic decoded: %v", err)
+	}
+	// Version skew is permanent: the fleet upgrades atomically.
+	skew := append([]byte(nil), msg...)
+	binary.LittleEndian.PutUint32(skew[len(skew)-4:], Version+1)
+	if err := decodeHello(skew); !errors.As(err, &pe) {
+		t.Fatalf("version skew decoded: %v", err)
+	}
+
+	ackMsg := encodeHelloAck()
+	if err := decodeHelloAck(ackMsg); err != nil {
+		t.Fatalf("decode of a fresh helloAck: %v", err)
+	}
+	skew = append([]byte(nil), ackMsg...)
+	binary.LittleEndian.PutUint32(skew[1:], Version+9)
+	if err := decodeHelloAck(skew); !errors.As(err, &pe) {
+		t.Fatalf("helloAck version skew decoded: %v", err)
+	}
+}
+
+func TestFitOpenRoundTrip(t *testing.T) {
+	in := &fitOpen{
+		Source:     SourceSpec{Kind: SourceCSV, Path: "/data/train.csv", Label: "label", ChunkRows: 512},
+		Names:      []string{"f0", "f1", "f2"},
+		Task:       core.MulticlassTask(5),
+		SketchSize: 256,
+		Retry:      shard.RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 20 * time.Millisecond},
+	}
+	out, err := decodeFitOpen(encodeFitOpen(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("fitOpen round trip:\n got %+v\nwant %+v", out, in)
+	}
+}
+
+func TestAckRoundTrip(t *testing.T) {
+	for _, in := range []*ack{
+		{Re: msgFitOpen, OK: true},
+		{Re: msgSetLive, Epoch: 7, OK: true},
+		{Re: msgSetLive, Epoch: 3, OK: false, Msg: "no fit open"},
+	} {
+		out, err := decodeAck(encodeAck(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("ack round trip:\n got %+v\nwant %+v", out, in)
+		}
+	}
+}
+
+func TestSetLiveRoundTrip(t *testing.T) {
+	in := &setLive{
+		Epoch: 4,
+		Nodes: []shard.NodeSpec{
+			{Name: "f0*f1", Op: "mul", Inputs: []string{"f0", "f1"}},
+			{Name: "log(f2)", Op: "log", Inputs: []string{"f2"}},
+		},
+		Live: []string{"f0", "f0*f1", "log(f2)"},
+	}
+	out, err := decodeSetLive(encodeSetLive(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("setLive round trip:\n got %+v\nwant %+v", out, in)
+	}
+}
+
+// fullPassSpec populates every PassSpec field so the round trip covers the
+// whole reified surface of the pass family.
+func fullPassSpec() *shard.PassSpec {
+	return &shard.PassSpec{
+		Pass: 5, Kind: shard.PassHistCounts, Epoch: 2, Classes: 3,
+		LiveCuts: [][]float64{{0.5, 1.5, 2.5}, {-1, 1}},
+		Combos: []shard.ComboSpec{
+			{Features: []int{0, 2}, Values: [][]float64{{1, 2, 3}, {4, 5}}},
+		},
+		Gens: []shard.GenSpec{{Op: "mul", Feats: []int{1, 3}}},
+		Entries: []shard.EntrySpec{
+			{Base: 1, Gen: shard.GenSpec{Op: "add", Feats: []int{0, 2}}, Cuts: []float64{0.25, 0.75}, NeedCodes: true},
+		},
+		Refines: []shard.RefineSpec{
+			{Col: 2, Gen: shard.GenSpec{Op: "div", Feats: []int{4, 1}}, Ranks: []int64{10, 200},
+				Lo: []float64{0, 0.5}, Hi: []float64{1, 1.5}, Resolved: []bool{false, true}},
+		},
+	}
+}
+
+func TestRunPassRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		assign assignment
+	}{
+		{"residue", assignment{Mod: 3, Residue: 1}},
+		{"explicit", assignment{Explicit: []int{0, 5, 9}}},
+		{"explicit-empty", assignment{Explicit: []int{}}},
+	} {
+		in := &runPass{PassID: 5, Assign: tc.assign, Spec: fullPassSpec()}
+		out, err := decodeRunPass(encodeRunPass(in))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("%s: runPass round trip:\n got %+v\nwant %+v", tc.name, out, in)
+		}
+		// Explicit-vs-residue must survive the wire: a nil Explicit means the
+		// residue class, a non-nil one (even empty) means exactly that list.
+		if (out.Assign.Explicit == nil) != (tc.assign.Explicit == nil) {
+			t.Fatalf("%s: Explicit nil-ness flipped on the wire", tc.name)
+		}
+	}
+}
+
+func TestAssignmentHas(t *testing.T) {
+	residue := assignment{Mod: 3, Residue: 1}
+	for idx, want := range map[int]bool{0: false, 1: true, 2: false, 4: true, 7: true} {
+		if got := residue.has(idx); got != want {
+			t.Fatalf("residue.has(%d) = %v, want %v", idx, got, want)
+		}
+	}
+	explicit := assignment{Mod: 3, Residue: 1, Explicit: []int{0, 2}}
+	for idx, want := range map[int]bool{0: true, 1: false, 2: true, 4: false} {
+		if got := explicit.has(idx); got != want {
+			t.Fatalf("explicit.has(%d) = %v, want %v", idx, got, want)
+		}
+	}
+	var zero assignment
+	if zero.has(0) {
+		t.Fatal("zero assignment owns partition 0")
+	}
+}
+
+func TestPartialRoundTrip(t *testing.T) {
+	in := &partialMsg{
+		PassID: 3,
+		Partial: shard.Partial{
+			Chunk: 2, Start: 1000, Rows: 500,
+			Labels: []float64{0, 1, 1, 0},
+			Blobs:  [][]byte{{1, 2, 3}, {0xFF}},
+			Ints:   []int32{7, -1, 42},
+			Codes:  [][]uint8{{0, 1, 2}, {3}},
+		},
+	}
+	out, err := decodePartial(encodePartial(in.PassID, &in.Partial))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("partial round trip:\n got %+v\nwant %+v", out, in)
+	}
+}
+
+func TestPassDoneRoundTrip(t *testing.T) {
+	in := &passDone{PassID: 9, Chunks: 4, Rows: 2000, Retries: 3}
+	out, err := decodePassDone(encodePassDone(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("passDone round trip:\n got %+v\nwant %+v", out, in)
+	}
+}
+
+func TestPassErrRoundTrip(t *testing.T) {
+	in := &passErr{PassID: 2, Chunk: 3, Attempts: 4, Transient: true, Msg: "read chunk: i/o timeout"}
+	out, err := decodePassErr(encodePassErr(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("passErr round trip:\n got %+v\nwant %+v", out, in)
+	}
+}
+
+// decodeAny routes a raw message through the codec the dispatch loops use.
+func decodeAny(p []byte) error {
+	var err error
+	switch msgType(p) {
+	case msgHello:
+		err = decodeHello(p)
+	case msgHelloAck:
+		err = decodeHelloAck(p)
+	case msgFitOpen:
+		_, err = decodeFitOpen(p)
+	case msgAck:
+		_, err = decodeAck(p)
+	case msgSetLive:
+		_, err = decodeSetLive(p)
+	case msgRunPass:
+		_, err = decodeRunPass(p)
+	case msgPartial:
+		_, err = decodePartial(p)
+	case msgPassDone:
+		_, err = decodePassDone(p)
+	case msgPassErr:
+		_, err = decodePassErr(p)
+	default:
+		err = protoErr("unknown type %d", msgType(p))
+	}
+	return err
+}
+
+// TestDecodeRejectsTruncationAndTrailing sweeps every prefix of every
+// message through its decoder: a payload cut anywhere must fail as a
+// ProtocolError (never panic, never half-parse), and trailing garbage must
+// be rejected too.
+func TestDecodeRejectsTruncationAndTrailing(t *testing.T) {
+	p := &shard.Partial{Chunk: 1, Start: 0, Rows: 4, Labels: []float64{1, 0},
+		Blobs: [][]byte{{9}}, Ints: []int32{3}, Codes: [][]uint8{{1}}}
+	msgs := map[string][]byte{
+		"hello":    encodeHello(),
+		"helloAck": encodeHelloAck(),
+		"fitOpen": encodeFitOpen(&fitOpen{
+			Source: SourceSpec{Kind: SourceColstore, Path: "x.col"},
+			Names:  []string{"a", "b"}, Task: core.BinaryTask(), SketchSize: 64,
+		}),
+		"ack":      encodeAck(&ack{Re: msgSetLive, Epoch: 1, OK: true, Msg: "m"}),
+		"setLive":  encodeSetLive(&setLive{Epoch: 1, Nodes: []shard.NodeSpec{{Name: "n", Op: "o", Inputs: []string{"a"}}}, Live: []string{"a"}}),
+		"runPass":  encodeRunPass(&runPass{PassID: 1, Assign: assignment{Mod: 2}, Spec: fullPassSpec()}),
+		"partial":  encodePartial(1, p),
+		"passDone": encodePassDone(&passDone{PassID: 1, Chunks: 2, Rows: 10}),
+		"passErr":  encodePassErr(&passErr{PassID: 1, Chunk: 0, Attempts: 1, Msg: "m"}),
+	}
+	for name, msg := range msgs {
+		if err := decodeAny(msg); err != nil {
+			t.Fatalf("%s: intact message rejected: %v", name, err)
+		}
+		for cut := 1; cut < len(msg); cut++ {
+			if err := decodeAny(msg[:cut]); err == nil {
+				t.Fatalf("%s truncated to %d/%d bytes decoded without error", name, cut, len(msg))
+			}
+		}
+		if err := decodeAny(append(append([]byte(nil), msg...), 0)); err == nil {
+			t.Fatalf("%s with a trailing byte decoded without error", name)
+		}
+	}
+}
+
+// TestDecodeLengthGuard pins the allocation guard: a corrupted element count
+// far beyond the remaining payload must fail fast instead of driving a giant
+// make().
+func TestDecodeLengthGuard(t *testing.T) {
+	b := appendU8(nil, msgPartial)
+	b = appendI64(b, 1) // pass id
+	b = appendI64(b, 0) // chunk
+	b = appendI64(b, 0) // start
+	b = appendI64(b, 8) // rows
+	b = appendU32(b, 0xFFFFFFFF)
+	var pe *ProtocolError
+	if err := decodeAny(b); !errors.As(err, &pe) {
+		t.Fatalf("bogus 4G label count: %v", err)
+	}
+}
+
+// --- framing ---
+
+// TestFrameRoundTrip sends messages of several sizes across a framed pipe.
+func TestFrameRoundTrip(t *testing.T) {
+	coord, worker := Pipe()
+	defer coord.Close()
+	defer worker.Close()
+	payloads := [][]byte{
+		{msgShutdown},
+		encodeHello(),
+		append([]byte{msgPartial}, make([]byte, 1<<17)...), // spans the 64K buffers
+	}
+	go func() {
+		for _, p := range payloads {
+			if err := coord.Send(p); err != nil {
+				return
+			}
+		}
+	}()
+	for i, want := range payloads {
+		got, err := worker.Recv()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("frame %d corrupted in transit (%d bytes vs %d)", i, len(got), len(want))
+		}
+	}
+}
+
+func TestFrameRejectsEmptyMessage(t *testing.T) {
+	coord, worker := Pipe()
+	defer coord.Close()
+	defer worker.Close()
+	var fe *FrameError
+	if err := coord.Send(nil); !errors.As(err, &fe) {
+		t.Fatalf("empty send: %v", err)
+	}
+}
+
+// rawFrame assembles [len | payload | crc] with an optional corrupted CRC.
+func rawFrame(payload []byte, corruptCRC bool) []byte {
+	out := binary.LittleEndian.AppendUint32(nil, uint32(len(payload)))
+	out = append(out, payload...)
+	crc := crc32.Checksum(payload, castagnoli)
+	if corruptCRC {
+		crc ^= 0xDEADBEEF
+	}
+	return binary.LittleEndian.AppendUint32(out, crc)
+}
+
+// recvRaw writes raw bytes into one end of a pipe and returns what a framed
+// Conn on the other end makes of them.
+func recvRaw(t *testing.T, raw []byte) error {
+	t.Helper()
+	a, b := net.Pipe()
+	conn := NewConn(a)
+	defer conn.Close()
+	defer b.Close()
+	go func() { _, _ = b.Write(raw) }()
+	_, err := conn.Recv()
+	return err
+}
+
+// TestFrameRejectsCorruption pins the CRC and length guards: a flipped
+// checksum, a zero length, and a length beyond the frame cap are all
+// permanent FrameErrors — a stream that framed wrong cannot be trusted.
+func TestFrameRejectsCorruption(t *testing.T) {
+	var fe *FrameError
+	if err := recvRaw(t, rawFrame([]byte{msgShutdown, 1, 2}, true)); !errors.As(err, &fe) {
+		t.Fatalf("corrupted CRC: %v", err)
+	}
+	if err := recvRaw(t, binary.LittleEndian.AppendUint32(nil, 0)); !errors.As(err, &fe) {
+		t.Fatalf("zero-length frame: %v", err)
+	}
+	huge := binary.LittleEndian.AppendUint32(nil, maxFramePayload+1)
+	if err := recvRaw(t, huge); !errors.As(err, &fe) {
+		t.Fatalf("oversized length prefix: %v", err)
+	}
+	// An intact frame through the same path parses fine.
+	a, b := net.Pipe()
+	conn := NewConn(a)
+	defer conn.Close()
+	defer b.Close()
+	go func() { _, _ = b.Write(rawFrame(encodeHello(), false)) }()
+	msg, err := conn.Recv()
+	if err != nil {
+		t.Fatalf("intact raw frame: %v", err)
+	}
+	if err := decodeHello(msg); err != nil {
+		t.Fatal(err)
+	}
+}

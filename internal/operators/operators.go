@@ -62,6 +62,19 @@ func DataIndependent(op Operator) bool {
 	return ok
 }
 
+// ApplierOp returns the registry name of the stateless operator behind a
+// data-independent applier, or ok=false when the applier carries fitted
+// state. A true result means the applier can be reconstructed anywhere by
+// resolving the name in a registry and fitting on empty columns — which is
+// how the distributed fit ships feature definitions to workers by name
+// instead of serialising closures.
+func ApplierOp(ap Applier) (name string, ok bool) {
+	if fa, isFunc := ap.(*funcApplier); isFunc {
+		return fa.op.name, true
+	}
+	return "", false
+}
+
 // TransformColumn applies ap into dst, using the ColumnApplier fast path
 // when available and falling back to Transform+copy otherwise. It returns
 // dst.

@@ -1,0 +1,637 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/frame"
+	"repro/internal/operators"
+	"repro/internal/sketch"
+	"repro/internal/stats"
+)
+
+// This file is the pass-execution seam the distributed fit dispatches
+// through. The multi-pass coordinator loop in shard.go/passes.go stays the
+// single source of truth for WHAT each streaming pass computes; when
+// Config.Exec is set, each pass is reified into a serializable PassSpec,
+// executed remotely chunk by chunk, and folded from Partial results in
+// partition-index order — the same fold sequence the local engine runs, so
+// selection stays bit-identical for any worker count or placement.
+//
+// WorkerState + ComputePartial are the worker half: given the schema, the
+// current live set (synced by SetLive epochs) and a PassSpec, they compute
+// one chunk's partial with the same kernels the local pass closures use —
+// evaluator node replay, SortNonNaN sketch ingestion, pre-encoded label
+// fast paths, and the regression bin-id protocol that keeps float sums in
+// global row order at the coordinator.
+
+// PassKind identifies which streaming pass a PassSpec describes.
+type PassKind uint8
+
+// The streaming pass kinds of one fit, in the order the fit first runs them.
+const (
+	PassBaseSketch     PassKind = 1  // labels + per-original quantile/moments partials
+	PassCodes          PassKind = 2  // resident miner codes per live feature
+	PassScoreBinary    PassKind = 3  // combo cells: pos/total counts
+	PassScoreClasses   PassKind = 4  // combo cells: K-class counts
+	PassScoreMomentIDs PassKind = 5  // combo cells: per-row cell ids (regression)
+	PassSketchGen      PassKind = 6  // quantile/moments partials per generated candidate
+	PassRefine         PassKind = 7  // exact-cut gather partials
+	PassHistCounts     PassKind = 8  // criterion histogram partials (binary/multiclass)
+	PassHistIDs        PassKind = 9  // criterion bin ids (regression)
+	PassGramCodes      PassKind = 10 // pairwise co-moments + ranker codes
+)
+
+// NodeSpec is one generated feature's definition, serializable by name: the
+// applier is reconstructed on the worker by resolving Op in the built-in
+// operator registry (valid because the sharded engine only admits
+// data-independent operators).
+type NodeSpec struct {
+	Name   string
+	Inputs []string
+	Op     string
+}
+
+// GenSpec is one not-yet-named candidate column: operator applied to live
+// features (by live index).
+type GenSpec struct {
+	Op    string
+	Feats []int
+}
+
+// ComboSpec is one mined combination to score: live feature indices plus the
+// per-feature split-value sets (pre-thinning, exactly as MineCombos emits
+// them — the worker rebuilds the identical ComboCells).
+type ComboSpec struct {
+	Features []int
+	Values   [][]float64
+}
+
+// EntrySpec is one candidate of the histogram/Gram passes: a base entry
+// reads live column Base; a generated entry recomputes Gen. Cuts are the
+// pass's bin edges (criterion cuts or ranker cuts, per kind).
+type EntrySpec struct {
+	Base      int // live index, or -1 for generated entries
+	Gen       GenSpec
+	Cuts      []float64
+	NeedCodes bool // PassGramCodes: materialise ranker codes for this entry
+}
+
+// RefineSpec is one open exact-cut refinement: the bracket arrays from the
+// coordinator's Refiner plus the column to gather from — a raw source column
+// (Col >= 0, the pre-generation live pass) or a generated candidate (Gen).
+type RefineSpec struct {
+	Col      int // source column index, or -1 for generated
+	Gen      GenSpec
+	Ranks    []int64
+	Lo, Hi   []float64
+	Resolved []bool
+}
+
+// PassSpec describes one streaming pass for remote execution. Exactly the
+// fields its Kind needs are set.
+type PassSpec struct {
+	Pass    int // 1-based pass ordinal within the fit, for error positioning
+	Kind    PassKind
+	Epoch   int // live-set epoch this pass must run against
+	Classes int // PassScoreClasses: K
+
+	LiveCuts [][]float64  // PassCodes: miner cuts per live feature
+	Combos   []ComboSpec  // PassScore*
+	Gens     []GenSpec    // PassSketchGen
+	Entries  []EntrySpec  // PassHistCounts, PassHistIDs, PassGramCodes
+	Refines  []RefineSpec // PassRefine
+}
+
+// Partial is one chunk's computed contribution to a pass. The layout of
+// Blobs/Ints/Codes depends on the pass kind:
+//
+//	BaseSketch:     Labels = chunk labels; Blobs[2j], Blobs[2j+1] = quantile,
+//	                moments partial of source column j.
+//	Codes:          Codes[i] = chunk codes of live feature i.
+//	ScoreBinary:    Ints = pos counts then total counts (off-layout slab).
+//	ScoreClasses:   Ints = K-class cell counts (off-layout slab).
+//	ScoreMomentIDs: Ints = cell id per (active combo, row).
+//	SketchGen:      Blobs[2i], Blobs[2i+1] = quantile, moments of Gens[i].
+//	Refine:         Blobs[i] = gather partial of Refines[i].
+//	HistCounts:     Blobs[i] = criterion histogram partial of Entries[i].
+//	HistIDs:        Ints = bin id per (entry, row).
+//	GramCodes:      Blobs[0] = Gram partial; Codes[i] = chunk ranker codes of
+//	                Entries[i] when its NeedCodes is set (nil otherwise).
+//
+// All payloads are plain labels/bytes/int32s/codes, so the transport codec
+// is kind-agnostic; the coordinator-side folds decode Blobs through the
+// sketch wire codecs and validate counts before indexing.
+type Partial struct {
+	Chunk  int
+	Start  int
+	Rows   int
+	Labels []float64
+	Blobs  [][]byte
+	Ints   []int32
+	Codes  [][]uint8
+}
+
+// PassResult summarises one remotely executed pass.
+type PassResult struct {
+	Rows    int
+	Parts   int
+	Retries int64 // transient faults absorbed below the fold during the pass
+}
+
+// Executor runs streaming passes somewhere else — the seam between the fit
+// coordinator and the distributed transport. RunPass must invoke fold with
+// every partition's Partial exactly once, in ascending Chunk order, and must
+// not call fold concurrently. Implementations retry transient faults and
+// reassign partitions below the fold, so a recovered pass folds the same
+// sequence a fault-free one would.
+type Executor interface {
+	// Open announces the fit's schema and constants. Called once, before any
+	// pass.
+	Open(ctx context.Context, names []string, task core.Task, sketchSize int) error
+	// SetLive syncs the live feature set (and the node program deriving it)
+	// ahead of passes that evaluate live columns. Epochs increase
+	// monotonically; a PassSpec carries the epoch it expects.
+	SetLive(ctx context.Context, epoch int, nodes []NodeSpec, live []string) error
+	// RunPass executes one pass over every partition of the source.
+	RunPass(ctx context.Context, spec *PassSpec, fold func(*Partial) error) (PassResult, error)
+}
+
+// WorkerState is the worker half of the seam: per-fit state a pass executor
+// keeps between passes. It reuses the local engine's chunk kernels, so a
+// partial computed here is value-identical to what the local pass closure
+// would have produced for the same chunk.
+type WorkerState struct {
+	names      []string
+	task       core.Task
+	sketchSize int
+	reg        *operators.Registry
+
+	epoch int
+	ev    *evaluator
+
+	appliers map[string]operators.Applier
+	ix       stats.CutIndexer
+	srt      sketch.SortScratch
+	arena    *sketch.Arena
+	bits     []uint8
+	cls      []int32
+	buf      []float64
+}
+
+// NewWorkerState prepares worker-side fit state for the given schema.
+func NewWorkerState(names []string, task core.Task, sketchSize int) *WorkerState {
+	return &WorkerState{
+		names:      names,
+		task:       task,
+		sketchSize: sketchSize,
+		reg:        operators.NewRegistry(),
+		appliers:   map[string]operators.Applier{},
+		arena:      sketch.NewArena(),
+		ev:         &evaluator{names: names, arena: sketch.NewArena()},
+	}
+}
+
+// applier resolves (and caches) the stateless applier for an operator name.
+func (ws *WorkerState) applier(op string, arity int) (operators.Applier, error) {
+	if ap, ok := ws.appliers[op]; ok {
+		return ap, nil
+	}
+	o, err := ws.reg.Get(op)
+	if err != nil {
+		return nil, fmt.Errorf("shard: worker operator %q: %w", op, err)
+	}
+	if !operators.DataIndependent(o) {
+		return nil, fmt.Errorf("shard: worker operator %q is not data-independent", op)
+	}
+	if int(o.Arity()) != arity {
+		return nil, fmt.Errorf("shard: worker operator %q wants arity %d, got %d", op, o.Arity(), arity)
+	}
+	ap, err := o.Fit(make([][]float64, arity))
+	if err != nil {
+		return nil, fmt.Errorf("shard: worker fit %q: %w", op, err)
+	}
+	ws.appliers[op] = ap
+	return ap, nil
+}
+
+// SetLive installs a live-set epoch: the node program is rebuilt from the
+// specs (appliers by registry name) and the evaluator retargeted.
+func (ws *WorkerState) SetLive(epoch int, nodes []NodeSpec, live []string) error {
+	prog := make([]core.FeatureNode, len(nodes))
+	for i, nd := range nodes {
+		ap, err := ws.applier(nd.Op, len(nd.Inputs))
+		if err != nil {
+			return err
+		}
+		prog[i] = core.FeatureNode{Name: nd.Name, Inputs: nd.Inputs, Applier: ap}
+	}
+	ws.ev = &evaluator{names: ws.names, nodes: prog, live: live, arena: ws.ev.arena}
+	ws.epoch = epoch
+	return nil
+}
+
+// Epoch returns the installed live-set epoch.
+func (ws *WorkerState) Epoch() int { return ws.epoch }
+
+// genCol computes one generated candidate column into dst (len rows),
+// applying the same post-generation sanitisation as every engine.
+func (ws *WorkerState) genCol(g GenSpec, cols [][]float64, dst []float64) error {
+	ap, err := ws.applier(g.Op, len(g.Feats))
+	if err != nil {
+		return err
+	}
+	var in [3][]float64
+	iv := in[:len(g.Feats)]
+	for k, fi := range g.Feats {
+		if fi < 0 || fi >= len(cols) {
+			return fmt.Errorf("shard: generated input %d outside live set of %d", fi, len(cols))
+		}
+		iv[k] = cols[fi]
+	}
+	operators.TransformColumn(ap, iv, dst)
+	core.Sanitize(dst)
+	return nil
+}
+
+// labelBits returns the chunk's labels thresholded to 0/1 bits — the same
+// pre-encoding the coordinator derives once from its gathered labels.
+func (ws *WorkerState) labelBits(labels []float64) []uint8 {
+	if cap(ws.bits) < len(labels) {
+		ws.bits = make([]uint8, len(labels))
+	}
+	bits := ws.bits[:len(labels)]
+	for i, y := range labels {
+		if y > 0.5 {
+			bits[i] = 1
+		} else {
+			bits[i] = 0
+		}
+	}
+	return bits
+}
+
+// labelCls returns the chunk's labels as class ids (-1 when out of range).
+func (ws *WorkerState) labelCls(labels []float64, k int) []int32 {
+	if cap(ws.cls) < len(labels) {
+		ws.cls = make([]int32, len(labels))
+	}
+	cls := ws.cls[:len(labels)]
+	for i, y := range labels {
+		if c := int(y); c >= 0 && c < k {
+			cls[i] = int32(c)
+		} else {
+			cls[i] = -1
+		}
+	}
+	return cls
+}
+
+// chunkBuf returns reusable scratch of the given length.
+func (ws *WorkerState) chunkBuf(rows int) []float64 {
+	if cap(ws.buf) < rows {
+		ws.buf = make([]float64, rows)
+	}
+	return ws.buf[:rows]
+}
+
+// comboLayout rebuilds the cell grids and flat slab offsets of a score pass;
+// mult is the per-cell width multiplier (1 for binary totals, K for class
+// counts). Identical arithmetic on coordinator and worker keeps the slab
+// layouts aligned.
+func comboLayout(combos []ComboSpec, mult int) ([]*core.ComboCells, []int) {
+	cells := make([]*core.ComboCells, len(combos))
+	off := make([]int, len(combos)+1)
+	for i := range combos {
+		cells[i] = core.NewComboCells(&core.Combo{Features: combos[i].Features, Values: combos[i].Values})
+		width := 0
+		if nc := cells[i].NumCells(); nc > 1 {
+			width = nc * mult
+		}
+		off[i+1] = off[i] + width
+	}
+	return cells, off
+}
+
+// ComputePartial computes one chunk's contribution to the given pass. The
+// chunk must satisfy the fit schema; the caller streams its assigned chunks
+// through here and ships the partials back for the ordered fold.
+func (ws *WorkerState) ComputePartial(spec *PassSpec, c *frame.Chunk) (*Partial, error) {
+	if len(c.Cols) != len(ws.names) {
+		return nil, fmt.Errorf("shard: chunk %d has %d columns, want %d", c.Index, len(c.Cols), len(ws.names))
+	}
+	if spec.Epoch != ws.epoch {
+		return nil, fmt.Errorf("shard: pass wants live epoch %d, worker has %d", spec.Epoch, ws.epoch)
+	}
+	p := &Partial{Chunk: c.Index, Start: c.Start, Rows: c.NumRows()}
+	var err error
+	switch spec.Kind {
+	case PassBaseSketch:
+		err = ws.computeBaseSketch(c, p)
+	case PassCodes:
+		err = ws.computeCodes(spec, c, p)
+	case PassScoreBinary:
+		err = ws.computeScoreBinary(spec, c, p)
+	case PassScoreClasses:
+		err = ws.computeScoreClasses(spec, c, p)
+	case PassScoreMomentIDs:
+		err = ws.computeScoreMomentIDs(spec, c, p)
+	case PassSketchGen:
+		err = ws.computeSketchGen(spec, c, p)
+	case PassRefine:
+		err = ws.computeRefine(spec, c, p)
+	case PassHistCounts:
+		err = ws.computeHistCounts(spec, c, p)
+	case PassHistIDs:
+		err = ws.computeHistIDs(spec, c, p)
+	case PassGramCodes:
+		err = ws.computeGramCodes(spec, c, p)
+	default:
+		err = fmt.Errorf("shard: unknown pass kind %d", spec.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (ws *WorkerState) computeBaseSketch(c *frame.Chunk, p *Partial) error {
+	if c.Label == nil {
+		return fmt.Errorf("shard: source has no label column")
+	}
+	p.Labels = append([]float64(nil), c.Label...)
+	m := len(ws.names)
+	p.Blobs = make([][]byte, 2*m)
+	for j := 0; j < m; j++ {
+		sorted, nan := sketch.SortNonNaN(c.Cols[j], &ws.srt)
+		part := ws.arena.Quantile(ws.sketchSize)
+		part.AddSortedScratch(sorted, nan, &ws.srt)
+		p.Blobs[2*j] = sketch.AppendQuantile(nil, part)
+		ws.arena.PutQuantile(part)
+		var mom sketch.Moments
+		mom.AddAll(c.Cols[j])
+		p.Blobs[2*j+1] = sketch.AppendMoments(nil, &mom)
+	}
+	return nil
+}
+
+func (ws *WorkerState) computeCodes(spec *PassSpec, c *frame.Chunk, p *Partial) error {
+	if len(spec.LiveCuts) != len(ws.ev.live) {
+		return fmt.Errorf("shard: codes pass has %d cut sets for %d live", len(spec.LiveCuts), len(ws.ev.live))
+	}
+	cols := ws.ev.liveCols(c)
+	rows := c.NumRows()
+	p.Codes = make([][]uint8, len(spec.LiveCuts))
+	for i, cuts := range spec.LiveCuts {
+		p.Codes[i] = make([]uint8, rows)
+		fillCodes(p.Codes[i], cols[i], cuts, &ws.ix)
+	}
+	ws.ev.release()
+	return nil
+}
+
+func (ws *WorkerState) computeScoreBinary(spec *PassSpec, c *frame.Chunk, p *Partial) error {
+	cells, off := comboLayout(spec.Combos, 1)
+	total := off[len(spec.Combos)]
+	cols := ws.ev.liveCols(c)
+	rows := c.NumRows()
+	bits := ws.labelBits(c.Label)
+	slab := make([]int32, 2*total)
+	var vals [3]float64
+	for ci := range spec.Combos {
+		if off[ci+1] == off[ci] {
+			continue
+		}
+		cc := cells[ci]
+		feats := cc.Features()
+		ppos := slab[off[ci]:off[ci+1]]
+		ptot := slab[total+off[ci] : total+off[ci+1]]
+		for r := 0; r < rows; r++ {
+			for k, fi := range feats {
+				vals[k] = cols[fi][r]
+			}
+			id := cc.CellOf(vals[:len(feats)])
+			ptot[id]++
+			ppos[id] += int32(bits[r])
+		}
+	}
+	ws.ev.release()
+	p.Ints = slab
+	return nil
+}
+
+func (ws *WorkerState) computeScoreClasses(spec *PassSpec, c *frame.Chunk, p *Partial) error {
+	k := spec.Classes
+	cells, off := comboLayout(spec.Combos, k)
+	total := off[len(spec.Combos)]
+	cols := ws.ev.liveCols(c)
+	rows := c.NumRows()
+	cls := ws.labelCls(c.Label, k)
+	slab := make([]int32, total)
+	var vals [3]float64
+	for ci := range spec.Combos {
+		if off[ci+1] == off[ci] {
+			continue
+		}
+		cc := cells[ci]
+		feats := cc.Features()
+		pcnt := slab[off[ci]:off[ci+1]]
+		for r := 0; r < rows; r++ {
+			for j, fi := range feats {
+				vals[j] = cols[fi][r]
+			}
+			id := cc.CellOf(vals[:len(feats)])
+			if cl := cls[r]; cl >= 0 {
+				pcnt[id*k+int(cl)]++
+			}
+		}
+	}
+	ws.ev.release()
+	p.Ints = slab
+	return nil
+}
+
+func (ws *WorkerState) computeScoreMomentIDs(spec *PassSpec, c *frame.Chunk, p *Partial) error {
+	cells, off := comboLayout(spec.Combos, 1)
+	cols := ws.ev.liveCols(c)
+	rows := c.NumRows()
+	nActive := 0
+	for ci := range spec.Combos {
+		if off[ci+1] > off[ci] {
+			nActive++
+		}
+	}
+	slab := make([]int32, nActive*rows)
+	var vals [3]float64
+	pos := 0
+	for ci := range spec.Combos {
+		if off[ci+1] == off[ci] {
+			continue
+		}
+		cc := cells[ci]
+		feats := cc.Features()
+		ids := slab[pos : pos+rows]
+		pos += rows
+		for r := 0; r < rows; r++ {
+			for j, fi := range feats {
+				vals[j] = cols[fi][r]
+			}
+			ids[r] = int32(cc.CellOf(vals[:len(feats)]))
+		}
+	}
+	ws.ev.release()
+	p.Ints = slab
+	return nil
+}
+
+func (ws *WorkerState) computeSketchGen(spec *PassSpec, c *frame.Chunk, p *Partial) error {
+	cols := ws.ev.liveCols(c)
+	rows := c.NumRows()
+	buf := ws.chunkBuf(rows)
+	p.Blobs = make([][]byte, 2*len(spec.Gens))
+	for i, g := range spec.Gens {
+		if err := ws.genCol(g, cols, buf); err != nil {
+			return err
+		}
+		sorted, nan := sketch.SortNonNaN(buf, &ws.srt)
+		part := ws.arena.Quantile(ws.sketchSize)
+		part.AddSortedScratch(sorted, nan, &ws.srt)
+		p.Blobs[2*i] = sketch.AppendQuantile(nil, part)
+		ws.arena.PutQuantile(part)
+		var mom sketch.Moments
+		mom.AddAll(buf)
+		p.Blobs[2*i+1] = sketch.AppendMoments(nil, &mom)
+	}
+	ws.ev.release()
+	return nil
+}
+
+func (ws *WorkerState) computeRefine(spec *PassSpec, c *frame.Chunk, p *Partial) error {
+	rows := c.NumRows()
+	var cols [][]float64
+	var buf []float64
+	p.Blobs = make([][]byte, len(spec.Refines))
+	for i, rf := range spec.Refines {
+		var vals []float64
+		if rf.Col >= 0 {
+			if rf.Col >= len(c.Cols) {
+				return fmt.Errorf("shard: refine column %d outside schema of %d", rf.Col, len(c.Cols))
+			}
+			vals = c.Cols[rf.Col]
+		} else {
+			if cols == nil {
+				cols = ws.ev.liveCols(c)
+				buf = ws.chunkBuf(rows)
+			}
+			if err := ws.genCol(rf.Gen, cols, buf); err != nil {
+				return err
+			}
+			vals = buf
+		}
+		sh := sketch.NewShadowRefiner(rf.Ranks, rf.Lo, rf.Hi, rf.Resolved)
+		sh.AddChunk(vals)
+		p.Blobs[i] = sketch.AppendRefinerGather(nil, sh)
+	}
+	if cols != nil {
+		ws.ev.release()
+	}
+	return nil
+}
+
+// entryCol resolves one histogram/Gram entry's column for the chunk.
+func (ws *WorkerState) entryCol(e *EntrySpec, cols [][]float64, buf []float64) ([]float64, error) {
+	if e.Base >= 0 {
+		if e.Base >= len(cols) {
+			return nil, fmt.Errorf("shard: entry base %d outside live set of %d", e.Base, len(cols))
+		}
+		return cols[e.Base], nil
+	}
+	if err := ws.genCol(e.Gen, cols, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func (ws *WorkerState) computeHistCounts(spec *PassSpec, c *frame.Chunk, p *Partial) error {
+	cols := ws.ev.liveCols(c)
+	rows := c.NumRows()
+	buf := ws.chunkBuf(rows)
+	multi := ws.task.Kind == core.TaskMulticlass
+	var bits []uint8
+	var cls []int32
+	if multi {
+		cls = ws.labelCls(c.Label, ws.task.Classes)
+	} else {
+		bits = ws.labelBits(c.Label)
+	}
+	p.Blobs = make([][]byte, len(spec.Entries))
+	for i := range spec.Entries {
+		col, err := ws.entryCol(&spec.Entries[i], cols, buf)
+		if err != nil {
+			return err
+		}
+		if multi {
+			h := sketch.NewClassHist(spec.Entries[i].Cuts, ws.task.Classes)
+			h.AddColCls(col, cls)
+			p.Blobs[i] = sketch.AppendClassHist(nil, h)
+		} else {
+			h := sketch.NewLabelHist(spec.Entries[i].Cuts)
+			h.AddColBits(col, bits)
+			p.Blobs[i] = sketch.AppendLabelHist(nil, h)
+		}
+	}
+	ws.ev.release()
+	return nil
+}
+
+func (ws *WorkerState) computeHistIDs(spec *PassSpec, c *frame.Chunk, p *Partial) error {
+	cols := ws.ev.liveCols(c)
+	rows := c.NumRows()
+	buf := ws.chunkBuf(rows)
+	slab := make([]int32, len(spec.Entries)*rows)
+	for i := range spec.Entries {
+		col, err := ws.entryCol(&spec.Entries[i], cols, buf)
+		if err != nil {
+			return err
+		}
+		h := sketch.NewMomentHist(spec.Entries[i].Cuts)
+		h.BinIDs(col, slab[i*rows:(i+1)*rows])
+	}
+	ws.ev.release()
+	p.Ints = slab
+	return nil
+}
+
+func (ws *WorkerState) computeGramCodes(spec *PassSpec, c *frame.Chunk, p *Partial) error {
+	cols := ws.ev.liveCols(c)
+	rows := c.NumRows()
+	mat := make([][]float64, len(spec.Entries))
+	p.Codes = make([][]uint8, len(spec.Entries))
+	for i := range spec.Entries {
+		e := &spec.Entries[i]
+		var col []float64
+		if e.Base >= 0 {
+			if e.Base >= len(cols) {
+				return fmt.Errorf("shard: entry base %d outside live set of %d", e.Base, len(cols))
+			}
+			col = cols[e.Base]
+		} else {
+			col = make([]float64, rows)
+			if err := ws.genCol(e.Gen, cols, col); err != nil {
+				return err
+			}
+		}
+		mat[i] = col
+		if e.NeedCodes {
+			p.Codes[i] = make([]uint8, rows)
+			fillCodes(p.Codes[i], col, e.Cuts, &ws.ix)
+		}
+	}
+	g := sketch.NewGram(len(spec.Entries))
+	g.AddRows(rows)
+	g.AddPrepared(mat, sketch.PrepChunk(mat), 0, len(spec.Entries))
+	ws.ev.release()
+	p.Blobs = [][]byte{sketch.AppendGram(nil, g)}
+	return nil
+}

@@ -1,0 +1,411 @@
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/operators"
+	"repro/internal/sketch"
+)
+
+// This file holds the coordinator side of distributed passes: each streaming
+// pass of the fit has a dist variant that reifies the pass into a PassSpec,
+// hands it to Config.Exec, and folds the returned Partials with exactly the
+// accumulation the local fold closure performs. RunPass delivers partials in
+// ascending partition order and never concurrently, so the merged statistics
+// accumulate in the same sequence as the local engine — selection stays
+// bit-identical across worker counts and transports.
+//
+// Every fold bounds-checks the partial's payload before indexing: a worker
+// speaking the right protocol but computing the wrong shape aborts the fit
+// with a typed error instead of corrupting statistics.
+
+// runDistPass executes one reified pass through the executor, threading the
+// pass ordinal, the live epoch, and the shared pass bookkeeping.
+func (f *fitter) runDistPass(spec *PassSpec, fold func(*Partial) error) error {
+	f.stats.Passes++
+	spec.Pass = f.stats.Passes
+	spec.Epoch = f.liveEpoch
+	res, err := f.exec.RunPass(f.ctx, spec, fold)
+	if err != nil {
+		return err
+	}
+	f.stats.Retries += res.Retries
+	return f.finishPass(res.Rows, res.Parts)
+}
+
+// syncLive pushes the current live set to the executor as a new epoch: the
+// dependency-ordered node program (by operator registry name) plus the live
+// feature names. A no-op for local fits.
+func (f *fitter) syncLive() error {
+	if f.exec == nil {
+		return nil
+	}
+	nodes := f.neededNodes()
+	specs := make([]NodeSpec, len(nodes))
+	for i := range nodes {
+		op, ok := operators.ApplierOp(nodes[i].Applier)
+		if !ok {
+			return fmt.Errorf("shard: node %q has a non-registry applier; cannot distribute", nodes[i].Name)
+		}
+		specs[i] = NodeSpec{Name: nodes[i].Name, Inputs: nodes[i].Inputs, Op: op}
+	}
+	live := make([]string, len(f.live))
+	for i, lf := range f.live {
+		live[i] = lf.name
+	}
+	f.liveEpoch++
+	return f.exec.SetLive(f.ctx, f.liveEpoch, specs, live)
+}
+
+// genSpec reifies one generated candidate for worker-side recomputation.
+func genSpec(en *candidate) (GenSpec, error) {
+	op, ok := operators.ApplierOp(en.applier)
+	if !ok {
+		return GenSpec{}, fmt.Errorf("shard: candidate %q has a non-registry applier; cannot distribute", en.name)
+	}
+	return GenSpec{Op: op, Feats: en.feats}, nil
+}
+
+// checkPartial validates the invariants every partial must satisfy against
+// the gathered label span.
+func (f *fitter) checkPartial(p *Partial, kind PassKind) error {
+	if p.Rows < 0 || p.Start < 0 {
+		return fmt.Errorf("shard: pass %d partial %d has negative shape", kind, p.Chunk)
+	}
+	if f.n > 0 && p.Start+p.Rows > f.n {
+		return fmt.Errorf("shard: pass %d partial %d spans rows [%d,%d) of %d", kind, p.Chunk, p.Start, p.Start+p.Rows, f.n)
+	}
+	return nil
+}
+
+// distPassBaseSketch is pass 1 over the executor: labels plus per-original
+// quantile/moments partials, merged in partition order.
+func (f *fitter) distPassBaseSketch() error {
+	m := len(f.names)
+	return f.runDistPass(&PassSpec{Kind: PassBaseSketch}, func(p *Partial) error {
+		if len(p.Labels) != p.Rows {
+			return fmt.Errorf("shard: base-sketch partial %d carries %d labels for %d rows", p.Chunk, len(p.Labels), p.Rows)
+		}
+		if len(p.Blobs) != 2*m {
+			return fmt.Errorf("shard: base-sketch partial %d has %d sketches, want %d", p.Chunk, len(p.Blobs), 2*m)
+		}
+		f.labels = append(f.labels, p.Labels...)
+		for j := 0; j < m; j++ {
+			q, _, err := sketch.DecodeQuantile(p.Blobs[2*j])
+			if err != nil {
+				return fmt.Errorf("shard: base-sketch partial %d col %d: %w", p.Chunk, j, err)
+			}
+			f.live[j].sk.Merge(q)
+			mom, _, err := sketch.DecodeMoments(p.Blobs[2*j+1])
+			if err != nil {
+				return fmt.Errorf("shard: base-sketch partial %d col %d moments: %w", p.Chunk, j, err)
+			}
+			f.live[j].mom.Merge(mom)
+		}
+		return nil
+	})
+}
+
+// distPassLiveCodes fills the resident miner codes from worker-binned chunk
+// codes. Codes land in disjoint row ranges, so placement alone (not fold
+// order) determines the result, as in the local pass.
+func (f *fitter) distPassLiveCodes(live []*liveFeat) error {
+	spec := &PassSpec{Kind: PassCodes, LiveCuts: make([][]float64, len(live))}
+	for i := range live {
+		spec.LiveCuts[i] = live[i].minerCuts
+	}
+	return f.runDistPass(spec, func(p *Partial) error {
+		if err := f.checkPartial(p, PassCodes); err != nil {
+			return err
+		}
+		if len(p.Codes) != len(live) {
+			return fmt.Errorf("shard: codes partial %d has %d columns, want %d", p.Chunk, len(p.Codes), len(live))
+		}
+		for i := range live {
+			if len(p.Codes[i]) != p.Rows {
+				return fmt.Errorf("shard: codes partial %d col %d has %d rows, want %d", p.Chunk, i, len(p.Codes[i]), p.Rows)
+			}
+			copy(live[i].codes[p.Start:p.Start+p.Rows], p.Codes[i])
+		}
+		return nil
+	})
+}
+
+// comboSpecs reifies the mined combinations for a score pass.
+func comboSpecs(combos []core.Combo) []ComboSpec {
+	out := make([]ComboSpec, len(combos))
+	for i := range combos {
+		out[i] = ComboSpec{Features: combos[i].Features, Values: combos[i].Values}
+	}
+	return out
+}
+
+// distScoreBinary folds worker count slabs into the binary score
+// accumulators; integer addition is order-invariant, but the partition-
+// ordered fold keeps even the accumulation sequence identical.
+func (f *fitter) distScoreBinary(combos []core.Combo, total int, pos, tot []int) error {
+	spec := &PassSpec{Kind: PassScoreBinary, Combos: comboSpecs(combos)}
+	return f.runDistPass(spec, func(p *Partial) error {
+		if len(p.Ints) != 2*total {
+			return fmt.Errorf("shard: score partial %d has %d counts, want %d", p.Chunk, len(p.Ints), 2*total)
+		}
+		for g := 0; g < total; g++ {
+			pos[g] += int(p.Ints[g])
+			tot[g] += int(p.Ints[total+g])
+		}
+		return nil
+	})
+}
+
+// distScoreClasses folds worker K-class count slabs.
+func (f *fitter) distScoreClasses(combos []core.Combo, k, total int, cnt []float64) error {
+	spec := &PassSpec{Kind: PassScoreClasses, Classes: k, Combos: comboSpecs(combos)}
+	return f.runDistPass(spec, func(p *Partial) error {
+		if len(p.Ints) != total {
+			return fmt.Errorf("shard: class-score partial %d has %d counts, want %d", p.Chunk, len(p.Ints), total)
+		}
+		for g := 0; g < total; g++ {
+			cnt[g] += float64(p.Ints[g])
+		}
+		return nil
+	})
+}
+
+// distScoreMoments folds worker cell-id slabs, replaying the coordinator's
+// gathered targets in global row order — the float addition sequence of the
+// in-memory scorer, independent of which worker computed the ids.
+func (f *fitter) distScoreMoments(combos []core.Combo, nActive int, cnt, sum, sumsq [][]float64) error {
+	spec := &PassSpec{Kind: PassScoreMomentIDs, Combos: comboSpecs(combos)}
+	return f.runDistPass(spec, func(p *Partial) error {
+		if err := f.checkPartial(p, PassScoreMomentIDs); err != nil {
+			return err
+		}
+		if len(p.Ints) != nActive*p.Rows {
+			return fmt.Errorf("shard: moment-score partial %d has %d ids, want %d", p.Chunk, len(p.Ints), nActive*p.Rows)
+		}
+		labels := f.labels[p.Start : p.Start+p.Rows]
+		pos := 0
+		for ci := range combos {
+			if cnt[ci] == nil {
+				continue
+			}
+			ids := p.Ints[pos : pos+p.Rows]
+			pos += p.Rows
+			ccnt, csum, csumsq := cnt[ci], sum[ci], sumsq[ci]
+			nc := int32(len(ccnt))
+			for r := 0; r < p.Rows; r++ {
+				id := ids[r]
+				if id < 0 || id >= nc {
+					return fmt.Errorf("shard: moment-score partial %d cell id %d outside %d cells", p.Chunk, id, nc)
+				}
+				y := labels[r]
+				ccnt[id]++
+				csum[id] += y
+				csumsq[id] += y * y
+			}
+		}
+		return nil
+	})
+}
+
+// distPassCandidateSketches merges worker quantile/moments partials of the
+// round's generated candidates, in partition order.
+func (f *fitter) distPassCandidateSketches(gen []*candidate) error {
+	spec := &PassSpec{Kind: PassSketchGen, Gens: make([]GenSpec, len(gen))}
+	for i, en := range gen {
+		g, err := genSpec(en)
+		if err != nil {
+			return err
+		}
+		spec.Gens[i] = g
+	}
+	return f.runDistPass(spec, func(p *Partial) error {
+		if len(p.Blobs) != 2*len(gen) {
+			return fmt.Errorf("shard: gen-sketch partial %d has %d sketches, want %d", p.Chunk, len(p.Blobs), 2*len(gen))
+		}
+		for i, en := range gen {
+			q, _, err := sketch.DecodeQuantile(p.Blobs[2*i])
+			if err != nil {
+				return fmt.Errorf("shard: gen-sketch partial %d cand %d: %w", p.Chunk, i, err)
+			}
+			en.sk.Merge(q)
+			mom, _, err := sketch.DecodeMoments(p.Blobs[2*i+1])
+			if err != nil {
+				return fmt.Errorf("shard: gen-sketch partial %d cand %d moments: %w", p.Chunk, i, err)
+			}
+			en.mom.Merge(mom)
+		}
+		return nil
+	})
+}
+
+// distRefine runs one gather pass over the executor for the open refiners;
+// refs[i] receives the decoded gather of spec.Refines[i].
+func (f *fitter) distRefine(spec *PassSpec, refs []*sketch.Refiner) error {
+	for i, ref := range refs {
+		ranks, lo, hi, resolved := ref.Brackets()
+		spec.Refines[i].Ranks = ranks
+		spec.Refines[i].Lo = lo
+		spec.Refines[i].Hi = hi
+		spec.Refines[i].Resolved = resolved
+	}
+	return f.runDistPass(spec, func(p *Partial) error {
+		if len(p.Blobs) != len(refs) {
+			return fmt.Errorf("shard: refine partial %d has %d gathers, want %d", p.Chunk, len(p.Blobs), len(refs))
+		}
+		for i, ref := range refs {
+			sh, _, err := sketch.DecodeRefinerGather(p.Blobs[i])
+			if err != nil {
+				return fmt.Errorf("shard: refine partial %d target %d: %w", p.Chunk, i, err)
+			}
+			if err := ref.MergeWire(sh); err != nil {
+				return fmt.Errorf("shard: refine partial %d target %d: %w", p.Chunk, i, err)
+			}
+		}
+		return nil
+	})
+}
+
+// distRefineLive is refineLive's gather pass over the executor: the open
+// targets read raw source columns, so the spec addresses columns by schema
+// index. Block-stat skip planning needs local source access and is a pure
+// optimisation, so the distributed path always gathers the full pass.
+func (f *fitter) distRefineLive(open []openRef) error {
+	spec := &PassSpec{Kind: PassRefine, Refines: make([]RefineSpec, len(open))}
+	refs := make([]*sketch.Refiner, len(open))
+	for i, o := range open {
+		spec.Refines[i] = RefineSpec{Col: o.col}
+		refs[i] = o.ref
+	}
+	return f.distRefine(spec, refs)
+}
+
+// distRefineCandidates is refineCandidates' gather pass over the executor:
+// generated columns are recomputed worker-side from their gen specs.
+func (f *fitter) distRefineCandidates(open []*candidate) error {
+	spec := &PassSpec{Kind: PassRefine, Refines: make([]RefineSpec, len(open))}
+	refs := make([]*sketch.Refiner, len(open))
+	for i, en := range open {
+		g, err := genSpec(en)
+		if err != nil {
+			return err
+		}
+		spec.Refines[i] = RefineSpec{Col: -1, Gen: g}
+		refs[i] = en.ref
+	}
+	return f.distRefine(spec, refs)
+}
+
+// entrySpecs reifies a candidate set for the histogram/Gram passes; cuts
+// selects the per-entry bin edges to ship.
+func entrySpecs(entries []*candidate, cuts func(*candidate) []float64) ([]EntrySpec, error) {
+	out := make([]EntrySpec, len(entries))
+	for i, en := range entries {
+		if en.isBase {
+			out[i] = EntrySpec{Base: en.baseIdx, Cuts: cuts(en)}
+			continue
+		}
+		g, err := genSpec(en)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = EntrySpec{Base: -1, Gen: g, Cuts: cuts(en)}
+	}
+	return out, nil
+}
+
+// distPassCandidateCounts accumulates every candidate's criterion histogram
+// over the executor: count-valued families merge worker histogram partials
+// in partition order; the regression moment family replays worker bin ids
+// against the gathered targets in global row order.
+func (f *fitter) distPassCandidateCounts(entries []*candidate) error {
+	specs, err := entrySpecs(entries, func(en *candidate) []float64 { return en.ivCuts })
+	if err != nil {
+		return err
+	}
+	if f.cfg.Task.Kind == core.TaskRegression {
+		spec := &PassSpec{Kind: PassHistIDs, Entries: specs}
+		return f.runDistPass(spec, func(p *Partial) error {
+			if err := f.checkPartial(p, PassHistIDs); err != nil {
+				return err
+			}
+			if len(p.Ints) != len(entries)*p.Rows {
+				return fmt.Errorf("shard: hist-id partial %d has %d ids, want %d", p.Chunk, len(p.Ints), len(entries)*p.Rows)
+			}
+			targets := f.labels[p.Start : p.Start+p.Rows]
+			for i, en := range entries {
+				en.hist.(*sketch.MomentHist).AddBinned(p.Ints[i*p.Rows:(i+1)*p.Rows], targets)
+			}
+			return nil
+		})
+	}
+	spec := &PassSpec{Kind: PassHistCounts, Entries: specs}
+	return f.runDistPass(spec, func(p *Partial) error {
+		if len(p.Blobs) != len(entries) {
+			return fmt.Errorf("shard: hist partial %d has %d histograms, want %d", p.Chunk, len(p.Blobs), len(entries))
+		}
+		for i, en := range entries {
+			v, _, err := sketch.DecodeAny(p.Blobs[i])
+			if err != nil {
+				return fmt.Errorf("shard: hist partial %d cand %d: %w", p.Chunk, i, err)
+			}
+			sh, ok := v.(sketch.CriterionHist)
+			if !ok {
+				return fmt.Errorf("shard: hist partial %d cand %d decoded %T, want a criterion histogram", p.Chunk, i, v)
+			}
+			// MergeHist's cut-equality check doubles as an integrity check on
+			// the worker's histogram.
+			if err := en.hist.MergeHist(sh); err != nil {
+				return fmt.Errorf("shard: hist partial %d cand %d: %w", p.Chunk, i, err)
+			}
+		}
+		return nil
+	})
+}
+
+// distPassGramAndCodes merges worker Gram partials in partition order and
+// places the ranker codes workers binned for the survivors that need them.
+func (f *fitter) distPassGramAndCodes(entries []*candidate, keptA []int, needCodes []bool) error {
+	kept := make([]*candidate, len(keptA))
+	for gi, idx := range keptA {
+		kept[gi] = entries[idx]
+	}
+	specs, err := entrySpecs(kept, func(en *candidate) []float64 { return en.rgCuts })
+	if err != nil {
+		return err
+	}
+	for gi := range specs {
+		specs[gi].NeedCodes = needCodes[gi]
+	}
+	spec := &PassSpec{Kind: PassGramCodes, Entries: specs}
+	return f.runDistPass(spec, func(p *Partial) error {
+		if err := f.checkPartial(p, PassGramCodes); err != nil {
+			return err
+		}
+		if len(p.Blobs) != 1 {
+			return fmt.Errorf("shard: gram partial %d has %d blobs, want 1", p.Chunk, len(p.Blobs))
+		}
+		if len(p.Codes) != len(kept) {
+			return fmt.Errorf("shard: gram partial %d has %d code columns, want %d", p.Chunk, len(p.Codes), len(kept))
+		}
+		pg, _, err := sketch.DecodeGram(p.Blobs[0])
+		if err != nil {
+			return fmt.Errorf("shard: gram partial %d: %w", p.Chunk, err)
+		}
+		if pg.K() != len(kept) {
+			return fmt.Errorf("shard: gram partial %d covers %d columns, want %d", p.Chunk, pg.K(), len(kept))
+		}
+		f.gram.Merge(pg)
+		for gi, en := range kept {
+			if !needCodes[gi] {
+				continue
+			}
+			if len(p.Codes[gi]) != p.Rows {
+				return fmt.Errorf("shard: gram partial %d codes %d has %d rows, want %d", p.Chunk, gi, len(p.Codes[gi]), p.Rows)
+			}
+			copy(en.codes[p.Start:p.Start+p.Rows], p.Codes[gi])
+		}
+		return nil
+	})
+}

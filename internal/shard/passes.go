@@ -19,7 +19,7 @@ import (
 type evaluator struct {
 	names []string
 	nodes []core.FeatureNode
-	live  []*liveFeat
+	live  []string // live feature names, original or node
 	arena *sketch.Arena
 
 	vals  map[string][]float64
@@ -27,9 +27,10 @@ type evaluator struct {
 	owned [][]float64 // arena buffers to return on release
 }
 
-// newEvaluator selects, from every node generated so far, the dependency-
-// ordered subset the current live set needs.
-func (f *fitter) newEvaluator() *evaluator {
+// neededNodes selects, from every node generated so far, the dependency-
+// ordered subset the current live set needs — the node program an evaluator
+// (local or on a distributed worker) replays per chunk.
+func (f *fitter) neededNodes() []core.FeatureNode {
 	needed := make(map[string]bool, len(f.live))
 	for _, lf := range f.live {
 		if lf.node != nil {
@@ -45,11 +46,21 @@ func (f *fitter) newEvaluator() *evaluator {
 			}
 		}
 	}
-	ev := &evaluator{names: f.names, live: f.live, arena: f.arena}
+	var out []core.FeatureNode
 	for i := range f.nodes {
 		if keep[i] {
-			ev.nodes = append(ev.nodes, f.nodes[i])
+			out = append(out, f.nodes[i])
 		}
+	}
+	return out
+}
+
+// newEvaluator builds a pass worker's evaluator over the current live set.
+func (f *fitter) newEvaluator() *evaluator {
+	ev := &evaluator{names: f.names, nodes: f.neededNodes(), arena: f.arena}
+	ev.live = make([]string, len(f.live))
+	for i, lf := range f.live {
+		ev.live[i] = lf.name
 	}
 	return ev
 }
@@ -80,8 +91,8 @@ func (e *evaluator) liveCols(c *frame.Chunk) [][]float64 {
 		e.out = make([][]float64, len(e.live))
 	}
 	out := e.out[:len(e.live)]
-	for i, lf := range e.live {
-		out[i] = e.vals[lf.name]
+	for i, name := range e.live {
+		out[i] = e.vals[name]
 	}
 	return out
 }
@@ -116,6 +127,9 @@ func fillCodes(dst []uint8, vals, cuts []float64, ix *stats.CutIndexer) {
 // given live features from their miner cuts. Codes land in disjoint global
 // row ranges, so partitions proceed fully in parallel with nothing to fold.
 func (f *fitter) passLiveCodes(live []*liveFeat) error {
+	if f.exec != nil {
+		return f.distPassLiveCodes(live)
+	}
 	return f.runPass(func(c *frame.Chunk, w *passWorker) (func() error, error) {
 		cols := w.ev.liveCols(c)
 		rows := c.NumRows()
@@ -159,7 +173,22 @@ func (f *fitter) scoreCombos(combos []core.Combo) error {
 	total := off[len(combos)]
 	pos := make([]int, total)
 	tot := make([]int, total)
-	err := f.runPass(func(c *frame.Chunk, w *passWorker) (func() error, error) {
+	var err error
+	if f.exec != nil {
+		err = f.distScoreBinary(combos, total, pos, tot)
+		if err != nil {
+			return err
+		}
+		for i := range combos {
+			if off[i+1] == off[i] {
+				combos[i].GainRatio = 0
+				continue
+			}
+			combos[i].GainRatio = stats.GainRatioFromCounts(pos[off[i]:off[i+1]], tot[off[i]:off[i+1]])
+		}
+		return nil
+	}
+	err = f.runPass(func(c *frame.Chunk, w *passWorker) (func() error, error) {
 		cols := w.ev.liveCols(c)
 		rows := c.NumRows()
 		bits := f.labelBits[c.Start : c.Start+rows]
@@ -222,7 +251,22 @@ func (f *fitter) scoreCombosClasses(combos []core.Combo, k int) error {
 	}
 	total := off[len(combos)]
 	cnt := make([]float64, total)
-	err := f.runPass(func(c *frame.Chunk, w *passWorker) (func() error, error) {
+	var err error
+	if f.exec != nil {
+		err = f.distScoreClasses(combos, k, total, cnt)
+		if err != nil {
+			return err
+		}
+		for i := range combos {
+			if off[i+1] == off[i] {
+				combos[i].GainRatio = 0
+				continue
+			}
+			combos[i].GainRatio = stats.GainRatioFromClassCounts(cnt[off[i]:off[i+1]], cells[i].NumCells(), k)
+		}
+		return nil
+	}
+	err = f.runPass(func(c *frame.Chunk, w *passWorker) (func() error, error) {
 		cols := w.ev.liveCols(c)
 		rows := c.NumRows()
 		cls := f.labelCls[c.Start : c.Start+rows]
@@ -288,7 +332,22 @@ func (f *fitter) scoreCombosMoments(combos []core.Combo) error {
 		}
 	}
 	nActive := active
-	err := f.runPass(func(c *frame.Chunk, w *passWorker) (func() error, error) {
+	var err error
+	if f.exec != nil {
+		err = f.distScoreMoments(combos, nActive, cnt, sum, sumsq)
+		if err != nil {
+			return err
+		}
+		for i := range combos {
+			if cnt[i] == nil {
+				combos[i].GainRatio = 0
+				continue
+			}
+			combos[i].GainRatio = stats.VarGainRatioFromMoments(cnt[i], sum[i], sumsq[i])
+		}
+		return nil
+	}
+	err = f.runPass(func(c *frame.Chunk, w *passWorker) (func() error, error) {
 		cols := w.ev.liveCols(c)
 		rows := c.NumRows()
 		start := c.Start
@@ -360,6 +419,9 @@ func (f *fitter) passCandidateSketches(entries []*candidate) error {
 	}
 	if len(gen) == 0 {
 		return nil
+	}
+	if f.exec != nil {
+		return f.distPassCandidateSketches(gen)
 	}
 	return f.runPass(func(c *frame.Chunk, w *passWorker) (func() error, error) {
 		cols := w.ev.liveCols(c)
@@ -452,6 +514,11 @@ func (f *fitter) refineLive() error {
 	if len(open) == 0 {
 		return nil
 	}
+	if f.exec != nil {
+		// Block-stat skip planning needs local source access; the distributed
+		// gather always runs the full pass.
+		return f.distRefineLive(open)
+	}
 	// The refinement pass reads original columns straight off the chunks, so
 	// a source with per-block statistics can prove blocks irrelevant up
 	// front: those chunks are never read, their exact contribution folded
@@ -501,6 +568,9 @@ func (f *fitter) refineCandidates(entries []*candidate) error {
 	}
 	if len(open) == 0 {
 		return nil
+	}
+	if f.exec != nil {
+		return f.distRefineCandidates(open)
 	}
 	return f.runPass(func(c *frame.Chunk, w *passWorker) (func() error, error) {
 		cols := w.ev.liveCols(c)
@@ -554,6 +624,9 @@ func (f *fitter) newCriterionHist(cuts []float64) sketch.CriterionHist {
 func (f *fitter) passCandidateCounts(entries []*candidate) error {
 	for _, en := range entries {
 		en.hist = f.newCriterionHist(en.ivCuts)
+	}
+	if f.exec != nil {
+		return f.distPassCandidateCounts(entries)
 	}
 	regression := f.cfg.Task.Kind == core.TaskRegression
 	return f.runPass(func(c *frame.Chunk, w *passWorker) (func() error, error) {
@@ -640,6 +713,9 @@ func (f *fitter) passGramAndCodes(entries []*candidate, keptA []int) error {
 		}
 	}
 	f.gram = sketch.NewGram(len(keptA))
+	if f.exec != nil {
+		return f.distPassGramAndCodes(entries, keptA, needCodes)
+	}
 	return f.runPass(func(c *frame.Chunk, w *passWorker) (func() error, error) {
 		cols := w.ev.liveCols(c)
 		rows := c.NumRows()

@@ -40,6 +40,15 @@ func DefaultRetryPolicy() RetryPolicy {
 // off, so Config.Retry costs nothing unless asked for.
 func (p RetryPolicy) enabled() bool { return p.MaxAttempts > 1 }
 
+// Enabled reports whether the policy retries at all.
+func (p RetryPolicy) Enabled() bool { return p.enabled() }
+
+// Delay returns the deterministic backoff before retry attempt n (1-based):
+// BaseDelay doubled per prior retry, capped at MaxDelay. Exported for the
+// distributed transport, which retries transient frame faults on the same
+// schedule as chunk reads.
+func (p RetryPolicy) Delay(n int) time.Duration { return p.delay(n) }
+
 // delay returns the backoff before retry attempt n (1-based): BaseDelay
 // doubled per prior retry, capped at MaxDelay. Deterministic — no jitter —
 // so chaos replays time out identically.
@@ -88,6 +97,18 @@ func (e *PassError) Error() string {
 
 // Unwrap implements errors.Unwrap.
 func (e *PassError) Unwrap() error { return e.Err }
+
+// NewRetrySource wraps a chunk source with the policy's transient-read
+// retry loop, counting absorbed retries into *retries (written atomically).
+// A disabled policy returns src unchanged. Distributed workers wrap their
+// partition streams with this, so a recovered read never surfaces to the
+// coordinator's fold — only the reported retry count does.
+func NewRetrySource(ctx context.Context, src frame.ChunkSource, pol RetryPolicy, retries *int64) frame.ChunkSource {
+	if !pol.enabled() {
+		return src
+	}
+	return &retrySource{src: src, ctx: ctx, pol: pol, retries: retries}
+}
 
 // retrySource wraps the raw chunk source with the retry policy. It sits
 // BELOW the prefetcher: a transient error is absorbed and re-read inside

@@ -43,6 +43,14 @@ type Config struct {
 	// Retried reads re-run before the chunk is folded, so a recovered fit
 	// selects features bit-identical to a fault-free run.
 	Retry RetryPolicy
+	// Exec, when set, runs every streaming pass through an external executor
+	// (see Executor) instead of reading src locally: the coordinator reads
+	// only the source schema, reifies each pass into a PassSpec, and folds
+	// the returned partials in partition order — so selection stays
+	// bit-identical to the local engine for any executor worker count.
+	// Retry and Prefetch are ignored (fault handling moves below the
+	// executor's fold); the caller owns the executor's lifecycle.
+	Exec Executor
 }
 
 // DefaultConfig returns the paper's configuration with default sketches.
@@ -116,22 +124,25 @@ func Fit(ctx context.Context, src frame.ChunkSource, cfg Config) (*core.Pipeline
 		ops:        ops,
 		arities:    core.DistinctArities(ops),
 		arena:      sketch.NewArena(),
+		exec:       cfg.Exec,
 	}
-	// Transient-read retries wrap the raw source BELOW the prefetcher: a
-	// retried read resolves inside one Next call, so it never becomes a
-	// sticky stream error and the fold order is untouched. f.base stays the
-	// raw source for SkippableSource pass planning.
-	if cfg.Retry.enabled() {
-		f.src = &retrySource{src: src, ctx: ctx, pol: cfg.Retry, retries: &f.stats.Retries}
-	}
-	// Parallel passes need the prefetcher's lease semantics (each worker owns
-	// its chunk until folded); a single-worker fit uses it only when read-
-	// ahead is requested, keeping the sequential path zero-copy by default.
-	if depth := prefetchDepth(cfg.Prefetch, pool.Workers()); depth > 0 {
-		pf := frame.NewPrefetch(f.src, depth, pool.Workers())
-		defer pf.Close()
-		f.pf = pf
-		f.src = pf
+	if f.exec == nil {
+		// Transient-read retries wrap the raw source BELOW the prefetcher: a
+		// retried read resolves inside one Next call, so it never becomes a
+		// sticky stream error and the fold order is untouched. f.base stays the
+		// raw source for SkippableSource pass planning.
+		if cfg.Retry.enabled() {
+			f.src = &retrySource{src: src, ctx: ctx, pol: cfg.Retry, retries: &f.stats.Retries}
+		}
+		// Parallel passes need the prefetcher's lease semantics (each worker owns
+		// its chunk until folded); a single-worker fit uses it only when read-
+		// ahead is requested, keeping the sequential path zero-copy by default.
+		if depth := prefetchDepth(cfg.Prefetch, pool.Workers()); depth > 0 {
+			pf := frame.NewPrefetch(f.src, depth, pool.Workers())
+			defer pf.Close()
+			f.pf = pf
+			f.src = pf
+		}
 	}
 	p, rep, err := f.fit()
 	if err != nil {
@@ -198,6 +209,9 @@ type fitter struct {
 	nodes      []core.FeatureNode // all generated nodes, for pipeline assembly
 	gram       *sketch.Gram       // transient: current round's pairwise co-moments
 
+	exec      Executor // non-nil: passes run remotely (see distpass.go)
+	liveEpoch int      // live-set epoch last pushed through exec.SetLive
+
 	stats Stats
 }
 
@@ -245,6 +259,11 @@ func (f *fitter) fit() (*core.Pipeline, *core.Report, error) {
 	// sees the fit open before the first (possibly long) pass over the
 	// source; Rows on later events reflects cumulative source consumption.
 	cfg.Emit(core.FitEvent{Kind: core.EventFitStart, Candidates: m})
+	if f.exec != nil {
+		if err := f.exec.Open(f.ctx, f.names, cfg.Task, f.sketchSize); err != nil {
+			return nil, nil, err
+		}
+	}
 
 	// Pass 1: labels plus per-feature quantile sketches and moments. Each
 	// partition summarises independently (arena-recycled partials); the fold
@@ -254,30 +273,12 @@ func (f *fitter) fit() (*core.Pipeline, *core.Report, error) {
 	for j, name := range f.names {
 		f.live[j] = &liveFeat{name: name, sk: sketch.NewQuantile(f.sketchSize), mom: &sketch.Moments{}}
 	}
-	err := f.runPass(func(c *frame.Chunk, w *passWorker) (func() error, error) {
-		if c.Label == nil {
-			return nil, errors.New("shard: source has no label column")
-		}
-		labels := append([]float64(nil), c.Label...)
-		parts := make([]*sketch.Quantile, m)
-		moms := make([]sketch.Moments, m)
-		for j := 0; j < m; j++ {
-			sorted, nan := sketch.SortNonNaN(c.Cols[j], &w.srt)
-			part := f.arena.Quantile(f.sketchSize)
-			part.AddSortedScratch(sorted, nan, &w.srt)
-			parts[j] = part
-			moms[j].AddAll(c.Cols[j])
-		}
-		return func() error {
-			f.labels = append(f.labels, labels...)
-			for j := 0; j < m; j++ {
-				f.live[j].sk.Merge(parts[j])
-				f.arena.PutQuantile(parts[j])
-				f.live[j].mom.Merge(&moms[j])
-			}
-			return nil
-		}, nil
-	})
+	var err error
+	if f.exec != nil {
+		err = f.distPassBaseSketch()
+	} else {
+		err = f.passBaseSketchLocal(m)
+	}
 	if err != nil {
 		return nil, nil, err
 	}
@@ -331,6 +332,9 @@ func (f *fitter) fit() (*core.Pipeline, *core.Report, error) {
 		lf.minerCuts = sketch.ExactBinnerCuts(lf.sk, lf.ref, cfg.Miner.MaxBins)
 		lf.codes = make([]uint8, f.n)
 		f.trackSketch(lf.sk)
+	}
+	if err := f.syncLive(); err != nil {
+		return nil, nil, err
 	}
 	if err := f.passLiveCodes(f.live); err != nil {
 		return nil, nil, err
@@ -498,6 +502,9 @@ func (f *fitter) fit() (*core.Pipeline, *core.Report, error) {
 			next = append(next, lf)
 		}
 		f.live = next
+		if err := f.syncLive(); err != nil {
+			return nil, nil, err
+		}
 		// Sketches of candidates that did not survive ranking recycle into
 		// the arena — the next round's enumerate draws warm sketches instead
 		// of allocating hundreds of fresh ones. Trim first: pooled sketches
@@ -539,6 +546,38 @@ func (f *fitter) fit() (*core.Pipeline, *core.Report, error) {
 		Rows: f.stats.RowsStreamed, Elapsed: report.Total,
 	})
 	return p, report, nil
+}
+
+// passBaseSketchLocal is pass 1 on the local source: labels plus per-feature
+// quantile sketches and moments. Each partition summarises independently
+// (arena-recycled partials); the fold merges partition summaries in
+// partition order, exactly the sequence the sequential engine accumulated
+// in.
+func (f *fitter) passBaseSketchLocal(m int) error {
+	return f.runPass(func(c *frame.Chunk, w *passWorker) (func() error, error) {
+		if c.Label == nil {
+			return nil, errors.New("shard: source has no label column")
+		}
+		labels := append([]float64(nil), c.Label...)
+		parts := make([]*sketch.Quantile, m)
+		moms := make([]sketch.Moments, m)
+		for j := 0; j < m; j++ {
+			sorted, nan := sketch.SortNonNaN(c.Cols[j], &w.srt)
+			part := f.arena.Quantile(f.sketchSize)
+			part.AddSortedScratch(sorted, nan, &w.srt)
+			parts[j] = part
+			moms[j].AddAll(c.Cols[j])
+		}
+		return func() error {
+			f.labels = append(f.labels, labels...)
+			for j := 0; j < m; j++ {
+				f.live[j].sk.Merge(parts[j])
+				f.arena.PutQuantile(parts[j])
+				f.live[j].mom.Merge(&moms[j])
+			}
+			return nil
+		}, nil
+	})
 }
 
 // enumerate builds the round's candidate entries: every live feature, then

@@ -1,0 +1,230 @@
+package sketch
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomQuantile builds a sketch over n random values (some NaN) so levels,
+// errors and extrema are all populated.
+func randomQuantile(rng *rand.Rand, size, n int) *Quantile {
+	q := NewQuantile(size)
+	for i := 0; i < n; i++ {
+		if rng.Intn(17) == 0 {
+			q.Add(math.NaN())
+			continue
+		}
+		q.Add(rng.NormFloat64() * 10)
+	}
+	return q
+}
+
+func TestQuantileWireRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, n := range []int{0, 1, 50, 1000, 5000} {
+		q := randomQuantile(rng, 64, n)
+		dec, rest, err := DecodeQuantile(AppendQuantile(nil, q))
+		if err != nil {
+			t.Fatalf("n=%d: decode: %v", n, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("n=%d: %d unconsumed bytes", n, len(rest))
+		}
+		if dec.count != q.count || dec.nan != q.nan || dec.size != q.size {
+			t.Fatalf("n=%d: counts differ: %+v vs %+v", n, dec, q)
+		}
+		if dec.min != q.min && !(math.IsInf(dec.min, 1) && math.IsInf(q.min, 1)) {
+			t.Fatalf("n=%d: min %v vs %v", n, dec.min, q.min)
+		}
+		if !reflect.DeepEqual(dec.levels, q.levels) && !(len(dec.levels) == 0 && levelsEmpty(q.levels)) {
+			t.Fatalf("n=%d: levels differ", n)
+		}
+		// The contract that matters downstream: merging the decoded partial
+		// is bit-identical to merging the original.
+		a, b := NewQuantile(64), NewQuantile(64)
+		a.AddAll([]float64{3, 1, 4, 1, 5})
+		b.AddAll([]float64{3, 1, 4, 1, 5})
+		a.Merge(q)
+		b.Merge(dec)
+		ca, cb := a.Cuts(10), b.Cuts(10)
+		if !reflect.DeepEqual(ca, cb) {
+			t.Fatalf("n=%d: merged cuts differ: %v vs %v", n, ca, cb)
+		}
+		if a.ErrorBound() != b.ErrorBound() {
+			t.Fatalf("n=%d: error bounds differ", n)
+		}
+	}
+}
+
+func levelsEmpty(levels [][]wpoint) bool {
+	for _, l := range levels {
+		if len(l) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMomentsWireRoundTrip(t *testing.T) {
+	m := &Moments{}
+	m.AddAll([]float64{1, 2, math.NaN(), 4, 8, -3})
+	dec, rest, err := DecodeMoments(AppendMoments(nil, m))
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("decode: %v (rest %d)", err, len(rest))
+	}
+	if *dec != *m {
+		t.Fatalf("round trip changed moments: %+v vs %+v", dec, m)
+	}
+}
+
+func TestLabelHistWireRoundTrip(t *testing.T) {
+	h := NewLabelHist([]float64{-1, 0, 1})
+	h.AddCol(
+		[]float64{-2, -1, 0.5, 3, math.NaN(), 0},
+		[]float64{1, 0, 1, 1, 1, 0},
+	)
+	dec, rest, err := DecodeLabelHist(AppendLabelHist(nil, h))
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("decode: %v (rest %d)", err, len(rest))
+	}
+	if !reflect.DeepEqual(dec.pos, h.pos) || !reflect.DeepEqual(dec.neg, h.neg) ||
+		dec.nanPos != h.nanPos || dec.nanNeg != h.nanNeg {
+		t.Fatalf("round trip changed counts")
+	}
+	if err := h.Merge(dec); err != nil {
+		t.Fatalf("merge decoded: %v", err)
+	}
+}
+
+func TestClassHistWireRoundTrip(t *testing.T) {
+	h := NewClassHist([]float64{0, 2}, 3)
+	h.AddCol(
+		[]float64{-1, 1, 3, math.NaN(), 2},
+		[]float64{0, 1, 2, 1, 0},
+	)
+	dec, rest, err := DecodeClassHist(AppendClassHist(nil, h))
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("decode: %v (rest %d)", err, len(rest))
+	}
+	if !reflect.DeepEqual(dec.flat, h.flat) || !reflect.DeepEqual(dec.nan, h.nan) {
+		t.Fatalf("round trip changed counts")
+	}
+	if err := h.Merge(dec); err != nil {
+		t.Fatalf("merge decoded: %v", err)
+	}
+}
+
+func TestMomentHistWireRoundTrip(t *testing.T) {
+	h := NewMomentHist([]float64{0, 1})
+	h.AddCol([]float64{-1, 0.5, 2, math.NaN()}, []float64{1, 2, 3, 4})
+	dec, rest, err := DecodeMomentHist(AppendMomentHist(nil, h))
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("decode: %v (rest %d)", err, len(rest))
+	}
+	if !reflect.DeepEqual(dec.cnt, h.cnt) || !reflect.DeepEqual(dec.sum, h.sum) ||
+		!reflect.DeepEqual(dec.sumsq, h.sumsq) || dec.nanN != h.nanN {
+		t.Fatalf("round trip changed moments")
+	}
+}
+
+func TestGramWireRoundTrip(t *testing.T) {
+	g := NewGram(3)
+	g.AddChunk([][]float64{
+		{1, 2, math.NaN(), 4},
+		{2, 1, 3, 0},
+		{0, math.NaN(), 1, 2},
+	})
+	dec, rest, err := DecodeGram(AppendGram(nil, g))
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("decode: %v (rest %d)", err, len(rest))
+	}
+	if dec.k != g.k || dec.rows != g.rows ||
+		!reflect.DeepEqual(dec.sxy, g.sxy) || !reflect.DeepEqual(dec.sx, g.sx) ||
+		!reflect.DeepEqual(dec.sy, g.sy) || !reflect.DeepEqual(dec.cnt, g.cnt) {
+		t.Fatalf("round trip changed gram")
+	}
+}
+
+// TestRefinerGatherWireRoundTrip checks the distributed gather path end to
+// end: a shadow rebuilt from transported brackets, accumulated remotely,
+// serialized, decoded and merged must yield the same exact values as the
+// local shadow fold.
+func TestRefinerGatherWireRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	col := make([]float64, 4000)
+	for i := range col {
+		col[i] = math.Round(rng.NormFloat64() * 100)
+	}
+	q := NewQuantile(32)
+	q.AddAll(col)
+	ranks := CutRanks(q.Count(), 10)
+	local := NewRefiner(q, ranks)
+	remoteMaster := NewRefiner(q, ranks)
+
+	rks, lo, hi, resolved := local.Brackets()
+	for _, chunk := range [][]float64{col[:1500], col[1500:]} {
+		lsh := local.Shadow()
+		lsh.AddChunk(chunk)
+		local.Merge(lsh)
+
+		rsh := NewShadowRefiner(rks, lo, hi, resolved)
+		rsh.AddChunk(chunk)
+		dec, rest, err := DecodeRefinerGather(AppendRefinerGather(nil, rsh))
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("decode gather: %v (rest %d)", err, len(rest))
+		}
+		remoteMaster.Merge(dec)
+	}
+	for _, rk := range ranks {
+		if lv, rv := local.Value(rk), remoteMaster.Value(rk); lv != rv {
+			t.Fatalf("rank %d: local %v, remote %v", rk, lv, rv)
+		}
+	}
+}
+
+func TestDecodeAnyDispatch(t *testing.T) {
+	m := &Moments{}
+	m.Add(3)
+	v, _, err := DecodeAny(AppendMoments(nil, m))
+	if err != nil {
+		t.Fatalf("DecodeAny: %v", err)
+	}
+	if _, ok := v.(*Moments); !ok {
+		t.Fatalf("DecodeAny returned %T", v)
+	}
+	if _, _, err := DecodeAny([]byte{250}); err == nil {
+		t.Fatal("unknown tag decoded")
+	}
+	var de *DecodeError
+	if _, _, err := DecodeAny(nil); !errors.As(err, &de) {
+		t.Fatalf("empty input error %T, want *DecodeError", err)
+	}
+}
+
+// TestDecodeCorruptedTyped pins the failure mode for structurally corrupted
+// frames: a typed *DecodeError, never a panic and never silent success when
+// an invariant is broken.
+func TestDecodeCorruptedTyped(t *testing.T) {
+	q := randomQuantile(rand.New(rand.NewSource(5)), 32, 500)
+	enc := AppendQuantile(nil, q)
+	corruptions := map[string][]byte{
+		"empty":     {},
+		"truncated": enc[:len(enc)/2],
+		"wrong tag": append([]byte{wireGram}, enc[1:]...),
+	}
+	// Flip the count so level weights no longer sum to it.
+	bad := append([]byte(nil), enc...)
+	bad[5] ^= 0xff
+	corruptions["count flip"] = bad
+
+	for name, b := range corruptions {
+		_, _, err := DecodeQuantile(b)
+		var de *DecodeError
+		if !errors.As(err, &de) {
+			t.Fatalf("%s: error %v (%T), want *DecodeError", name, err, err)
+		}
+	}
+}
